@@ -1,0 +1,256 @@
+// Benchmarks reproducing every table and figure of the evaluation section
+// (Section 6) of "Extending Dependencies with Conditions" (VLDB 2007), plus
+// the ablations called out in DESIGN.md. Each figure has one benchmark
+// whose sub-benchmarks are the x-axis positions of the paper's plot;
+// accuracy figures report an "acc%" metric alongside time. cmd/cindexp
+// runs the same harness with the full paper-scale sweeps.
+package cind_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	cindapi "cind"
+
+	"cind/internal/bank"
+	"cind/internal/consistency"
+	"cind/internal/exp"
+	"cind/internal/gen"
+	"cind/internal/instance"
+)
+
+// benchParams are the quick-run experiment parameters (shape-preserving;
+// see EXPERIMENTS.md for the mapping to the paper's ranges).
+func benchParams() exp.Params {
+	p := exp.Defaults()
+	p.Runs = 1
+	p.KCFD = 20000
+	return p
+}
+
+// cfdWorkload builds a consistent CFD-only workload with per relation CFDs.
+func cfdWorkload(perRelation int, consistent bool, seed int64) *gen.Workload {
+	return gen.New(gen.Config{
+		Relations: 20, MaxAttrs: 15, F: 0.25,
+		Card: perRelation * 20, CFDRatio: 1.0,
+		Consistent: consistent, Seed: seed,
+	})
+}
+
+// BenchmarkFig10a_Chase and BenchmarkFig10a_SAT time the two CFD_Checking
+// implementations over all 20 relations (Figure 10(a): Chase ≪ SAT and
+// both roughly linear in the number of CFDs per relation).
+func BenchmarkFig10a_Chase(b *testing.B) {
+	for _, per := range []int{25, 50, 100, 200} {
+		b.Run(fmt.Sprintf("cfdsPerRel=%d", per), func(b *testing.B) {
+			w := cfdWorkload(per, true, 1)
+			perRel := groupByRel(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, rel := range w.Schema.Relations() {
+					consistency.CFDCheckingChase(rel, perRel[rel.Name()], 20000,
+						rand.New(rand.NewSource(1)))
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkFig10a_SAT(b *testing.B) {
+	for _, per := range []int{25, 50, 100, 200} {
+		b.Run(fmt.Sprintf("cfdsPerRel=%d", per), func(b *testing.B) {
+			w := cfdWorkload(per, true, 1)
+			perRel := groupByRel(w)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				for _, rel := range w.Schema.Relations() {
+					consistency.CFDCheckingSAT(rel, perRel[rel.Name()])
+				}
+			}
+		})
+	}
+}
+
+func groupByRel(w *gen.Workload) map[string][]*cindapi.CFD {
+	out := map[string][]*cindapi.CFD{}
+	for _, c := range w.CFDs {
+		out[c.Rel] = append(out[c.Rel], c)
+	}
+	return out
+}
+
+// BenchmarkFig10b measures chase CFD_Checking accuracy against the SAT
+// oracle while sweeping K_CFD (Figure 10(b): accuracy climbs with K_CFD).
+// Accuracy is reported as the acc% metric.
+func BenchmarkFig10b(b *testing.B) {
+	p := benchParams()
+	for _, kcfd := range []int{1, 16, 256, 4096} {
+		b.Run(fmt.Sprintf("kcfd=%d", kcfd), func(b *testing.B) {
+			var acc float64
+			for i := 0; i < b.N; i++ {
+				pts := exp.Fig10b(p, []int{kcfd})
+				acc = pts[0].Accuracy
+			}
+			b.ReportMetric(acc*100, "acc%")
+		})
+	}
+}
+
+// BenchmarkFig11a reports the accuracy of RandomChecking and Checking on
+// consistent CFD+CIND sets (Figure 11(a): Checking ≈ 100%).
+func BenchmarkFig11a(b *testing.B) {
+	p := benchParams()
+	p.Runs = 3
+	for _, card := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("card=%d", card), func(b *testing.B) {
+			var random, checking float64
+			for i := 0; i < b.N; i++ {
+				pts := exp.Fig11Consistent(p, []int{card})
+				random = float64(pts[0].RandomHits) / float64(pts[0].Runs)
+				checking = float64(pts[0].CheckingHits) / float64(pts[0].Runs)
+			}
+			b.ReportMetric(random*100, "random_acc%")
+			b.ReportMetric(checking*100, "checking_acc%")
+		})
+	}
+}
+
+// BenchmarkFig11b times the two algorithms on consistent sets
+// (Figure 11(b): roughly linear in card(Σ); Checking ≤ RandomChecking).
+func BenchmarkFig11b_RandomChecking(b *testing.B) { benchFig11(b, true, false) }
+func BenchmarkFig11b_Checking(b *testing.B)       { benchFig11(b, true, true) }
+
+// BenchmarkFig11c times the two algorithms on random sets (Figure 11(c)).
+func BenchmarkFig11c_RandomChecking(b *testing.B) { benchFig11(b, false, false) }
+func BenchmarkFig11c_Checking(b *testing.B)       { benchFig11(b, false, true) }
+
+func benchFig11(b *testing.B, consistent, useChecking bool) {
+	p := benchParams()
+	for _, card := range []int{500, 2000} {
+		b.Run(fmt.Sprintf("card=%d", card), func(b *testing.B) {
+			w := gen.New(gen.Config{
+				Relations: p.Relations, MaxAttrs: p.MaxAttrs, F: p.F,
+				Card: card, Consistent: consistent, Seed: 1,
+			})
+			opts := consistency.Options{K: p.K, T: p.T, KCFD: p.KCFD, Seed: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if useChecking {
+					consistency.CheckingBool(w.Schema, w.CFDs, w.CINDs, opts)
+				} else {
+					consistency.RandomCheckingBool(w.Schema, w.CFDs, w.CINDs, opts)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkFig11d sweeps the relation count at fixed card(Σ)/relations
+// (Figure 11(d): runtime grows with the schema size).
+func BenchmarkFig11d(b *testing.B) {
+	p := benchParams()
+	for _, rels := range []int{10, 20, 40} {
+		b.Run(fmt.Sprintf("relations=%d", rels), func(b *testing.B) {
+			pp := p
+			pp.Relations = rels
+			w := gen.New(gen.Config{
+				Relations: rels, MaxAttrs: p.MaxAttrs, F: p.F,
+				Card: rels * 50, Consistent: true, Seed: 1,
+			})
+			opts := consistency.Options{K: p.K, T: p.T, KCFD: p.KCFD, Seed: 1}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				consistency.CheckingBool(w.Schema, w.CFDs, w.CINDs, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkTables12 runs the executable verification rows of Tables 1 and 2
+// and fails the benchmark if any claim check regresses.
+func BenchmarkTables12(b *testing.B) {
+	p := benchParams()
+	p.KCFD = 2000
+	for i := 0; i < b.N; i++ {
+		for _, c := range exp.RunTables(p) {
+			if !c.Pass {
+				b.Fatalf("table %s claim %q failed: %s", c.Table, c.Claim, c.Detail)
+			}
+		}
+	}
+}
+
+// ---- ablations (DESIGN.md §4) ----
+
+// BenchmarkAblationPreprocessing isolates the preProcessing stage's value:
+// Checking (with it) vs bare RandomChecking on the same consistent
+// workloads — the paper's observation that "most of the cases are solved in
+// the preProcessing step".
+func BenchmarkAblationPreprocessing(b *testing.B) {
+	w := gen.New(gen.Config{Relations: 20, MaxAttrs: 15, F: 0.25,
+		Card: 1000, Consistent: true, Seed: 3})
+	opts := consistency.Options{Seed: 3}
+	b.Run("with-preprocessing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			consistency.CheckingBool(w.Schema, w.CFDs, w.CINDs, opts)
+		}
+	})
+	b.Run("without-preprocessing", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			consistency.RandomCheckingBool(w.Schema, w.CFDs, w.CINDs, opts)
+		}
+	})
+}
+
+// BenchmarkAblationVarSetSize sweeps N, the var[A] pool size; the paper
+// reports a negligible effect and fixes N = 2.
+func BenchmarkAblationVarSetSize(b *testing.B) {
+	w := gen.New(gen.Config{Relations: 10, MaxAttrs: 10, F: 0.25,
+		Card: 500, Consistent: true, Seed: 4})
+	for _, n := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("N=%d", n), func(b *testing.B) {
+			opts := consistency.Options{N: n, Seed: 4}
+			for i := 0; i < b.N; i++ {
+				consistency.RandomCheckingBool(w.Schema, w.CFDs, w.CINDs, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTableCap sweeps T, the witness-size cap of chaseI.
+func BenchmarkAblationTableCap(b *testing.B) {
+	w := gen.New(gen.Config{Relations: 10, MaxAttrs: 10, F: 0.25,
+		Card: 500, Consistent: true, Seed: 5})
+	for _, t := range []int{100, 500, 2000, 4000} {
+		b.Run(fmt.Sprintf("T=%d", t), func(b *testing.B) {
+			opts := consistency.Options{T: t, Seed: 5}
+			for i := 0; i < b.N; i++ {
+				consistency.RandomCheckingBool(w.Schema, w.CFDs, w.CINDs, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkViolationDetection times bulk violation detection on a scaled
+// bank instance — the library's data-cleaning hot path (hash anti-joins,
+// linear in the data size).
+func BenchmarkViolationDetection(b *testing.B) {
+	sch := bank.Schema()
+	for _, size := range []int{1000, 10000} {
+		b.Run(fmt.Sprintf("checking=%d", size), func(b *testing.B) {
+			db := bank.Data(sch)
+			for i := 0; i < size; i++ {
+				db.Instance("checking").Insert(instance.Consts(
+					fmt.Sprintf("%05d", i), "Customer", "Addr", "555",
+					[]string{"NYC", "EDI"}[i%2]))
+			}
+			cfds := bank.CFDs(sch)
+			cinds := bank.CINDs(sch)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cindapi.Detect(db, cfds, cinds)
+			}
+		})
+	}
+}

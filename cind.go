@@ -1,0 +1,234 @@
+// Package cind is a from-scratch Go implementation of conditional inclusion
+// dependencies (CINDs) and their companion conditional functional
+// dependencies (CFDs), reproducing "Extending Dependencies with Conditions"
+// by Bravo, Fan and Ma (VLDB 2007).
+//
+// The package is a facade: it re-exports the library's stable surface so
+// that downstream users need a single import. The implementation lives in
+// the internal packages, one per subsystem:
+//
+//	internal/schema       relational schemas, finite/infinite domains
+//	internal/instance     in-memory instances and chase templates
+//	internal/pattern      pattern tableaux and the match order ≍
+//	internal/core         CINDs: syntax, semantics, normal form, Theorem 3.2
+//	internal/cfd          CFDs: syntax, semantics, normal form
+//	internal/inference    the inference system I (rules CIND1–CIND8)
+//	internal/implication  implication decision (proofs + chase refutation)
+//	internal/chase        the extended chase of Section 5.1
+//	internal/consistency  CFD_Checking, RandomChecking, preProcessing, Checking
+//	internal/depgraph     dependency graphs G[Σ]
+//	internal/gen          the Section 6 workload generator
+//	internal/parser       text format for schemas and constraints
+//	internal/sqlgen       violation-detection SQL (per [9] and Sec 8)
+//	internal/violation    CSV loading and violation reports
+//	internal/exp          the Section 6 experiment harness
+//
+// # Quick start
+//
+//	spec, err := cind.ParseSpec(src)        // schema + constraints from text
+//	report := cind.Detect(db, spec.CFDs, spec.CINDs)
+//	answer := cind.CheckConsistency(spec.Schema, spec.CFDs, spec.CINDs, cind.CheckOptions{})
+//	outcome := cind.DecideImplication(spec.Schema, spec.CINDs, psi, cind.ImplicationOptions{})
+//
+// See the examples/ directory for runnable walkthroughs of the paper's
+// scenarios, and DESIGN.md / EXPERIMENTS.md for the reproduction map.
+package cind
+
+import (
+	"io"
+
+	"cind/internal/cfd"
+	"cind/internal/consistency"
+	core "cind/internal/core"
+	"cind/internal/gen"
+	"cind/internal/implication"
+	"cind/internal/inference"
+	"cind/internal/instance"
+	"cind/internal/parser"
+	"cind/internal/pattern"
+	"cind/internal/repair"
+	"cind/internal/schema"
+	"cind/internal/violation"
+	"cind/internal/views"
+)
+
+// Schema-layer types.
+type (
+	// Schema is a database schema R = (R1, ..., Rn).
+	Schema = schema.Schema
+	// Relation is one relation schema.
+	Relation = schema.Relation
+	// Attribute is a named, domain-typed column.
+	Attribute = schema.Attribute
+	// Domain is a finite or infinite value domain.
+	Domain = schema.Domain
+	// Database is an in-memory instance of a schema.
+	Database = instance.Database
+	// Tuple is a value tuple.
+	Tuple = instance.Tuple
+)
+
+// Constraint types.
+type (
+	// CIND is a conditional inclusion dependency — the paper's contribution.
+	CIND = core.CIND
+	// CINDRow is one pattern row of a CIND tableau.
+	CINDRow = core.Row
+	// CFD is a conditional functional dependency [9].
+	CFD = cfd.CFD
+	// CFDRow is one pattern row of a CFD tableau.
+	CFDRow = cfd.Row
+	// Symbol is a pattern symbol: a constant or the wildcard '_'.
+	Symbol = pattern.Symbol
+)
+
+// Schema construction.
+var (
+	// InfiniteDomain returns a fresh infinite domain.
+	InfiniteDomain = schema.Infinite
+	// FiniteDomain returns a finite domain over the given values.
+	FiniteDomain = schema.Finite
+	// NewRelation builds a relation schema.
+	NewRelation = schema.NewRelation
+	// NewSchema builds a database schema.
+	NewSchema = schema.New
+	// NewDatabase returns an empty instance of a schema.
+	NewDatabase = instance.NewDatabase
+)
+
+// Constraint construction.
+var (
+	// NewCIND builds and validates a CIND against a schema.
+	NewCIND = core.New
+	// NewCFD builds and validates a CFD against a schema.
+	NewCFD = cfd.New
+	// Wild is the pattern wildcard '_'.
+	Wild = pattern.Wild
+	// Sym builds a constant pattern symbol.
+	Sym = pattern.Sym
+)
+
+// Spec is a parsed constraint file.
+type Spec = parser.Spec
+
+// ParseSpec parses the textual constraint format (see internal/parser).
+func ParseSpec(src string) (*Spec, error) { return parser.Parse(src) }
+
+// MarshalSpec renders a Spec back to the textual format.
+func MarshalSpec(s *Spec) string { return parser.Marshal(s) }
+
+// ViolationReport collects detected violations.
+type ViolationReport = violation.Report
+
+// Detect runs every constraint against the database and reports violations.
+func Detect(db *Database, cfds []*CFD, cinds []*CIND) *ViolationReport {
+	return violation.Detect(db, cfds, cinds)
+}
+
+// LoadCSV loads CSV rows into the named relation of db.
+func LoadCSV(db *Database, rel string, r io.Reader, header bool) error {
+	return violation.LoadCSV(db, rel, r, header)
+}
+
+// Witness builds the Theorem 3.2 witness: a nonempty database satisfying
+// every CIND of sigma (CINDs are always consistent). maxTuples bounds the
+// per-relation size; 0 uses the default cap.
+func Witness(sch *Schema, sigma []*CIND, maxTuples int) (*Database, error) {
+	return core.Witness(sch, sigma, maxTuples)
+}
+
+// Consistency checking (Section 5).
+type (
+	// CheckOptions tunes the Section 5 heuristics (N, K, T, K_CFD, method).
+	CheckOptions = consistency.Options
+	// CheckAnswer is the verdict plus witness template.
+	CheckAnswer = consistency.Answer
+)
+
+// CheckConsistency runs the combined Checking algorithm (Figure 9). A true
+// answer is definitive (Theorem 5.1); false means no witness was found.
+func CheckConsistency(sch *Schema, cfds []*CFD, cinds []*CIND, opts CheckOptions) CheckAnswer {
+	return consistency.Checking(sch, cfds, cinds, opts)
+}
+
+// RandomCheckConsistency runs the plain RandomChecking algorithm (Figure 5).
+func RandomCheckConsistency(sch *Schema, cfds []*CFD, cinds []*CIND, opts CheckOptions) CheckAnswer {
+	return consistency.RandomChecking(sch, cfds, cinds, opts)
+}
+
+// Implication analysis (Section 3).
+type (
+	// ImplicationOptions budgets the implication decision procedure.
+	ImplicationOptions = implication.Options
+	// ImplicationOutcome is the verdict plus proof or counterexample.
+	ImplicationOutcome = implication.Outcome
+	// Proof is a derivation in the inference system I.
+	Proof = inference.Proof
+)
+
+// Implication verdicts.
+const (
+	Implied    = implication.Implied
+	NotImplied = implication.NotImplied
+	Unknown    = implication.Unknown
+)
+
+// DecideImplication determines whether sigma ⊨ psi, returning a proof in
+// the inference system I (Theorem 3.3) or a counterexample database.
+func DecideImplication(sch *Schema, sigma []*CIND, psi *CIND, opts ImplicationOptions) ImplicationOutcome {
+	return implication.Decide(sch, sigma, psi, opts)
+}
+
+// MinimalCover drops members of sigma implied by the rest (conclusion,
+// "minimal cover"). The result is equivalent to sigma.
+func MinimalCover(sch *Schema, sigma []*CIND, opts ImplicationOptions) []*CIND {
+	return implication.MinimalCover(sch, sigma, opts)
+}
+
+// Workload generation (Section 6).
+type (
+	// WorkloadConfig parameterises the Section 6 generator.
+	WorkloadConfig = gen.Config
+	// Workload is a generated schema plus constraint set.
+	Workload = gen.Workload
+)
+
+// GenerateWorkload builds a random workload per the Section 6 setup.
+func GenerateWorkload(cfg WorkloadConfig) *Workload { return gen.New(cfg) }
+
+// Data repair (the application of Example 1.2; cf. [8]).
+type (
+	// RepairOptions bounds the repair loop.
+	RepairOptions = repair.Options
+	// RepairResult is the repaired copy plus the change log.
+	RepairResult = repair.Result
+)
+
+// RepairDatabase produces a repaired copy of db: CFD violations are fixed
+// by value modification, CIND violations by inserting the demanded tuples,
+// iterating to a fixpoint. The input is never mutated.
+func RepairDatabase(db *Database, cfds []*CFD, cinds []*CIND, opts RepairOptions) *RepairResult {
+	return repair.Repair(db, cfds, cinds, opts)
+}
+
+// View propagation (the paper's "propagation through SQL views" direction).
+type (
+	// SelectionView is V = σ_{Attr=Value}(Base).
+	SelectionView = views.SelectionView
+)
+
+// ExtendSchemaWithViews adds one relation per view to the schema.
+func ExtendSchemaWithViews(sch *Schema, vs []SelectionView) (*Schema, error) {
+	return views.ExtendSchema(sch, vs)
+}
+
+// PropagateCFDsToViews derives the CFDs that provably hold on the views.
+func PropagateCFDsToViews(extended *Schema, vs []SelectionView, cfds []*CFD) ([]*CFD, error) {
+	return views.PropagateCFDs(extended, vs, cfds)
+}
+
+// PropagateCINDsToViews derives the CINDs that provably hold on or into the
+// views.
+func PropagateCINDsToViews(extended *Schema, vs []SelectionView, cinds []*CIND) ([]*CIND, error) {
+	return views.PropagateCINDs(extended, vs, cinds)
+}

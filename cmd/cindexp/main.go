@@ -1,0 +1,112 @@
+// Command cindexp regenerates the experimental study of Section 6 of the
+// paper: every figure (10a, 10b, 11a–11d) and the executable verification
+// of Tables 1 and 2. By default it runs a quick sweep that preserves the
+// paper's shapes; -paper restores the full parameter ranges (slow).
+//
+// Usage:
+//
+//	cindexp -fig 10a            # one figure
+//	cindexp -table 1            # table verification rows
+//	cindexp -all                # everything
+//	cindexp -all -paper -runs 6 # full paper scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cind/internal/exp"
+)
+
+func main() {
+	fig := flag.String("fig", "", "figure to regenerate: 10a, 10b, 11a, 11b, 11c, 11d")
+	table := flag.String("table", "", "table to verify: 1, 2 (both run the same rows)")
+	all := flag.Bool("all", false, "run every figure and table")
+	paper := flag.Bool("paper", false, "full paper-scale parameter sweeps (slow)")
+	runs := flag.Int("runs", 0, "repetitions per point (default 3; paper used 6)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	p := exp.Defaults()
+	p.Seed = *seed
+	if *runs > 0 {
+		p.Runs = *runs
+	}
+
+	sweeps := quickSweeps()
+	if *paper {
+		sweeps = paperSweeps()
+		p.KCFD = 2000000 // the paper fixes K_CFD = 2000K after Fig 10(b)
+	}
+
+	ran := false
+	run := func(name string) {
+		ran = true
+		switch name {
+		case "10a":
+			exp.Fig10aSeries(exp.Fig10a(p, sweeps.fig10a)).Print(os.Stdout)
+		case "10b":
+			exp.Fig10bSeries(exp.Fig10b(p, sweeps.fig10b)).Print(os.Stdout)
+		case "11a":
+			exp.Fig11aSeries(exp.Fig11Consistent(p, sweeps.fig11)).Print(os.Stdout)
+		case "11b":
+			exp.Fig11bSeries(exp.Fig11Consistent(p, sweeps.fig11)).Print(os.Stdout)
+		case "11c":
+			exp.Fig11cSeries(exp.Fig11Random(p, sweeps.fig11)).Print(os.Stdout)
+		case "11d":
+			exp.Fig11dSeries(exp.Fig11d(p, sweeps.fig11dRels, sweeps.fig11dRatio)).Print(os.Stdout)
+		case "tables":
+			exp.TableSeries(exp.RunTables(p)).Print(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "cindexp: unknown figure %q\n", name)
+			os.Exit(2)
+		}
+		fmt.Println()
+	}
+
+	switch {
+	case *all:
+		for _, name := range []string{"10a", "10b", "11a", "11b", "11c", "11d", "tables"} {
+			run(name)
+		}
+	case *fig != "":
+		run(*fig)
+	case *table != "":
+		run("tables")
+	}
+	if !ran {
+		fmt.Fprintln(os.Stderr, "usage: cindexp -fig 10a|10b|11a|11b|11c|11d | -table 1|2 | -all [-paper] [-runs N]")
+		os.Exit(2)
+	}
+}
+
+type sweepSet struct {
+	fig10a      []int
+	fig10b      []int
+	fig11       []int
+	fig11dRels  []int
+	fig11dRatio int
+}
+
+// quickSweeps preserve the paper's shapes at laptop-friendly sizes.
+func quickSweeps() sweepSet {
+	return sweepSet{
+		fig10a:      []int{25, 50, 100, 200, 400},
+		fig10b:      []int{1, 4, 16, 64, 256, 2048},
+		fig11:       []int{250, 500, 1000, 2000, 4000},
+		fig11dRels:  []int{5, 10, 20, 40},
+		fig11dRatio: 100,
+	}
+}
+
+// paperSweeps are the ranges of Section 6.
+func paperSweeps() sweepSet {
+	return sweepSet{
+		fig10a:      []int{100, 200, 400, 600, 800, 1000, 1200},
+		fig10b:      []int{100, 200, 400, 800, 1600, 3200, 6400, 16000},
+		fig11:       []int{2500, 5000, 10000, 15000, 20000},
+		fig11dRels:  []int{10, 20, 40, 60, 80, 100},
+		fig11dRatio: 1000,
+	}
+}

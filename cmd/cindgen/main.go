@@ -1,0 +1,48 @@
+// Command cindgen generates random constraint workloads following the
+// experimental setup of Section 6 of the paper: random schemas (up to 100
+// relations, ≤15 attributes, a configurable ratio F of finite-domain
+// attributes) and random sets of CFDs and CINDs (75%/25% by default),
+// either consistent by construction or unconstrained.
+//
+// The workload is written in the cindcheck text format to stdout, so the
+// two tools compose:
+//
+//	cindgen -card 500 -consistent | tee w.cind && cindcheck w.cind
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"cind/internal/gen"
+	"cind/internal/parser"
+)
+
+func main() {
+	relations := flag.Int("relations", 20, "number of relations")
+	maxAttrs := flag.Int("maxattrs", 15, "maximum attributes per relation")
+	f := flag.Float64("f", 0.25, "ratio of finite-domain attributes")
+	card := flag.Int("card", 100, "card(Σ): number of constraints")
+	ratio := flag.Float64("cfdratio", 0.75, "CFD share of Σ")
+	consistent := flag.Bool("consistent", false, "generate a consistent set (witness-guided)")
+	seed := flag.Int64("seed", 1, "random seed")
+	flag.Parse()
+
+	w := gen.New(gen.Config{
+		Relations:  *relations,
+		MaxAttrs:   *maxAttrs,
+		F:          *f,
+		Card:       *card,
+		CFDRatio:   *ratio,
+		Consistent: *consistent,
+		Seed:       *seed,
+	})
+	fmt.Printf("# generated workload: %d CFDs, %d CINDs over %d relations (seed %d, consistent=%v)\n",
+		len(w.CFDs), len(w.CINDs), w.Schema.Len(), *seed, *consistent)
+	out := parser.Marshal(&parser.Spec{Schema: w.Schema, CFDs: w.CFDs, CINDs: w.CINDs})
+	if _, err := os.Stdout.WriteString(out); err != nil {
+		fmt.Fprintln(os.Stderr, "cindgen:", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,48 @@
+// Autorepair: closing the data-cleaning loop of Example 1.2.
+//
+// Detection (examples/datacleaning) tells you WHAT is wrong; this example
+// lets the constraints fix it: CFD violations are repaired by value
+// modification (the cost-based heuristic of the paper's reference [8]) and
+// CIND violations by inserting the demanded tuples. On the Figure 1
+// instance the repair rewrites t12's 10.5% to the 1.5% that ϕ3's pattern
+// demands — exactly the fix the paper describes in prose — and the result
+// passes full detection.
+//
+//	go run ./examples/autorepair
+package main
+
+import (
+	"fmt"
+
+	cindapi "cind"
+
+	"cind/internal/bank"
+)
+
+func main() {
+	sch := bank.Schema()
+	dirty := bank.Data(sch)
+	cfds := bank.CFDs(sch)
+	cinds := bank.CINDs(sch)
+
+	fmt.Println("before repair:")
+	fmt.Println(cindapi.Detect(dirty, cfds, cinds))
+
+	res := cindapi.RepairDatabase(dirty, cfds, cinds, cindapi.RepairOptions{})
+	fmt.Println("\n" + res.String())
+
+	fmt.Println("\nafter repair:")
+	fmt.Println(cindapi.Detect(res.DB, cfds, cinds))
+
+	fmt.Println("\nrepaired interest relation:")
+	fmt.Println(res.DB.Instance("interest"))
+
+	// An unrepairable case: Example 4.2's Σ admits no nonempty instance,
+	// so the repair loop gives up and says so.
+	sch42, phi, psi := bank.Example42()
+	db42 := cindapi.NewDatabase(sch42)
+	db42.Instance("R").InsertConsts("x", "y")
+	bad := cindapi.RepairDatabase(db42, phi, psi, cindapi.RepairOptions{MaxPasses: 4})
+	fmt.Printf("\nExample 4.2 (inconsistent Σ): clean=%v after %d passes — no repair exists\n",
+		bad.Clean, bad.Passes)
+}

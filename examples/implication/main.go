@@ -1,0 +1,60 @@
+// Implication: Examples 3.3 and 3.4 — reasoning about CINDs.
+//
+// Given Σ = Fig 2 and dom(at) = {saving, checking}, does Σ entail
+// ψ = (account_B[at; nil] ⊆ interest[at; nil], (_||_))? The paper derives
+// it in seven steps using rules CIND2, CIND3 and CIND8 of the inference
+// system I. This example reproduces the derivation mechanically, shows a
+// non-implication refuted by a counterexample database, and computes a
+// minimal cover (the future-work application named in the conclusion).
+//
+//	go run ./examples/implication
+package main
+
+import (
+	"fmt"
+
+	"cind/internal/bank"
+	cind "cind/internal/core"
+	"cind/internal/implication"
+	"cind/internal/pattern"
+)
+
+func main() {
+	sch := bank.Schema()
+	sigma := bank.CINDs(sch)
+
+	// Example 3.3's goal for branch EDI.
+	goal := cind.MustNew(sch, "psi_ex33", "account_EDI", []string{"at"}, nil,
+		"interest", []string{"at"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+
+	fmt.Println("Σ ⊨ ψ?  with ψ =", goal)
+	out := implication.Decide(sch, sigma, goal, implication.Options{})
+	fmt.Println("verdict:", out.Verdict, "—", out.Reason)
+	if out.Proof != nil {
+		fmt.Println("\nderivation in system I (cf. Example 3.4):")
+		fmt.Print(out.Proof)
+	}
+
+	// The converse direction is refutable: the chase builds a model of Σ
+	// violating the goal.
+	conv := cind.MustNew(sch, "converse", "interest", []string{"ab"}, nil,
+		"saving", []string{"ab"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	out = implication.Decide(sch, sigma, conv, implication.Options{})
+	fmt.Println("\nΣ ⊨", conv, "?")
+	fmt.Println("verdict:", out.Verdict, "—", out.Reason)
+	if out.Counterexample != nil {
+		fmt.Println("counterexample database (satisfies Σ, violates the goal):")
+		fmt.Println(out.Counterexample)
+	}
+
+	// Minimal cover: drop members implied by the rest.
+	redundant := cind.MustNew(sch, "redundant", "saving", []string{"ab"}, []string{"an"},
+		"interest", []string{"ab"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(pattern.Wild, pattern.Sym("01")), RHS: pattern.Wilds(1)}})
+	withRedundant := append(append([]*cind.CIND(nil), sigma...), redundant)
+	cover := implication.MinimalCover(sch, withRedundant, implication.Options{})
+	fmt.Printf("\nminimal cover: %d constraints in, %d out (dropped the ones implied by the rest)\n",
+		len(withRedundant), len(cover))
+}

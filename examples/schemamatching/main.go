@@ -1,0 +1,101 @@
+// Schema matching: the contextual-matching scenario of Example 1.1.
+//
+// A bank integrates per-branch account relations into target saving /
+// checking relations. Plain INDs account_B[an,cn,ca,cp] ⊆ saving[...] "do
+// not make sense" (the paper's words): a checking account must not be
+// required to appear in saving. The CINDs ψ1/ψ2 add the context
+// at = 'saving' / at = 'checking' plus the target binding ab = B.
+//
+// This example demonstrates the difference operationally: it migrates the
+// source data following ψ1/ψ2 (the schema-mapping reading of a CIND), shows
+// the result satisfies the CINDs while the embedded plain INDs are still
+// violated, and prints the SQL a matching system would ship to validate the
+// mapping.
+//
+//	go run ./examples/schemamatching
+package main
+
+import (
+	"fmt"
+
+	"cind/internal/bank"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/sqlgen"
+	"cind/internal/types"
+)
+
+func main() {
+	sch := bank.Schema()
+
+	// Source-only database: the account relations of Fig 1(a)-(b).
+	db := instance.NewDatabase(sch)
+	full := bank.Data(sch)
+	for _, branch := range bank.Branches {
+		rel := bank.AccountRel(branch)
+		for _, t := range full.Instance(rel).Tuples() {
+			db.Instance(rel).Insert(t.Clone())
+		}
+	}
+
+	// The matching constraints: ψ1 and ψ2 per branch.
+	var matches []*cind.CIND
+	for _, b := range bank.Branches {
+		matches = append(matches, bank.Psi1(sch, b), bank.Psi2(sch, b))
+	}
+	fmt.Println("contextual matches (CINDs):")
+	for _, m := range matches {
+		fmt.Println(" ", m)
+	}
+
+	// Before migration the CINDs are violated — each violation is exactly
+	// one source tuple awaiting migration.
+	pending := 0
+	for _, m := range matches {
+		pending += len(m.Violations(db))
+	}
+	fmt.Printf("\nsource tuples awaiting migration: %d\n", pending)
+
+	// Migrate: for every violation, insert the target tuple the CIND
+	// demands (this is the chase step IND(ψ) acting as a data migration).
+	for _, m := range matches {
+		for _, v := range m.Violations(db) {
+			target := sch.MustRelationByName(m.RHSRel)
+			tb := make(instance.Tuple, target.Arity())
+			for i, a := range m.Y {
+				j, _ := target.Index(a)
+				src := sch.MustRelationByName(m.LHSRel)
+				k, _ := src.Index(m.X[i])
+				tb[j] = v.T[k]
+			}
+			ypPat := m.YpPattern()
+			for i, a := range m.Yp {
+				j, _ := target.Index(a)
+				tb[j] = types.C(ypPat[i].Const())
+			}
+			db.Instance(m.RHSRel).Insert(tb)
+		}
+	}
+	fmt.Printf("migrated: saving=%d checking=%d tuples\n",
+		db.Instance("saving").Len(), db.Instance("checking").Len())
+
+	if cind.SatisfiedAll(matches, db) {
+		fmt.Println("all contextual matches satisfied after migration")
+	}
+
+	// The embedded plain INDs still fail — the whole point of conditions.
+	for _, b := range bank.Branches {
+		lhsRel, x, rhsRel, y := bank.Psi1(sch, b).EmbeddedIND()
+		plain := cind.MustNew(sch, "plain_"+b, lhsRel, x, nil, rhsRel, y, nil,
+			[]cind.Row{{LHS: pattern.Wilds(len(x)), RHS: pattern.Wilds(len(y))}})
+		fmt.Printf("plain IND %s[an,cn,ca,cp] ⊆ saving[...]: %d violations (checking accounts!)\n",
+			lhsRel, len(plain.Violations(db)))
+	}
+
+	// The SQL a matching tool would emit to validate ψ1 at branch NYC.
+	fmt.Println("\nvalidation SQL for ψ1(NYC):")
+	for _, q := range sqlgen.ForCIND(bank.Psi1(sch, "NYC")) {
+		fmt.Println(" ", q+";")
+	}
+}

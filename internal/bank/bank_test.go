@@ -1,0 +1,121 @@
+package bank
+
+import (
+	"testing"
+
+	"cind/internal/fd"
+	"cind/internal/ind"
+	"cind/internal/instance"
+)
+
+// TestFigure1Shape pins the Figure 1 instance: tuple counts per relation
+// and the identity of the dirty tuple t12.
+func TestFigure1Shape(t *testing.T) {
+	sch := Schema()
+	db := Data(sch)
+	want := map[string]int{
+		"account_NYC": 3, "account_EDI": 2,
+		"saving": 2, "checking": 3, "interest": 4,
+	}
+	for rel, n := range want {
+		if got := db.Instance(rel).Len(); got != n {
+			t.Errorf("%s has %d tuples, want %d", rel, got, n)
+		}
+	}
+	if !db.Instance("interest").Contains(instance.Consts("EDI", "UK", "checking", "10.5%")) {
+		t.Error("t12 (the dirty tuple) missing")
+	}
+}
+
+// TestCleanDataDiffersOnlyInT12: the repair touches exactly one tuple.
+func TestCleanDataDiffersOnlyInT12(t *testing.T) {
+	sch := Schema()
+	dirty, clean := Data(sch), CleanData(sch)
+	for _, rel := range sch.Relations() {
+		d, c := dirty.Instance(rel.Name()), clean.Instance(rel.Name())
+		if d.Len() != c.Len() {
+			t.Errorf("%s: repair changed cardinality", rel.Name())
+		}
+		diff := 0
+		for _, tup := range d.Tuples() {
+			if !c.Contains(tup) {
+				diff++
+			}
+		}
+		if rel.Name() == "interest" && diff != 1 {
+			t.Errorf("interest: %d tuples differ, want 1", diff)
+		}
+		if rel.Name() != "interest" && diff != 0 {
+			t.Errorf("%s: repair must not touch it", rel.Name())
+		}
+	}
+	if !clean.Instance("interest").Contains(instance.Consts("EDI", "UK", "checking", "1.5%")) {
+		t.Error("repaired tuple missing")
+	}
+}
+
+// TestTraditionalDependenciesHoldOnFig1 replays the Example 1.2 setup: the
+// traditional fd1–fd3 and ind3–ind4 are satisfied by the dirty instance —
+// the reason conditional dependencies are needed at all.
+func TestTraditionalDependenciesHoldOnFig1(t *testing.T) {
+	sch := Schema()
+	db := Data(sch)
+	// fd1/fd2 hold: their CFD forms are the all-wild ϕ1/ϕ2.
+	if !Phi1(sch).Satisfied(db) || !Phi2(sch).Satisfied(db) {
+		t.Error("fd1/fd2 (as all-wild CFDs) must hold on Fig 1")
+	}
+	// fd3 holds as a plain FD: closure-based check needs instances, so use
+	// the all-wild CFD row of ϕ3 alone via a fresh CFD — covered by the cfd
+	// package tests; here check the fd package's view of the key structure.
+	all := []string{"an", "cn", "ca", "cp", "ab"}
+	fd1 := fd.New("saving", []string{"an", "ab"}, []string{"cn", "ca", "cp"})
+	if !fd.IsKey("saving", []string{"an", "ab"}, all, []fd.FD{fd1}) {
+		t.Error("(an, ab) must be a key of saving under fd1")
+	}
+	// ind3/ind4 hold on Fig 1 and are expressible in the ind package.
+	for _, d := range []ind.IND{
+		ind.MustNew("saving", []string{"ab"}, "interest", []string{"ab"}),
+		ind.MustNew("checking", []string{"ab"}, "interest", []string{"ab"}),
+	} {
+		if !ind.Implies([]ind.IND{d}, d) {
+			t.Errorf("%v must imply itself", d)
+		}
+	}
+	if !Psi3(sch).Satisfied(db) || !Psi4(sch).Satisfied(db) {
+		t.Error("ind3/ind4 (as CINDs ψ3/ψ4) must hold on Fig 1")
+	}
+}
+
+// TestConstraintInventory pins the Figure 2 / Figure 4 counts.
+func TestConstraintInventory(t *testing.T) {
+	sch := Schema()
+	if got := len(CINDs(sch)); got != 8 { // ψ1, ψ2 per branch + ψ3–ψ6
+		t.Errorf("CINDs = %d, want 8", got)
+	}
+	if got := len(CFDs(sch)); got != 3 {
+		t.Errorf("CFDs = %d, want 3", got)
+	}
+	if len(Psi5(sch).Rows) != 2 || len(Psi6(sch).Rows) != 2 {
+		t.Error("ψ5/ψ6 carry two pattern rows each (ind5–ind8)")
+	}
+	if len(Phi3(sch).Rows) != 5 {
+		t.Error("ϕ3 carries the wild row plus four refinements")
+	}
+}
+
+// TestExampleFixtures sanity-checks the Example 3.2/4.2/3.4 builders.
+func TestExampleFixtures(t *testing.T) {
+	if sch, cfds := Example32(true); sch.Len() != 1 || len(cfds) != 4 {
+		t.Error("Example32 shape wrong")
+	}
+	if sch, phi, psi := Example42(); sch.Len() != 1 || len(phi) != 1 || len(psi) != 1 {
+		t.Error("Example42 shape wrong")
+	}
+	sch34, sigma, goal := Example34Infinite()
+	if sch34.HasFiniteAttrs() {
+		t.Error("Example34Infinite must have no finite attributes")
+	}
+	if len(sigma) != 4 || goal == nil {
+		t.Error("Example34Infinite shape wrong")
+	}
+}

@@ -1,0 +1,98 @@
+package bank
+
+import (
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// Example32 builds the CFDs φ1–φ4 of Example 3.2 over R(A, B): with
+// finiteA they refine the FDs A → B and B → A into an inconsistent set
+// (dom(A) = bool); with an infinite dom(A) the set is consistent.
+func Example32(finiteA bool) (*schema.Schema, []*cfd.CFD) {
+	var aDom *schema.Domain
+	if finiteA {
+		aDom = schema.Finite("bool", "true", "false")
+	} else {
+		aDom = schema.Infinite("a")
+	}
+	bDom := schema.Infinite("b")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: aDom},
+		schema.Attribute{Name: "B", Dom: bDom}))
+	mk := func(id, x, xv, y, yv string) *cfd.CFD {
+		return cfd.MustNew(sch, id, "R", []string{x}, []string{y},
+			[]cfd.Row{{LHS: pattern.Tup(s(xv)), RHS: pattern.Tup(s(yv))}})
+	}
+	return sch, []*cfd.CFD{
+		mk("phi1", "A", "true", "B", "b1"),
+		mk("phi2", "A", "false", "B", "b2"),
+		mk("phi3", "B", "b1", "A", "false"),
+		mk("phi4", "B", "b2", "A", "true"),
+	}
+}
+
+// Example42 builds the Example 4.2 conflict: φ = (R: A → B, (_||a)) forces
+// B = a on every tuple while ψ = (R[nil; B] ⊆ R[nil; B], (_||b)) — in
+// normal form, an unconditional demand for some tuple with B = b — forces
+// B = b somewhere. Each is separately consistent; together they admit no
+// nonempty instance.
+func Example42() (*schema.Schema, []*cfd.CFD, []*cind.CIND) {
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d},
+		schema.Attribute{Name: "B", Dom: d}))
+	phi := cfd.MustNew(sch, "phi", "R", []string{"A"}, []string{"B"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(s("a"))}})
+	psi := cind.MustNew(sch, "psi", "R", nil, nil, "R", nil, []string{"B"},
+		[]cind.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(s("b"))}})
+	return sch, []*cfd.CFD{phi}, []*cind.CIND{psi}
+}
+
+// Example34Infinite rebuilds the Example 3.3/3.4 implication instance with
+// an INFINITE account-type domain: Σ (the ψ1/ψ2/ψ5/ψ6 analogues for branch
+// EDI) no longer implies the goal, because the CIND8 merge needs dom(at)
+// covered — the boundary between Tables 1 and 2.
+func Example34Infinite() (*schema.Schema, []*cind.CIND, *cind.CIND) {
+	str := schema.Infinite("str")
+	target := func(name string) *schema.Relation {
+		return schema.MustRelation(name,
+			schema.Attribute{Name: "an", Dom: str}, schema.Attribute{Name: "cn", Dom: str},
+			schema.Attribute{Name: "ca", Dom: str}, schema.Attribute{Name: "cp", Dom: str},
+			schema.Attribute{Name: "ab", Dom: str})
+	}
+	sch := schema.MustNew(
+		schema.MustRelation("account_EDI",
+			schema.Attribute{Name: "an", Dom: str}, schema.Attribute{Name: "cn", Dom: str},
+			schema.Attribute{Name: "ca", Dom: str}, schema.Attribute{Name: "cp", Dom: str},
+			schema.Attribute{Name: "at", Dom: str}),
+		target("saving"), target("checking"),
+		schema.MustRelation("interest",
+			schema.Attribute{Name: "ab", Dom: str}, schema.Attribute{Name: "ct", Dom: str},
+			schema.Attribute{Name: "at", Dom: str}, schema.Attribute{Name: "rt", Dom: str}),
+	)
+	w := pattern.Wild
+	mkAcct := func(id, atVal, targetRel string) *cind.CIND {
+		return cind.MustNew(sch, id, "account_EDI",
+			[]string{"an", "cn", "ca", "cp"}, []string{"at"},
+			targetRel, []string{"an", "cn", "ca", "cp"}, []string{"ab"},
+			[]cind.Row{{LHS: pattern.Tup(w, w, w, w, s(atVal)), RHS: pattern.Tup(w, w, w, w, s("EDI"))}})
+	}
+	mkInt := func(id, src, atVal, rt string) *cind.CIND {
+		return cind.MustNew(sch, id, src, nil, []string{"ab"},
+			"interest", nil, []string{"ab", "at", "ct", "rt"},
+			[]cind.Row{{LHS: pattern.Tup(s("EDI")),
+				RHS: pattern.Tup(s("EDI"), s(atVal), s("UK"), s(rt))}})
+	}
+	sigma := []*cind.CIND{
+		mkAcct("psi1", "saving", "saving"),
+		mkAcct("psi2", "checking", "checking"),
+		mkInt("psi5", "saving", "saving", "4.5%"),
+		mkInt("psi6", "checking", "checking", "1.5%"),
+	}
+	goal := cind.MustNew(sch, "ex33", "account_EDI", []string{"at"}, nil,
+		"interest", []string{"at"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	return sch, sigma, goal
+}

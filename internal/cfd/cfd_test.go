@@ -1,0 +1,272 @@
+package cfd
+
+import (
+	"strings"
+	"testing"
+
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// interestSchema builds the paper's interest(ab, ct, at, rt) relation.
+func interestSchema() *schema.Schema {
+	str := schema.Infinite("string")
+	at := schema.Finite("at", "saving", "checking")
+	return schema.MustNew(schema.MustRelation("interest",
+		schema.Attribute{Name: "ab", Dom: str},
+		schema.Attribute{Name: "ct", Dom: str},
+		schema.Attribute{Name: "at", Dom: at},
+		schema.Attribute{Name: "rt", Dom: str},
+	))
+}
+
+// phi3 is the paper's ϕ3 (Fig 4): interest(ct, at → rt) with the all-wild
+// row (plain fd3) plus the four refining constant rows.
+func phi3(sch *schema.Schema) *CFD {
+	w := pattern.Wild
+	return MustNew(sch, "phi3", "interest", []string{"ct", "at"}, []string{"rt"}, []Row{
+		{LHS: pattern.Tup(w, w), RHS: pattern.Tup(w)},
+		{LHS: pattern.Tup(pattern.Sym("UK"), pattern.Sym("saving")), RHS: pattern.Tup(pattern.Sym("4.5%"))},
+		{LHS: pattern.Tup(pattern.Sym("UK"), pattern.Sym("checking")), RHS: pattern.Tup(pattern.Sym("1.5%"))},
+		{LHS: pattern.Tup(pattern.Sym("US"), pattern.Sym("saving")), RHS: pattern.Tup(pattern.Sym("4%"))},
+		{LHS: pattern.Tup(pattern.Sym("US"), pattern.Sym("checking")), RHS: pattern.Tup(pattern.Sym("1%"))},
+	})
+}
+
+// interestData loads Fig 1(e): t11–t14, with t12 carrying the dirty 10.5%.
+func interestData(sch *schema.Schema) *instance.Database {
+	db := instance.NewDatabase(sch)
+	db.Instance("interest").InsertConsts("EDI", "UK", "saving", "4.5%")
+	db.Instance("interest").InsertConsts("EDI", "UK", "checking", "10.5%") // t12: dirty
+	db.Instance("interest").InsertConsts("NYC", "US", "saving", "4%")
+	db.Instance("interest").InsertConsts("NYC", "US", "checking", "1%")
+	return db
+}
+
+func TestValidation(t *testing.T) {
+	sch := interestSchema()
+	w := pattern.Wild
+	cases := []struct {
+		name string
+		rel  string
+		x, y []string
+		rows []Row
+	}{
+		{"unknown relation", "nope", []string{"ab"}, []string{"ct"}, []Row{{pattern.Tup(w), pattern.Tup(w)}}},
+		{"unknown LHS attr", "interest", []string{"zz"}, []string{"ct"}, []Row{{pattern.Tup(w), pattern.Tup(w)}}},
+		{"unknown RHS attr", "interest", []string{"ab"}, []string{"zz"}, []Row{{pattern.Tup(w), pattern.Tup(w)}}},
+		{"dup LHS", "interest", []string{"ab", "ab"}, []string{"ct"}, []Row{{pattern.Tup(w, w), pattern.Tup(w)}}},
+		{"overlap", "interest", []string{"ab"}, []string{"ab"}, []Row{{pattern.Tup(w), pattern.Tup(w)}}},
+		{"empty RHS", "interest", []string{"ab"}, nil, []Row{{pattern.Tup(w), pattern.Tup()}}},
+		{"no rows", "interest", []string{"ab"}, []string{"ct"}, nil},
+		{"short row", "interest", []string{"ab", "ct"}, []string{"rt"}, []Row{{pattern.Tup(w), pattern.Tup(w)}}},
+		{"constant outside finite domain", "interest", []string{"at"}, []string{"rt"},
+			[]Row{{pattern.Tup(pattern.Sym("mortgage")), pattern.Tup(w)}}},
+	}
+	for _, c := range cases {
+		if _, err := New(sch, "bad", c.rel, c.x, c.y, c.rows); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestPaperExample41(t *testing.T) {
+	// Example 4.1: the Fig 1 instance satisfies fd3 (the all-wild row alone)
+	// but violates ϕ3 via tuple t12 and the third pattern row.
+	sch := interestSchema()
+	db := interestData(sch)
+
+	fd3 := MustNew(sch, "fd3", "interest", []string{"ct", "at"}, []string{"rt"},
+		[]Row{{LHS: pattern.Wilds(2), RHS: pattern.Wilds(1)}})
+	if !fd3.Satisfied(db) {
+		t.Fatal("Fig 1 satisfies plain fd3")
+	}
+	if !fd3.IsTraditionalFD() {
+		t.Fatal("fd3 is a traditional FD")
+	}
+
+	p3 := phi3(sch)
+	if p3.IsTraditionalFD() {
+		t.Fatal("ϕ3 has constants")
+	}
+	viols := p3.Violations(db)
+	if len(viols) != 1 {
+		t.Fatalf("want exactly 1 violation (t12), got %d: %v", len(viols), viols)
+	}
+	v := viols[0]
+	if !v.T1.Eq(v.T2) {
+		t.Fatal("the t12 violation is single-tuple")
+	}
+	if v.T1[3].Str() != "10.5%" {
+		t.Fatalf("violating tuple = %v", v.T1)
+	}
+	if v.RowIdx != 2 {
+		t.Fatalf("violated row = %d, want 2 (UK, checking || 1.5%%)", v.RowIdx)
+	}
+	if !strings.Contains(v.String(), "single-tuple") {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestCleanDataSatisfiesPhi3(t *testing.T) {
+	sch := interestSchema()
+	db := interestData(sch)
+	clean := instance.NewDatabase(sch)
+	for _, tup := range db.Instance("interest").Tuples() {
+		if tup[3].Str() == "10.5%" {
+			clean.Instance("interest").InsertConsts("EDI", "UK", "checking", "1.5%")
+		} else {
+			clean.Instance("interest").Insert(tup.Clone())
+		}
+	}
+	if !phi3(sch).Satisfied(clean) {
+		t.Fatal("repaired data must satisfy ϕ3")
+	}
+	if !SatisfiedAll([]*CFD{phi3(sch)}, clean) {
+		t.Fatal("SatisfiedAll disagrees")
+	}
+}
+
+func TestPairViolation(t *testing.T) {
+	// Plain FD violation needs two tuples: same X, different Y.
+	sch := interestSchema()
+	fd := MustNew(sch, "fd", "interest", []string{"ct"}, []string{"rt"},
+		[]Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	db := instance.NewDatabase(sch)
+	db.Instance("interest").InsertConsts("EDI", "UK", "saving", "4.5%")
+	db.Instance("interest").InsertConsts("GLA", "UK", "checking", "1.5%")
+	viols := fd.Violations(db)
+	if len(viols) != 1 {
+		t.Fatalf("violations = %v", viols)
+	}
+	if viols[0].T1.Eq(viols[0].T2) {
+		t.Fatal("FD violation must involve two distinct tuples")
+	}
+	if !strings.Contains(viols[0].String(), "pair") {
+		t.Fatalf("String = %q", viols[0].String())
+	}
+}
+
+func TestNormalForm(t *testing.T) {
+	sch := interestSchema()
+	c := MustNew(sch, "c", "interest", []string{"ab"}, []string{"ct", "rt"}, []Row{
+		{LHS: pattern.Tup(pattern.Sym("EDI")), RHS: pattern.Tup(pattern.Sym("UK"), pattern.Wild)},
+		{LHS: pattern.Wilds(1), RHS: pattern.Wilds(2)},
+	})
+	if c.IsNormal() {
+		t.Fatal("2 rows × 2 RHS attrs is not normal")
+	}
+	nf := c.NormalForm()
+	if len(nf) != 4 {
+		t.Fatalf("normal form size = %d, want 4", len(nf))
+	}
+	ids := map[string]bool{}
+	for _, n := range nf {
+		if !n.IsNormal() {
+			t.Fatalf("%v not normal", n)
+		}
+		if ids[n.ID] {
+			t.Fatalf("duplicate normal-form ID %s", n.ID)
+		}
+		ids[n.ID] = true
+	}
+}
+
+// TestNormalFormPreservesSemantics: a database satisfies a CFD iff it
+// satisfies its normal form, checked over the paper instance and a dirty
+// variant.
+func TestNormalFormPreservesSemantics(t *testing.T) {
+	sch := interestSchema()
+	p3 := phi3(sch)
+	nf := p3.NormalForm()
+	if len(nf) != 5 {
+		t.Fatalf("ϕ3 normal form size = %d", len(nf))
+	}
+	dirty := interestData(sch)
+	clean := instance.NewDatabase(sch)
+	clean.Instance("interest").InsertConsts("NYC", "US", "saving", "4%")
+
+	for _, db := range []*instance.Database{dirty, clean} {
+		if p3.Satisfied(db) != SatisfiedAll(nf, db) {
+			t.Fatalf("normal form changed semantics on %v", db)
+		}
+	}
+}
+
+func TestNormalFormIdentityForNormal(t *testing.T) {
+	sch := interestSchema()
+	c := MustNew(sch, "n", "interest", []string{"ct"}, []string{"rt"},
+		[]Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	nf := c.NormalForm()
+	if len(nf) != 1 || nf[0] != c {
+		t.Fatal("normal CFD must normalise to itself")
+	}
+}
+
+func TestSingleTupleSatisfies(t *testing.T) {
+	sch := interestSchema()
+	rel := sch.MustRelationByName("interest")
+	p3 := phi3(sch)
+	good := instance.Consts("EDI", "UK", "checking", "1.5%")
+	bad := instance.Consts("EDI", "UK", "checking", "10.5%")
+	if !p3.SingleTupleSatisfies(rel, good) {
+		t.Fatal("clean tuple satisfies ϕ3")
+	}
+	if p3.SingleTupleSatisfies(rel, bad) {
+		t.Fatal("t12 violates ϕ3 singly")
+	}
+}
+
+func TestConstants(t *testing.T) {
+	sch := interestSchema()
+	got := phi3(sch).Constants()
+	if len(got) != 12 {
+		t.Fatalf("Constants = %v", got)
+	}
+}
+
+func TestNormalizeAll(t *testing.T) {
+	sch := interestSchema()
+	out := NormalizeAll([]*CFD{phi3(sch)})
+	if len(out) != 5 {
+		t.Fatalf("NormalizeAll = %d", len(out))
+	}
+}
+
+// TestEmptyLHSCFD: an empty X (used by the non-triggering construction of
+// Section 5.3 for unconditional CINDs) matches every tuple, so a constant
+// RHS forces the attribute globally.
+func TestEmptyLHSCFD(t *testing.T) {
+	sch := interestSchema()
+	c := MustNew(sch, "force", "interest", nil, []string{"ct"},
+		[]Row{{LHS: pattern.Tup(), RHS: pattern.Tup(pattern.Sym("UK"))}})
+	db := instance.NewDatabase(sch)
+	db.Instance("interest").InsertConsts("EDI", "UK", "saving", "4.5%")
+	if !c.Satisfied(db) {
+		t.Fatal("UK row satisfies the forcing")
+	}
+	db.Instance("interest").InsertConsts("NYC", "US", "saving", "4%")
+	// With an empty X every pair of tuples shares the (vacuous) LHS, so the
+	// US row violates both singly (ct ≠ UK) and against the UK row (ct
+	// values differ).
+	viols := c.Violations(db)
+	if len(viols) != 2 {
+		t.Fatalf("violations = %v, want single-tuple + pair", viols)
+	}
+	rel := sch.MustRelationByName("interest")
+	if c.SingleTupleSatisfies(rel, instance.Consts("NYC", "US", "saving", "4%")) {
+		t.Fatal("single-tuple check must agree")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	sch := interestSchema()
+	c := MustNew(sch, "c1", "interest", []string{"ct", "at"}, []string{"rt"},
+		[]Row{{LHS: pattern.Tup(pattern.Sym("UK"), pattern.Wild), RHS: pattern.Tup(pattern.Sym("4.5%"))}})
+	got := c.String()
+	want := "c1: (interest: ct, at -> rt, {(UK, _ || 4.5%)})"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,299 @@
+package chase
+
+import (
+	"testing"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+	"cind/internal/types"
+)
+
+var w = pattern.Wild
+
+func sym(v string) pattern.Symbol { return pattern.Sym(v) }
+
+// example51Schema builds R = (R1, R2) with attr(R1) = {E, F},
+// attr(R2) = {G, H} over infinite domains (Example 5.1); finiteH switches
+// dom(H) to {0, 1} (Examples 5.2/5.3).
+func example51Schema(finiteH bool) *schema.Schema {
+	d := schema.Infinite("string")
+	var hDom *schema.Domain = d
+	if finiteH {
+		hDom = schema.Finite("H", "0", "1")
+	}
+	return schema.MustNew(
+		schema.MustRelation("R1",
+			schema.Attribute{Name: "E", Dom: d}, schema.Attribute{Name: "F", Dom: d}),
+		schema.MustRelation("R2",
+			schema.Attribute{Name: "G", Dom: d}, schema.Attribute{Name: "H", Dom: hDom}),
+	)
+}
+
+// example51Constraints builds Σ = {φ1, φ2, ψ1, ψ2, ψ3} of Example 5.1.
+func example51Constraints(sch *schema.Schema) ([]*cfd.CFD, []*cind.CIND) {
+	phi1 := cfd.MustNew(sch, "phi1", "R1", []string{"E"}, []string{"F"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	phi2 := cfd.MustNew(sch, "phi2", "R2", []string{"H"}, []string{"G"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("c"))}})
+	psi1 := cind.MustNew(sch, "psi1", "R1", []string{"E"}, nil, "R2", []string{"G"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	psi2 := cind.MustNew(sch, "psi2", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+		[]cind.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("a"))}})
+	psi3 := cind.MustNew(sch, "psi3", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+		[]cind.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("b"))}})
+	return []*cfd.CFD{phi1, phi2}, []*cind.CIND{psi1, psi2, psi3}
+}
+
+// TestExample51 replays the chase of Example 5.1: seeding R1 with a fresh
+// tuple, the chase reaches the fixpoint R1 = {(c, vF)}, R2 = {(c, vH)}.
+func TestExample51(t *testing.T) {
+	sch := example51Schema(false)
+	cfds, cinds := example51Constraints(sch)
+	ch := New(sch, cfds, cinds, Config{N: 2})
+	ch.SeedFreshTuple("R1")
+
+	if res := ch.Run(); res != Fixpoint {
+		t.Fatalf("chase result = %v, want fixpoint", res)
+	}
+	db := ch.DB()
+	r1 := db.Instance("R1").Tuples()
+	r2 := db.Instance("R2").Tuples()
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("sizes: R1=%d R2=%d, want 1 and 1\n%v", len(r1), len(r2), db)
+	}
+	if !r1[0][0].Eq(types.C("c")) {
+		t.Errorf("R1.E = %v, want c (forced by φ2 through ψ1)", r1[0][0])
+	}
+	if !r1[0][1].IsVar() {
+		t.Errorf("R1.F = %v, want variable", r1[0][1])
+	}
+	if !r2[0][0].Eq(types.C("c")) {
+		t.Errorf("R2.G = %v, want c", r2[0][0])
+	}
+	if !r2[0][1].IsVar() {
+		t.Errorf("R2.H = %v, want variable (infinite domain)", r2[0][1])
+	}
+	// The resulting template satisfies Σ once grounded with fresh values
+	// (the valuation argument at the end of Example 5.1).
+	ground, ok := db.Ground(ch.VarDomain, map[string]bool{"c": true, "a": true, "b": true, "0": true, "1": true})
+	if !ok {
+		t.Fatal("grounding must succeed over infinite domains")
+	}
+	for _, phi := range cfds {
+		if !phi.Satisfied(ground) {
+			t.Errorf("%s violated on grounded fixpoint", phi.ID)
+		}
+	}
+	for _, psi := range cinds {
+		if !psi.Satisfied(ground) {
+			t.Errorf("%s violated on grounded fixpoint", psi.ID)
+		}
+	}
+}
+
+// TestExample53 replays the instantiated chase of Example 5.3: dom(H) =
+// {0, 1}, seed R2 with (vG, vH), apply the valuation ρ1(vH) = 0, and chase
+// to the paper's D4 = R1{(c, a)}, R2{(c, 0)}.
+func TestExample53(t *testing.T) {
+	sch := example51Schema(true)
+	cfds, cinds := example51Constraints(sch)
+	ch := New(sch, cfds, cinds, Config{N: 2, InstantiateFinite: true})
+	seed := ch.SeedFreshTuple("R2")
+	vH := seed[1]
+	if !vH.IsVar() {
+		t.Fatal("seed H field must be a variable")
+	}
+	// ρ1: vH ↦ 0.
+	ch.SubstituteVar(vH.VarID(), types.C("0"))
+
+	if res := ch.Run(); res != Fixpoint {
+		t.Fatalf("chaseI result = %v, want fixpoint (defined)", res)
+	}
+	db := ch.DB()
+	r1 := db.Instance("R1").Tuples()
+	r2 := db.Instance("R2").Tuples()
+	if len(r1) != 1 || len(r2) != 1 {
+		t.Fatalf("sizes: R1=%d R2=%d, want 1 and 1 (paper's D4)\n%v", len(r1), len(r2), db)
+	}
+	if !r1[0].Eq(instance.Consts("c", "a")) {
+		t.Errorf("R1 = %v, want (c, a)", r1[0])
+	}
+	if !r2[0].Eq(instance.Consts("c", "0")) {
+		t.Errorf("R2 = %v, want (c, 0)", r2[0])
+	}
+	// D4 is ground and satisfies Σ outright.
+	for _, phi := range cfds {
+		if !phi.Satisfied(db) {
+			t.Errorf("%s violated on D4", phi.ID)
+		}
+	}
+	for _, psi := range cinds {
+		if !psi.Satisfied(db) {
+			t.Errorf("%s violated on D4", psi.ID)
+		}
+	}
+}
+
+// TestExample52Undefined extends Σ with ψ4 = (R1[nil; F] ⊆ R2[nil; G],
+// (a||d)) as in Example 5.2: after ψ2 fires (F = a), ψ4 inserts a tuple
+// with G = d, and φ2 (G must be c) makes the chase undefined.
+func TestExample52Undefined(t *testing.T) {
+	sch := example51Schema(true)
+	cfds, cinds := example51Constraints(sch)
+	psi4 := cind.MustNew(sch, "psi4", "R1", nil, []string{"F"}, "R2", nil, []string{"G"},
+		[]cind.Row{{LHS: pattern.Tup(sym("a")), RHS: pattern.Tup(sym("d"))}})
+	cinds = append(cinds, psi4)
+
+	ch := New(sch, cfds, cinds, Config{N: 2, InstantiateFinite: true})
+	seed := ch.SeedFreshTuple("R2")
+	ch.SubstituteVar(seed[1].VarID(), types.C("0"))
+
+	if res := ch.Run(); res != Undefined {
+		t.Fatalf("chase result = %v, want undefined (c vs d conflict)\n%v", res, ch.DB())
+	}
+}
+
+// TestFDConstantConflictSingleTuple: a single tuple with a constant RHS
+// violating a constant pattern makes FD(φ) undefined immediately.
+func TestFDConstantConflictSingleTuple(t *testing.T) {
+	sch := example51Schema(false)
+	phi := cfd.MustNew(sch, "phi", "R1", []string{"E"}, []string{"F"},
+		[]cfd.Row{{LHS: pattern.Tup(sym("e")), RHS: pattern.Tup(sym("f"))}})
+	ch := New(sch, []*cfd.CFD{phi}, nil, Config{N: 2})
+	ch.InsertTuple("R1", instance.Consts("e", "wrong"))
+	if res := ch.Run(); res != Undefined {
+		t.Fatalf("result = %v, want undefined", res)
+	}
+}
+
+// TestFDEquatesVariablesToLarger checks case (i) of FD(φ): the smaller
+// variable is replaced by the larger value, globally.
+func TestFDEquatesVariablesToLarger(t *testing.T) {
+	sch := example51Schema(false)
+	phi := cfd.MustNew(sch, "phi", "R1", []string{"E"}, []string{"F"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	ch := New(sch, []*cfd.CFD{phi}, nil, Config{N: 4})
+	v1 := types.NewVar(1001, "v1")
+	v2 := types.NewVar(1002, "v2")
+	ch.InsertTuple("R1", instance.Tuple{types.C("e"), v1})
+	ch.InsertTuple("R1", instance.Tuple{types.C("e"), v2})
+	if res := ch.Run(); res != Fixpoint {
+		t.Fatalf("result = %v", res)
+	}
+	tuples := ch.DB().Instance("R1").Tuples()
+	if len(tuples) != 1 {
+		t.Fatalf("tuples must merge after equating, got %d", len(tuples))
+	}
+	if !tuples[0][1].Eq(v2) {
+		t.Errorf("F = %v, want the larger variable v2", tuples[0][1])
+	}
+}
+
+// TestCyclicINDsWithPoolsTerminate: a cyclic CIND chases to a fixpoint with
+// bounded pools, and reports pool reuse so callers know the fixpoint is the
+// bounded chase's, not necessarily the classical one.
+func TestCyclicINDsWithPoolsTerminate(t *testing.T) {
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	psi := cind.MustNew(sch, "cyc", "R", []string{"A"}, nil, "R", []string{"B"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	ch := New(sch, nil, []*cind.CIND{psi}, Config{N: 2, TableCap: 100})
+	ch.SeedFreshTuple("R")
+	res := ch.Run()
+	if res != Fixpoint {
+		t.Fatalf("bounded chase of a cyclic CIND must reach a fixpoint, got %v", res)
+	}
+	if ch.DB().Instance("R").Len() > 100 {
+		t.Fatal("cap exceeded silently")
+	}
+}
+
+// TestCyclicINDsUnboundedHitCap: the same cycle with fresh variables grows
+// until the table cap trips.
+func TestCyclicINDsUnboundedHitCap(t *testing.T) {
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	psi := cind.MustNew(sch, "cyc", "R", []string{"A"}, nil, "R", []string{"B"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	ch := New(sch, nil, []*cind.CIND{psi}, Config{N: 0, TableCap: 50})
+	ch.SeedFreshTuple("R")
+	if res := ch.Run(); res != CapExceeded {
+		t.Fatalf("result = %v, want cap-exceeded", res)
+	}
+}
+
+// TestExactnessTracking: pool reuse flips Exact() off; fresh-variable runs
+// stay exact.
+func TestExactnessTracking(t *testing.T) {
+	sch := example51Schema(false)
+	cfds, cinds := example51Constraints(sch)
+	ch := New(sch, cfds, cinds, Config{N: 0})
+	ch.SeedFreshTuple("R1")
+	if res := ch.Run(); res != Fixpoint {
+		t.Fatalf("result = %v", res)
+	}
+	if !ch.Exact() {
+		t.Fatal("fresh-variable run must be exact")
+	}
+}
+
+// TestVariablesDoNotTriggerPatterns: a CIND whose Xp wants a constant is
+// not triggered by a tuple holding a variable in that column (v ≠ a).
+func TestVariablesDoNotTriggerPatterns(t *testing.T) {
+	sch := example51Schema(false)
+	_, cinds := example51Constraints(sch)
+	// Only ψ2 (trigger H = 0), no CFDs.
+	ch := New(sch, nil, cinds[1:2], Config{N: 2})
+	ch.SeedFreshTuple("R2") // H is a fresh variable, not 0
+	if res := ch.Run(); res != Fixpoint {
+		t.Fatalf("result = %v", res)
+	}
+	if ch.DB().Instance("R1").Len() != 0 {
+		t.Fatal("ψ2 must not fire on a variable H")
+	}
+}
+
+// TestFiniteVars reports exactly the variables with finite domains.
+func TestFiniteVars(t *testing.T) {
+	sch := example51Schema(true)
+	ch := New(sch, nil, nil, Config{N: 2})
+	ch.SeedFreshTuple("R1") // E, F infinite
+	ch.SeedFreshTuple("R2") // G infinite, H finite
+	fv := ch.FiniteVars()
+	if len(fv) != 1 {
+		t.Fatalf("FiniteVars = %v, want exactly the H variable", fv)
+	}
+	if d := ch.VarDomain(fv[0].VarID()); d == nil || !d.IsFinite() {
+		t.Fatal("VarDomain must return the finite H domain")
+	}
+}
+
+// TestStepLimit guards against runaway chases.
+func TestStepLimit(t *testing.T) {
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	psi := cind.MustNew(sch, "cyc", "R", []string{"A"}, nil, "R", []string{"B"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	ch := New(sch, nil, []*cind.CIND{psi}, Config{N: 0, TableCap: 1 << 20, MaxSteps: 10})
+	ch.SeedFreshTuple("R")
+	if res := ch.Run(); res != StepLimit {
+		t.Fatalf("result = %v, want step-limit", res)
+	}
+}
+
+func TestResultString(t *testing.T) {
+	for r, want := range map[Result]string{
+		Fixpoint: "fixpoint", Undefined: "undefined",
+		CapExceeded: "cap-exceeded", StepLimit: "step-limit", Result(9): "Result(9)",
+	} {
+		if r.String() != want {
+			t.Errorf("String(%d) = %q", int(r), r.String())
+		}
+	}
+}

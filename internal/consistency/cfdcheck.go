@@ -1,0 +1,383 @@
+// Package consistency implements the heuristic consistency-checking
+// algorithms of Section 5: the two CFD_Checking procedures (chase-based and
+// SAT-based), RandomChecking (Figure 5), preProcessing over dependency
+// graphs (Figure 7) and the combined Checking (Figure 9).
+//
+// The consistency problem for CFDs and CINDs together is undecidable
+// (Theorem 4.2), so these algorithms are sound but incomplete: a true
+// answer comes with a witness and is always correct (Theorem 5.1); a false
+// answer means no witness was found within the budgets.
+package consistency
+
+import (
+	"math/rand"
+	"sort"
+
+	"cind/internal/cfd"
+	"cind/internal/instance"
+	"cind/internal/sat"
+	"cind/internal/schema"
+	"cind/internal/types"
+)
+
+// CFDMethod selects the CFD_Checking implementation — the two curves of
+// Figure 10(a).
+type CFDMethod int
+
+const (
+	// Chase propagates pattern constants over a single tuple template and
+	// enumerates valuations of the remaining finite-domain variables, up to
+	// KCFD of them.
+	Chase CFDMethod = iota
+	// SAT reduces single-tuple satisfiability to CNF and runs the DPLL
+	// solver (the paper used SAT4j). Complete, but the encoding cost shows.
+	SAT
+)
+
+func (m CFDMethod) String() string {
+	if m == SAT {
+		return "SAT"
+	}
+	return "Chase"
+}
+
+// Options bundles the parameters named in Sections 5–6. The zero value
+// gives the paper's experimental defaults.
+type Options struct {
+	// N is the var[A] pool size (paper: N = 2).
+	N int
+	// K is the number of RandomChecking attempts / valuations (paper: 20).
+	K int
+	// T is the table cap of the instantiated chase (paper: 2000–4000).
+	T int
+	// KCFD caps the finite-domain valuations tried by chase-based
+	// CFD_Checking (paper sweeps 100–16K and settles on 2000K).
+	KCFD int
+	// Method selects the CFD_Checking implementation.
+	Method CFDMethod
+	// Seed makes randomised runs reproducible (0 uses a fixed default).
+	Seed int64
+	// SeedRels restricts the relations RandomChecking seeds; nil means all.
+	SeedRels []string
+}
+
+func (o Options) withDefaults() Options {
+	if o.N == 0 {
+		o.N = 2
+	}
+	if o.K == 0 {
+		o.K = 20
+	}
+	if o.T == 0 {
+		o.T = 2000
+	}
+	if o.KCFD == 0 {
+		o.KCFD = 100000
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	return o
+}
+
+func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
+
+// CFDChecking decides single-relation CFD consistency with the configured
+// method, returning a witness tuple on success. The input CFDs must all be
+// on rel; they are normalised internally. A set of CFDs over one relation
+// is consistent iff some single tuple satisfies all of them [9], so the
+// witness tuple doubles as the instantiated template τ(R) of Section 5.3.
+// Remaining variables in the witness stand for "any fresh value of an
+// infinite domain".
+func CFDChecking(rel *schema.Relation, cfds []*cfd.CFD, opts Options) (instance.Tuple, bool) {
+	opts = opts.withDefaults()
+	if opts.Method == SAT {
+		return CFDCheckingSAT(rel, cfds)
+	}
+	return CFDCheckingChase(rel, cfds, opts.KCFD, opts.rng())
+}
+
+// CFDCheckingChase is the chase-based CFD_Checking of Section 5.2: start
+// from a tuple template of variables, propagate forced pattern constants to
+// fixpoint, then search valuations of the remaining finite-domain
+// variables — exhaustively when the space fits within kcfd, else by random
+// sampling (the source of the Figure 10(b) accuracy/KCFD trade-off).
+//
+// The search tries inert values first: a domain value that appears in no
+// LHS pattern on its attribute cannot trigger any row, so the all-inert
+// valuation succeeds whenever it exists and consistent inputs usually
+// resolve in one probe. The hard regime — and the paper's K_CFD trade-off —
+// remains the one where small finite domains are fully covered by pattern
+// constants.
+func CFDCheckingChase(rel *schema.Relation, cfds []*cfd.CFD, kcfd int, rng *rand.Rand) (instance.Tuple, bool) {
+	norm := cfd.NormalizeAll(cfds)
+	var gen types.VarGen
+	tau := make(instance.Tuple, rel.Arity())
+	for i, a := range rel.Attrs() {
+		tau[i] = gen.Fresh(a.Name)
+	}
+	tau, ok := propagate(rel, norm, tau)
+	if !ok {
+		return nil, false
+	}
+	// Collect remaining finite-domain variable positions.
+	var finPos []int
+	for i, a := range rel.Attrs() {
+		if tau[i].IsVar() && a.Dom.IsFinite() {
+			finPos = append(finPos, i)
+		}
+	}
+	if len(finPos) == 0 {
+		if singleSatisfiesAll(rel, norm, tau) {
+			return tau, true
+		}
+		return nil, false
+	}
+	// Candidate values per open position, inert values first.
+	lhsConsts := map[string]map[string]bool{}
+	for _, c := range norm {
+		row := c.Rows[0]
+		for k, a := range c.X {
+			if row.LHS[k].IsConst() {
+				if lhsConsts[a] == nil {
+					lhsConsts[a] = map[string]bool{}
+				}
+				lhsConsts[a][row.LHS[k].Const()] = true
+			}
+		}
+	}
+	candidates := make([][]string, len(finPos))
+	space := 1
+	exhaustive := true
+	for k, i := range finPos {
+		attr := rel.Attrs()[i]
+		used := lhsConsts[attr.Name]
+		var inert, covered []string
+		for _, v := range attr.Dom.Values() {
+			if used[v] {
+				covered = append(covered, v)
+			} else {
+				inert = append(inert, v)
+			}
+		}
+		candidates[k] = append(inert, covered...)
+		space *= len(candidates[k])
+		if space > kcfd || space <= 0 {
+			exhaustive = false
+		}
+	}
+	try := func(assign []string) (instance.Tuple, bool) {
+		cand := tau.Clone()
+		for k, i := range finPos {
+			cand[i] = types.C(assign[k])
+		}
+		cand, ok := propagate(rel, norm, cand)
+		if !ok {
+			return nil, false
+		}
+		if singleSatisfiesAll(rel, norm, cand) {
+			return cand, true
+		}
+		return nil, false
+	}
+	if exhaustive {
+		assign := make([]string, len(finPos))
+		var rec func(k int) (instance.Tuple, bool)
+		rec = func(k int) (instance.Tuple, bool) {
+			if k == len(finPos) {
+				return try(assign)
+			}
+			for _, v := range candidates[k] {
+				assign[k] = v
+				if out, ok := rec(k + 1); ok {
+					return out, true
+				}
+			}
+			return nil, false
+		}
+		return rec(0)
+	}
+	// First probe: the all-inert valuation (first candidates), then random
+	// sampling up to the kcfd budget.
+	assign := make([]string, len(finPos))
+	for k := range finPos {
+		assign[k] = candidates[k][0]
+	}
+	if out, ok := try(assign); ok {
+		return out, true
+	}
+	for trial := 1; trial < kcfd; trial++ {
+		for k := range finPos {
+			assign[k] = candidates[k][rng.Intn(len(candidates[k]))]
+		}
+		if out, ok := try(assign); ok {
+			return out, true
+		}
+	}
+	return nil, false
+}
+
+// propagate applies the single-tuple CFD chase to fixpoint: whenever the
+// LHS pattern matches and the RHS pattern is a constant, the RHS attribute
+// is forced. Returns false on a constant conflict.
+func propagate(rel *schema.Relation, norm []*cfd.CFD, tau instance.Tuple) (instance.Tuple, bool) {
+	tau = tau.Clone()
+	for changed := true; changed; {
+		changed = false
+		for _, c := range norm {
+			xi := idxList(rel, c.X)
+			ai, _ := rel.Index(c.Y[0])
+			row := c.Rows[0]
+			if !row.LHS.Matches(tau.Project(xi)) {
+				continue
+			}
+			s := row.RHS[0]
+			if s.IsWild() {
+				continue
+			}
+			want := types.C(s.Const())
+			switch {
+			case tau[ai].Eq(want):
+			case tau[ai].IsVar():
+				tau[ai] = want
+				changed = true
+			default:
+				return nil, false
+			}
+		}
+	}
+	return tau, true
+}
+
+// singleSatisfiesAll evaluates every CFD on the single-tuple instance {tau}.
+func singleSatisfiesAll(rel *schema.Relation, norm []*cfd.CFD, tau instance.Tuple) bool {
+	for _, c := range norm {
+		if !c.SingleTupleSatisfies(rel, tau) {
+			return false
+		}
+	}
+	return true
+}
+
+// CFDCheckingSAT is the SAT-based CFD_Checking: for each attribute the
+// candidate values are the pattern constants Σ mentions on that attribute
+// plus, when the domain is not fully covered, one "other" value; a Boolean
+// variable per (attribute, candidate) with exactly-one constraints, and one
+// clause per normal CFD with a constant RHS. Complete for single-relation
+// CFD consistency.
+func CFDCheckingSAT(rel *schema.Relation, cfds []*cfd.CFD) (instance.Tuple, bool) {
+	norm := cfd.NormalizeAll(cfds)
+
+	// Candidate values per attribute.
+	candidates := make([][]string, rel.Arity())
+	constSet := make([]map[string]bool, rel.Arity())
+	for i := range constSet {
+		constSet[i] = map[string]bool{}
+	}
+	for _, c := range norm {
+		row := c.Rows[0]
+		for k, a := range c.X {
+			if row.LHS[k].IsConst() {
+				i, _ := rel.Index(a)
+				constSet[i][row.LHS[k].Const()] = true
+			}
+		}
+		if row.RHS[0].IsConst() {
+			i, _ := rel.Index(c.Y[0])
+			constSet[i][row.RHS[0].Const()] = true
+		}
+	}
+	other := make([]string, rel.Arity()) // "" when the domain is covered
+	for i, a := range rel.Attrs() {
+		vals := make([]string, 0, len(constSet[i])+1)
+		for v := range constSet[i] {
+			vals = append(vals, v)
+		}
+		sort.Strings(vals)
+		if fresh, ok := a.Dom.Fresh(constSet[i]); ok {
+			other[i] = fresh
+			vals = append(vals, fresh)
+		}
+		candidates[i] = vals
+	}
+
+	// Boolean variable numbering.
+	varOf := map[[2]int]int{} // (attr, candidate idx) -> sat var
+	n := 0
+	for i, vals := range candidates {
+		for k := range vals {
+			n++
+			varOf[[2]int{i, k}] = n
+		}
+	}
+	f := sat.NewFormula(n)
+	candIdx := func(attr int, val string) (int, bool) {
+		for k, v := range candidates[attr] {
+			if v == val {
+				return k, true
+			}
+		}
+		return 0, false
+	}
+	for i, vals := range candidates {
+		lits := make([]sat.Literal, len(vals))
+		for k := range vals {
+			lits[k] = sat.Literal(varOf[[2]int{i, k}])
+		}
+		f.AddExactlyOne(lits...)
+	}
+	for _, c := range norm {
+		row := c.Rows[0]
+		if row.RHS[0].IsWild() {
+			continue // single tuple: variable RHS always satisfiable
+		}
+		var clause []sat.Literal
+		feasible := true
+		for k, a := range c.X {
+			if row.LHS[k].IsWild() {
+				continue
+			}
+			i, _ := rel.Index(a)
+			ci, ok := candIdx(i, row.LHS[k].Const())
+			if !ok {
+				feasible = false // LHS constant unavailable: never triggers
+				break
+			}
+			clause = append(clause, -sat.Literal(varOf[[2]int{i, ci}]))
+		}
+		if !feasible {
+			continue
+		}
+		ai, _ := rel.Index(c.Y[0])
+		ci, ok := candIdx(ai, row.RHS[0].Const())
+		if !ok {
+			// RHS constant not a candidate (cannot happen: it was seeded).
+			continue
+		}
+		clause = append(clause, sat.Literal(varOf[[2]int{ai, ci}]))
+		f.AddClause(clause...)
+	}
+	assign, ok := sat.Solve(f)
+	if !ok {
+		return nil, false
+	}
+	tau := make(instance.Tuple, rel.Arity())
+	for i, vals := range candidates {
+		for k, v := range vals {
+			if assign.Value(sat.Literal(varOf[[2]int{i, k}])) {
+				tau[i] = types.C(v)
+				break
+			}
+		}
+	}
+	return tau, true
+}
+
+func idxList(rel *schema.Relation, attrs []string) []int {
+	out := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, _ := rel.Index(a)
+		out[i] = j
+	}
+	return out
+}

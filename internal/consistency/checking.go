@@ -1,0 +1,42 @@
+package consistency
+
+import (
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/depgraph"
+	"cind/internal/schema"
+)
+
+// Checking is the combined algorithm of Figure 9: build the dependency
+// graph, run preProcessing, and — when that is inconclusive — run
+// RandomChecking per connected component of the reduced graph. A true
+// answer is always correct (Theorem 5.1); a false answer is heuristic.
+func Checking(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) Answer {
+	opts = opts.withDefaults()
+	g := depgraph.New(sch, cfds, cinds)
+	switch PreProcessing(g, opts) {
+	case PreConsistent:
+		return Answer{Consistent: true}
+	case PreInconsistent:
+		return Answer{}
+	}
+	for _, comp := range g.WeakComponents() {
+		compCFDs, compCINDs := g.ConstraintsOf(comp)
+		sub := opts
+		sub.SeedRels = comp
+		if ans := RandomChecking(sch, compCFDs, compCINDs, sub); ans.Consistent {
+			return ans
+		}
+	}
+	return Answer{}
+}
+
+// CheckingBool adapts Checking to the paper's Boolean signature.
+func CheckingBool(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) bool {
+	return Checking(sch, cfds, cinds, opts).Consistent
+}
+
+// RandomCheckingBool adapts RandomChecking to the paper's Boolean signature.
+func RandomCheckingBool(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) bool {
+	return RandomChecking(sch, cfds, cinds, opts).Consistent
+}

@@ -1,0 +1,442 @@
+package consistency
+
+import (
+	"math/rand"
+	"testing"
+
+	"cind/internal/bank"
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/depgraph"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+var w = pattern.Wild
+
+func sym(v string) pattern.Symbol { return pattern.Sym(v) }
+
+// ---- CFD_Checking ----
+
+// boolSchema is the Example 3.2 schema: R(A, B) with dom(A) = bool.
+func boolSchema(bFinite bool) *schema.Schema {
+	a := schema.Finite("bool", "true", "false")
+	var b *schema.Domain = schema.Infinite("b")
+	if bFinite {
+		b = schema.Finite("b2", "b1", "b2v")
+	}
+	return schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: a}, schema.Attribute{Name: "B", Dom: b}))
+}
+
+// example32CFDs builds φ1–φ4 of Example 3.2, which are inconsistent when
+// dom(A) is bool.
+func example32CFDs(sch *schema.Schema) []*cfd.CFD {
+	mk := func(id, x, xv, y, yv string) *cfd.CFD {
+		return cfd.MustNew(sch, id, "R", []string{x}, []string{y},
+			[]cfd.Row{{LHS: pattern.Tup(sym(xv)), RHS: pattern.Tup(sym(yv))}})
+	}
+	return []*cfd.CFD{
+		mk("f1", "A", "true", "B", "b1"),
+		mk("f2", "A", "false", "B", "b2v"),
+		mk("f3", "B", "b1", "A", "false"),
+		mk("f4", "B", "b2v", "A", "true"),
+	}
+}
+
+func TestExample32InconsistentBothMethods(t *testing.T) {
+	sch := boolSchema(false)
+	rel := sch.MustRelationByName("R")
+	cfds := example32CFDs(sch)
+	if _, ok := CFDCheckingChase(rel, cfds, 1000, rand.New(rand.NewSource(1))); ok {
+		t.Fatal("Example 3.2 CFDs are inconsistent (chase)")
+	}
+	if _, ok := CFDCheckingSAT(rel, cfds); ok {
+		t.Fatal("Example 3.2 CFDs are inconsistent (SAT)")
+	}
+}
+
+// TestExample32ConsistentWithInfiniteDomain: the same CFDs with an infinite
+// dom(A) are consistent (pick A outside {true, false}).
+func TestExample32ConsistentWithInfiniteDomain(t *testing.T) {
+	inf := schema.Infinite("a")
+	b := schema.Infinite("b")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: inf}, schema.Attribute{Name: "B", Dom: b}))
+	cfds := example32CFDs(sch)
+	rel := sch.MustRelationByName("R")
+	tau, ok := CFDCheckingChase(rel, cfds, 1000, rand.New(rand.NewSource(1)))
+	if !ok {
+		t.Fatal("infinite domains make Example 3.2 consistent (chase)")
+	}
+	if !singleSatisfiesAll(rel, cfd.NormalizeAll(cfds), tau) {
+		t.Fatal("chase witness does not satisfy the CFDs")
+	}
+	tau2, ok := CFDCheckingSAT(rel, cfds)
+	if !ok {
+		t.Fatal("infinite domains make Example 3.2 consistent (SAT)")
+	}
+	if !singleSatisfiesAll(rel, cfd.NormalizeAll(cfds), tau2) {
+		t.Fatal("SAT witness does not satisfy the CFDs")
+	}
+}
+
+func TestCFDCheckingPropagationChain(t *testing.T) {
+	// ∅→A=x, (A=x)→B=y, (B=y)→C must propagate transitively.
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d},
+		schema.Attribute{Name: "C", Dom: d}))
+	rel := sch.MustRelationByName("R")
+	cfds := []*cfd.CFD{
+		cfd.MustNew(sch, "c1", "R", nil, []string{"A"},
+			[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("x"))}}),
+		cfd.MustNew(sch, "c2", "R", []string{"A"}, []string{"B"},
+			[]cfd.Row{{LHS: pattern.Tup(sym("x")), RHS: pattern.Tup(sym("y"))}}),
+		cfd.MustNew(sch, "c3", "R", []string{"B"}, []string{"C"},
+			[]cfd.Row{{LHS: pattern.Tup(sym("y")), RHS: pattern.Tup(sym("z"))}}),
+	}
+	tau, ok := CFDCheckingChase(rel, cfds, 10, rand.New(rand.NewSource(1)))
+	if !ok {
+		t.Fatal("chain is consistent")
+	}
+	if !tau.Eq(instance.Consts("x", "y", "z")) {
+		t.Fatalf("τ = %v, want (x, y, z)", tau)
+	}
+	// Adding a conflicting forcing makes it inconsistent.
+	cfds = append(cfds, cfd.MustNew(sch, "c4", "R", nil, []string{"C"},
+		[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("not-z"))}}))
+	if _, ok := CFDCheckingChase(rel, cfds, 10, rand.New(rand.NewSource(1))); ok {
+		t.Fatal("conflicting chain must be inconsistent")
+	}
+	if _, ok := CFDCheckingSAT(rel, cfds); ok {
+		t.Fatal("conflicting chain must be inconsistent (SAT)")
+	}
+}
+
+// TestCFDCheckingChaseVsSATRandom cross-validates the two CFD_Checking
+// implementations on random CFD sets over a mixed finite/infinite schema —
+// the accuracy comparison behind Figure 10(a) ("Chase and SAT are
+// comparable" in accuracy).
+func TestCFDCheckingChaseVsSATRandom(t *testing.T) {
+	fin := schema.Finite("f3", "p", "q", "r")
+	inf := schema.Infinite("i")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: fin},
+		schema.Attribute{Name: "B", Dom: fin},
+		schema.Attribute{Name: "C", Dom: inf}))
+	rel := sch.MustRelationByName("R")
+	attrs := []string{"A", "B", "C"}
+	finVals := []string{"p", "q", "r"}
+	infVals := []string{"u", "v"}
+	rng := rand.New(rand.NewSource(99))
+	valFor := func(a string) string {
+		if a == "C" {
+			return infVals[rng.Intn(len(infVals))]
+		}
+		return finVals[rng.Intn(len(finVals))]
+	}
+	for trial := 0; trial < 300; trial++ {
+		var cfds []*cfd.CFD
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			x := attrs[rng.Intn(3)]
+			y := attrs[rng.Intn(3)]
+			if y == x {
+				y = attrs[(rng.Intn(3)+1)%3]
+				if y == x {
+					y = attrs[(rng.Intn(3)+2)%3]
+				}
+			}
+			var lhs pattern.Tuple
+			if rng.Intn(3) == 0 {
+				lhs = pattern.Wilds(1)
+			} else {
+				lhs = pattern.Tup(sym(valFor(x)))
+			}
+			var rhs pattern.Tuple
+			if rng.Intn(4) == 0 {
+				rhs = pattern.Wilds(1)
+			} else {
+				rhs = pattern.Tup(sym(valFor(y)))
+			}
+			c, err := cfd.New(sch, "r", "R", []string{x}, []string{y},
+				[]cfd.Row{{LHS: lhs, RHS: rhs}})
+			if err != nil {
+				continue
+			}
+			cfds = append(cfds, c)
+		}
+		_, chaseOK := CFDCheckingChase(rel, cfds, 1000, rand.New(rand.NewSource(int64(trial))))
+		_, satOK := CFDCheckingSAT(rel, cfds)
+		if chaseOK != satOK {
+			t.Fatalf("trial %d: chase=%v sat=%v for %v", trial, chaseOK, satOK, cfds)
+		}
+	}
+}
+
+// ---- RandomChecking / Checking on the paper's examples ----
+
+func example51Setup(finiteH bool) (*schema.Schema, []*cfd.CFD, []*cind.CIND) {
+	d := schema.Infinite("string")
+	var hDom *schema.Domain = d
+	if finiteH {
+		hDom = schema.Finite("H", "0", "1")
+	}
+	sch := schema.MustNew(
+		schema.MustRelation("R1",
+			schema.Attribute{Name: "E", Dom: d}, schema.Attribute{Name: "F", Dom: d}),
+		schema.MustRelation("R2",
+			schema.Attribute{Name: "G", Dom: d}, schema.Attribute{Name: "H", Dom: hDom}),
+	)
+	cfds := []*cfd.CFD{
+		cfd.MustNew(sch, "phi1", "R1", []string{"E"}, []string{"F"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cfd.MustNew(sch, "phi2", "R2", []string{"H"}, []string{"G"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("c"))}}),
+	}
+	cinds := []*cind.CIND{
+		cind.MustNew(sch, "psi1", "R1", []string{"E"}, nil, "R2", []string{"G"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cind.MustNew(sch, "psi2", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("a"))}}),
+		cind.MustNew(sch, "psi3", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("b"))}}),
+	}
+	return sch, cfds, cinds
+}
+
+func TestRandomCheckingExample53(t *testing.T) {
+	sch, cfds, cinds := example51Setup(true)
+	ans := RandomChecking(sch, cfds, cinds, Options{K: 20, Seed: 7})
+	if !ans.Consistent {
+		t.Fatal("Example 5.3's Σ is consistent; RandomChecking must find the witness")
+	}
+	if ans.Witness == nil || ans.Witness.IsEmpty() {
+		t.Fatal("witness must be a nonempty template")
+	}
+	// The witness template satisfies all CFDs and CINDs as-is (variables
+	// are distinct unknowns; the fixpoint property guarantees it).
+	for _, c := range cfds {
+		if !c.Satisfied(ans.Witness) {
+			t.Errorf("%s violated on witness", c.ID)
+		}
+	}
+	for _, c := range cinds {
+		if !c.Satisfied(ans.Witness) {
+			t.Errorf("%s violated on witness", c.ID)
+		}
+	}
+}
+
+// TestExample42Inconsistent: φ = (R: A → B, (_||a)) and the CIND requiring
+// some tuple with B = b conflict; no nonempty instance satisfies both.
+// Checking must answer false (via the empty reduced graph).
+func TestExample42Inconsistent(t *testing.T) {
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	phi := cfd.MustNew(sch, "phi", "R", []string{"A"}, []string{"B"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("a"))}})
+	psi := cind.MustNew(sch, "psi", "R", nil, nil, "R", nil, []string{"B"},
+		[]cind.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("b"))}})
+
+	// Separately each is consistent.
+	if _, ok := CFDChecking(sch.MustRelationByName("R"), []*cfd.CFD{phi}, Options{}); !ok {
+		t.Fatal("φ alone is consistent")
+	}
+	if _, err := cind.Witness(sch, []*cind.CIND{psi}, 0); err != nil {
+		t.Fatal("ψ alone is consistent (Theorem 3.2)")
+	}
+	// Together: inconsistent.
+	if ans := Checking(sch, []*cfd.CFD{phi}, []*cind.CIND{psi}, Options{}); ans.Consistent {
+		t.Fatal("Example 4.2 must be inconsistent")
+	}
+	if ans := RandomChecking(sch, []*cfd.CFD{phi}, []*cind.CIND{psi}, Options{K: 10}); ans.Consistent {
+		t.Fatal("RandomChecking must not fabricate a witness for Example 4.2")
+	}
+}
+
+// ---- preProcessing on Examples 5.4–5.6 ----
+
+func example54Setup(psi4Xp bool) (*schema.Schema, []*cfd.CFD, []*cind.CIND) {
+	d := schema.Infinite("d")
+	h := schema.Finite("bool", "0", "1")
+	mk := func(name, a, b string, bd *schema.Domain) *schema.Relation {
+		return schema.MustRelation(name,
+			schema.Attribute{Name: a, Dom: d}, schema.Attribute{Name: b, Dom: bd})
+	}
+	sch := schema.MustNew(
+		mk("R1", "E", "F", d), mk("R2", "G", "H", h), mk("R3", "A", "B", d),
+		mk("R4", "C", "D", d), mk("R5", "I", "J", d),
+	)
+	cfds := []*cfd.CFD{
+		cfd.MustNew(sch, "phi1", "R1", []string{"E"}, []string{"F"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cfd.MustNew(sch, "phi2", "R2", []string{"H"}, []string{"G"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("c"))}}),
+		cfd.MustNew(sch, "phi3", "R3", []string{"A"}, []string{"B"},
+			[]cfd.Row{{LHS: pattern.Tup(sym("c")), RHS: pattern.Wilds(1)}}),
+		cfd.MustNew(sch, "phi4", "R4", []string{"C"}, []string{"D"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("a"))}}),
+		cfd.MustNew(sch, "phi5", "R4", []string{"C"}, []string{"D"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("b"))}}),
+		cfd.MustNew(sch, "phi6", "R5", []string{"I"}, []string{"J"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("c"))}}),
+	}
+	var psi4 *cind.CIND
+	if psi4Xp {
+		psi4 = cind.MustNew(sch, "psi4", "R3", []string{"A"}, []string{"B"},
+			"R4", []string{"C"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(w, sym("b")), RHS: pattern.Tup(w)}})
+	} else {
+		// ψ4′ of Example 5.5: no Xp, so triggering cannot be avoided.
+		psi4 = cind.MustNew(sch, "psi4p", "R3", []string{"A"}, nil,
+			"R4", []string{"C"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(w), RHS: pattern.Tup(w)}})
+	}
+	cinds := []*cind.CIND{
+		cind.MustNew(sch, "psi1", "R1", []string{"E"}, nil, "R2", []string{"G"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cind.MustNew(sch, "psi2", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("a"))}}),
+		cind.MustNew(sch, "psi3", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("b"))}}),
+		psi4,
+		cind.MustNew(sch, "psi5", "R5", nil, []string{"J"}, "R2", nil, []string{"G"},
+			[]cind.Row{{LHS: pattern.Tup(sym("c")), RHS: pattern.Tup(sym("d"))}}),
+	}
+	return sch, cfds, cinds
+}
+
+// TestExample55FirstScenario: with the original ψ4 (Xp = B=b), deleting R4
+// adds non-triggering CFDs to R3, whose template then avoids triggering —
+// preProcessing returns 1 (consistent).
+func TestExample55FirstScenario(t *testing.T) {
+	sch, cfds, cinds := example54Setup(true)
+	g := depgraph.New(sch, cfds, cinds)
+	if v := PreProcessing(g, Options{}); v != PreConsistent {
+		t.Fatalf("preProcessing = %v, want 1 (consistent)", v)
+	}
+}
+
+// TestExample55SecondScenario: with ψ4′ (no Xp), R3 cannot avoid triggering
+// into the dead R4, so R3 dies too; R5 is pruned (indegree 0), and the
+// graph reduces to the {R1, R2} cycle of Figure 8 with verdict −1.
+func TestExample55SecondScenario(t *testing.T) {
+	sch, cfds, cinds := example54Setup(false)
+	g := depgraph.New(sch, cfds, cinds)
+	v := PreProcessing(g, Options{})
+	if v != PreUnknown {
+		t.Fatalf("preProcessing = %v, want -1 (unknown)", v)
+	}
+	nodes := g.Nodes()
+	if len(nodes) != 2 || nodes[0] != "R1" || nodes[1] != "R2" {
+		t.Fatalf("reduced graph = %v, want [R1 R2] (Figure 8)", nodes)
+	}
+}
+
+// TestExample56Checking: the full pipeline on the second scenario — after
+// reduction, RandomChecking on the {R1, R2} component finds the Example 5.3
+// witness, so Checking answers true.
+func TestExample56Checking(t *testing.T) {
+	sch, cfds, cinds := example54Setup(false)
+	ans := Checking(sch, cfds, cinds, Options{K: 30, Seed: 3})
+	if !ans.Consistent {
+		t.Fatal("Example 5.6's Σ is consistent; Checking must find it")
+	}
+}
+
+// ---- the bank constraints ----
+
+func TestBankConstraintsConsistent(t *testing.T) {
+	sch := bank.Schema()
+	cfds := bank.CFDs(sch)
+	cinds := bank.CINDs(sch)
+	ans := Checking(sch, cfds, cinds, Options{K: 40, Seed: 5})
+	if !ans.Consistent {
+		t.Fatal("the paper's Fig 2 + Fig 4 constraints are consistent (Fig 1 repaired satisfies them)")
+	}
+}
+
+// TestCheckingWitnessIsRealWitness: when RandomChecking produces a witness
+// template, grounding it yields a database satisfying Σ (Theorem 5.1).
+func TestCheckingWitnessIsRealWitness(t *testing.T) {
+	sch, cfds, cinds := example51Setup(true)
+	ans := RandomChecking(sch, cfds, cinds, Options{K: 20, Seed: 11})
+	if !ans.Consistent {
+		t.Fatal("must be consistent")
+	}
+	if !cfd.SatisfiedAll(cfds, ans.Witness) || !cind.SatisfiedAll(cinds, ans.Witness) {
+		t.Fatal("witness template must satisfy Σ")
+	}
+}
+
+func TestPreProcessingConsistentCFDsOnly(t *testing.T) {
+	// No CINDs at all: the first consistent relation returns 1 immediately.
+	sch, cfds, _ := example51Setup(false)
+	g := depgraph.New(sch, cfds, nil)
+	if v := PreProcessing(g, Options{}); v != PreConsistent {
+		t.Fatalf("preProcessing = %v, want 1", v)
+	}
+}
+
+func TestPreProcessingAllInconsistent(t *testing.T) {
+	// Every relation has contradictory CFDs: graph empties, verdict 0.
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	bad := []*cfd.CFD{
+		cfd.MustNew(sch, "c1", "R", nil, []string{"B"},
+			[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("x"))}}),
+		cfd.MustNew(sch, "c2", "R", nil, []string{"B"},
+			[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("y"))}}),
+	}
+	g := depgraph.New(sch, bad, nil)
+	if v := PreProcessing(g, Options{}); v != PreInconsistent {
+		t.Fatalf("preProcessing = %v, want 0", v)
+	}
+	if CheckingBool(sch, bad, nil, Options{}) {
+		t.Fatal("Checking must answer false")
+	}
+}
+
+func TestNonTriggeringCFDsDenyPattern(t *testing.T) {
+	sch, _, cinds := example54Setup(true)
+	// ψ4: R3[A; B=b] ⊆ R4[C]; the non-triggering CFDs must kill any R3
+	// tuple with B = b but allow others.
+	psi4 := cinds[3]
+	nt, ok := nonTriggeringCFDs(sch, "R3", cind.NormalizeAll([]*cind.CIND{psi4})[0])
+	if !ok || len(nt) != 2 {
+		t.Fatalf("nonTriggeringCFDs = %v, %v", nt, ok)
+	}
+	rel := sch.MustRelationByName("R3")
+	trigger := instance.Consts("anything", "b")
+	nonTrigger := instance.Consts("anything", "not-b")
+	bothSat := func(t1 instance.Tuple) bool {
+		return nt[0].SingleTupleSatisfies(rel, t1) && nt[1].SingleTupleSatisfies(rel, t1)
+	}
+	if bothSat(trigger) {
+		t.Fatal("a triggering tuple must violate the ⊥-CFDs")
+	}
+	if !bothSat(nonTrigger) {
+		t.Fatal("a non-triggering tuple must satisfy the ⊥-CFDs")
+	}
+}
+
+func TestCFDMethodString(t *testing.T) {
+	if Chase.String() != "Chase" || SAT.String() != "SAT" {
+		t.Fatal("method names wrong")
+	}
+}
+
+// TestCheckingSATMethod runs the full pipeline with the SAT-based
+// CFD_Checking to cover the alternative path end to end.
+func TestCheckingSATMethod(t *testing.T) {
+	sch, cfds, cinds := example54Setup(true)
+	ans := Checking(sch, cfds, cinds, Options{Method: SAT})
+	if !ans.Consistent {
+		t.Fatal("SAT-backed Checking must agree on Example 5.5")
+	}
+}

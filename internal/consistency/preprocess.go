@@ -1,0 +1,185 @@
+package consistency
+
+import (
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/depgraph"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// PreVerdict is the three-valued return of preProcessing (Figure 7).
+type PreVerdict int
+
+const (
+	// PreConsistent (1): a relation's template satisfies its CFDs and
+	// triggers no CIND — {τ(R)} plus empty relations is a witness.
+	PreConsistent PreVerdict = 1
+	// PreInconsistent (0): the reduced graph is empty — no relation can be
+	// nonempty, so no nonempty witness exists and Σ is inconsistent.
+	PreInconsistent PreVerdict = 0
+	// PreUnknown (-1): the reduced graph retains cycles; RandomChecking
+	// takes over per component.
+	PreUnknown PreVerdict = -1
+)
+
+// PreProcessing is the algorithm of Figure 7. It mutates g: nodes whose CFD
+// sets are inconsistent are deleted after installing non-triggering CFDs on
+// their predecessors; indegree-0 nodes are pruned. The verdict follows the
+// paper's 1 / 0 / −1 convention via PreVerdict.
+func PreProcessing(g *depgraph.Graph, opts Options) PreVerdict {
+	opts = opts.withDefaults()
+	sch := g.Schema()
+
+	queue := g.TopoOrder()
+	inQueue := map[string]bool{}
+	for _, r := range queue {
+		inQueue[r] = true
+	}
+	// poisoned marks relations whose non-triggering construction could not
+	// be expressed as CFDs (degenerate schemas); they are treated as
+	// CFD-inconsistent when dequeued.
+	poisoned := map[string]bool{}
+
+	for len(queue) > 0 {
+		rel := queue[0]
+		queue = queue[1:]
+		inQueue[rel] = false
+		if !g.Has(rel) {
+			continue
+		}
+		r := sch.MustRelationByName(rel)
+		tau, ok := instance.Tuple(nil), false
+		if !poisoned[rel] {
+			tau, ok = CFDChecking(r, g.CFDs(rel), opts)
+		}
+		if ok {
+			if !triggersAnyCIND(r, tau, g.OutCINDs(rel)) {
+				return PreConsistent
+			}
+			// The found τ triggers some CIND, but a different tuple may
+			// not: search directly for a non-triggering witness by solving
+			// CFD(R) together with the ⊥-CFDs of every outgoing CIND. This
+			// strengthens line 5 of Figure 7 while staying sound — a
+			// solution is a single-tuple witness with all other relations
+			// empty.
+			if _, ok2 := nonTriggeringWitness(sch, g, rel, opts); ok2 {
+				return PreConsistent
+			}
+			continue
+		}
+		// CFD(rel) inconsistent: the relation must stay empty in any
+		// witness. Prevent predecessors from inserting into it, then
+		// delete the node.
+		for from, cs := range g.InEdges(rel) {
+			for _, psi := range cs {
+				nt, built := nonTriggeringCFDs(sch, from, psi)
+				if !built {
+					poisoned[from] = true
+					continue
+				}
+				g.AddCFDs(from, nt...)
+			}
+			if !inQueue[from] {
+				queue = append(queue, from)
+				inQueue[from] = true
+			}
+		}
+		g.Remove(rel)
+	}
+
+	// Prune indegree-0 nodes to fixpoint: a relation nobody points into can
+	// be left empty without affecting anything else.
+	for changed := true; changed; {
+		changed = false
+		for _, rel := range g.Nodes() {
+			if g.InDegree(rel) == 0 {
+				g.Remove(rel)
+				changed = true
+			}
+		}
+	}
+	if g.Len() == 0 {
+		return PreInconsistent
+	}
+	return PreUnknown
+}
+
+// nonTriggeringWitness tries to solve CFD(rel) extended with the
+// non-triggering CFDs of every outgoing CIND of rel: a solution is a tuple
+// satisfying CFD(rel) that triggers nothing, i.e. a one-tuple witness for
+// the whole Σ. Fails when some outgoing CIND has an empty Xp (unavoidable)
+// or the combined CFD set is unsatisfiable.
+func nonTriggeringWitness(sch *schema.Schema, g *depgraph.Graph, rel string, opts Options) (instance.Tuple, bool) {
+	combined := append([]*cfd.CFD(nil), g.CFDs(rel)...)
+	for _, psi := range g.OutCINDs(rel) {
+		nt, built := nonTriggeringCFDs(sch, rel, psi)
+		if !built {
+			return nil, false
+		}
+		combined = append(combined, nt...)
+	}
+	return CFDChecking(sch.MustRelationByName(rel), combined, opts)
+}
+
+// triggersAnyCIND reports whether the instantiated template τ matches the
+// LHS pattern tp[Xp] of any outgoing CIND. Remaining variables in τ stand
+// for fresh values of infinite domains, so they do not match constants.
+func triggersAnyCIND(r *schema.Relation, tau instance.Tuple, out []*cind.CIND) bool {
+	for _, psi := range out {
+		xpIdx := idxList(r, psi.Xp)
+		if psi.XpPattern().Matches(tau.Project(xpIdx)) {
+			return true
+		}
+	}
+	return false
+}
+
+// nonTriggeringCFDs builds CIND(Rj, R)⊥ for one CIND ψ from Rj: the pair of
+// CFDs (Rj: Xp → A, (tp[Xp] || c1)) and (Rj: Xp → A, (tp[Xp] || c2)) with
+// c1 ≠ c2, which together deny every Rj tuple matching tp[Xp]. A is any
+// attribute of Rj outside Xp whose domain offers two distinct values; the
+// construction fails (false) when no such attribute exists.
+func nonTriggeringCFDs(sch *schema.Schema, from string, psi *cind.CIND) ([]*cfd.CFD, bool) {
+	r := sch.MustRelationByName(from)
+	inXp := map[string]bool{}
+	for _, a := range psi.Xp {
+		inXp[a] = true
+	}
+	var target string
+	var c1, c2 string
+	for _, a := range r.Attrs() {
+		if inXp[a.Name] {
+			continue
+		}
+		v1, ok1 := a.Dom.Fresh(nil)
+		if !ok1 {
+			continue
+		}
+		v2, ok2 := a.Dom.Fresh(map[string]bool{v1: true})
+		if !ok2 {
+			continue
+		}
+		target, c1, c2 = a.Name, v1, v2
+		break
+	}
+	if target == "" {
+		return nil, false
+	}
+	xpPat := psi.XpPattern()
+	lhs := make(pattern.Tuple, len(psi.Xp))
+	copy(lhs, xpPat)
+	mk := func(id, c string) *cfd.CFD {
+		out, err := cfd.New(sch, id, from, psi.Xp, []string{target},
+			[]cfd.Row{{LHS: lhs.Clone(), RHS: pattern.Tup(pattern.Sym(c))}})
+		if err != nil {
+			panic("consistency: non-triggering CFD invalid: " + err.Error())
+		}
+		return out
+	}
+	return []*cfd.CFD{
+		mk("nt_"+psi.ID+"_1", c1),
+		mk("nt_"+psi.ID+"_2", c2),
+	}, true
+}

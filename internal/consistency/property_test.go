@@ -1,0 +1,81 @@
+package consistency
+
+import (
+	"testing"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/depgraph"
+	"cind/internal/gen"
+)
+
+// TestTheorem51Soundness is the executable Theorem 5.1 over unconstrained
+// random workloads: whenever RandomChecking or Checking answers true, the
+// returned witness template satisfies Σ. (On random sets the answer varies;
+// soundness must not.)
+func TestTheorem51Soundness(t *testing.T) {
+	trues := 0
+	for seed := int64(1); seed <= 30; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 5, MaxAttrs: 6, F: 0.3, FinDomMax: 6,
+			Card: 60, Seed: seed,
+		})
+		opts := Options{K: 10, T: 500, KCFD: 500, Seed: seed}
+		if ans := RandomChecking(w.Schema, w.CFDs, w.CINDs, opts); ans.Consistent {
+			trues++
+			if ans.Witness == nil || ans.Witness.IsEmpty() {
+				t.Fatalf("seed %d: true answer without a witness", seed)
+			}
+			if !cfd.SatisfiedAll(w.CFDs, ans.Witness) || !cind.SatisfiedAll(w.CINDs, ans.Witness) {
+				t.Fatalf("seed %d: witness does not satisfy Σ", seed)
+			}
+		}
+		if ans := Checking(w.Schema, w.CFDs, w.CINDs, opts); ans.Consistent && ans.Witness != nil {
+			if !cfd.SatisfiedAll(w.CFDs, ans.Witness) || !cind.SatisfiedAll(w.CINDs, ans.Witness) {
+				t.Fatalf("seed %d: Checking witness does not satisfy Σ", seed)
+			}
+		}
+	}
+	if trues == 0 {
+		t.Fatal("no random workload was verified consistent; the property was never exercised")
+	}
+}
+
+// TestCheckingAccuracyConsistentSweep is the Figure 11(a) claim as a test:
+// Checking verifies (essentially) every generated consistent workload.
+func TestCheckingAccuracyConsistentSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sweep")
+	}
+	miss := 0
+	const trials = 30
+	for seed := int64(1); seed <= trials; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 6, MaxAttrs: 8, F: 0.25, Card: 150,
+			Consistent: true, Seed: seed,
+		})
+		if !CheckingBool(w.Schema, w.CFDs, w.CINDs, Options{Seed: seed}) {
+			miss++
+		}
+	}
+	if miss > 1 { // paper: "almost constantly 100%"
+		t.Fatalf("Checking missed %d/%d consistent workloads", miss, trials)
+	}
+}
+
+// TestPreProcessingNeverContradictsGroundTruth: preProcessing may answer 1
+// (consistent) or -1 (unknown) on consistent workloads, but never 0
+// (inconsistent) — deleting every relation of a satisfiable Σ would be a
+// soundness bug in the reduction.
+func TestPreProcessingNeverContradictsGroundTruth(t *testing.T) {
+	for seed := int64(1); seed <= 20; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 5, MaxAttrs: 6, F: 0.25, Card: 80,
+			Consistent: true, Seed: seed,
+		})
+		g := depgraph.New(w.Schema, w.CFDs, w.CINDs)
+		if v := PreProcessing(g, Options{Seed: seed}); v == PreInconsistent {
+			t.Fatalf("seed %d: preProcessing declared a consistent Σ inconsistent", seed)
+		}
+	}
+}

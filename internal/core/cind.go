@@ -1,0 +1,233 @@
+// Package cind implements conditional inclusion dependencies — the primary
+// contribution of the paper (Section 2). A CIND ψ is a pair
+//
+//	(R1[X; Xp] ⊆ R2[Y; Yp], Tp)
+//
+// of an embedded IND R1[X] ⊆ R2[Y] and a pattern tableau Tp over the
+// attributes of X, Xp, Y and Yp, where Xp identifies which R1 tuples the
+// inclusion applies to and Yp constrains the shape of the matching R2
+// tuples. Traditional INDs are the special case with empty Xp, Yp and a
+// single all-wildcard pattern row.
+//
+// The package provides the syntax with full validation, the satisfaction
+// semantics and violation detection, the normal form of Proposition 3.1,
+// and the always-consistent witness construction of Theorem 3.2.
+package cind
+
+import (
+	"fmt"
+	"strings"
+
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// Row is one pattern tuple of a CIND tableau, split into the LHS part over
+// X ++ Xp and the RHS part over Y ++ Yp. The split is positional because
+// LHS and RHS attribute names may coincide (they usually do: tp[X] = tp[Y]
+// is required by the definition).
+type Row struct {
+	LHS pattern.Tuple // over X ++ Xp
+	RHS pattern.Tuple // over Y ++ Yp
+}
+
+// String renders "(_, saving || _, B)".
+func (r Row) String() string {
+	lhs := strings.TrimSuffix(strings.TrimPrefix(r.LHS.String(), "("), ")")
+	rhs := strings.TrimSuffix(strings.TrimPrefix(r.RHS.String(), "("), ")")
+	return "(" + lhs + " || " + rhs + ")"
+}
+
+// CIND is a conditional inclusion dependency (R1[X; Xp] ⊆ R2[Y; Yp], Tp).
+type CIND struct {
+	ID     string
+	LHSRel string
+	X, Xp  []string
+	RHSRel string
+	Y, Yp  []string
+	Rows   []Row
+}
+
+// New builds a CIND and validates it against the schema per the definition
+// in Section 2:
+//
+//   - X and Xp are disjoint, duplicate-free attribute lists of R1; likewise
+//     Y and Yp for R2;
+//   - |X| = |Y| (the embedded IND is well formed);
+//   - every row has |X|+|Xp| LHS symbols and |Y|+|Yp| RHS symbols;
+//   - tp[X] = tp[Y] field-wise for every row;
+//   - every pattern constant belongs to its attribute's domain;
+//   - for each i, dom(X_i) ⊆ dom(Y_i) (the paper's standing assumption),
+//     which here means: an infinite LHS domain requires an infinite RHS
+//     domain, and a finite LHS domain requires the RHS domain to contain
+//     its values.
+func New(sch *schema.Schema, id string, lhsRel string, x, xp []string,
+	rhsRel string, y, yp []string, rows []Row) (*CIND, error) {
+
+	r1, ok := sch.Relation(lhsRel)
+	if !ok {
+		return nil, fmt.Errorf("cind %s: unknown relation %s", id, lhsRel)
+	}
+	r2, ok := sch.Relation(rhsRel)
+	if !ok {
+		return nil, fmt.Errorf("cind %s: unknown relation %s", id, rhsRel)
+	}
+	c := &CIND{
+		ID:     id,
+		LHSRel: lhsRel, X: copyList(x), Xp: copyList(xp),
+		RHSRel: rhsRel, Y: copyList(y), Yp: copyList(yp),
+		Rows: rows,
+	}
+	if len(c.X) != len(c.Y) {
+		return nil, fmt.Errorf("cind %s: |X|=%d but |Y|=%d", id, len(c.X), len(c.Y))
+	}
+	if err := checkAttrs(r1, c.X, c.Xp); err != nil {
+		return nil, fmt.Errorf("cind %s: LHS: %v", id, err)
+	}
+	if err := checkAttrs(r2, c.Y, c.Yp); err != nil {
+		return nil, fmt.Errorf("cind %s: RHS: %v", id, err)
+	}
+	for i := range c.X {
+		dx, dy := r1.Domain(c.X[i]), r2.Domain(c.Y[i])
+		if err := domainSubset(dx, dy); err != nil {
+			return nil, fmt.Errorf("cind %s: dom(%s.%s) ⊄ dom(%s.%s): %v",
+				id, lhsRel, c.X[i], rhsRel, c.Y[i], err)
+		}
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("cind %s: empty pattern tableau", id)
+	}
+	lhsAttrs := append(append([]string(nil), c.X...), c.Xp...)
+	rhsAttrs := append(append([]string(nil), c.Y...), c.Yp...)
+	for ri, row := range rows {
+		if len(row.LHS) != len(lhsAttrs) || len(row.RHS) != len(rhsAttrs) {
+			return nil, fmt.Errorf("cind %s: row %d has widths %d||%d, want %d||%d",
+				id, ri, len(row.LHS), len(row.RHS), len(lhsAttrs), len(rhsAttrs))
+		}
+		for i := range c.X {
+			if !row.LHS[i].Eq(row.RHS[i]) {
+				return nil, fmt.Errorf("cind %s: row %d: tp[X] and tp[Y] differ at position %d (%v vs %v)",
+					id, ri, i, row.LHS[i], row.RHS[i])
+			}
+		}
+		for j, s := range row.LHS {
+			if s.IsConst() && !r1.Domain(lhsAttrs[j]).Contains(s.Const()) {
+				return nil, fmt.Errorf("cind %s: row %d: %q not in dom(%s.%s)",
+					id, ri, s.Const(), lhsRel, lhsAttrs[j])
+			}
+		}
+		for j, s := range row.RHS {
+			if s.IsConst() && !r2.Domain(rhsAttrs[j]).Contains(s.Const()) {
+				return nil, fmt.Errorf("cind %s: row %d: %q not in dom(%s.%s)",
+					id, ri, s.Const(), rhsRel, rhsAttrs[j])
+			}
+		}
+	}
+	return c, nil
+}
+
+// MustNew is New for statically valid CINDs.
+func MustNew(sch *schema.Schema, id string, lhsRel string, x, xp []string,
+	rhsRel string, y, yp []string, rows []Row) *CIND {
+	c, err := New(sch, id, lhsRel, x, xp, rhsRel, y, yp, rows)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+func copyList(l []string) []string { return append([]string(nil), l...) }
+
+func checkAttrs(r *schema.Relation, main, pat []string) error {
+	seen := map[string]bool{}
+	for _, a := range main {
+		if !r.Has(a) {
+			return fmt.Errorf("relation %s has no attribute %s", r.Name(), a)
+		}
+		if seen[a] {
+			return fmt.Errorf("duplicate attribute %s", a)
+		}
+		seen[a] = true
+	}
+	for _, a := range pat {
+		if !r.Has(a) {
+			return fmt.Errorf("relation %s has no attribute %s", r.Name(), a)
+		}
+		if seen[a] {
+			return fmt.Errorf("attribute %s in both main and pattern list", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+func domainSubset(dx, dy *schema.Domain) error {
+	if !dy.IsFinite() {
+		return nil // everything fits in an infinite domain
+	}
+	if !dx.IsFinite() {
+		return fmt.Errorf("infinite domain into finite domain %s", dy.Name())
+	}
+	for _, v := range dx.Values() {
+		if !dy.Contains(v) {
+			return fmt.Errorf("value %q missing from %s", v, dy.Name())
+		}
+	}
+	return nil
+}
+
+// lhsAttrs returns X ++ Xp; rhsAttrs returns Y ++ Yp.
+func (c *CIND) lhsAttrs() []string { return append(append([]string(nil), c.X...), c.Xp...) }
+func (c *CIND) rhsAttrs() []string { return append(append([]string(nil), c.Y...), c.Yp...) }
+
+// String renders the CIND in the paper's style, with nil for empty lists:
+//
+//	psi5: (saving[nil; ab] <= interest[nil; ab, at, ct, rt], {(EDI || EDI, saving, UK, 4.5%), ...})
+func (c *CIND) String() string {
+	rows := make([]string, len(c.Rows))
+	for i, r := range c.Rows {
+		rows[i] = r.String()
+	}
+	return fmt.Sprintf("%s: (%s[%s; %s] <= %s[%s; %s], {%s})",
+		c.ID,
+		c.LHSRel, listOrNil(c.X), listOrNil(c.Xp),
+		c.RHSRel, listOrNil(c.Y), listOrNil(c.Yp),
+		strings.Join(rows, ", "))
+}
+
+func listOrNil(l []string) string {
+	if len(l) == 0 {
+		return "nil"
+	}
+	return strings.Join(l, ", ")
+}
+
+// EmbeddedIND returns the traditional IND R1[X] ⊆ R2[Y] embedded in ψ.
+func (c *CIND) EmbeddedIND() (lhsRel string, x []string, rhsRel string, y []string) {
+	return c.LHSRel, copyList(c.X), c.RHSRel, copyList(c.Y)
+}
+
+// IsTraditionalIND reports whether the CIND is a plain IND: empty Xp and Yp
+// and an all-wildcard tableau (the special case noted under "Syntax" in
+// Section 2, cf. ψ3 and ψ4).
+func (c *CIND) IsTraditionalIND() bool {
+	if len(c.Xp) != 0 || len(c.Yp) != 0 {
+		return false
+	}
+	for _, r := range c.Rows {
+		if !r.LHS.AllWild() || !r.RHS.AllWild() {
+			return false
+		}
+	}
+	return true
+}
+
+// Constants returns all constants in the tableau.
+func (c *CIND) Constants() []string {
+	var out []string
+	for _, r := range c.Rows {
+		out = append(out, r.LHS.Constants()...)
+		out = append(out, r.RHS.Constants()...)
+	}
+	return out
+}

@@ -1,0 +1,324 @@
+package cind_test
+
+import (
+	"strings"
+	"testing"
+
+	"cind/internal/bank"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+var w = pattern.Wild
+
+func sym(v string) pattern.Symbol { return pattern.Sym(v) }
+
+func TestValidation(t *testing.T) {
+	sch := bank.Schema()
+	ok := func(id string, lhsRel string, x, xp []string, rhsRel string, y, yp []string, rows []cind.Row) error {
+		_, err := cind.New(sch, id, lhsRel, x, xp, rhsRel, y, yp, rows)
+		return err
+	}
+	row11 := []cind.Row{{LHS: pattern.Tup(w), RHS: pattern.Tup(w)}}
+	cases := []struct {
+		name string
+		err  error
+	}{
+		{"unknown LHS relation", ok("c", "nope", []string{"ab"}, nil, "interest", []string{"ab"}, nil, row11)},
+		{"unknown RHS relation", ok("c", "saving", []string{"ab"}, nil, "nope", []string{"ab"}, nil, row11)},
+		{"arity mismatch", ok("c", "saving", []string{"ab", "an"}, nil, "interest", []string{"ab"}, nil, nil)},
+		{"unknown attribute", ok("c", "saving", []string{"zz"}, nil, "interest", []string{"ab"}, nil, row11)},
+		{"dup in X", ok("c", "saving", []string{"ab", "ab"}, nil, "interest", []string{"ab", "ct"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(w, w), RHS: pattern.Tup(w, w)}})},
+		{"X and Xp overlap", ok("c", "saving", []string{"ab"}, []string{"ab"}, "interest", []string{"ab"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(w, sym("EDI")), RHS: pattern.Tup(w)}})},
+		{"no rows", ok("c", "saving", []string{"ab"}, nil, "interest", []string{"ab"}, nil, nil)},
+		{"row width", ok("c", "saving", []string{"ab"}, nil, "interest", []string{"ab"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(w, w), RHS: pattern.Tup(w)}})},
+		{"tp[X] != tp[Y]", ok("c", "saving", []string{"ab"}, nil, "interest", []string{"ab"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(sym("EDI")), RHS: pattern.Tup(sym("NYC"))}})},
+		{"constant outside finite domain", ok("c", "account_NYC", nil, []string{"at"}, "interest", nil, []string{"at"},
+			[]cind.Row{{LHS: pattern.Tup(sym("mortgage")), RHS: pattern.Tup(w)}})},
+		{"infinite into finite domain", ok("c", "saving", []string{"ab"}, nil, "interest", []string{"at"}, nil, row11)},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestFiniteIntoCompatibleFinite(t *testing.T) {
+	// dom(X_i) ⊆ dom(Y_i) with both finite must be accepted, a proper
+	// superset on the RHS included.
+	sub := schema.Finite("sub", "a", "b")
+	super := schema.Finite("super", "a", "b", "c")
+	sch := schema.MustNew(
+		schema.MustRelation("R", schema.Attribute{Name: "A", Dom: sub}),
+		schema.MustRelation("S", schema.Attribute{Name: "B", Dom: super}),
+	)
+	if _, err := cind.New(sch, "c", "R", []string{"A"}, nil, "S", []string{"B"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w), RHS: pattern.Tup(w)}}); err != nil {
+		t.Fatalf("compatible finite domains rejected: %v", err)
+	}
+	// And the incompatible direction must fail.
+	if _, err := cind.New(sch, "c", "S", []string{"B"}, nil, "R", []string{"A"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w), RHS: pattern.Tup(w)}}); err == nil {
+		t.Fatal("superset into subset must be rejected")
+	}
+}
+
+// TestExample22 replays Example 2.2: the Figure 1 database satisfies ψ1–ψ5
+// but violates ψ6 via tuple t10, even though some embedded INDs (e.g. that
+// of ψ1 for EDI) do not hold.
+func TestExample22(t *testing.T) {
+	sch := bank.Schema()
+	db := bank.Data(sch)
+
+	for _, psi := range []*cind.CIND{
+		bank.Psi1(sch, "NYC"), bank.Psi1(sch, "EDI"),
+		bank.Psi2(sch, "NYC"), bank.Psi2(sch, "EDI"),
+		bank.Psi3(sch), bank.Psi4(sch), bank.Psi5(sch),
+	} {
+		if !psi.Satisfied(db) {
+			t.Errorf("%s must be satisfied by Fig 1, violations: %v", psi.ID, psi.Violations(db))
+		}
+	}
+
+	psi6 := bank.Psi6(sch)
+	viols := psi6.Violations(db)
+	if len(viols) != 1 {
+		t.Fatalf("ψ6 violations = %v, want exactly one (t10)", viols)
+	}
+	v := viols[0]
+	if v.RowIdx != 0 {
+		t.Errorf("violated row = %d, want 0 (the EDI row)", v.RowIdx)
+	}
+	if v.T[1].Str() != "I. Stark" {
+		t.Errorf("violating tuple = %v, want t10 (I. Stark)", v.T)
+	}
+	if !strings.Contains(v.String(), "psi6") {
+		t.Errorf("violation message %q should name the CIND", v.String())
+	}
+
+	// The embedded IND of ψ1 does NOT hold for EDI: t5 is a checking
+	// account, absent from saving.
+	embLHS, embX, embRHS, embY := bank.Psi1(sch, "EDI").EmbeddedIND()
+	plain := cind.MustNew(sch, "emb", embLHS, embX, nil, embRHS, embY, nil,
+		[]cind.Row{{LHS: pattern.Wilds(len(embX)), RHS: pattern.Wilds(len(embY))}})
+	if plain.Satisfied(db) {
+		t.Error("embedded IND of ψ1(EDI) must NOT hold on Fig 1 (Example 2.2)")
+	}
+}
+
+func TestCleanDataSatisfiesEverything(t *testing.T) {
+	sch := bank.Schema()
+	db := bank.CleanData(sch)
+	if !cind.SatisfiedAll(bank.CINDs(sch), db) {
+		t.Fatalf("clean data must satisfy Fig 2: %v", cind.ViolationsAll(bank.CINDs(sch), db))
+	}
+}
+
+func TestTraditionalINDSpecialCase(t *testing.T) {
+	sch := bank.Schema()
+	if !bank.Psi3(sch).IsTraditionalIND() {
+		t.Error("ψ3 is a traditional IND")
+	}
+	if bank.Psi1(sch, "NYC").IsTraditionalIND() {
+		t.Error("ψ1 is not a traditional IND")
+	}
+	if bank.Psi5(sch).IsTraditionalIND() {
+		t.Error("ψ5 is not a traditional IND")
+	}
+}
+
+// TestExample31NormalForm replays Example 3.1: ψ1–ψ4 are already normal;
+// ψ5, ψ6 normalise by splitting rows; and the generic
+// (R[A,B; C,D] ⊆ S[E,F; G], (_, h; i, _ || _, h; o)) example rewrites to
+// (R[A; B,C] ⊆ S[E; F,G], (_; h, i || _; h, o)).
+func TestExample31NormalForm(t *testing.T) {
+	sch := bank.Schema()
+	for _, psi := range []*cind.CIND{
+		bank.Psi1(sch, "NYC"), bank.Psi2(sch, "EDI"), bank.Psi3(sch), bank.Psi4(sch),
+	} {
+		if !psi.IsNormal() {
+			t.Errorf("%s must be in normal form", psi.ID)
+		}
+		nf := psi.NormalForm()
+		if len(nf) != 1 || nf[0] != psi {
+			t.Errorf("%s normalises to itself", psi.ID)
+		}
+	}
+	psi5 := bank.Psi5(sch)
+	if psi5.IsNormal() {
+		t.Error("ψ5 has two rows, not normal")
+	}
+	nf := psi5.NormalForm()
+	if len(nf) != 2 {
+		t.Fatalf("ψ5 normal form size = %d", len(nf))
+	}
+	for _, n := range nf {
+		if !n.IsNormal() {
+			t.Errorf("%s not normal: %v", n.ID, n)
+		}
+	}
+
+	// The generic example with domains dom ⊇ {h, i, o}.
+	d := schema.Infinite("d")
+	sch2 := schema.MustNew(
+		schema.MustRelation("R",
+			schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d},
+			schema.Attribute{Name: "C", Dom: d}, schema.Attribute{Name: "D", Dom: d}),
+		schema.MustRelation("S",
+			schema.Attribute{Name: "E", Dom: d}, schema.Attribute{Name: "F", Dom: d},
+			schema.Attribute{Name: "G", Dom: d}),
+	)
+	psi := cind.MustNew(sch2, "ex31", "R", []string{"A", "B"}, []string{"C", "D"},
+		"S", []string{"E", "F"}, []string{"G"},
+		[]cind.Row{{
+			LHS: pattern.Tup(w, sym("h"), sym("i"), w),
+			RHS: pattern.Tup(w, sym("h"), sym("o")),
+		}})
+	if psi.IsNormal() {
+		t.Error("ex31 is not in normal form (constant on X, wildcard on Xp)")
+	}
+	nf2 := psi.NormalForm()
+	if len(nf2) != 1 {
+		t.Fatalf("single row normalises to one CIND, got %d", len(nf2))
+	}
+	n := nf2[0]
+	if strings.Join(n.X, ",") != "A" || strings.Join(n.Xp, ",") != "B,C" {
+		t.Errorf("X = %v, Xp = %v; want [A], [B C]", n.X, n.Xp)
+	}
+	if strings.Join(n.Y, ",") != "E" || strings.Join(n.Yp, ",") != "F,G" {
+		t.Errorf("Y = %v, Yp = %v; want [E], [F G]", n.Y, n.Yp)
+	}
+	if got := n.Rows[0].String(); got != "(_, h, i || _, h, o)" {
+		t.Errorf("pattern = %s, want (_, h, i || _, h, o)", got)
+	}
+	if !n.IsNormal() {
+		t.Error("result must be normal")
+	}
+}
+
+// TestNormalFormPreservesSemantics checks Proposition 3.1 semantically:
+// on the dirty and clean bank instances, each Fig 2 CIND is satisfied iff
+// its normal form is.
+func TestNormalFormPreservesSemantics(t *testing.T) {
+	sch := bank.Schema()
+	for _, db := range []*instance.Database{bank.Data(sch), bank.CleanData(sch)} {
+		for _, psi := range bank.CINDs(sch) {
+			want := psi.Satisfied(db)
+			if got := cind.SatisfiedAll(psi.NormalForm(), db); got != want {
+				t.Errorf("%s: normal form satisfaction %v, original %v", psi.ID, got, want)
+			}
+		}
+	}
+}
+
+func TestNormalFormLinearSize(t *testing.T) {
+	// Proposition 3.1: |Σ'| linear in |Σ| — here, one CIND per pattern row.
+	sch := bank.Schema()
+	for _, psi := range bank.CINDs(sch) {
+		if got := len(psi.NormalForm()); got != len(psi.Rows) {
+			t.Errorf("%s: normal form size %d, rows %d", psi.ID, got, len(psi.Rows))
+		}
+	}
+}
+
+func TestNormalRowAccessors(t *testing.T) {
+	sch := bank.Schema()
+	psi1 := bank.Psi1(sch, "NYC")
+	xp := psi1.XpPattern()
+	if len(xp) != 1 || xp[0].Const() != "saving" {
+		t.Fatalf("XpPattern = %v", xp)
+	}
+	yp := psi1.YpPattern()
+	if len(yp) != 1 || yp[0].Const() != "NYC" {
+		t.Fatalf("YpPattern = %v", yp)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NormalRow on non-normal CIND must panic")
+		}
+	}()
+	bank.Psi5(sch).NormalRow()
+}
+
+func TestStringRendering(t *testing.T) {
+	sch := bank.Schema()
+	got := bank.Psi3(sch).String()
+	want := "psi3: (saving[ab; nil] <= interest[ab; nil], {(_ || _)})"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+	if !strings.Contains(bank.Psi5(sch).String(), "(EDI || EDI, saving, UK, 4.5%)") {
+		t.Fatalf("ψ5 String = %q", bank.Psi5(sch).String())
+	}
+}
+
+// TestTheorem32Witness checks the always-consistency theorem on the paper's
+// constraint set: the constructed witness is nonempty and satisfies Σ.
+func TestTheorem32Witness(t *testing.T) {
+	sch := bank.Schema()
+	sigma := bank.CINDs(sch)
+	db, err := cind.Witness(sch, sigma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.IsEmpty() {
+		t.Fatal("witness must be nonempty")
+	}
+	if !cind.SatisfiedAll(sigma, db) {
+		t.Fatalf("witness must satisfy Σ; violations: %v", cind.ViolationsAll(sigma, db))
+	}
+}
+
+func TestWitnessEmptySigma(t *testing.T) {
+	sch := bank.Schema()
+	db, err := cind.Witness(sch, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.IsEmpty() {
+		t.Fatal("even with empty Σ the witness is nonempty")
+	}
+}
+
+func TestWitnessCapExceeded(t *testing.T) {
+	sch := bank.Schema()
+	if _, err := cind.Witness(sch, bank.CINDs(sch), 3); err == nil {
+		t.Fatal("tiny cap must error")
+	}
+}
+
+// TestWitnessAcrossDistinctDomains exercises the active-domain closure:
+// the LHS attribute uses a finite domain, the RHS an infinite one with a
+// different name, and the witness must still satisfy the CIND.
+func TestWitnessAcrossDistinctDomains(t *testing.T) {
+	fin := schema.Finite("fin", "x", "y", "z")
+	inf := schema.Infinite("inf")
+	sch := schema.MustNew(
+		schema.MustRelation("R", schema.Attribute{Name: "A", Dom: fin}),
+		schema.MustRelation("S", schema.Attribute{Name: "B", Dom: inf}),
+	)
+	psi := cind.MustNew(sch, "c", "R", []string{"A"}, nil, "S", []string{"B"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w), RHS: pattern.Tup(w)}})
+	db, err := cind.Witness(sch, []*cind.CIND{psi}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !psi.Satisfied(db) {
+		t.Fatalf("witness must satisfy the cross-domain CIND: %v", psi.Violations(db))
+	}
+}
+
+func TestConstants(t *testing.T) {
+	sch := bank.Schema()
+	got := bank.Psi6(sch).Constants()
+	if len(got) != 10 { // 2 rows × (1 LHS + 4 RHS)
+		t.Fatalf("Constants = %v", got)
+	}
+}

@@ -1,0 +1,140 @@
+package cind
+
+import (
+	"fmt"
+
+	"cind/internal/pattern"
+)
+
+// IsNormal reports whether the CIND is in the normal form of
+// Proposition 3.1: a single pattern row tp such that tp[A] is a constant if
+// and only if A is in Xp or Yp.
+func (c *CIND) IsNormal() bool {
+	if len(c.Rows) != 1 {
+		return false
+	}
+	row := c.Rows[0]
+	for i := range c.X { // X symbols must be wild
+		if row.LHS[i].IsConst() {
+			return false
+		}
+	}
+	for i := range c.Xp { // Xp symbols must be constants
+		if row.LHS[len(c.X)+i].IsWild() {
+			return false
+		}
+	}
+	for i := range c.Y {
+		if row.RHS[i].IsConst() {
+			return false
+		}
+	}
+	for i := range c.Yp {
+		if row.RHS[len(c.Y)+i].IsWild() {
+			return false
+		}
+	}
+	return true
+}
+
+// NormalForm rewrites the CIND into an equivalent set of normal-form CINDs
+// following the three steps of Proposition 3.1:
+//
+//  1. split the tableau into one CIND per pattern row;
+//  2. drop from Xp and Yp every attribute whose pattern field is '_'
+//     (a wildcard pattern poses no constraint);
+//  3. move every pair (X_i, Y_i) whose pattern field is a constant into
+//     (Xp, Yp) — the validation invariant tp[X] = tp[Y] makes the moved
+//     constants agree.
+//
+// The result size is linear in the input size. IDs are suffixed with the
+// row index when the tableau splits.
+func (c *CIND) NormalForm() []*CIND {
+	if c.IsNormal() {
+		return []*CIND{c}
+	}
+	out := make([]*CIND, 0, len(c.Rows))
+	for ri, row := range c.Rows {
+		id := c.ID
+		if len(c.Rows) > 1 {
+			id = fmt.Sprintf("%s.%d", c.ID, ri)
+		}
+		out = append(out, normalizeRow(c, id, row))
+	}
+	return out
+}
+
+func normalizeRow(c *CIND, id string, row Row) *CIND {
+	var (
+		newX, newY   []string
+		newXp, newYp []string
+		xpSyms       []pattern.Symbol
+		ypSyms       []pattern.Symbol
+	)
+	// Step 3: partition the X/Y pairs by whether their symbol is constant.
+	for i := range c.X {
+		if row.LHS[i].IsConst() {
+			newXp = append(newXp, c.X[i])
+			xpSyms = append(xpSyms, row.LHS[i])
+			newYp = append(newYp, c.Y[i])
+			ypSyms = append(ypSyms, row.RHS[i])
+		} else {
+			newX = append(newX, c.X[i])
+			newY = append(newY, c.Y[i])
+		}
+	}
+	// Step 2: keep only constant pattern attributes.
+	for i, a := range c.Xp {
+		s := row.LHS[len(c.X)+i]
+		if s.IsConst() {
+			newXp = append(newXp, a)
+			xpSyms = append(xpSyms, s)
+		}
+	}
+	for i, a := range c.Yp {
+		s := row.RHS[len(c.Y)+i]
+		if s.IsConst() {
+			newYp = append(newYp, a)
+			ypSyms = append(ypSyms, s)
+		}
+	}
+	lhs := append(pattern.Wilds(len(newX)), xpSyms...)
+	rhs := append(pattern.Wilds(len(newY)), ypSyms...)
+	return &CIND{
+		ID:     id,
+		LHSRel: c.LHSRel, X: newX, Xp: newXp,
+		RHSRel: c.RHSRel, Y: newY, Yp: newYp,
+		Rows: []Row{{LHS: lhs, RHS: rhs}},
+	}
+}
+
+// NormalizeAll rewrites a set of CINDs into normal form.
+func NormalizeAll(sigma []*CIND) []*CIND {
+	var out []*CIND
+	for _, c := range sigma {
+		out = append(out, c.NormalForm()...)
+	}
+	return out
+}
+
+// NormalRow returns the single pattern row of a normal-form CIND,
+// panicking otherwise. Reasoning code (inference, chase) works on normal
+// forms only and uses this accessor to state that assumption.
+func (c *CIND) NormalRow() Row {
+	if !c.IsNormal() {
+		panic("cind: " + c.ID + " is not in normal form")
+	}
+	return c.Rows[0]
+}
+
+// XpPattern returns the constants of the normal row on Xp, aligned with Xp.
+func (c *CIND) XpPattern() pattern.Tuple {
+	row := c.NormalRow()
+	return pattern.Tuple(row.LHS[len(c.X):])
+}
+
+// YpPattern returns the constants of the normal row on Yp, aligned with Yp.
+func (c *CIND) YpPattern() pattern.Tuple {
+	row := c.NormalRow()
+	return pattern.Tuple(row.RHS[len(c.Y):])
+}

@@ -1,0 +1,106 @@
+package cind_test
+
+import (
+	"math/rand"
+	"testing"
+
+	cind "cind/internal/core"
+	"cind/internal/gen"
+	"cind/internal/instance"
+)
+
+// TestWitnessPropertyRandomSets is the executable Theorem 3.2 over many
+// random CIND sets: the witness always exists (CINDs are always
+// consistent), is nonempty, and satisfies Σ.
+func TestWitnessPropertyRandomSets(t *testing.T) {
+	for seed := int64(1); seed <= 25; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 4, MaxAttrs: 4, F: 0.3, Card: 30,
+			CFDRatio: 0.01, Seed: seed,
+		})
+		db, err := cind.Witness(w.Schema, w.CINDs, 0)
+		if err != nil {
+			t.Fatalf("seed %d: witness construction failed: %v", seed, err)
+		}
+		if db.IsEmpty() {
+			t.Fatalf("seed %d: witness empty", seed)
+		}
+		if !cind.SatisfiedAll(w.CINDs, db) {
+			for _, c := range w.CINDs {
+				if vs := c.Violations(db); len(vs) > 0 {
+					t.Fatalf("seed %d: witness violates %v: %v", seed, c, vs[0])
+				}
+			}
+		}
+	}
+}
+
+// TestNormalFormPropertyRandom: for random CINDs and random databases,
+// satisfaction of the original and of its normal form coincide
+// (Proposition 3.1 semantically, beyond the bank fixtures).
+func TestNormalFormPropertyRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	for seed := int64(1); seed <= 15; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 3, MaxAttrs: 4, F: 0.4, FinDomMax: 4, Card: 20,
+			CFDRatio: 0.01, Seed: seed,
+		})
+		for trial := 0; trial < 10; trial++ {
+			db := randomDB(rng, w, 4)
+			for _, c := range w.CINDs {
+				want := c.Satisfied(db)
+				if got := cind.SatisfiedAll(c.NormalForm(), db); got != want {
+					t.Fatalf("seed %d: %v: normal form %v, original %v on\n%v",
+						seed, c, got, want, db)
+				}
+			}
+		}
+	}
+}
+
+// TestNormalFormIdempotent: normalising a normal form is the identity.
+func TestNormalFormIdempotent(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		w := gen.New(gen.Config{Relations: 3, MaxAttrs: 4, Card: 20, CFDRatio: 0.01, Seed: seed})
+		for _, c := range w.CINDs {
+			for _, n := range c.NormalForm() {
+				if !n.IsNormal() {
+					t.Fatalf("seed %d: %v not normal", seed, n)
+				}
+				again := n.NormalForm()
+				if len(again) != 1 || again[0] != n {
+					t.Fatalf("seed %d: normal form not idempotent for %v", seed, n)
+				}
+			}
+		}
+	}
+}
+
+// randomDB fills each relation of the workload's schema with random tuples
+// drawn from the witness value pools, so patterns match reasonably often.
+func randomDB(rng *rand.Rand, w *gen.Workload, maxTuples int) *instance.Database {
+	db := instance.NewDatabase(w.Schema)
+	pool := []string{}
+	for _, c := range w.CINDs {
+		pool = append(pool, c.Constants()...)
+	}
+	if len(pool) == 0 {
+		pool = []string{"x", "y"}
+	}
+	for _, rel := range w.Schema.Relations() {
+		n := rng.Intn(maxTuples + 1)
+		for i := 0; i < n; i++ {
+			vals := make([]string, rel.Arity())
+			for j, a := range rel.Attrs() {
+				if a.Dom.IsFinite() {
+					dv := a.Dom.Values()
+					vals[j] = dv[rng.Intn(len(dv))]
+				} else {
+					vals[j] = pool[rng.Intn(len(pool))]
+				}
+			}
+			db.Instance(rel.Name()).Insert(instance.Consts(vals...))
+		}
+	}
+	return db
+}

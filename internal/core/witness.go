@@ -1,0 +1,162 @@
+package cind
+
+import (
+	"fmt"
+	"sort"
+
+	"cind/internal/instance"
+	"cind/internal/schema"
+)
+
+// DefaultWitnessCap bounds the number of tuples Witness will build per
+// relation. The Theorem 3.2 construction takes a cross product of active
+// domains, which is exponential in the arity in the worst case; the
+// per-attribute active domains used here keep real constraint sets far
+// below the cap.
+const DefaultWitnessCap = 200000
+
+// Witness builds a nonempty database satisfying every CIND of sigma,
+// following the proof of Theorem 3.2 ("CINDs are always consistent"):
+// define an active domain per attribute from the constants appearing in Σ
+// plus at most one distinct value of the attribute's domain, then build
+// every relation as the cross product of its attributes' active domains.
+//
+// This implementation sharpens the proof's construction to keep witnesses
+// small: the active domain of an attribute contains (a) the pattern
+// constants Σ places on that attribute column, (b) everything in the active
+// domain of any attribute paired with it on the left of an embedded IND
+// (closed transitively), and (c) one fresh domain value when one exists.
+// Point (b) is what makes the cross product satisfy every CIND: for any LHS
+// tuple t1, the required RHS values t1[X] are guaranteed to be available on
+// the Y side. maxTuples bounds the per-relation instance size (0 means
+// DefaultWitnessCap); Witness returns an error when the cross product would
+// exceed it.
+func Witness(sch *schema.Schema, sigma []*CIND, maxTuples int) (*instance.Database, error) {
+	if maxTuples <= 0 {
+		maxTuples = DefaultWitnessCap
+	}
+	// Global constant pool, used only to pick fresh values outside Σ.
+	pool := map[string]bool{}
+	for _, c := range sigma {
+		for _, v := range c.Constants() {
+			pool[v] = true
+		}
+	}
+
+	type attrKey struct{ rel, attr string }
+	adom := map[attrKey]map[string]bool{}
+	add := func(k attrKey, v string) {
+		if adom[k] == nil {
+			adom[k] = map[string]bool{}
+		}
+		adom[k][v] = true
+	}
+
+	// Seed (a): pattern constants per attribute column, on both sides.
+	for _, c := range sigma {
+		lhsAttrs, rhsAttrs := c.lhsAttrs(), c.rhsAttrs()
+		for _, row := range c.Rows {
+			for j, s := range row.LHS {
+				if s.IsConst() {
+					add(attrKey{c.LHSRel, lhsAttrs[j]}, s.Const())
+				}
+			}
+			for j, s := range row.RHS {
+				if s.IsConst() {
+					add(attrKey{c.RHSRel, rhsAttrs[j]}, s.Const())
+				}
+			}
+		}
+	}
+
+	// Seed (c): one fresh value per attribute — shared per domain name so
+	// that attributes over one domain stay mutually compatible.
+	freshOf := map[string]string{}
+	for _, rel := range sch.Relations() {
+		for _, a := range rel.Attrs() {
+			k := attrKey{rel.Name(), a.Name}
+			if f, ok := freshOf[a.Dom.Name()]; ok {
+				add(k, f)
+				continue
+			}
+			if f, ok := a.Dom.Fresh(pool); ok {
+				freshOf[a.Dom.Name()] = f
+				add(k, f)
+			} else if adom[k] == nil {
+				// Finite domain fully covered by Σ's constants but with no
+				// pattern constant on this column: fall back to any domain
+				// value so the relation stays nonempty.
+				add(k, a.Dom.Values()[0])
+			}
+		}
+	}
+
+	// Closure (b): propagate adom(X_i) into adom(Y_i) for every embedded
+	// IND pairing, to fixpoint. Domain compatibility was validated at
+	// construction, so propagated values belong to the target domain.
+	type pairing struct{ from, to attrKey }
+	var pairs []pairing
+	for _, c := range sigma {
+		for i := range c.X {
+			pairs = append(pairs, pairing{
+				from: attrKey{c.LHSRel, c.X[i]},
+				to:   attrKey{c.RHSRel, c.Y[i]},
+			})
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, p := range pairs {
+			for v := range adom[p.from] {
+				if !adom[p.to][v] {
+					add(p.to, v)
+					changed = true
+				}
+			}
+		}
+	}
+
+	db := instance.NewDatabase(sch)
+	for _, rel := range sch.Relations() {
+		doms := make([][]string, rel.Arity())
+		size := 1
+		for i, a := range rel.Attrs() {
+			vals := adom[attrKey{rel.Name(), a.Name}]
+			sorted := make([]string, 0, len(vals))
+			for v := range vals {
+				sorted = append(sorted, v)
+			}
+			sort.Strings(sorted)
+			doms[i] = sorted
+			size *= len(sorted)
+			if size > maxTuples || size <= 0 {
+				return nil, fmt.Errorf("cind: witness for %s exceeds cap %d tuples", rel.Name(), maxTuples)
+			}
+		}
+		in := db.Instance(rel.Name())
+		crossProduct(doms, func(vals []string) {
+			in.Insert(instance.Consts(vals...))
+		})
+	}
+	return db, nil
+}
+
+// crossProduct enumerates the cross product of the given value lists,
+// invoking emit with a fresh copy for each combination.
+func crossProduct(doms [][]string, emit func([]string)) {
+	buf := make([]string, len(doms))
+	var rec func(i int)
+	rec = func(i int) {
+		if i == len(doms) {
+			out := make([]string, len(buf))
+			copy(out, buf)
+			emit(out)
+			return
+		}
+		for _, v := range doms[i] {
+			buf[i] = v
+			rec(i + 1)
+		}
+	}
+	rec(0)
+}

@@ -1,0 +1,270 @@
+// Package depgraph implements the dependency graph G[Σ] of Section 5.3:
+// one vertex per relation, carrying the CFDs defined on it (CFD(R)) and a
+// tuple template τ(R); one edge Ri → Rj per nonempty CIND(Ri, Rj). The
+// preProcessing algorithm of Figure 7 reduces the graph; this package
+// provides the graph structure, the topological order it consumes, and the
+// strongly/weakly connected component analyses used by Checking.
+package depgraph
+
+import (
+	"sort"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/schema"
+)
+
+// Graph is G[Σ]. It is mutable: preProcessing deletes nodes and extends
+// CFD sets with non-triggering CFDs.
+type Graph struct {
+	sch   *schema.Schema
+	nodes map[string]bool
+	cfds  map[string][]*cfd.CFD             // CFD(R), normalised
+	edges map[string]map[string][]*cind.CIND // from -> to -> CIND(Ri, Rj)
+}
+
+// New builds G[Σ] from normalised constraint sets. Constraints are
+// normalised internally, so callers may pass any valid CFDs/CINDs.
+func New(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND) *Graph {
+	g := &Graph{
+		sch:   sch,
+		nodes: map[string]bool{},
+		cfds:  map[string][]*cfd.CFD{},
+		edges: map[string]map[string][]*cind.CIND{},
+	}
+	for _, r := range sch.Relations() {
+		g.nodes[r.Name()] = true
+	}
+	for _, c := range cfd.NormalizeAll(cfds) {
+		g.cfds[c.Rel] = append(g.cfds[c.Rel], c)
+	}
+	for _, c := range cind.NormalizeAll(cinds) {
+		if g.edges[c.LHSRel] == nil {
+			g.edges[c.LHSRel] = map[string][]*cind.CIND{}
+		}
+		g.edges[c.LHSRel][c.RHSRel] = append(g.edges[c.LHSRel][c.RHSRel], c)
+	}
+	return g
+}
+
+// Schema returns the underlying schema.
+func (g *Graph) Schema() *schema.Schema { return g.sch }
+
+// Nodes returns the surviving relation names, sorted.
+func (g *Graph) Nodes() []string {
+	out := make([]string, 0, len(g.nodes))
+	for n := range g.nodes {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Has reports whether the relation is still in the graph.
+func (g *Graph) Has(rel string) bool { return g.nodes[rel] }
+
+// Len returns the number of surviving nodes.
+func (g *Graph) Len() int { return len(g.nodes) }
+
+// CFDs returns CFD(R) (normalised). Callers must not mutate the slice.
+func (g *Graph) CFDs(rel string) []*cfd.CFD { return g.cfds[rel] }
+
+// AddCFDs extends CFD(R) — how preProcessing installs non-triggering CFDs.
+func (g *Graph) AddCFDs(rel string, more ...*cfd.CFD) {
+	g.cfds[rel] = append(g.cfds[rel], more...)
+}
+
+// OutCINDs returns the CINDs on edges leaving rel toward surviving nodes.
+func (g *Graph) OutCINDs(rel string) []*cind.CIND {
+	var out []*cind.CIND
+	for to, cs := range g.edges[rel] {
+		if g.nodes[to] {
+			out = append(out, cs...)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// InEdges returns, for each surviving predecessor Rj of rel, the CIND set
+// CIND(Rj, rel) — the input to the non-triggering construction.
+func (g *Graph) InEdges(rel string) map[string][]*cind.CIND {
+	out := map[string][]*cind.CIND{}
+	for from, tos := range g.edges {
+		if !g.nodes[from] || from == rel {
+			continue
+		}
+		if cs, ok := tos[rel]; ok && len(cs) > 0 {
+			out[from] = cs
+		}
+	}
+	return out
+}
+
+// InDegree counts surviving predecessors with an edge into rel, excluding
+// self-loops.
+func (g *Graph) InDegree(rel string) int { return len(g.InEdges(rel)) }
+
+// Remove deletes a node and implicitly all its edges.
+func (g *Graph) Remove(rel string) { delete(g.nodes, rel) }
+
+// succs returns the distinct surviving successors of rel (self excluded).
+func (g *Graph) succs(rel string) []string {
+	var out []string
+	for to := range g.edges[rel] {
+		if g.nodes[to] && to != rel {
+			out = append(out, to)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// TopoOrder returns the processing order of Figure 7 line 1: if there is an
+// edge Ri → Rj (Ri's CINDs point into Rj), then Rj precedes Ri; nodes on a
+// cycle come in arbitrary (deterministic) order. Implemented as Tarjan's
+// SCC algorithm, whose natural emission order is exactly
+// successors-before-predecessors on the condensation.
+func (g *Graph) TopoOrder() []string {
+	var order []string
+	for _, comp := range g.SCCs() {
+		order = append(order, comp...)
+	}
+	return order
+}
+
+// SCCs returns the strongly connected components in successor-first order
+// (reverse topological order of the condensation), each component sorted.
+func (g *Graph) SCCs() [][]string {
+	nodes := g.Nodes()
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	next := 0
+	var comps [][]string
+
+	var strongconnect func(v string)
+	strongconnect = func(v string) {
+		index[v] = next
+		low[v] = next
+		next++
+		stack = append(stack, v)
+		onStack[v] = true
+		for _, to := range g.succs(v) {
+			if _, seen := index[to]; !seen {
+				strongconnect(to)
+				if low[to] < low[v] {
+					low[v] = low[to]
+				}
+			} else if onStack[to] && index[to] < low[v] {
+				low[v] = index[to]
+			}
+		}
+		if low[v] == index[v] {
+			var comp []string
+			for {
+				w := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[w] = false
+				comp = append(comp, w)
+				if w == v {
+					break
+				}
+			}
+			sort.Strings(comp)
+			comps = append(comps, comp)
+		}
+	}
+	for _, v := range nodes {
+		if _, seen := index[v]; !seen {
+			strongconnect(v)
+		}
+	}
+	return comps
+}
+
+// IsAcyclic reports whether the surviving graph has no cycles (self-loops
+// included). The paper's conclusion singles out acyclic CINDs as a case
+// where better complexity bounds may hold; operationally, a chase over an
+// acyclic CIND set can only insert tuples along the condensation order and
+// therefore terminates without any cap.
+func (g *Graph) IsAcyclic() bool {
+	for _, comp := range g.SCCs() {
+		if len(comp) > 1 {
+			return false
+		}
+		rel := comp[0]
+		if cs, ok := g.edges[rel][rel]; ok && len(cs) > 0 && g.nodes[rel] {
+			return false // self-loop
+		}
+	}
+	return true
+}
+
+// WeakComponents returns the weakly connected components of the surviving
+// graph, each sorted, in deterministic order — the "connected components"
+// Checking iterates over (Figure 9, line 6). Every CIND among a component's
+// relations stays inside the component, so the per-component Σ' is closed.
+func (g *Graph) WeakComponents() [][]string {
+	parent := map[string]string{}
+	var find func(x string) string
+	find = func(x string) string {
+		if parent[x] != x {
+			parent[x] = find(parent[x])
+		}
+		return parent[x]
+	}
+	union := func(a, b string) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for n := range g.nodes {
+		parent[n] = n
+	}
+	for from, tos := range g.edges {
+		if !g.nodes[from] {
+			continue
+		}
+		for to := range tos {
+			if g.nodes[to] {
+				union(from, to)
+			}
+		}
+	}
+	groups := map[string][]string{}
+	for n := range g.nodes {
+		r := find(n)
+		groups[r] = append(groups[r], n)
+	}
+	var out [][]string
+	for _, members := range groups {
+		sort.Strings(members)
+		out = append(out, members)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// ConstraintsOf collects the CFDs and CINDs restricted to a set of
+// relations — Σ' of Figure 9 line 7. CINDs are included only when both
+// endpoints are inside.
+func (g *Graph) ConstraintsOf(rels []string) ([]*cfd.CFD, []*cind.CIND) {
+	in := map[string]bool{}
+	for _, r := range rels {
+		in[r] = true
+	}
+	var cfds []*cfd.CFD
+	var cinds []*cind.CIND
+	for _, r := range rels {
+		cfds = append(cfds, g.cfds[r]...)
+		for to, cs := range g.edges[r] {
+			if in[to] {
+				cinds = append(cinds, cs...)
+			}
+		}
+	}
+	return cfds, cinds
+}

@@ -1,0 +1,235 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+var w = pattern.Wild
+
+func sym(v string) pattern.Symbol { return pattern.Sym(v) }
+
+// example54Schema builds R1..R5 of Example 5.4: two attributes each over a
+// shared infinite domain, except R2.H which is Boolean.
+func example54Schema() *schema.Schema {
+	d := schema.Infinite("d")
+	h := schema.Finite("bool", "0", "1")
+	mk := func(name, a, b string, bd *schema.Domain) *schema.Relation {
+		return schema.MustRelation(name,
+			schema.Attribute{Name: a, Dom: d}, schema.Attribute{Name: b, Dom: bd})
+	}
+	return schema.MustNew(
+		mk("R1", "E", "F", d),
+		mk("R2", "G", "H", h),
+		mk("R3", "A", "B", d),
+		mk("R4", "C", "D", d),
+		mk("R5", "I", "J", d),
+	)
+}
+
+// example54Constraints builds Σ of Example 5.4 (with the original ψ4).
+func example54Constraints(sch *schema.Schema) ([]*cfd.CFD, []*cind.CIND) {
+	cfds := []*cfd.CFD{
+		cfd.MustNew(sch, "phi1", "R1", []string{"E"}, []string{"F"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cfd.MustNew(sch, "phi2", "R2", []string{"H"}, []string{"G"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("c"))}}),
+		cfd.MustNew(sch, "phi3", "R3", []string{"A"}, []string{"B"},
+			[]cfd.Row{{LHS: pattern.Tup(sym("c")), RHS: pattern.Wilds(1)}}),
+		cfd.MustNew(sch, "phi4", "R4", []string{"C"}, []string{"D"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("a"))}}),
+		cfd.MustNew(sch, "phi5", "R4", []string{"C"}, []string{"D"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("b"))}}),
+		cfd.MustNew(sch, "phi6", "R5", []string{"I"}, []string{"J"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("c"))}}),
+	}
+	cinds := []*cind.CIND{
+		cind.MustNew(sch, "psi1", "R1", []string{"E"}, nil, "R2", []string{"G"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cind.MustNew(sch, "psi2", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("a"))}}),
+		cind.MustNew(sch, "psi3", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("b"))}}),
+		cind.MustNew(sch, "psi4", "R3", []string{"A"}, []string{"B"}, "R4", []string{"C"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(w, sym("b")), RHS: pattern.Tup(w)}}),
+		cind.MustNew(sch, "psi5", "R5", nil, []string{"J"}, "R2", nil, []string{"G"},
+			[]cind.Row{{LHS: pattern.Tup(sym("c")), RHS: pattern.Tup(sym("d"))}}),
+	}
+	return cfds, cinds
+}
+
+// TestExample54Graph checks the Figure 6 structure: CFD(Ri) assignments and
+// the edge set {R1→R2, R2→R1, R3→R4, R5→R2}.
+func TestExample54Graph(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+	g := New(sch, cfds, cinds)
+
+	if g.Len() != 5 {
+		t.Fatalf("nodes = %d", g.Len())
+	}
+	wantCFDs := map[string]int{"R1": 1, "R2": 1, "R3": 1, "R4": 2, "R5": 1}
+	for rel, n := range wantCFDs {
+		if got := len(g.CFDs(rel)); got != n {
+			t.Errorf("|CFD(%s)| = %d, want %d", rel, got, n)
+		}
+	}
+	if len(g.OutCINDs("R1")) != 1 || len(g.OutCINDs("R2")) != 2 ||
+		len(g.OutCINDs("R3")) != 1 || len(g.OutCINDs("R5")) != 1 {
+		t.Error("edge labels wrong")
+	}
+	if g.InDegree("R2") != 2 { // from R1 and R5
+		t.Errorf("indegree(R2) = %d, want 2", g.InDegree("R2"))
+	}
+	if g.InDegree("R3") != 0 || g.InDegree("R5") != 0 {
+		t.Error("R3 and R5 have no incoming edges")
+	}
+}
+
+func TestTopoOrderSuccessorsFirst(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+	g := New(sch, cfds, cinds)
+	order := g.TopoOrder()
+	pos := map[string]int{}
+	for i, r := range order {
+		pos[r] = i
+	}
+	if len(order) != 5 {
+		t.Fatalf("order = %v", order)
+	}
+	// Edge R3→R4 means R4 precedes R3; edge R5→R2 means R2 precedes R5.
+	if pos["R4"] > pos["R3"] {
+		t.Errorf("R4 must precede R3 in %v", order)
+	}
+	if pos["R2"] > pos["R5"] {
+		t.Errorf("R2 must precede R5 in %v", order)
+	}
+}
+
+func TestSCCs(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+	g := New(sch, cfds, cinds)
+	comps := g.SCCs()
+	var cycle []string
+	singles := 0
+	for _, c := range comps {
+		if len(c) == 2 {
+			cycle = c
+		} else {
+			singles++
+		}
+	}
+	if strings.Join(cycle, ",") != "R1,R2" {
+		t.Fatalf("cycle component = %v, want [R1 R2]", cycle)
+	}
+	if singles != 3 {
+		t.Fatalf("singleton components = %d, want 3", singles)
+	}
+}
+
+func TestWeakComponents(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+	g := New(sch, cfds, cinds)
+	comps := g.WeakComponents()
+	// {R1, R2, R5} and {R3, R4}.
+	if len(comps) != 2 {
+		t.Fatalf("weak components = %v", comps)
+	}
+	if strings.Join(comps[0], ",") != "R1,R2,R5" {
+		t.Fatalf("comp0 = %v", comps[0])
+	}
+	if strings.Join(comps[1], ",") != "R3,R4" {
+		t.Fatalf("comp1 = %v", comps[1])
+	}
+}
+
+func TestRemoveAndInEdges(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+	g := New(sch, cfds, cinds)
+	in := g.InEdges("R4")
+	if len(in) != 1 || len(in["R3"]) != 1 {
+		t.Fatalf("InEdges(R4) = %v", in)
+	}
+	g.Remove("R4")
+	if g.Has("R4") {
+		t.Fatal("R4 must be gone")
+	}
+	if len(g.OutCINDs("R3")) != 0 {
+		t.Fatal("edges into deleted nodes must disappear")
+	}
+	if g.Len() != 4 {
+		t.Fatalf("Len = %d", g.Len())
+	}
+}
+
+func TestConstraintsOf(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+	g := New(sch, cfds, cinds)
+	compCFDs, compCINDs := g.ConstraintsOf([]string{"R1", "R2"})
+	if len(compCFDs) != 2 { // phi1, phi2
+		t.Fatalf("component CFDs = %d", len(compCFDs))
+	}
+	if len(compCINDs) != 3 { // psi1, psi2, psi3
+		t.Fatalf("component CINDs = %d", len(compCINDs))
+	}
+}
+
+func TestSelfLoopCountsAsOutEdgeNotInDegree(t *testing.T) {
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	self := cind.MustNew(sch, "self", "R", nil, nil, "R", nil, []string{"B"},
+		[]cind.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("b"))}})
+	g := New(sch, nil, []*cind.CIND{self})
+	if len(g.OutCINDs("R")) != 1 {
+		t.Fatal("self-loop must appear among out-CINDs (it can be triggered)")
+	}
+	if g.InDegree("R") != 0 {
+		t.Fatal("self-loops do not protect a node from indegree-0 pruning")
+	}
+}
+
+func TestIsAcyclic(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+	g := New(sch, cfds, cinds)
+	if g.IsAcyclic() {
+		t.Fatal("R1↔R2 is a cycle")
+	}
+	// Removing R2 breaks the only cycle.
+	g.Remove("R2")
+	if !g.IsAcyclic() {
+		t.Fatal("graph without R2 is acyclic")
+	}
+	// A self-loop counts as a cycle.
+	d := schema.Infinite("d")
+	sch2 := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	self := cind.MustNew(sch2, "self", "R", []string{"A"}, nil, "R", []string{"B"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	g2 := New(sch2, nil, []*cind.CIND{self})
+	if g2.IsAcyclic() {
+		t.Fatal("self-loop is a cycle")
+	}
+}
+
+func TestAddCFDs(t *testing.T) {
+	sch := example54Schema()
+	g := New(sch, nil, nil)
+	extra := cfd.MustNew(sch, "x", "R1", []string{"E"}, []string{"F"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	g.AddCFDs("R1", extra)
+	if len(g.CFDs("R1")) != 1 {
+		t.Fatal("AddCFDs must extend CFD(R1)")
+	}
+}

@@ -1,0 +1,138 @@
+// Package exp is the experiment harness reproducing Section 6 of the
+// paper. Every figure of the evaluation (10a, 10b, 11a, 11b, 11c, 11d) has
+// a function that sweeps the paper's parameter, runs the paper's algorithms
+// on generated workloads, and returns the series the paper plots; Tables 1
+// and 2 have executable verification rows for their laptop-checkable
+// claims. cmd/cindexp exposes the harness on the command line and
+// bench_test.go pins one benchmark per figure.
+//
+// Absolute times will differ from the paper's 2005-era Pentium D; the
+// claims under reproduction are the shapes: Chase ≪ SAT and roughly linear
+// scaling (Fig 10a), accuracy rising with K_CFD (Fig 10b), Checking
+// accuracy ≈ 100% on consistent sets (Fig 11a), near-linear runtime in
+// card(Σ) with Checking ≤ RandomChecking (Fig 11b/c), and growth with the
+// number of relations at fixed card(Σ)/relations (Fig 11d).
+package exp
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"cind/internal/consistency"
+	"cind/internal/gen"
+)
+
+// Params bundles the experiment-wide knobs, defaulting to the paper's
+// Section 6 values scaled to finish quickly; cmd/cindexp can restore the
+// full paper scale.
+type Params struct {
+	Relations int     // schema size (paper: 20)
+	MaxAttrs  int     // attributes per relation (paper: 15)
+	F         float64 // finite-domain attribute ratio (paper: 0–25%)
+	Runs      int     // repetitions averaged per point (paper: 6)
+	Seed      int64
+	K         int // RandomChecking attempts (paper: 20)
+	T         int // table cap (paper: 2000–4000)
+	KCFD      int // chase CFD_Checking valuation cap (paper: 2000K)
+}
+
+// Defaults returns quick-run parameters true to the paper's shape.
+func Defaults() Params {
+	return Params{
+		Relations: 20,
+		MaxAttrs:  15,
+		F:         0.25,
+		Runs:      3,
+		Seed:      1,
+		K:         20,
+		T:         2000,
+		KCFD:      100000,
+	}
+}
+
+func (p Params) opts(seed int64) consistency.Options {
+	return consistency.Options{
+		N: 2, K: p.K, T: p.T, KCFD: p.KCFD, Seed: seed,
+	}
+}
+
+// workload generates one experiment workload.
+func (p Params) workload(card int, consistent bool, cfdOnly bool, seed int64) *gen.Workload {
+	cfg := gen.Config{
+		Relations:  p.Relations,
+		MaxAttrs:   p.MaxAttrs,
+		F:          p.F,
+		Card:       card,
+		Consistent: consistent,
+		Seed:       seed,
+	}
+	if cfdOnly {
+		cfg.CFDRatio = 1.0
+	}
+	return gen.New(cfg)
+}
+
+// timeIt returns the wall-clock duration of f.
+func timeIt(f func()) time.Duration {
+	start := time.Now()
+	f()
+	return time.Since(start)
+}
+
+// avg averages durations.
+func avg(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// Series is one printable experiment result: a header and rows of columns.
+type Series struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Print renders the series as aligned columns (and is trivially grep/CSV
+// convertible).
+func (s *Series) Print(w io.Writer) {
+	fmt.Fprintf(w, "# %s\n", s.Title)
+	widths := make([]int, len(s.Columns))
+	for i, c := range s.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range s.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	for i, c := range s.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for _, row := range s.Rows {
+		for i, cell := range row {
+			fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+func ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f", float64(d.Microseconds())/1000.0)
+}
+
+func pct(hit, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(hit)/float64(total))
+}

@@ -1,0 +1,165 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+)
+
+// tiny returns parameters small enough for unit tests.
+func tiny() Params {
+	p := Defaults()
+	p.Relations = 5
+	p.MaxAttrs = 6
+	p.Runs = 2
+	p.KCFD = 2000
+	p.T = 500
+	return p
+}
+
+func TestFig10aShape(t *testing.T) {
+	p := tiny()
+	points := Fig10a(p, []int{5, 20})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		if pt.Chase <= 0 || pt.SAT <= 0 {
+			t.Fatalf("timings must be positive: %+v", pt)
+		}
+		// The paper's accuracy claim: the two methods agree (here: always,
+		// since the workloads are small and consistent).
+		if pt.Agree != pt.Runs {
+			t.Fatalf("methods disagreed at %d cfds/rel", pt.CFDsPerRelation)
+		}
+	}
+	s := Fig10aSeries(points)
+	var buf bytes.Buffer
+	s.Print(&buf)
+	if !strings.Contains(buf.String(), "Fig 10(a)") {
+		t.Fatal("series title missing")
+	}
+}
+
+func TestFig10bAccuracyMonotoneTrend(t *testing.T) {
+	p := tiny()
+	points := Fig10b(p, []int{1, 2000})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	lo, hi := points[0], points[1]
+	if hi.Accuracy < lo.Accuracy {
+		t.Fatalf("accuracy must not fall as K_CFD grows: %.2f -> %.2f",
+			lo.Accuracy, hi.Accuracy)
+	}
+	if hi.Accuracy < 0.95 {
+		t.Fatalf("large K_CFD accuracy = %.2f, want ≈ 1", hi.Accuracy)
+	}
+	if lo.Checked == 0 {
+		t.Fatal("no relations checked")
+	}
+}
+
+func TestFig11ConsistentAccuracyAndRuntime(t *testing.T) {
+	p := tiny()
+	points := Fig11Consistent(p, []int{30, 90})
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, pt := range points {
+		// Figure 11(a): Checking accuracy ≈ 100% on consistent sets.
+		if pt.CheckingHits != pt.Runs {
+			t.Fatalf("Checking missed a consistent workload at card %d (%d/%d)",
+				pt.Card, pt.CheckingHits, pt.Runs)
+		}
+		if pt.CheckingTime <= 0 || pt.RandomTime <= 0 {
+			t.Fatalf("timings must be positive: %+v", pt)
+		}
+	}
+	for _, mk := range []func([]Fig11Point) *Series{Fig11aSeries, Fig11bSeries, Fig11cSeries} {
+		var buf bytes.Buffer
+		mk(points).Print(&buf)
+		if buf.Len() == 0 {
+			t.Fatal("empty series output")
+		}
+	}
+}
+
+func TestFig11RandomRuns(t *testing.T) {
+	p := tiny()
+	points := Fig11Random(p, []int{40})
+	if len(points) != 1 || points[0].CheckingTime <= 0 {
+		t.Fatalf("points = %+v", points)
+	}
+}
+
+func TestFig11dGrowsWithRelations(t *testing.T) {
+	p := tiny()
+	points := Fig11d(p, []int{3, 9}, 15)
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	if points[0].Card != 45 || points[1].Card != 135 {
+		t.Fatalf("cards = %d, %d", points[0].Card, points[1].Card)
+	}
+	var buf bytes.Buffer
+	Fig11dSeries(points).Print(&buf)
+	if !strings.Contains(buf.String(), "relations") {
+		t.Fatal("series columns missing")
+	}
+}
+
+// TestRunTablesAllPass is the Tables 1–2 verification: every executable
+// claim row must pass.
+func TestRunTablesAllPass(t *testing.T) {
+	if testing.Short() {
+		t.Skip("table checks run the full pipeline")
+	}
+	checks := RunTables(tiny())
+	if len(checks) != 7 {
+		t.Fatalf("checks = %d, want 7", len(checks))
+	}
+	for _, c := range checks {
+		if !c.Pass {
+			t.Errorf("Table %s claim %q FAILED: %s", c.Table, c.Claim, c.Detail)
+		}
+	}
+	var buf bytes.Buffer
+	TableSeries(checks).Print(&buf)
+	if !strings.Contains(buf.String(), "PASS") {
+		t.Fatal("table rendering missing PASS")
+	}
+}
+
+func TestSeriesPrintAlignment(t *testing.T) {
+	s := &Series{
+		Title:   "demo",
+		Columns: []string{"a", "long_column"},
+		Rows:    [][]string{{"1", "2"}, {"333", "4"}},
+	}
+	var buf bytes.Buffer
+	s.Print(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("lines = %d", len(lines))
+	}
+	if !strings.HasPrefix(lines[0], "# demo") {
+		t.Fatal("title line missing")
+	}
+}
+
+func TestHelpers(t *testing.T) {
+	if ms(1500*time.Microsecond) != "1.50" {
+		t.Fatalf("ms = %s", ms(1500*time.Microsecond))
+	}
+	if pct(1, 2) != "50%" || pct(0, 0) != "n/a" {
+		t.Fatal("pct wrong")
+	}
+	if pctf(0.5) != "50%" {
+		t.Fatal("pctf wrong")
+	}
+	if avg(nil) != 0 {
+		t.Fatal("avg of nothing is 0")
+	}
+}

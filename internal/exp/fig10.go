@@ -1,0 +1,169 @@
+package exp
+
+import (
+	"math/rand"
+	"time"
+
+	"cind/internal/consistency"
+	"cind/internal/gen"
+)
+
+// Fig10aPoint is one x-position of Figure 10(a): the per-relation CFD count
+// against the runtime of the chase-based and SAT-based CFD_Checking over
+// the whole schema.
+type Fig10aPoint struct {
+	CFDsPerRelation int
+	Chase           time.Duration
+	SAT             time.Duration
+	// Agree counts runs where both methods returned the same verdict —
+	// the paper reports the two methods' accuracy as comparable.
+	Agree int
+	Runs  int
+}
+
+// Fig10a sweeps the number of CFDs per relation (paper: 0→1200 over 20
+// relations, F = 25%, consistent CFD sets) and times both CFD_Checking
+// implementations on every relation of the schema.
+func Fig10a(p Params, perRelation []int) []Fig10aPoint {
+	var out []Fig10aPoint
+	for _, per := range perRelation {
+		pt := Fig10aPoint{CFDsPerRelation: per, Runs: p.Runs}
+		var chaseTimes, satTimes []time.Duration
+		for run := 0; run < p.Runs; run++ {
+			seed := p.Seed + int64(run)*977
+			w := p.workload(per*p.Relations, true, true, seed)
+			perRel := map[string][]int{}
+			for i, c := range w.CFDs {
+				perRel[c.Rel] = append(perRel[c.Rel], i)
+			}
+			agree := true
+			chaseTimes = append(chaseTimes, timeIt(func() {
+				for _, rel := range w.Schema.Relations() {
+					cfds := pick(w.CFDs, perRel[rel.Name()])
+					_, okC := consistency.CFDCheckingChase(rel, cfds, p.KCFD,
+						rand.New(rand.NewSource(seed)))
+					_ = okC
+				}
+			}))
+			satTimes = append(satTimes, timeIt(func() {
+				for _, rel := range w.Schema.Relations() {
+					cfds := pick(w.CFDs, perRel[rel.Name()])
+					_, okS := consistency.CFDCheckingSAT(rel, cfds)
+					_ = okS
+				}
+			}))
+			// Verdict agreement pass (untimed).
+			for _, rel := range w.Schema.Relations() {
+				cfds := pick(w.CFDs, perRel[rel.Name()])
+				_, okC := consistency.CFDCheckingChase(rel, cfds, p.KCFD,
+					rand.New(rand.NewSource(seed)))
+				_, okS := consistency.CFDCheckingSAT(rel, cfds)
+				if okC != okS {
+					agree = false
+				}
+			}
+			if agree {
+				pt.Agree++
+			}
+		}
+		pt.Chase = avg(chaseTimes)
+		pt.SAT = avg(satTimes)
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Fig10aSeries renders the points like the paper's plot data.
+func Fig10aSeries(points []Fig10aPoint) *Series {
+	s := &Series{
+		Title:   "Fig 10(a): CFD_Checking runtime, Chase vs SAT (consistent CFD sets)",
+		Columns: []string{"cfds_per_relation", "chase_ms", "sat_ms", "verdicts_agree"},
+	}
+	for _, p := range points {
+		s.Rows = append(s.Rows, []string{
+			itoa(p.CFDsPerRelation), ms(p.Chase), ms(p.SAT), pct(p.Agree, p.Runs),
+		})
+	}
+	return s
+}
+
+// Fig10bPoint is one x-position of Figure 10(b): the chase CFD_Checking
+// accuracy for a given K_CFD budget on random CFD sets, measured against
+// the complete SAT oracle.
+type Fig10bPoint struct {
+	KCFD     int
+	Accuracy float64 // fraction of verdicts equal to the SAT oracle's
+	Checked  int
+}
+
+// Fig10b fixes 1000 random CFDs (paper) and sweeps K_CFD. Random sets may
+// be consistent or not; the SAT method is complete for single-relation CFD
+// consistency, so it serves as ground truth.
+//
+// The workload is deliberately valuation-hard: a high ratio of
+// finite-domain attributes with tiny domains, so that deciding a relation
+// requires searching valuations rather than propagation alone — the regime
+// the paper's K_CFD trade-off lives in (with large or absent finite
+// domains, propagation decides outright and every K_CFD scores alike).
+func Fig10b(p Params, kcfds []int) []Fig10bPoint {
+	var out []Fig10bPoint
+	const card = 1000
+	for _, kcfd := range kcfds {
+		pt := Fig10bPoint{KCFD: kcfd}
+		hits := 0
+		for run := 0; run < p.Runs; run++ {
+			seed := p.Seed + int64(run)*977
+			w := gen.New(gen.Config{
+				Relations: p.Relations, MaxAttrs: p.MaxAttrs,
+				F: 0.6, FinDomMin: 2, FinDomMax: 4,
+				Card: card, CFDRatio: 1.0, Seed: seed,
+			})
+			perRel := map[string][]int{}
+			for i, c := range w.CFDs {
+				perRel[c.Rel] = append(perRel[c.Rel], i)
+			}
+			for _, rel := range w.Schema.Relations() {
+				cfds := pick(w.CFDs, perRel[rel.Name()])
+				if len(cfds) == 0 {
+					continue
+				}
+				_, want := consistency.CFDCheckingSAT(rel, cfds)
+				_, got := consistency.CFDCheckingChase(rel, cfds, kcfd,
+					rand.New(rand.NewSource(seed)))
+				pt.Checked++
+				if got == want {
+					hits++
+				}
+			}
+		}
+		if pt.Checked > 0 {
+			pt.Accuracy = float64(hits) / float64(pt.Checked)
+		}
+		out = append(out, pt)
+	}
+	return out
+}
+
+// Fig10bSeries renders the accuracy curve.
+func Fig10bSeries(points []Fig10bPoint) *Series {
+	s := &Series{
+		Title:   "Fig 10(b): chase CFD_Checking accuracy vs K_CFD (1000 random CFDs)",
+		Columns: []string{"kcfd", "accuracy", "relations_checked"},
+	}
+	for _, p := range points {
+		s.Rows = append(s.Rows, []string{
+			itoa(p.KCFD), pctf(p.Accuracy), itoa(p.Checked),
+		})
+	}
+	return s
+}
+
+func pick[T any](all []T, idx []int) []T {
+	out := make([]T, len(idx))
+	for i, j := range idx {
+		out[i] = all[j]
+	}
+	return out
+}
+
+func itoa(n int) string { return fmtInt(n) }

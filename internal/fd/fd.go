@@ -1,0 +1,160 @@
+// Package fd implements traditional functional dependencies — the baseline
+// that CFDs extend (Section 1 of the paper). It provides attribute-set
+// closure under Armstrong's axioms, the implication test, and minimal
+// covers. CFD reasoning reuses the closure; the examples use FDs fd1–fd3 of
+// the paper directly.
+package fd
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// FD is a functional dependency R: X → Y over a single relation. The
+// relation name is carried so mixed sets over multiple relations can be
+// partitioned; implication is always per-relation.
+type FD struct {
+	Rel string
+	X   []string // determinant
+	Y   []string // dependent
+}
+
+// New builds an FD with defensively copied attribute lists.
+func New(rel string, x, y []string) FD {
+	return FD{Rel: rel, X: append([]string(nil), x...), Y: append([]string(nil), y...)}
+}
+
+// String renders "R: A, B -> C".
+func (f FD) String() string {
+	return fmt.Sprintf("%s: %s -> %s", f.Rel, strings.Join(f.X, ", "), strings.Join(f.Y, ", "))
+}
+
+// attrSet is a set of attribute names.
+type attrSet map[string]bool
+
+func newSet(attrs []string) attrSet {
+	s := make(attrSet, len(attrs))
+	for _, a := range attrs {
+		s[a] = true
+	}
+	return s
+}
+
+func (s attrSet) containsAll(attrs []string) bool {
+	for _, a := range attrs {
+		if !s[a] {
+			return false
+		}
+	}
+	return true
+}
+
+func (s attrSet) sorted() []string {
+	out := make([]string, 0, len(s))
+	for a := range s {
+		out = append(out, a)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Closure computes the attribute closure X⁺ of attrs under the FDs of rel in
+// fds, using the standard fixpoint algorithm. FDs on other relations are
+// ignored.
+func Closure(rel string, attrs []string, fds []FD) []string {
+	closed := newSet(attrs)
+	for changed := true; changed; {
+		changed = false
+		for _, f := range fds {
+			if f.Rel != rel {
+				continue
+			}
+			if closed.containsAll(f.X) {
+				for _, a := range f.Y {
+					if !closed[a] {
+						closed[a] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+	return closed.sorted()
+}
+
+// Implies reports whether fds ⊨ target, by the closure test: target.X⁺ must
+// contain target.Y. Sound and complete for traditional FDs.
+func Implies(fds []FD, target FD) bool {
+	closed := newSet(Closure(target.Rel, target.X, fds))
+	return closed.containsAll(target.Y)
+}
+
+// Equivalent reports whether two FD sets imply each other.
+func Equivalent(a, b []FD) bool {
+	for _, f := range a {
+		if !Implies(b, f) {
+			return false
+		}
+	}
+	for _, f := range b {
+		if !Implies(a, f) {
+			return false
+		}
+	}
+	return true
+}
+
+// MinimalCover computes a minimal cover of fds: singleton right-hand sides,
+// no redundant FDs, no extraneous left-hand-side attributes. The result is
+// equivalent to the input. This is the classical algorithm the paper's
+// future-work section ("minimal cover of a given set Σ") builds on for
+// conditional dependencies.
+func MinimalCover(fds []FD) []FD {
+	// 1. Split right-hand sides.
+	var work []FD
+	for _, f := range fds {
+		for _, y := range f.Y {
+			work = append(work, New(f.Rel, f.X, []string{y}))
+		}
+	}
+	// 2. Remove extraneous LHS attributes.
+	for i := range work {
+		f := work[i]
+		for len(f.X) > 1 {
+			removed := false
+			for j := range f.X {
+				reduced := make([]string, 0, len(f.X)-1)
+				reduced = append(reduced, f.X[:j]...)
+				reduced = append(reduced, f.X[j+1:]...)
+				if Implies(work, New(f.Rel, reduced, f.Y)) {
+					f = New(f.Rel, reduced, f.Y)
+					work[i] = f
+					removed = true
+					break
+				}
+			}
+			if !removed {
+				break
+			}
+		}
+	}
+	// 3. Remove redundant FDs.
+	for i := 0; i < len(work); {
+		rest := make([]FD, 0, len(work)-1)
+		rest = append(rest, work[:i]...)
+		rest = append(rest, work[i+1:]...)
+		if Implies(rest, work[i]) {
+			work = rest
+			continue
+		}
+		i++
+	}
+	return work
+}
+
+// IsKey reports whether attrs functionally determine every attribute of
+// allAttrs under fds — i.e. whether attrs is a superkey of rel.
+func IsKey(rel string, attrs, allAttrs []string, fds []FD) bool {
+	return newSet(Closure(rel, attrs, fds)).containsAll(allAttrs)
+}

@@ -1,0 +1,233 @@
+package fd
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestClosureTextbook(t *testing.T) {
+	// Classic example: R(A,B,C,D,E) with A→B, B→C, CD→E.
+	fds := []FD{
+		New("R", []string{"A"}, []string{"B"}),
+		New("R", []string{"B"}, []string{"C"}),
+		New("R", []string{"C", "D"}, []string{"E"}),
+	}
+	got := Closure("R", []string{"A"}, fds)
+	if strings.Join(got, ",") != "A,B,C" {
+		t.Fatalf("A+ = %v", got)
+	}
+	got = Closure("R", []string{"A", "D"}, fds)
+	if strings.Join(got, ",") != "A,B,C,D,E" {
+		t.Fatalf("AD+ = %v", got)
+	}
+}
+
+func TestClosureIgnoresOtherRelations(t *testing.T) {
+	fds := []FD{New("S", []string{"A"}, []string{"B"})}
+	got := Closure("R", []string{"A"}, fds)
+	if strings.Join(got, ",") != "A" {
+		t.Fatalf("closure must ignore other relations, got %v", got)
+	}
+}
+
+func TestImplies(t *testing.T) {
+	fds := []FD{
+		New("R", []string{"A"}, []string{"B"}),
+		New("R", []string{"B"}, []string{"C"}),
+	}
+	if !Implies(fds, New("R", []string{"A"}, []string{"C"})) {
+		t.Fatal("transitivity must be derived")
+	}
+	if !Implies(fds, New("R", []string{"A", "C"}, []string{"B"})) {
+		t.Fatal("augmentation must be derived")
+	}
+	if Implies(fds, New("R", []string{"C"}, []string{"A"})) {
+		t.Fatal("reverse direction must not be derived")
+	}
+	if !Implies(nil, New("R", []string{"A"}, []string{"A"})) {
+		t.Fatal("reflexivity holds from the empty set")
+	}
+}
+
+func TestPaperFDs(t *testing.T) {
+	// fd1: saving(an, ab → cn, ca, cp); with fd1, (an, ab) is a key of
+	// saving(an, cn, ca, cp, ab) — the paper's reading of fd1.
+	fd1 := New("saving", []string{"an", "ab"}, []string{"cn", "ca", "cp"})
+	all := []string{"an", "cn", "ca", "cp", "ab"}
+	if !IsKey("saving", []string{"an", "ab"}, all, []FD{fd1}) {
+		t.Fatal("an,ab must be a key for saving under fd1")
+	}
+	if IsKey("saving", []string{"an"}, all, []FD{fd1}) {
+		t.Fatal("an alone is not a key")
+	}
+}
+
+func TestMinimalCoverRemovesRedundancy(t *testing.T) {
+	fds := []FD{
+		New("R", []string{"A"}, []string{"B"}),
+		New("R", []string{"B"}, []string{"C"}),
+		New("R", []string{"A"}, []string{"C"}), // redundant
+	}
+	mc := MinimalCover(fds)
+	if len(mc) != 2 {
+		t.Fatalf("minimal cover size = %d (%v)", len(mc), mc)
+	}
+	if !Equivalent(fds, mc) {
+		t.Fatal("minimal cover must be equivalent to the input")
+	}
+}
+
+func TestMinimalCoverTrimsLHS(t *testing.T) {
+	fds := []FD{
+		New("R", []string{"A"}, []string{"B"}),
+		New("R", []string{"A", "B"}, []string{"C"}), // B extraneous
+	}
+	mc := MinimalCover(fds)
+	for _, f := range mc {
+		if len(f.Y) != 1 {
+			t.Fatalf("cover must have singleton RHS: %v", f)
+		}
+		if strings.Join(f.X, ",") == "A,B" {
+			t.Fatalf("extraneous attribute not removed: %v", f)
+		}
+	}
+	if !Equivalent(fds, mc) {
+		t.Fatal("cover not equivalent")
+	}
+}
+
+func TestMinimalCoverSplitsRHS(t *testing.T) {
+	fds := []FD{New("R", []string{"A"}, []string{"B", "C"})}
+	mc := MinimalCover(fds)
+	if len(mc) != 2 {
+		t.Fatalf("cover = %v", mc)
+	}
+	if !Equivalent(fds, mc) {
+		t.Fatal("cover not equivalent")
+	}
+}
+
+// TestMinimalCoverEquivalentRandom property-checks cover equivalence on
+// random FD sets over a small attribute universe.
+func TestMinimalCoverEquivalentRandom(t *testing.T) {
+	attrs := []string{"A", "B", "C", "D", "E"}
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 200; trial++ {
+		var fds []FD
+		n := 1 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			x := randSubset(rng, attrs, 1+rng.Intn(3))
+			y := randSubset(rng, attrs, 1+rng.Intn(2))
+			fds = append(fds, New("R", x, y))
+		}
+		mc := MinimalCover(fds)
+		if !Equivalent(fds, mc) {
+			t.Fatalf("trial %d: cover %v not equivalent to %v", trial, mc, fds)
+		}
+		for _, f := range mc {
+			if len(f.Y) != 1 {
+				t.Fatalf("trial %d: non-singleton RHS %v", trial, f)
+			}
+		}
+	}
+}
+
+// TestImpliesAgreesWithModelCheck cross-validates Implies against a brute
+// force semantic check over all two-tuple instances with a tiny domain.
+// Two-tuple instances suffice: an FD violation is witnessed by two tuples.
+func TestImpliesAgreesWithModelCheck(t *testing.T) {
+	attrs := []string{"A", "B", "C"}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 150; trial++ {
+		var fds []FD
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			fds = append(fds, New("R", randSubset(rng, attrs, 1+rng.Intn(2)), randSubset(rng, attrs, 1)))
+		}
+		target := New("R", randSubset(rng, attrs, 1+rng.Intn(2)), randSubset(rng, attrs, 1))
+		want := semanticImplies(fds, target, attrs)
+		if got := Implies(fds, target); got != want {
+			t.Fatalf("trial %d: Implies(%v, %v) = %v, semantic = %v", trial, fds, target, got, want)
+		}
+	}
+}
+
+// semanticImplies enumerates all pairs of tuples over {0,1} per attribute and
+// checks that every pair satisfying fds satisfies target.
+func semanticImplies(fds []FD, target FD, attrs []string) bool {
+	n := len(attrs)
+	idx := map[string]int{}
+	for i, a := range attrs {
+		idx[a] = i
+	}
+	total := 1
+	for i := 0; i < n; i++ {
+		total *= 2
+	}
+	sat := func(t1, t2 []int, f FD) bool {
+		for _, a := range f.X {
+			if t1[idx[a]] != t2[idx[a]] {
+				return true
+			}
+		}
+		for _, a := range f.Y {
+			if t1[idx[a]] != t2[idx[a]] {
+				return false
+			}
+		}
+		return true
+	}
+	decode := func(code int) []int {
+		t := make([]int, n)
+		for i := 0; i < n; i++ {
+			t[i] = (code >> i) & 1
+		}
+		return t
+	}
+	for c1 := 0; c1 < total; c1++ {
+		for c2 := 0; c2 < total; c2++ {
+			t1, t2 := decode(c1), decode(c2)
+			ok := true
+			for _, f := range fds {
+				if !sat(t1, t2, f) {
+					ok = false
+					break
+				}
+			}
+			if ok && !sat(t1, t2, target) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func randSubset(rng *rand.Rand, attrs []string, k int) []string {
+	perm := rng.Perm(len(attrs))
+	if k > len(attrs) {
+		k = len(attrs)
+	}
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = attrs[perm[i]]
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestString(t *testing.T) {
+	f := New("R", []string{"A", "B"}, []string{"C"})
+	if f.String() != "R: A, B -> C" {
+		t.Fatalf("String = %q", f.String())
+	}
+}
+
+func TestNewCopiesSlices(t *testing.T) {
+	x := []string{"A"}
+	f := New("R", x, x)
+	x[0] = "Z"
+	if f.X[0] != "A" || f.Y[0] != "A" {
+		t.Fatal("New must defensively copy")
+	}
+}

@@ -1,0 +1,410 @@
+// Package gen implements the random constraint generator of the paper's
+// experimental study (Section 6): random relational schemas with up to 100
+// relations and 15 attributes per relation, a configurable ratio F of
+// finite-domain attributes (finite domains of 2–100 values), and random
+// sets Σ of CFDs and CINDs (75%/25% by default) of any cardinality.
+//
+// Two generation modes mirror the paper's:
+//
+//   - Consistent: Σ is built around a pre-chosen witness tuple per relation
+//     ("we took care to generate a consistent set Σ by ensuring that there
+//     exists at least one possible value for each attribute so as to make a
+//     witness database of Σ"); the witness is returned so tests can verify
+//     ground truth cheaply.
+//   - Random: patterns are drawn freely, so Σ may or may not be consistent.
+//
+// Schemas are column-aligned: attribute a<j> has the same domain in every
+// relation that has it, which is what makes embedded INDs domain-compatible
+// (the paper's dom(Ai) ⊆ dom(Bi) assumption).
+package gen
+
+import (
+	"fmt"
+	"math/rand"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+	"cind/internal/types"
+)
+
+// Config parameterises generation. Zero values take the Section 6 defaults.
+type Config struct {
+	Relations  int     // number of relations (default 20)
+	MaxAttrs   int     // attributes per relation, 3..MaxAttrs (default 15)
+	F          float64 // ratio of finite-domain attributes (default 0.25)
+	FinDomMin  int     // smallest finite domain (default 2)
+	FinDomMax  int     // largest finite domain (default 100)
+	Card       int     // card(Σ) (default 100)
+	CFDRatio   float64 // CFD share of Σ (default 0.75)
+	Consistent bool    // witness-guided generation
+	Seed       int64   // rng seed (default 1)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Relations == 0 {
+		c.Relations = 20
+	}
+	if c.MaxAttrs == 0 {
+		c.MaxAttrs = 15
+	}
+	if c.MaxAttrs < 3 {
+		c.MaxAttrs = 3
+	}
+	if c.FinDomMin == 0 {
+		c.FinDomMin = 2
+	}
+	if c.FinDomMax == 0 {
+		c.FinDomMax = 100
+	}
+	if c.Card == 0 {
+		c.Card = 100
+	}
+	if c.CFDRatio == 0 {
+		c.CFDRatio = 0.75
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Workload is a generated schema plus constraint set. Witness is non-nil
+// exactly in Consistent mode and satisfies every constraint (ground truth).
+type Workload struct {
+	Config  Config
+	Schema  *schema.Schema
+	CFDs    []*cfd.CFD
+	CINDs   []*cind.CIND
+	Witness *instance.Database
+}
+
+// New generates a workload.
+func New(cfg Config) *Workload {
+	cfg = cfg.withDefaults()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	w := &Workload{Config: cfg}
+	doms := genDomains(rng, cfg)
+	w.Schema = genSchema(rng, cfg, doms)
+	witness := genWitnessTuples(rng, w.Schema)
+
+	nCFD := int(float64(cfg.Card) * cfg.CFDRatio)
+	nCIND := cfg.Card - nCFD
+	for i := 0; i < nCFD; i++ {
+		if c := genCFD(rng, cfg, w.Schema, witness, i); c != nil {
+			w.CFDs = append(w.CFDs, c)
+		}
+	}
+	for i := 0; i < nCIND; i++ {
+		if c := genCIND(rng, cfg, w.Schema, witness, i); c != nil {
+			w.CINDs = append(w.CINDs, c)
+		}
+	}
+	if cfg.Consistent {
+		db := instance.NewDatabase(w.Schema)
+		for rel, t := range witness {
+			db.Insert(rel, t)
+		}
+		w.Witness = db
+	}
+	return w
+}
+
+// genDomains builds the shared column-domain pool: MaxAttrs domains, a
+// fraction F of them finite with 2–100 values.
+func genDomains(rng *rand.Rand, cfg Config) []*schema.Domain {
+	doms := make([]*schema.Domain, cfg.MaxAttrs)
+	for j := range doms {
+		if rng.Float64() < cfg.F {
+			size := cfg.FinDomMin
+			if cfg.FinDomMax > cfg.FinDomMin {
+				size += rng.Intn(cfg.FinDomMax - cfg.FinDomMin + 1)
+			}
+			vals := make([]string, size)
+			for k := range vals {
+				vals[k] = fmt.Sprintf("f%d_%d", j, k)
+			}
+			doms[j] = schema.Finite(fmt.Sprintf("fin%d", j), vals...)
+		} else {
+			doms[j] = schema.Infinite(fmt.Sprintf("dom%d", j))
+		}
+	}
+	return doms
+}
+
+// genSchema builds Relations relations; relation i has a random arity in
+// [3, MaxAttrs] over the aligned columns a0..a(arity-1).
+func genSchema(rng *rand.Rand, cfg Config, doms []*schema.Domain) *schema.Schema {
+	rels := make([]*schema.Relation, cfg.Relations)
+	for i := range rels {
+		arity := 3
+		if cfg.MaxAttrs > 3 {
+			arity += rng.Intn(cfg.MaxAttrs - 2)
+		}
+		attrs := make([]schema.Attribute, arity)
+		for j := 0; j < arity; j++ {
+			attrs[j] = schema.Attribute{Name: fmt.Sprintf("a%d", j), Dom: doms[j]}
+		}
+		rels[i] = schema.MustRelation(fmt.Sprintf("R%d", i), attrs...)
+	}
+	return schema.MustNew(rels...)
+}
+
+// witnessPoolSize bounds the distinct infinite-domain witness values per
+// column, so that witness values coincide across relations often enough
+// for triggering CINDs to be constructible.
+const witnessPoolSize = 5
+
+// genWitnessTuples picks one tuple per relation; in Consistent mode every
+// generated constraint is arranged to hold on this database.
+func genWitnessTuples(rng *rand.Rand, sch *schema.Schema) map[string]instance.Tuple {
+	out := map[string]instance.Tuple{}
+	for _, rel := range sch.Relations() {
+		t := make(instance.Tuple, rel.Arity())
+		for j, a := range rel.Attrs() {
+			if a.Dom.IsFinite() {
+				vals := a.Dom.Values()
+				t[j] = types.C(vals[rng.Intn(len(vals))])
+			} else {
+				t[j] = types.C(fmt.Sprintf("w%s_%d", a.Dom.Name(), rng.Intn(witnessPoolSize)))
+			}
+		}
+		out[rel.Name()] = t
+	}
+	return out
+}
+
+// randConst draws a constant of the attribute's domain; avoid, when
+// non-empty, is excluded if an alternative exists.
+func randConst(rng *rand.Rand, dom *schema.Domain, avoid string) string {
+	if dom.IsFinite() {
+		vals := dom.Values()
+		v := vals[rng.Intn(len(vals))]
+		if v == avoid && len(vals) > 1 {
+			v = vals[(rng.Intn(len(vals)-1)+1+indexOf(vals, avoid))%len(vals)]
+			if v == avoid { // avoid landed awkwardly; linear fallback
+				for _, u := range vals {
+					if u != avoid {
+						return u
+					}
+				}
+			}
+		}
+		return v
+	}
+	v := fmt.Sprintf("w%s_%d", dom.Name(), rng.Intn(witnessPoolSize))
+	if v == avoid {
+		return v + "x"
+	}
+	return v
+}
+
+func indexOf(vals []string, v string) int {
+	for i, u := range vals {
+		if u == v {
+			return i
+		}
+	}
+	return 0
+}
+
+// genCFD generates one CFD on a random relation. In Consistent mode the
+// constraint is satisfied by the witness tuple: either its LHS pattern does
+// not match the witness, or its RHS pattern is the witness value (or '_').
+func genCFD(rng *rand.Rand, cfg Config, sch *schema.Schema,
+	witness map[string]instance.Tuple, serial int) *cfd.CFD {
+
+	rel := sch.Relations()[rng.Intn(sch.Len())]
+	w := witness[rel.Name()]
+	arity := rel.Arity()
+
+	perm := rng.Perm(arity)
+	nX := 1 + rng.Intn(3)
+	if nX >= arity {
+		nX = arity - 1
+	}
+	xIdx := perm[:nX]
+	aIdx := perm[nX]
+
+	lhs := make(pattern.Tuple, nX)
+	x := make([]string, nX)
+	matchesWitness := true
+	for k, j := range xIdx {
+		a := rel.Attrs()[j]
+		x[k] = a.Name
+		switch rng.Intn(5) {
+		case 0, 1: // wildcard
+			lhs[k] = pattern.Wild
+		case 2, 3: // witness constant (keeps the row triggered)
+			lhs[k] = pattern.Sym(w[j].Str())
+		default: // some other constant
+			c := randConst(rng, a.Dom, w[j].Str())
+			lhs[k] = pattern.Sym(c)
+			if c != w[j].Str() {
+				matchesWitness = false
+			}
+		}
+	}
+	aAttr := rel.Attrs()[aIdx]
+	var rhs pattern.Tuple
+	switch {
+	case rng.Intn(4) == 0:
+		rhs = pattern.Wilds(1)
+	case cfg.Consistent && matchesWitness:
+		rhs = pattern.Tup(pattern.Sym(w[aIdx].Str()))
+	default:
+		rhs = pattern.Tup(pattern.Sym(randConst(rng, aAttr.Dom, "")))
+	}
+	c, err := cfd.New(sch, fmt.Sprintf("cfd%d", serial), rel.Name(), x,
+		[]string{aAttr.Name}, []cfd.Row{{LHS: lhs, RHS: rhs}})
+	if err != nil {
+		return nil
+	}
+	return c
+}
+
+// genCIND generates one CIND between two relations over their shared
+// (column-aligned) attributes. In Consistent mode the constraint is
+// arranged to hold on the witness database: either its Xp pattern misses
+// the LHS witness tuple, or the embedded pairs sit on columns where the two
+// witness tuples agree and Yp carries the RHS witness values.
+func genCIND(rng *rand.Rand, cfg Config, sch *schema.Schema,
+	witness map[string]instance.Tuple, serial int) *cind.CIND {
+
+	rels := sch.Relations()
+	ra := rels[rng.Intn(len(rels))]
+	rb := rels[rng.Intn(len(rels))]
+	if ra == rb && len(rels) > 1 {
+		rb = rels[(rng.Intn(len(rels)-1)+1+rng.Intn(len(rels)))%len(rels)]
+		if rb == ra {
+			rb = rels[(indexOfRel(rels, ra)+1)%len(rels)]
+		}
+	}
+	wa, wb := witness[ra.Name()], witness[rb.Name()]
+	shared := minInt(ra.Arity(), rb.Arity())
+
+	triggering := !cfg.Consistent || rng.Intn(2) == 0
+
+	// Choose embedded pairs among shared columns. In consistent+triggering
+	// mode, restrict to columns where the witness tuples agree.
+	var pairCols []int
+	for j := 0; j < shared; j++ {
+		if cfg.Consistent && triggering && !wa[j].Eq(wb[j]) {
+			continue
+		}
+		pairCols = append(pairCols, j)
+	}
+	rng.Shuffle(len(pairCols), func(i, j int) { pairCols[i], pairCols[j] = pairCols[j], pairCols[i] })
+	nPairs := 0
+	if len(pairCols) > 0 {
+		nPairs = rng.Intn(minInt(len(pairCols), 3) + 1)
+	}
+	pairCols = pairCols[:nPairs]
+
+	used := map[int]bool{}
+	for _, j := range pairCols {
+		used[j] = true
+	}
+	var x, y []string
+	for _, j := range pairCols {
+		x = append(x, ra.Attrs()[j].Name)
+		y = append(y, rb.Attrs()[j].Name)
+	}
+
+	// Xp on LHS columns not used by pairs. CINDs are conditional by
+	// design, so nearly all get a nonempty Xp; a 5% tail stays
+	// unconditional (traditional-IND shaped, like ψ3/ψ4 in the paper).
+	wantXp := 0
+	if rng.Float64() < 0.95 {
+		wantXp = 1 + rng.Intn(2)
+	}
+	var candidates []int
+	for j := 0; j < ra.Arity(); j++ {
+		if !used[j] {
+			candidates = append(candidates, j)
+		}
+	}
+	rng.Shuffle(len(candidates), func(i, j int) {
+		candidates[i], candidates[j] = candidates[j], candidates[i]
+	})
+	var xp []string
+	var xpSyms []pattern.Symbol
+	nonTriggerDone := false
+	for _, j := range candidates {
+		if len(xp) >= wantXp {
+			break
+		}
+		a := ra.Attrs()[j]
+		if triggering {
+			xp = append(xp, a.Name)
+			xpSyms = append(xpSyms, pattern.Sym(wa[j].Str()))
+		} else {
+			c := randConst(rng, a.Dom, wa[j].Str())
+			if c == wa[j].Str() {
+				continue // cannot miss the witness on this column
+			}
+			xp = append(xp, a.Name)
+			xpSyms = append(xpSyms, pattern.Sym(c))
+			nonTriggerDone = true
+		}
+	}
+	if cfg.Consistent && !triggering && !nonTriggerDone {
+		// Could not construct a missing pattern; fall back to a triggering
+		// CIND. The pairs were chosen without the witness-agreement
+		// restriction, so they must be dropped along with the patterns.
+		triggering = true
+		xp, xpSyms = nil, nil
+		x, y = nil, nil
+		pairCols = nil
+	}
+
+	// Yp on RHS columns not used by pairs.
+	var yp []string
+	var ypSyms []pattern.Symbol
+	usedY := map[int]bool{}
+	for _, j := range pairCols {
+		usedY[j] = true
+	}
+	for j := 0; j < rb.Arity() && len(yp) < 3; j++ {
+		if usedY[j] || rng.Intn(3) != 0 {
+			continue
+		}
+		a := rb.Attrs()[j]
+		if cfg.Consistent && triggering {
+			yp = append(yp, a.Name)
+			ypSyms = append(ypSyms, pattern.Sym(wb[j].Str()))
+		} else {
+			yp = append(yp, a.Name)
+			ypSyms = append(ypSyms, pattern.Sym(randConst(rng, a.Dom, "")))
+		}
+	}
+
+	lhs := append(pattern.Wilds(len(x)), xpSyms...)
+	rhs := append(pattern.Wilds(len(y)), ypSyms...)
+	c, err := cind.New(sch, fmt.Sprintf("cind%d", serial),
+		ra.Name(), x, xp, rb.Name(), y, yp,
+		[]cind.Row{{LHS: lhs, RHS: rhs}})
+	if err != nil {
+		return nil
+	}
+	return c
+}
+
+func indexOfRel(rels []*schema.Relation, r *schema.Relation) int {
+	for i, x := range rels {
+		if x == r {
+			return i
+		}
+	}
+	return 0
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

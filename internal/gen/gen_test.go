@@ -1,0 +1,159 @@
+package gen
+
+import (
+	"testing"
+
+	"cind/internal/cfd"
+	"cind/internal/consistency"
+	cind "cind/internal/core"
+)
+
+func TestDefaults(t *testing.T) {
+	w := New(Config{})
+	if w.Schema.Len() != 20 {
+		t.Fatalf("relations = %d, want 20", w.Schema.Len())
+	}
+	if len(w.CFDs)+len(w.CINDs) == 0 {
+		t.Fatal("no constraints generated")
+	}
+	if w.Witness != nil {
+		t.Fatal("random mode must not claim a witness")
+	}
+}
+
+func TestCardinalityAndMix(t *testing.T) {
+	w := New(Config{Card: 400, Seed: 3})
+	total := len(w.CFDs) + len(w.CINDs)
+	// Some candidates fail validation and are dropped; the bulk must
+	// survive, and the 75/25 mix must hold approximately.
+	if total < 350 {
+		t.Fatalf("generated %d constraints for card 400", total)
+	}
+	ratio := float64(len(w.CFDs)) / float64(total)
+	if ratio < 0.65 || ratio > 0.85 {
+		t.Fatalf("CFD ratio = %.2f, want ≈ 0.75", ratio)
+	}
+}
+
+// TestConsistentWorkloadsHaveRealWitness is the generator's ground-truth
+// guarantee: in Consistent mode the witness database satisfies every
+// generated constraint, across seeds and sizes.
+func TestConsistentWorkloadsHaveRealWitness(t *testing.T) {
+	for seed := int64(1); seed <= 8; seed++ {
+		w := New(Config{Card: 200, Consistent: true, Seed: seed, Relations: 10})
+		if w.Witness == nil || w.Witness.IsEmpty() {
+			t.Fatalf("seed %d: missing witness", seed)
+		}
+		if !cfd.SatisfiedAll(w.CFDs, w.Witness) {
+			for _, c := range w.CFDs {
+				if !c.Satisfied(w.Witness) {
+					t.Fatalf("seed %d: witness violates %v", seed, c)
+				}
+			}
+		}
+		if !cind.SatisfiedAll(w.CINDs, w.Witness) {
+			for _, c := range w.CINDs {
+				if !c.Satisfied(w.Witness) {
+					t.Fatalf("seed %d: witness violates %v", seed, c)
+				}
+			}
+		}
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	a := New(Config{Card: 50, Seed: 42})
+	b := New(Config{Card: 50, Seed: 42})
+	if len(a.CFDs) != len(b.CFDs) || len(a.CINDs) != len(b.CINDs) {
+		t.Fatal("same seed must generate identical workloads")
+	}
+	for i := range a.CFDs {
+		if a.CFDs[i].String() != b.CFDs[i].String() {
+			t.Fatalf("CFD %d differs between runs", i)
+		}
+	}
+	for i := range a.CINDs {
+		if a.CINDs[i].String() != b.CINDs[i].String() {
+			t.Fatalf("CIND %d differs between runs", i)
+		}
+	}
+	c := New(Config{Card: 50, Seed: 43})
+	same := len(a.CFDs) == len(c.CFDs)
+	if same {
+		diff := false
+		for i := range a.CFDs {
+			if a.CFDs[i].String() != c.CFDs[i].String() {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestFiniteRatio(t *testing.T) {
+	w := New(Config{F: 0.5, Relations: 30, Seed: 9})
+	fin, tot := 0, 0
+	for _, r := range w.Schema.Relations() {
+		for _, a := range r.Attrs() {
+			tot++
+			if a.Dom.IsFinite() {
+				fin++
+			}
+		}
+	}
+	ratio := float64(fin) / float64(tot)
+	if ratio < 0.2 || ratio > 0.8 {
+		t.Fatalf("finite ratio = %.2f for F = 0.5", ratio)
+	}
+	w0 := New(Config{F: 0, Relations: 10, Seed: 9})
+	if w0.Schema.HasFiniteAttrs() {
+		t.Fatal("F = 0 must give no finite attributes")
+	}
+}
+
+func TestSchemaShape(t *testing.T) {
+	w := New(Config{Relations: 25, MaxAttrs: 7, Seed: 2})
+	for _, r := range w.Schema.Relations() {
+		if r.Arity() < 3 || r.Arity() > 7 {
+			t.Fatalf("%s arity = %d, want 3..7", r.Name(), r.Arity())
+		}
+	}
+}
+
+// TestCheckingFindsConsistentWorkloads is a small-scale preview of the
+// Figure 11(a) accuracy experiment: Checking should verify most generated
+// consistent workloads.
+func TestCheckingFindsConsistentWorkloads(t *testing.T) {
+	hits := 0
+	const trials = 6
+	for seed := int64(1); seed <= trials; seed++ {
+		w := New(Config{Card: 60, Consistent: true, Seed: seed, Relations: 6, MaxAttrs: 6})
+		ans := consistency.Checking(w.Schema, w.CFDs, w.CINDs, consistency.Options{Seed: seed})
+		if ans.Consistent {
+			hits++
+		}
+	}
+	if hits < trials-1 {
+		t.Fatalf("Checking verified only %d/%d consistent workloads", hits, trials)
+	}
+}
+
+// TestCINDsDomainCompatible: every generated CIND passed cind.New
+// validation, which enforces dom(X_i) ⊆ dom(Y_i); spot-check pair columns.
+func TestCINDsDomainCompatible(t *testing.T) {
+	w := New(Config{Card: 300, Seed: 4})
+	for _, c := range w.CINDs {
+		ra := w.Schema.MustRelationByName(c.LHSRel)
+		rb := w.Schema.MustRelationByName(c.RHSRel)
+		for i := range c.X {
+			da, db := ra.Domain(c.X[i]), rb.Domain(c.Y[i])
+			if da.IsFinite() != db.IsFinite() {
+				t.Fatalf("%s: pair %s/%s mixes finite and infinite", c.ID, c.X[i], c.Y[i])
+			}
+		}
+	}
+}

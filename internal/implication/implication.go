@@ -1,0 +1,326 @@
+// Package implication decides implication of CINDs: given Σ and ψ, whether
+// Σ ⊨ ψ. The problem is PSPACE-complete without finite-domain attributes
+// and EXPTIME-complete with them (Theorems 3.4/3.5), so the practical
+// decision procedure here is budgeted; within its budget it is sound in
+// both directions and returns Unknown when a budget trips.
+//
+// Two independent engines are combined:
+//
+//   - the inference system I (package inference), which yields positive
+//     answers with a replayable proof (Theorem 3.3: I is sound and
+//     complete);
+//   - a canonical-database chase: seed a single generic tuple matching ψ's
+//     LHS pattern, chase with Σ, and inspect the fixpoint. A fixpoint in
+//     which the goal match exists is universal (every model of Σ containing
+//     a matching tuple contains a homomorphic image of it), giving Implied;
+//     a grounded fixpoint in which the match is absent is itself a model of
+//     Σ violating ψ, giving NotImplied with a counterexample database.
+//
+// Finite-domain attributes are handled by case analysis over their values
+// (bounded by Options.MaxValuations) — the source of the EXPTIME lower
+// bound, and the reason the budget exists.
+package implication
+
+import (
+	"fmt"
+
+	"cind/internal/chase"
+	cind "cind/internal/core"
+	"cind/internal/inference"
+	"cind/internal/instance"
+	"cind/internal/schema"
+	"cind/internal/types"
+)
+
+// Verdict is the outcome of an implication check.
+type Verdict int
+
+const (
+	// Implied: Σ ⊨ ψ, with a proof or a universal chase argument.
+	Implied Verdict = iota
+	// NotImplied: a counterexample database satisfies Σ but violates ψ.
+	NotImplied
+	// Unknown: budgets exhausted before either certificate was found.
+	Unknown
+)
+
+func (v Verdict) String() string {
+	switch v {
+	case Implied:
+		return "implied"
+	case NotImplied:
+		return "not-implied"
+	case Unknown:
+		return "unknown"
+	default:
+		return fmt.Sprintf("Verdict(%d)", int(v))
+	}
+}
+
+// Outcome carries the verdict and its certificate.
+type Outcome struct {
+	Verdict Verdict
+	// Proof is set when the verdict came from the inference system.
+	Proof *inference.Proof
+	// Counterexample is a ground database satisfying Σ and violating ψ,
+	// set on NotImplied.
+	Counterexample *instance.Database
+	// Reason is a one-line human explanation.
+	Reason string
+}
+
+// Options budgets the decision procedure. Zero values give workable
+// defaults.
+type Options struct {
+	Inference     inference.Options
+	ChaseSteps    int // per-branch chase step cap (default 20000)
+	TableCap      int // per-branch table cap (default 1000)
+	MaxValuations int // finite-domain case-split cap (default 64)
+}
+
+func (o Options) withDefaults() Options {
+	if o.ChaseSteps == 0 {
+		o.ChaseSteps = 20000
+	}
+	if o.TableCap == 0 {
+		o.TableCap = 1000
+	}
+	if o.MaxValuations == 0 {
+		o.MaxValuations = 64
+	}
+	return o
+}
+
+// Decide determines whether sigma ⊨ psi.
+func Decide(sch *schema.Schema, sigma []*cind.CIND, psi *cind.CIND, opts Options) Outcome {
+	opts = opts.withDefaults()
+
+	// Fast path and positive certificate: the inference system.
+	if proof, ok := inference.Derive(sch, sigma, psi, opts.Inference); ok {
+		return Outcome{Verdict: Implied, Proof: proof, Reason: "derived in inference system I"}
+	}
+
+	// Chase every normal-form component of the goal.
+	goals := cind.NormalizeAll([]*cind.CIND{psi})
+	allImplied := true
+	for _, g := range goals {
+		out := decideComponent(sch, sigma, g, opts)
+		switch out.Verdict {
+		case NotImplied:
+			return out
+		case Unknown:
+			allImplied = false
+		}
+	}
+	if allImplied {
+		return Outcome{Verdict: Implied, Reason: "universal chase contains the required match in every branch"}
+	}
+	return Outcome{Verdict: Unknown, Reason: "budgets exhausted before a certificate was found"}
+}
+
+// decideComponent runs the canonical-database analysis for one normal-form
+// goal component.
+func decideComponent(sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND, opts Options) Outcome {
+	rel := sch.MustRelationByName(g.LHSRel)
+
+	// Identify the seed tuple's fixed and enumerated positions.
+	xpIdx := map[string]string{} // attr -> constant from g's Xp
+	xpPat := g.XpPattern()
+	for i, a := range g.Xp {
+		xpIdx[a] = xpPat[i].Const()
+	}
+
+	var enums []enumAttr
+	seedBase := make(instance.Tuple, rel.Arity())
+	frozen := 0
+	for j, a := range rel.Attrs() {
+		if c, ok := xpIdx[a.Name]; ok {
+			seedBase[j] = types.C(c)
+			continue
+		}
+		if a.Dom.IsFinite() {
+			enums = append(enums, enumAttr{pos: j, vals: a.Dom.Values()})
+			continue
+		}
+		frozen++
+		seedBase[j] = types.C(fmt.Sprintf("⊥seed%d", frozen))
+	}
+
+	// Enumerate finite-domain valuations of the seed, up to the cap.
+	total := 1
+	for _, e := range enums {
+		total *= len(e.vals)
+		if total > opts.MaxValuations {
+			break
+		}
+	}
+	capped := total > opts.MaxValuations
+
+	branchImplied := 0
+	branches := 0
+	var counter *instance.Database
+	enumerate(enums, seedBase, func(seed instance.Tuple) bool {
+		branches++
+		if branches > opts.MaxValuations {
+			return false
+		}
+		verdict, cex := chaseBranch(sch, sigma, g, seed, opts)
+		switch verdict {
+		case Implied:
+			branchImplied++
+		case NotImplied:
+			counter = cex
+			return false
+		}
+		return true
+	})
+
+	if counter != nil {
+		return Outcome{
+			Verdict:        NotImplied,
+			Counterexample: counter,
+			Reason:         "chase fixpoint is a model of Σ violating ψ",
+		}
+	}
+	if !capped && branchImplied == branches {
+		return Outcome{Verdict: Implied, Reason: "all canonical branches contain the required match"}
+	}
+	return Outcome{Verdict: Unknown, Reason: "some chase branch was inconclusive"}
+}
+
+// enumAttr is a seed-tuple position whose finite domain is enumerated.
+type enumAttr struct {
+	pos  int
+	vals []string
+}
+
+// enumerate calls visit for every combination of the enumerated attribute
+// values layered over base. visit returning false stops the enumeration.
+func enumerate(enums []enumAttr, base instance.Tuple, visit func(instance.Tuple) bool) {
+	var rec func(i int, cur instance.Tuple) bool
+	rec = func(i int, cur instance.Tuple) bool {
+		if i == len(enums) {
+			return visit(cur.Clone())
+		}
+		for _, v := range enums[i].vals {
+			cur[enums[i].pos] = types.C(v)
+			if !rec(i+1, cur) {
+				return false
+			}
+		}
+		return true
+	}
+	rec(0, base.Clone())
+}
+
+// chaseBranch analyses one canonical seed: it runs the universal
+// (fresh-variable) chase for the positive direction and, if that leaves the
+// goal unmatched, the instantiated chase for the refutation direction.
+func chaseBranch(sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND,
+	seed instance.Tuple, opts Options) (Verdict, *instance.Database) {
+
+	// Universal chase: unbounded fresh variables (N = 0).
+	uni := chase.New(sch, nil, sigma, chase.Config{
+		N: 0, MaxSteps: opts.ChaseSteps, TableCap: opts.TableCap,
+	})
+	uni.InsertTuple(g.LHSRel, seed.Clone())
+	uniRes := uni.Run()
+	if uniRes == chase.Fixpoint && seedHasMatch(uni.DB(), g, seed) {
+		return Implied, nil
+	}
+
+	// Refutation: instantiated chase, then ground and verify.
+	inst := chase.New(sch, nil, sigma, chase.Config{
+		N: 0, MaxSteps: opts.ChaseSteps, TableCap: opts.TableCap,
+		InstantiateFinite: true,
+	})
+	inst.InsertTuple(g.LHSRel, seed.Clone())
+	if inst.Run() != chase.Fixpoint {
+		return Unknown, nil
+	}
+	avoid := map[string]bool{}
+	for _, c := range constantsOf(sigma, g) {
+		avoid[c] = true
+	}
+	for _, v := range seed {
+		if v.IsConst() {
+			avoid[v.Str()] = true
+		}
+	}
+	ground, ok := inst.DB().Ground(inst.VarDomain, avoid)
+	if !ok {
+		return Unknown, nil
+	}
+	// Belt and braces: the grounded fixpoint must satisfy Σ.
+	if !cind.SatisfiedAll(sigma, ground) {
+		return Unknown, nil
+	}
+	if seedViolates(ground, g, seed) {
+		return NotImplied, ground
+	}
+	// The instantiated branch happened to satisfy the goal; the universal
+	// branch did not prove it, so this branch stays inconclusive.
+	return Unknown, nil
+}
+
+// seedHasMatch reports whether the specific seed tuple has the RHS match g
+// requires within db.
+func seedHasMatch(db *instance.Database, g *cind.CIND, seed instance.Tuple) bool {
+	for _, v := range g.Violations(db) {
+		if v.T.Eq(seed) {
+			return false
+		}
+	}
+	return true
+}
+
+// seedViolates reports whether the seed tuple is a g-violation in db.
+func seedViolates(db *instance.Database, g *cind.CIND, seed instance.Tuple) bool {
+	return !seedHasMatch(db, g, seed)
+}
+
+func constantsOf(sigma []*cind.CIND, g *cind.CIND) []string {
+	var out []string
+	for _, c := range sigma {
+		out = append(out, c.Constants()...)
+	}
+	out = append(out, g.Constants()...)
+	return out
+}
+
+// MinimalCover removes from sigma every CIND implied by the others — the
+// "minimal cover" computation the paper's conclusion lists as the natural
+// application of implication analysis. Because implication is undecidable
+// to decide exactly in general (and expensive even for pure CINDs), only
+// members with a definitive Implied verdict are dropped; the result is
+// therefore equivalent to sigma but not necessarily globally minimal.
+func MinimalCover(sch *schema.Schema, sigma []*cind.CIND, opts Options) []*cind.CIND {
+	out := append([]*cind.CIND(nil), sigma...)
+	for i := 0; i < len(out); {
+		rest := make([]*cind.CIND, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		if Decide(sch, rest, out[i], opts).Verdict == Implied {
+			out = rest
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// Equivalent reports whether the two sets imply each other, with Unknown
+// verdicts treated as failure (conservative).
+func Equivalent(sch *schema.Schema, a, b []*cind.CIND, opts Options) bool {
+	for _, psi := range a {
+		if Decide(sch, b, psi, opts).Verdict != Implied {
+			return false
+		}
+	}
+	for _, psi := range b {
+		if Decide(sch, a, psi, opts).Verdict != Implied {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,237 @@
+package implication
+
+import (
+	"testing"
+
+	"cind/internal/bank"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+)
+
+var w = pattern.Wild
+
+func sym(v string) pattern.Symbol { return pattern.Sym(v) }
+
+func TestMemberOfSigmaImplied(t *testing.T) {
+	sch := bank.Schema()
+	sigma := bank.CINDs(sch)
+	out := Decide(sch, sigma, bank.Psi3(sch), Options{})
+	if out.Verdict != Implied {
+		t.Fatalf("member of Σ: verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+	if out.Proof == nil {
+		t.Fatal("inference path must produce a proof")
+	}
+}
+
+// TestExample33 is the paper's implication question: with dom(at) =
+// {saving, checking}, Σ of Fig 2 entails
+// ψ = (account_B[at; nil] ⊆ interest[at; nil], (_||_)).
+func TestExample33(t *testing.T) {
+	sch := bank.Schema()
+	sigma := bank.CINDs(sch)
+	goal := cind.MustNew(sch, "ex33", "account_EDI", []string{"at"}, nil,
+		"interest", []string{"at"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	out := Decide(sch, sigma, goal, Options{})
+	if out.Verdict != Implied {
+		t.Fatalf("Example 3.3 must be implied, got %v (%s)", out.Verdict, out.Reason)
+	}
+}
+
+func TestConverseNotImplied(t *testing.T) {
+	sch := bank.Schema()
+	sigma := []*cind.CIND{bank.Psi3(sch)}
+	goal := cind.MustNew(sch, "conv", "interest", []string{"ab"}, nil,
+		"saving", []string{"ab"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	out := Decide(sch, sigma, goal, Options{})
+	if out.Verdict != NotImplied {
+		t.Fatalf("converse of ψ3: verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+	if out.Counterexample == nil {
+		t.Fatal("refutation must carry a counterexample")
+	}
+	// The counterexample must satisfy Σ and violate the goal.
+	if !cind.SatisfiedAll(sigma, out.Counterexample) {
+		t.Fatal("counterexample must satisfy Σ")
+	}
+	if goal.Satisfied(out.Counterexample) {
+		t.Fatal("counterexample must violate the goal")
+	}
+}
+
+// TestTransitiveChainImplied: ψ1(NYC) then ψ3 implies that every NYC saving
+// account's branch appears in interest with branch NYC.
+func TestTransitiveChainImplied(t *testing.T) {
+	sch := bank.Schema()
+	sigma := []*cind.CIND{bank.Psi1(sch, "NYC"), bank.Psi3(sch)}
+	goal := cind.MustNew(sch, "chain", "account_NYC", nil, []string{"at"},
+		"interest", nil, []string{"ab"},
+		[]cind.Row{{LHS: pattern.Tup(sym("saving")), RHS: pattern.Tup(sym("NYC"))}})
+	out := Decide(sch, sigma, goal, Options{})
+	if out.Verdict != Implied {
+		t.Fatalf("chain: verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+}
+
+// TestWeakenedYpImplied: dropping a Yp requirement of a Σ member stays
+// implied (CIND6 direction).
+func TestWeakenedYpImplied(t *testing.T) {
+	sch := bank.Schema()
+	sigma := []*cind.CIND{bank.Psi5(sch)}
+	goal := cind.MustNew(sch, "weak", "saving", nil, []string{"ab"},
+		"interest", nil, []string{"ab", "at"},
+		[]cind.Row{{LHS: pattern.Tup(sym("EDI")), RHS: pattern.Tup(sym("EDI"), sym("saving"))}})
+	out := Decide(sch, sigma, goal, Options{})
+	if out.Verdict != Implied {
+		t.Fatalf("weakened ψ5: verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+}
+
+// TestStrengthenedYpNotImplied: inventing a stronger Yp requirement is
+// refuted by the chase.
+func TestStrengthenedYpNotImplied(t *testing.T) {
+	sch := bank.Schema()
+	sigma := []*cind.CIND{bank.Psi3(sch)}
+	goal := cind.MustNew(sch, "strong", "saving", []string{"ab"}, nil,
+		"interest", []string{"ab"}, []string{"ct"},
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(w, sym("UK"))}})
+	out := Decide(sch, sigma, goal, Options{})
+	if out.Verdict != NotImplied {
+		t.Fatalf("strengthened goal: verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+}
+
+// TestEmptySigma: nothing but reflexivity is implied by the empty set.
+func TestEmptySigma(t *testing.T) {
+	sch := bank.Schema()
+	refl := cind.MustNew(sch, "r", "saving", []string{"an", "ab"}, nil,
+		"saving", []string{"an", "ab"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(2), RHS: pattern.Wilds(2)}})
+	if out := Decide(sch, nil, refl, Options{}); out.Verdict != Implied {
+		t.Fatalf("reflexivity: %v (%s)", out.Verdict, out.Reason)
+	}
+	other := bank.Psi3(sch)
+	if out := Decide(sch, nil, other, Options{}); out.Verdict != NotImplied {
+		t.Fatalf("ψ3 from nothing: %v (%s)", out.Verdict, out.Reason)
+	}
+}
+
+// TestFiniteDomainCaseSplit: implication that holds only because the finite
+// domain is covered — the paper's canonical EXPTIME-hardness shape. With Σ
+// providing one CIND per at-value and the goal quantifying over all at
+// values, the chase must case-split to answer Implied.
+func TestFiniteDomainCaseSplit(t *testing.T) {
+	sch := bank.Schema()
+	sigma := []*cind.CIND{
+		// For at = saving: interest row exists with that at.
+		cind.MustNew(sch, "s", "account_EDI", nil, []string{"at"},
+			"interest", nil, []string{"at"},
+			[]cind.Row{{LHS: pattern.Tup(sym("saving")), RHS: pattern.Tup(sym("saving"))}}),
+		cind.MustNew(sch, "c", "account_EDI", nil, []string{"at"},
+			"interest", nil, []string{"at"},
+			[]cind.Row{{LHS: pattern.Tup(sym("checking")), RHS: pattern.Tup(sym("checking"))}}),
+	}
+	goal := cind.MustNew(sch, "g", "account_EDI", []string{"at"}, nil,
+		"interest", []string{"at"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	out := Decide(sch, sigma, goal, Options{})
+	if out.Verdict != Implied {
+		t.Fatalf("finite cover: verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+
+	// Removing one case breaks the implication.
+	out = Decide(sch, sigma[:1], goal, Options{})
+	if out.Verdict != NotImplied {
+		t.Fatalf("half cover: verdict = %v (%s)", out.Verdict, out.Reason)
+	}
+}
+
+func TestMinimalCoverDropsRedundant(t *testing.T) {
+	sch := bank.Schema()
+	psi3 := bank.Psi3(sch)
+	// A weaker copy of ψ3 with an Xp restriction is implied by ψ3.
+	weak := cind.MustNew(sch, "weak3", "saving", []string{"ab"}, []string{"an"},
+		"interest", []string{"ab"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w, sym("01")), RHS: pattern.Tup(w)}})
+	sigma := []*cind.CIND{psi3, weak}
+	cover := MinimalCover(sch, sigma, Options{})
+	if len(cover) != 1 {
+		t.Fatalf("cover size = %d, want 1 (%v)", len(cover), cover)
+	}
+	if cover[0].ID != "psi3" {
+		t.Fatalf("cover kept %s, want psi3", cover[0].ID)
+	}
+	if !Equivalent(sch, sigma, cover, Options{}) {
+		t.Fatal("cover must be equivalent to the input")
+	}
+}
+
+func TestEquivalentDistinctSets(t *testing.T) {
+	sch := bank.Schema()
+	a := []*cind.CIND{bank.Psi3(sch)}
+	b := []*cind.CIND{bank.Psi4(sch)}
+	if Equivalent(sch, a, b, Options{}) {
+		t.Fatal("ψ3 and ψ4 are not equivalent")
+	}
+}
+
+func TestVerdictString(t *testing.T) {
+	for v, want := range map[Verdict]string{
+		Implied: "implied", NotImplied: "not-implied", Unknown: "unknown", Verdict(7): "Verdict(7)",
+	} {
+		if v.String() != want {
+			t.Errorf("String(%d) = %q", int(v), v.String())
+		}
+	}
+}
+
+// TestCounterexampleIsModel: whenever NotImplied is returned across a batch
+// of goals, the counterexample genuinely separates Σ from the goal.
+func TestCounterexampleIsModel(t *testing.T) {
+	sch := bank.Schema()
+	sigma := bank.CINDs(sch)
+	goals := []*cind.CIND{
+		cind.MustNew(sch, "g1", "interest", []string{"ab"}, nil,
+			"saving", []string{"ab"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cind.MustNew(sch, "g2", "saving", []string{"an"}, nil,
+			"checking", []string{"an"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+	}
+	for _, g := range goals {
+		out := Decide(sch, sigma, g, Options{})
+		if out.Verdict != NotImplied {
+			t.Fatalf("%s: verdict = %v (%s)", g.ID, out.Verdict, out.Reason)
+		}
+		if !cind.SatisfiedAll(sigma, out.Counterexample) || g.Satisfied(out.Counterexample) {
+			t.Fatalf("%s: counterexample is not separating", g.ID)
+		}
+	}
+}
+
+// TestDecideAgainstWitnessOracle cross-checks Decide's positive answers:
+// the Theorem 3.2 witness for Σ satisfies every CIND that Decide declares
+// implied (a necessary condition of soundness).
+func TestDecideAgainstWitnessOracle(t *testing.T) {
+	sch := bank.Schema()
+	sigma := bank.CINDs(sch)
+	db, err := cind.Witness(sch, sigma, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	candidates := []*cind.CIND{
+		bank.Psi3(sch),
+		bank.Psi5(sch),
+		cind.MustNew(sch, "ex33", "account_EDI", []string{"at"}, nil,
+			"interest", []string{"at"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+	}
+	for _, g := range candidates {
+		out := Decide(sch, sigma, g, Options{})
+		if out.Verdict == Implied && !g.Satisfied(db) {
+			t.Fatalf("%s: declared implied but violated on a Σ-model", g.ID)
+		}
+	}
+}

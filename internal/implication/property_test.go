@@ -1,0 +1,101 @@
+package implication
+
+import (
+	"testing"
+
+	cind "cind/internal/core"
+	"cind/internal/gen"
+	"cind/internal/inference"
+	"cind/internal/schema"
+)
+
+// TestMembersAlwaysImplied: Σ ⊨ ψ for every ψ ∈ Σ, across random CIND
+// workloads — a completeness smoke test for the cheap path of Decide.
+func TestMembersAlwaysImplied(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 4, MaxAttrs: 5, F: 0.3, Card: 16,
+			CFDRatio: 0.01, Seed: seed,
+		})
+		for _, psi := range w.CINDs {
+			out := Decide(w.Schema, w.CINDs, psi, Options{})
+			if out.Verdict != Implied {
+				t.Fatalf("seed %d: member %v: verdict %v (%s)", seed, psi, out.Verdict, out.Reason)
+			}
+		}
+	}
+}
+
+// TestImpliedNeverViolatedOnWitness: soundness cross-check — when Decide
+// answers Implied for a projection-weakened member, the Theorem 3.2
+// witness for Σ (which satisfies Σ) must satisfy the goal too.
+func TestImpliedNeverViolatedOnWitness(t *testing.T) {
+	for seed := int64(1); seed <= 10; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 4, MaxAttrs: 5, F: 0.3, Card: 16,
+			CFDRatio: 0.01, Seed: seed,
+		})
+		db, err := cind.Witness(w.Schema, w.CINDs, 0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		goals := projectionGoals(t, w.Schema, w.CINDs)
+		for _, g := range goals {
+			out := Decide(w.Schema, w.CINDs, g, Options{})
+			if out.Verdict == Implied && !g.Satisfied(db) {
+				t.Fatalf("seed %d: %v declared implied but violated on a Σ-model", seed, g)
+			}
+			if out.Verdict == NotImplied {
+				if out.Counterexample == nil {
+					t.Fatalf("seed %d: NotImplied without counterexample", seed)
+				}
+				if !cind.SatisfiedAll(w.CINDs, out.Counterexample) || g.Satisfied(out.Counterexample) {
+					t.Fatalf("seed %d: counterexample for %v is not separating", seed, g)
+				}
+			}
+		}
+	}
+}
+
+// projectionGoals derives CIND2-weakened goals (drop one embedded pair)
+// from the first few members — all of them implied by construction, so
+// they exercise the positive path beyond verbatim membership.
+func projectionGoals(t *testing.T, sch *schema.Schema, sigma []*cind.CIND) []*cind.CIND {
+	t.Helper()
+	var out []*cind.CIND
+	for _, psi := range cind.NormalizeAll(sigma) {
+		if len(psi.X) == 0 {
+			continue
+		}
+		idx := make([]int, 0, len(psi.X)-1)
+		for i := 1; i < len(psi.X); i++ {
+			idx = append(idx, i)
+		}
+		g, err := inference.ProjectPermute(sch, psi.ID+"-proj", psi, idx, nil, nil)
+		if err != nil {
+			continue
+		}
+		out = append(out, g)
+		if len(out) >= 4 {
+			break
+		}
+	}
+	return out
+}
+
+// TestProjectionGoalsImplied: those weakened goals are in fact implied.
+func TestProjectionGoalsImplied(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		w := gen.New(gen.Config{
+			Relations: 4, MaxAttrs: 5, F: 0.3, Card: 16,
+			CFDRatio: 0.01, Seed: seed,
+		})
+		for _, g := range projectionGoals(t, w.Schema, w.CINDs) {
+			out := Decide(w.Schema, w.CINDs, g, Options{})
+			if out.Verdict != Implied {
+				t.Fatalf("seed %d: projection %v of a member: verdict %v (%s)",
+					seed, g, out.Verdict, out.Reason)
+			}
+		}
+	}
+}

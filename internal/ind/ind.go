@@ -1,0 +1,219 @@
+// Package ind implements traditional inclusion dependencies — the baseline
+// that CINDs extend (Sections 1–3 of the paper). It provides the classical
+// sound-and-complete inference system of Casanova, Fagin and Papadimitriou
+// [11] (reflexivity, projection-and-permutation, transitivity) and an exact
+// implication decision procedure.
+//
+// The decision procedure searches the space of "attribute sequence" states:
+// Σ implies R[X] ⊆ S[Y] iff the state (S, Y) is reachable from (R, X) by
+// steps that apply a dependency of Σ to the current sequence. This is the
+// standard PSPACE procedure; on the schemas used in practice (short
+// attribute lists) the state space is small.
+package ind
+
+import (
+	"fmt"
+	"strings"
+)
+
+// IND is a traditional inclusion dependency R[X] ⊆ S[Y] with |X| = |Y| and
+// the attributes within X (and within Y) distinct.
+type IND struct {
+	LHSRel string
+	X      []string
+	RHSRel string
+	Y      []string
+}
+
+// New builds an IND, validating arity and distinctness.
+func New(lhsRel string, x []string, rhsRel string, y []string) (IND, error) {
+	d := IND{
+		LHSRel: lhsRel, X: append([]string(nil), x...),
+		RHSRel: rhsRel, Y: append([]string(nil), y...),
+	}
+	if len(d.X) != len(d.Y) {
+		return IND{}, fmt.Errorf("ind: %s: |X|=%d but |Y|=%d", d, len(d.X), len(d.Y))
+	}
+	if err := distinct(d.X); err != nil {
+		return IND{}, fmt.Errorf("ind: %s: LHS %v", d, err)
+	}
+	if err := distinct(d.Y); err != nil {
+		return IND{}, fmt.Errorf("ind: %s: RHS %v", d, err)
+	}
+	return d, nil
+}
+
+// MustNew is New for statically valid dependencies.
+func MustNew(lhsRel string, x []string, rhsRel string, y []string) IND {
+	d, err := New(lhsRel, x, rhsRel, y)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+func distinct(attrs []string) error {
+	seen := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		if seen[a] {
+			return fmt.Errorf("has duplicate attribute %s", a)
+		}
+		seen[a] = true
+	}
+	return nil
+}
+
+// String renders "R[A, B] ⊆ S[C, D]" in ASCII.
+func (d IND) String() string {
+	return fmt.Sprintf("%s[%s] <= %s[%s]",
+		d.LHSRel, strings.Join(d.X, ", "), d.RHSRel, strings.Join(d.Y, ", "))
+}
+
+// IsTrivial reports whether the IND is an instance of the reflexivity axiom.
+func (d IND) IsTrivial() bool {
+	if d.LHSRel != d.RHSRel {
+		return false
+	}
+	for i := range d.X {
+		if d.X[i] != d.Y[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// state is a node of the implication search: a relation plus an attribute
+// sequence of the target's length.
+type state struct {
+	rel string
+	seq string // attributes joined by \x00
+}
+
+func mkState(rel string, attrs []string) state {
+	return state{rel: rel, seq: strings.Join(attrs, "\x00")}
+}
+
+func (s state) attrs() []string {
+	if s.seq == "" {
+		return nil
+	}
+	return strings.Split(s.seq, "\x00")
+}
+
+// Implies reports whether Σ ⊨ target, exactly. The search applies each
+// dependency of Σ as a rewrite on the current attribute sequence:
+// if the current state is (T, [C1..Cm]) and Σ has T[E] ⊆ U[F] with every Ci
+// occurring in E at position ji, the state (U, [F_j1..F_jm]) is reachable.
+// Reachability of (target.RHSRel, target.Y) from (target.LHSRel, target.X)
+// is equivalent to derivability in the Casanova–Fagin–Papadimitriou system.
+func Implies(sigma []IND, target IND) bool {
+	if target.IsTrivial() {
+		return true
+	}
+	start := mkState(target.LHSRel, target.X)
+	goal := mkState(target.RHSRel, target.Y)
+	seen := map[state]bool{start: true}
+	frontier := []state{start}
+	for len(frontier) > 0 {
+		cur := frontier[0]
+		frontier = frontier[1:]
+		if cur == goal {
+			return true
+		}
+		curAttrs := cur.attrs()
+		for _, d := range sigma {
+			if d.LHSRel != cur.rel {
+				continue
+			}
+			next, ok := apply(d, curAttrs)
+			if !ok {
+				continue
+			}
+			ns := mkState(d.RHSRel, next)
+			if ns == goal {
+				return true
+			}
+			if !seen[ns] {
+				seen[ns] = true
+				frontier = append(frontier, ns)
+			}
+		}
+	}
+	return false
+}
+
+// apply rewrites the attribute sequence through d: every attribute must
+// occur in d.X; the result maps through to the matching d.Y positions.
+func apply(d IND, attrs []string) ([]string, bool) {
+	pos := make(map[string]int, len(d.X))
+	for i, a := range d.X {
+		pos[a] = i
+	}
+	out := make([]string, len(attrs))
+	for i, a := range attrs {
+		j, ok := pos[a]
+		if !ok {
+			return nil, false
+		}
+		out[i] = d.Y[j]
+	}
+	return out, true
+}
+
+// Project returns the projection-and-permutation of d onto the given index
+// sequence (0-based positions into d.X/d.Y), implementing the second axiom
+// of [11]. Indices may repeat per the axiom statement but the result must
+// still have distinct attributes to be a valid IND.
+func Project(d IND, idx []int) (IND, error) {
+	x := make([]string, len(idx))
+	y := make([]string, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= len(d.X) {
+			return IND{}, fmt.Errorf("ind: projection index %d out of range", j)
+		}
+		x[i] = d.X[j]
+		y[i] = d.Y[j]
+	}
+	return New(d.LHSRel, x, d.RHSRel, y)
+}
+
+// MinimalCover removes from sigma every IND implied by the others. The
+// result is equivalent to sigma; like its FD counterpart it is the building
+// block for redundancy elimination (cf. the paper's minimal-cover
+// discussion for the conditional case).
+func MinimalCover(sigma []IND) []IND {
+	out := append([]IND(nil), sigma...)
+	for i := 0; i < len(out); {
+		if out[i].IsTrivial() {
+			out = append(out[:i], out[i+1:]...)
+			continue
+		}
+		rest := make([]IND, 0, len(out)-1)
+		rest = append(rest, out[:i]...)
+		rest = append(rest, out[i+1:]...)
+		if Implies(rest, out[i]) {
+			out = rest
+			continue
+		}
+		i++
+	}
+	return out
+}
+
+// Transitive composes a[X]⊆b[Y] with b[Y]⊆c[Z] into a[X]⊆c[Z],
+// implementing the third axiom of [11]. The middle lists must agree
+// position-wise.
+func Transitive(first, second IND) (IND, error) {
+	if first.RHSRel != second.LHSRel {
+		return IND{}, fmt.Errorf("ind: cannot chain %s with %s: relation mismatch", first, second)
+	}
+	if len(first.Y) != len(second.X) {
+		return IND{}, fmt.Errorf("ind: cannot chain %s with %s: arity mismatch", first, second)
+	}
+	for i := range first.Y {
+		if first.Y[i] != second.X[i] {
+			return IND{}, fmt.Errorf("ind: cannot chain %s with %s: middle lists differ at %d", first, second, i)
+		}
+	}
+	return New(first.LHSRel, first.X, second.RHSRel, second.Y)
+}

@@ -1,0 +1,230 @@
+package ind
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestValidation(t *testing.T) {
+	if _, err := New("R", []string{"A"}, "S", []string{"B", "C"}); err == nil {
+		t.Fatal("arity mismatch must fail")
+	}
+	if _, err := New("R", []string{"A", "A"}, "S", []string{"B", "C"}); err == nil {
+		t.Fatal("duplicate LHS attribute must fail")
+	}
+	if _, err := New("R", []string{"A", "B"}, "S", []string{"C", "C"}); err == nil {
+		t.Fatal("duplicate RHS attribute must fail")
+	}
+	if _, err := New("R", nil, "S", nil); err != nil {
+		t.Fatal("empty IND is valid (trivial)")
+	}
+}
+
+func TestIsTrivial(t *testing.T) {
+	if !MustNew("R", []string{"A", "B"}, "R", []string{"A", "B"}).IsTrivial() {
+		t.Fatal("identity IND is trivial")
+	}
+	if MustNew("R", []string{"A", "B"}, "R", []string{"B", "A"}).IsTrivial() {
+		t.Fatal("permuted identity is not trivial (different constraint)")
+	}
+	if MustNew("R", []string{"A"}, "S", []string{"A"}).IsTrivial() {
+		t.Fatal("cross-relation IND is not trivial")
+	}
+}
+
+func TestImpliesReflexivity(t *testing.T) {
+	if !Implies(nil, MustNew("R", []string{"A", "B"}, "R", []string{"A", "B"})) {
+		t.Fatal("reflexivity from empty Σ")
+	}
+}
+
+func TestImpliesProjectionPermutation(t *testing.T) {
+	sigma := []IND{MustNew("R", []string{"A", "B", "C"}, "S", []string{"D", "E", "F"})}
+	// projection
+	if !Implies(sigma, MustNew("R", []string{"A", "C"}, "S", []string{"D", "F"})) {
+		t.Fatal("projection must be implied")
+	}
+	// permutation
+	if !Implies(sigma, MustNew("R", []string{"C", "A"}, "S", []string{"F", "D"})) {
+		t.Fatal("permutation must be implied")
+	}
+	// wrong pairing
+	if Implies(sigma, MustNew("R", []string{"A", "C"}, "S", []string{"F", "D"})) {
+		t.Fatal("mispaired projection must not be implied")
+	}
+}
+
+func TestImpliesTransitivity(t *testing.T) {
+	sigma := []IND{
+		MustNew("R", []string{"A"}, "S", []string{"B"}),
+		MustNew("S", []string{"B"}, "T", []string{"C"}),
+	}
+	if !Implies(sigma, MustNew("R", []string{"A"}, "T", []string{"C"})) {
+		t.Fatal("transitivity must be implied")
+	}
+	if Implies(sigma, MustNew("T", []string{"C"}, "R", []string{"A"})) {
+		t.Fatal("INDs do not reverse")
+	}
+}
+
+func TestImpliesChainWithPermutation(t *testing.T) {
+	// R[A,B] ⊆ S[C,D]; S[D,C] ⊆ T[E,F]  ⟹  R[B,A] ⊆ T[E,F]
+	sigma := []IND{
+		MustNew("R", []string{"A", "B"}, "S", []string{"C", "D"}),
+		MustNew("S", []string{"D", "C"}, "T", []string{"E", "F"}),
+	}
+	if !Implies(sigma, MustNew("R", []string{"B", "A"}, "T", []string{"E", "F"})) {
+		t.Fatal("chain through permutation must be implied")
+	}
+	if Implies(sigma, MustNew("R", []string{"A", "B"}, "T", []string{"E", "F"})) {
+		t.Fatal("unpermuted chain must not be implied")
+	}
+}
+
+func TestImpliesCycle(t *testing.T) {
+	// Cyclic Σ must terminate and answer correctly.
+	sigma := []IND{
+		MustNew("R", []string{"A"}, "S", []string{"B"}),
+		MustNew("S", []string{"B"}, "R", []string{"A"}),
+	}
+	if !Implies(sigma, MustNew("R", []string{"A"}, "R", []string{"A"})) {
+		t.Fatal("trivial goal")
+	}
+	if !Implies(sigma, MustNew("S", []string{"B"}, "S", []string{"B"})) {
+		t.Fatal("trivial goal 2")
+	}
+	if Implies(sigma, MustNew("R", []string{"A"}, "T", []string{"C"})) {
+		t.Fatal("unrelated goal must not be implied")
+	}
+}
+
+func TestImpliesPaperINDs(t *testing.T) {
+	// ind3: saving(ab) ⊆ interest(ab); ind4: checking(ab) ⊆ interest(ab).
+	sigma := []IND{
+		MustNew("saving", []string{"ab"}, "interest", []string{"ab"}),
+		MustNew("checking", []string{"ab"}, "interest", []string{"ab"}),
+	}
+	if !Implies(sigma, MustNew("saving", []string{"ab"}, "interest", []string{"ab"})) {
+		t.Fatal("member of Σ must be implied")
+	}
+	if Implies(sigma, MustNew("interest", []string{"ab"}, "saving", []string{"ab"})) {
+		t.Fatal("converse not implied")
+	}
+}
+
+func TestProjectAxiom(t *testing.T) {
+	d := MustNew("R", []string{"A", "B", "C"}, "S", []string{"D", "E", "F"})
+	p, err := Project(d, []int{2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.String() != "R[C, A] <= S[F, D]" {
+		t.Fatalf("Project = %s", p)
+	}
+	if _, err := Project(d, []int{3}); err == nil {
+		t.Fatal("out-of-range index must fail")
+	}
+	if _, err := Project(d, []int{0, 0}); err == nil {
+		t.Fatal("repeated index yields duplicate attributes and must fail")
+	}
+}
+
+func TestTransitiveAxiom(t *testing.T) {
+	a := MustNew("R", []string{"A"}, "S", []string{"B"})
+	b := MustNew("S", []string{"B"}, "T", []string{"C"})
+	c, err := Transitive(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.String() != "R[A] <= T[C]" {
+		t.Fatalf("Transitive = %s", c)
+	}
+	if _, err := Transitive(b, a); err == nil {
+		t.Fatal("mismatched chain must fail")
+	}
+	bBad := MustNew("S", []string{"X"}, "T", []string{"C"})
+	if _, err := Transitive(a, bBad); err == nil {
+		t.Fatal("middle list mismatch must fail")
+	}
+}
+
+// TestAxiomsSoundForImplies checks agreement between rule applications and
+// the decision procedure: anything produced by Project/Transitive from Σ
+// must be judged implied by Implies.
+func TestAxiomsSoundForImplies(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	rels := []string{"R", "S", "T"}
+	attrsOf := map[string][]string{
+		"R": {"A1", "A2", "A3"},
+		"S": {"B1", "B2", "B3"},
+		"T": {"C1", "C2", "C3"},
+	}
+	for trial := 0; trial < 300; trial++ {
+		// Random Σ of 1-4 INDs with arity 1-3.
+		var sigma []IND
+		for i := 0; i < 1+rng.Intn(4); i++ {
+			from := rels[rng.Intn(len(rels))]
+			to := rels[rng.Intn(len(rels))]
+			m := 1 + rng.Intn(3)
+			x := pick(rng, attrsOf[from], m)
+			y := pick(rng, attrsOf[to], m)
+			sigma = append(sigma, MustNew(from, x, to, y))
+		}
+		// Derive: random projection of a member, then a transitive step when
+		// one applies.
+		d := sigma[rng.Intn(len(sigma))]
+		k := 1 + rng.Intn(len(d.X))
+		idx := rng.Perm(len(d.X))[:k]
+		p, err := Project(d, idx)
+		if err != nil {
+			continue
+		}
+		if !Implies(sigma, p) {
+			t.Fatalf("trial %d: projection %s of %s not implied by Σ=%v", trial, p, d, sigma)
+		}
+		for _, e := range sigma {
+			if c, err := Transitive(p, e); err == nil {
+				if !Implies(sigma, c) {
+					t.Fatalf("trial %d: transitive %s not implied by Σ=%v", trial, c, sigma)
+				}
+			}
+		}
+	}
+}
+
+func TestMinimalCover(t *testing.T) {
+	sigma := []IND{
+		MustNew("R", []string{"A"}, "S", []string{"B"}),
+		MustNew("S", []string{"B"}, "T", []string{"C"}),
+		MustNew("R", []string{"A"}, "T", []string{"C"}), // implied by transitivity
+		MustNew("R", []string{"A"}, "R", []string{"A"}), // trivial
+	}
+	cover := MinimalCover(sigma)
+	if len(cover) != 2 {
+		t.Fatalf("cover = %v, want 2 members", cover)
+	}
+	for _, d := range sigma {
+		if !Implies(cover, d) {
+			t.Fatalf("cover lost %v", d)
+		}
+	}
+}
+
+func TestMinimalCoverKeepsIndependent(t *testing.T) {
+	sigma := []IND{
+		MustNew("R", []string{"A"}, "S", []string{"B"}),
+		MustNew("S", []string{"C"}, "R", []string{"D"}),
+	}
+	if got := MinimalCover(sigma); len(got) != 2 {
+		t.Fatalf("independent INDs must survive: %v", got)
+	}
+}
+
+func pick(rng *rand.Rand, pool []string, k int) []string {
+	perm := rng.Perm(len(pool))
+	out := make([]string, k)
+	for i := 0; i < k; i++ {
+		out[i] = pool[perm[i]]
+	}
+	return out
+}

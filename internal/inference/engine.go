@@ -1,0 +1,430 @@
+package inference
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// Options bounds the forward-chaining derivation search. Implication of
+// CINDs is EXPTIME-complete in general (Theorem 3.4), so any practical
+// engine must be bounded; within the bounds the engine is sound, and
+// failure to derive is "unknown", not "not implied".
+type Options struct {
+	// MaxFacts caps the number of distinct derived facts (default 4000).
+	MaxFacts int
+	// MaxRounds caps saturation rounds (default 12).
+	MaxRounds int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxFacts <= 0 {
+		o.MaxFacts = 4000
+	}
+	if o.MaxRounds <= 0 {
+		o.MaxRounds = 12
+	}
+	return o
+}
+
+// Step is one line of a derivation, mirroring the paper's proof layout in
+// Example 3.4: the derived CIND, the rule used, and the premises by index.
+type Step struct {
+	Result   *cind.CIND
+	Rule     string
+	Premises []int // indices of earlier steps; empty for members of Σ
+	Note     string
+}
+
+// Proof is a derivation of a goal CIND from Σ in system I.
+type Proof struct {
+	Steps []Step
+}
+
+// String renders the proof in the numbered style of Example 3.4.
+func (p *Proof) String() string {
+	var b strings.Builder
+	for i, s := range p.Steps {
+		prem := ""
+		if len(s.Premises) > 0 {
+			parts := make([]string, len(s.Premises))
+			for j, k := range s.Premises {
+				parts[j] = fmt.Sprintf("(%d)", k+1)
+			}
+			prem = strings.Join(parts, ",") + ", "
+		}
+		fmt.Fprintf(&b, "(%d) %s   [%s%s]\n", i+1, s.Result, prem, s.Rule)
+		if s.Note != "" {
+			fmt.Fprintf(&b, "    %s\n", s.Note)
+		}
+	}
+	return b.String()
+}
+
+// fact is an engine node: a canonical CIND plus provenance.
+type fact struct {
+	psi      *cind.CIND
+	rule     string
+	premises []int // indices into the fact list
+	note     string
+}
+
+// Derive searches for a derivation of goal from sigma in the inference
+// system I, using forward chaining over canonicalised normal forms:
+//
+//   - members of Σ (normalised) and the reflexivity instances (CIND1) seed
+//     the fact set;
+//   - CIND3 compositions are applied between facts whose middles align
+//     modulo CIND2 permutation and CIND6 reduction;
+//   - CIND6 single-attribute reductions expose merge opportunities;
+//   - CIND7 and CIND8 merges fire when a finite domain is covered;
+//   - the goal (normalised) is discharged by Subsumes, i.e. by a final
+//     application of CIND2/4/5/6.
+//
+// On success it returns a replayable Proof. A false result means "no
+// derivation found within the bounds" — callers should treat it as unknown
+// (package implication pairs this with a chase-based refutation).
+func Derive(sch *schema.Schema, sigma []*cind.CIND, goal *cind.CIND, opts Options) (*Proof, bool) {
+	opts = opts.withDefaults()
+
+	var facts []fact
+	index := map[string]int{}
+	add := func(f fact) (int, bool) {
+		key := canonKey(f.psi)
+		if i, ok := index[key]; ok {
+			return i, false
+		}
+		facts = append(facts, f)
+		index[key] = len(facts) - 1
+		return len(facts) - 1, true
+	}
+
+	for _, psi := range cind.NormalizeAll(sigma) {
+		add(fact{psi: canonicalize(sch, psi), rule: "Σ"})
+	}
+	// CIND1: identity over all attributes of every relation mentioned.
+	for _, rel := range sch.Relations() {
+		id, err := Reflexivity(sch, "refl_"+rel.Name(), rel.Name(), rel.AttrNames())
+		if err == nil {
+			add(fact{psi: canonicalize(sch, id), rule: "CIND1"})
+		}
+	}
+
+	goals := cind.NormalizeAll([]*cind.CIND{goal})
+	goalDone := make([]int, len(goals)) // subsuming fact index, -1 if open
+	for i := range goalDone {
+		goalDone[i] = -1
+	}
+	checkGoals := func() bool {
+		all := true
+		for gi, g := range goals {
+			if goalDone[gi] >= 0 {
+				continue
+			}
+			cg := canonicalize(sch, g)
+			for fi := range facts {
+				if Subsumes(facts[fi].psi, cg) {
+					goalDone[gi] = fi
+					break
+				}
+			}
+			if goalDone[gi] < 0 {
+				all = false
+			}
+		}
+		return all
+	}
+
+	if checkGoals() {
+		return buildProof(facts, goals, goalDone, sch), true
+	}
+
+	for round := 0; round < opts.MaxRounds && len(facts) < opts.MaxFacts; round++ {
+		grew := false
+		n := len(facts)
+
+		// CIND3 compositions (with implicit CIND2/CIND6 alignment).
+		for i := 0; i < n && len(facts) < opts.MaxFacts; i++ {
+			for j := 0; j < n && len(facts) < opts.MaxFacts; j++ {
+				if comp, note, ok := compose(sch, facts[i].psi, facts[j].psi); ok {
+					if _, fresh := add(fact{psi: comp, rule: "CIND3", premises: []int{i, j}, note: note}); fresh {
+						grew = true
+					}
+				}
+			}
+		}
+		// CIND6 single-attribute reductions.
+		for i := 0; i < n && len(facts) < opts.MaxFacts; i++ {
+			psi := facts[i].psi
+			for _, drop := range psi.Yp {
+				keep := removeFrom(psi.Yp, drop)
+				red, err := Reduce(sch, psi.ID+"-"+drop, psi, keep)
+				if err != nil {
+					continue
+				}
+				if _, fresh := add(fact{psi: canonicalize(sch, red), rule: "CIND6", premises: []int{i},
+					note: "drop " + drop + " from Yp"}); fresh {
+					grew = true
+				}
+			}
+		}
+		// CIND7 / CIND8 merges over the current fact set.
+		if applyMerges(sch, &facts, index, add, opts) {
+			grew = true
+		}
+
+		if checkGoals() {
+			return buildProof(facts, goals, goalDone, sch), true
+		}
+		if !grew {
+			break
+		}
+	}
+	return nil, false
+}
+
+func removeFrom(l []string, drop string) []string {
+	var out []string
+	for _, a := range l {
+		if a != drop {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// compose aligns first's RHS with second's LHS and applies CIND3. The
+// alignment may use every single-premise rule:
+//
+//   - second's X attributes found among first's Y attributes become composed
+//     pairs (CIND2 projects first onto exactly those pairs);
+//   - a second X attribute found in first's Yp with constant c is CIND4-
+//     instantiated on second with that constant, contributing (Y_k, c) to
+//     the composed Yp instead of a pair;
+//   - second's Xp constants must appear in first's Yp (extra Yp entries of
+//     first are dropped by CIND6).
+//
+// Returns the composed canonical CIND and a description of the alignment.
+func compose(sch *schema.Schema, first, second *cind.CIND) (*cind.CIND, string, bool) {
+	if first.RHSRel != second.LHSRel {
+		return nil, "", false
+	}
+	posInY := map[string]int{}
+	for i, a := range first.Y {
+		posInY[a] = i
+	}
+	fYp := ypMap(first)
+
+	var x, y []string
+	ypM := ypMap(second)
+	for k, a := range second.X {
+		if j, ok := posInY[a]; ok {
+			x = append(x, first.X[j])
+			y = append(y, second.Y[k])
+			continue
+		}
+		if c, ok := fYp[a]; ok {
+			// CIND4 on second: the pair (a, second.Y[k]) becomes pattern
+			// entries with constant c on both sides.
+			ypM[second.Y[k]] = c
+			continue
+		}
+		return nil, "", false
+	}
+	// second's Xp must be a sub-map of first's Yp.
+	for a, c := range xpMap(second) {
+		if fYp[a] != c {
+			return nil, "", false
+		}
+	}
+	xpM := xpMap(first)
+	xp := sortedKeys(xpM)
+	yp := sortedKeys(ypM)
+	rows := []cind.Row{{
+		LHS: wildsThenConsts(len(x), xp, xpM),
+		RHS: wildsThenConsts(len(y), yp, ypM),
+	}}
+	out, err := cind.New(sch, "comp", first.LHSRel, x, xp, second.RHSRel, y, yp, rows)
+	if err != nil {
+		return nil, "", false
+	}
+	note := fmt.Sprintf("align %s->%s via CIND2/CIND4/CIND6", first.ID, second.ID)
+	return canonicalize(sch, out), note, true
+}
+
+// wildsThenConsts builds a pattern tuple of nWild wildcards followed by the
+// constants of m in the order of attrs.
+func wildsThenConsts(nWild int, attrs []string, m map[string]string) pattern.Tuple {
+	out := pattern.Wilds(nWild)
+	for _, a := range attrs {
+		out = append(out, pattern.Sym(m[a]))
+	}
+	return out
+}
+
+// applyMerges scans the fact set for CIND7 and CIND8 opportunities: groups
+// of facts identical up to the constant on one finite-domain Xp attribute
+// (CIND7), or up to matching constants on one Xp and one Yp attribute
+// (CIND8), whose constants cover the attribute's domain. Returns whether a
+// new fact was added.
+func applyMerges(sch *schema.Schema, facts *[]fact, index map[string]int,
+	add func(fact) (int, bool), opts Options) bool {
+
+	grew := false
+	n := len(*facts)
+	// CIND7 groups: key = canonical form minus the Xp attribute.
+	type group struct {
+		members []int
+		values  map[string]bool
+	}
+	g7 := map[string]*group{}
+	g8 := map[string]*group{}
+	for i := 0; i < n; i++ {
+		psi := (*facts)[i].psi
+		rel, ok := sch.Relation(psi.LHSRel)
+		if !ok {
+			continue
+		}
+		xm, ym := xpMap(psi), ypMap(psi)
+		for _, a := range psi.Xp {
+			if !rel.Domain(a).IsFinite() {
+				continue
+			}
+			key := "7|" + a + "|" + keyWithout(psi, a, "")
+			grp := g7[key]
+			if grp == nil {
+				grp = &group{values: map[string]bool{}}
+				g7[key] = grp
+			}
+			grp.members = append(grp.members, i)
+			grp.values[xm[a]] = true
+			// CIND8: pair with every Yp attribute holding the same constant.
+			for _, b := range psi.Yp {
+				if ym[b] != xm[a] {
+					continue
+				}
+				key8 := "8|" + a + "|" + b + "|" + keyWithout(psi, a, b)
+				grp8 := g8[key8]
+				if grp8 == nil {
+					grp8 = &group{values: map[string]bool{}}
+					g8[key8] = grp8
+				}
+				grp8.members = append(grp8.members, i)
+				grp8.values[xm[a]] = true
+			}
+		}
+	}
+	fire := func(key string, grp *group, isRestore bool) {
+		if len(*facts) >= opts.MaxFacts {
+			return
+		}
+		parts := strings.SplitN(key, "|", 4)
+		attrA := parts[1]
+		members := make([]*cind.CIND, len(grp.members))
+		for k, i := range grp.members {
+			members[k] = (*facts)[i].psi
+		}
+		rel, _ := sch.Relation(members[0].LHSRel)
+		dom := rel.Domain(attrA)
+		for _, v := range dom.Values() {
+			if !grp.values[v] {
+				return // domain not covered
+			}
+		}
+		var out *cind.CIND
+		var err error
+		var rule string
+		if isRestore {
+			rule = "CIND8"
+			out, err = MergeRestore(sch, "merge8", members, attrA, parts[2])
+		} else {
+			rule = "CIND7"
+			out, err = MergeFinite(sch, "merge7", members, attrA)
+		}
+		if err != nil {
+			return
+		}
+		if _, fresh := add(fact{psi: canonicalize(sch, out), rule: rule, premises: grp.members}); fresh {
+			grew = true
+		}
+	}
+	for key, grp := range g7 {
+		fire(key, grp, false)
+	}
+	for key, grp := range g8 {
+		fire(key, grp, true)
+	}
+	_ = index
+	return grew
+}
+
+// keyWithout is canonKey with the Xp entry for attrA (and, when attrB is
+// nonempty, the Yp entry for attrB) masked out — the grouping key for the
+// CIND7/CIND8 merges.
+func keyWithout(psi *cind.CIND, attrA, attrB string) string {
+	pairs := make([]string, len(psi.X))
+	for i := range psi.X {
+		pairs[i] = psi.X[i] + "=" + psi.Y[i]
+	}
+	sort.Strings(pairs)
+	xm := xpMap(psi)
+	delete(xm, attrA)
+	ym := ypMap(psi)
+	if attrB != "" {
+		delete(ym, attrB)
+	}
+	return psi.LHSRel + "[" + strings.Join(pairs, ",") + ";" + mapEntries(xm) + "]->" +
+		psi.RHSRel + "[" + mapEntries(ym) + "]"
+}
+
+// buildProof extracts the sub-derivation reaching every goal component and
+// renumbers it as a Proof, appending one final subsumption step per goal.
+func buildProof(facts []fact, goals []*cind.CIND, goalDone []int, sch *schema.Schema) *Proof {
+	needed := map[int]bool{}
+	var mark func(i int)
+	mark = func(i int) {
+		if needed[i] {
+			return
+		}
+		needed[i] = true
+		for _, p := range facts[i].premises {
+			mark(p)
+		}
+	}
+	for _, fi := range goalDone {
+		mark(fi)
+	}
+	order := make([]int, 0, len(needed))
+	for i := range facts {
+		if needed[i] {
+			order = append(order, i)
+		}
+	}
+	sort.Ints(order)
+	renum := map[int]int{}
+	proof := &Proof{}
+	for newIdx, oldIdx := range order {
+		renum[oldIdx] = newIdx
+		f := facts[oldIdx]
+		prem := make([]int, len(f.premises))
+		for k, p := range f.premises {
+			prem[k] = renum[p]
+		}
+		proof.Steps = append(proof.Steps, Step{
+			Result: f.psi, Rule: f.rule, Premises: prem, Note: f.note,
+		})
+	}
+	for gi, g := range goals {
+		proof.Steps = append(proof.Steps, Step{
+			Result:   canonicalize(sch, g),
+			Rule:     "CIND2/4/5/6",
+			Premises: []int{renum[goalDone[gi]]},
+			Note:     "goal discharged by subsumption",
+		})
+	}
+	return proof
+}

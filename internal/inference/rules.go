@@ -1,0 +1,441 @@
+// Package inference implements the inference system I of Figure 3 — the
+// eight rules CIND1–CIND8 that Theorem 3.3 proves sound and complete for
+// implication of CINDs — together with a bounded forward-chaining engine
+// that searches for derivations (package implication combines it with a
+// chase-based refutation procedure).
+//
+// All rules operate on CINDs in the normal form of Proposition 3.1 (single
+// pattern row; constants exactly on Xp and Yp). Each rule function validates
+// its side conditions and returns the derived CIND, constructed through
+// cind.New so that every derived constraint is schema-valid by construction.
+package inference
+
+import (
+	"fmt"
+
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// requireNormal guards every rule: system I is defined on normal forms.
+func requireNormal(psis ...*cind.CIND) error {
+	for _, p := range psis {
+		if !p.IsNormal() {
+			return fmt.Errorf("inference: %s is not in normal form", p.ID)
+		}
+	}
+	return nil
+}
+
+// Reflexivity is CIND1: for a sequence X of distinct attributes of R,
+// derive (R[X; nil] ⊆ R[X; nil], tp) with tp all wildcards.
+func Reflexivity(sch *schema.Schema, id, rel string, x []string) (*cind.CIND, error) {
+	return cind.New(sch, id, rel, x, nil, rel, x, nil,
+		[]cind.Row{{LHS: pattern.Wilds(len(x)), RHS: pattern.Wilds(len(x))}})
+}
+
+// ProjectPermute is CIND2: from (Ra[A1..Am; Xp] ⊆ Rb[B1..Bm; Yp], tp)
+// derive the CIND over the subsequence idx of the X/Y pairs, with Xp and Yp
+// permuted by permXp and permYp. idx entries are 0-based positions into X
+// and must be distinct; permXp/permYp are permutations of the respective
+// pattern lists (nil means identity).
+func ProjectPermute(sch *schema.Schema, id string, psi *cind.CIND, idx []int, permXp, permYp []int) (*cind.CIND, error) {
+	if err := requireNormal(psi); err != nil {
+		return nil, err
+	}
+	row := psi.NormalRow()
+	seen := map[int]bool{}
+	x := make([]string, len(idx))
+	y := make([]string, len(idx))
+	for i, j := range idx {
+		if j < 0 || j >= len(psi.X) {
+			return nil, fmt.Errorf("inference: CIND2: index %d out of range", j)
+		}
+		if seen[j] {
+			return nil, fmt.Errorf("inference: CIND2: repeated index %d", j)
+		}
+		seen[j] = true
+		x[i], y[i] = psi.X[j], psi.Y[j]
+	}
+	xp, xpSyms, err := permuteWithSyms(psi.Xp, pattern.Tuple(row.LHS[len(psi.X):]), permXp)
+	if err != nil {
+		return nil, fmt.Errorf("inference: CIND2: Xp: %v", err)
+	}
+	yp, ypSyms, err := permuteWithSyms(psi.Yp, pattern.Tuple(row.RHS[len(psi.Y):]), permYp)
+	if err != nil {
+		return nil, fmt.Errorf("inference: CIND2: Yp: %v", err)
+	}
+	return cind.New(sch, id, psi.LHSRel, x, xp, psi.RHSRel, y, yp,
+		[]cind.Row{{
+			LHS: append(pattern.Wilds(len(x)), xpSyms...),
+			RHS: append(pattern.Wilds(len(y)), ypSyms...),
+		}})
+}
+
+func permuteWithSyms(attrs []string, syms pattern.Tuple, perm []int) ([]string, []pattern.Symbol, error) {
+	if perm == nil {
+		return append([]string(nil), attrs...), append(pattern.Tuple(nil), syms...), nil
+	}
+	if len(perm) != len(attrs) {
+		return nil, nil, fmt.Errorf("permutation has length %d, want %d", len(perm), len(attrs))
+	}
+	outA := make([]string, len(attrs))
+	outS := make([]pattern.Symbol, len(attrs))
+	seen := map[int]bool{}
+	for i, j := range perm {
+		if j < 0 || j >= len(attrs) || seen[j] {
+			return nil, nil, fmt.Errorf("invalid permutation %v", perm)
+		}
+		seen[j] = true
+		outA[i], outS[i] = attrs[j], syms[j]
+	}
+	return outA, outS, nil
+}
+
+// Transitivity is CIND3: from (Ra[X; Xp] ⊆ Rb[Y; Yp], t1) and
+// (Rb[Y; Yp] ⊆ Rc[Z; Zp], t2) with t1[Yp] = t2[Yp] (the paper's condition;
+// for normal forms t1[Y;Yp] = t2[Y;Yp] reduces to this), derive
+// (Ra[X; Xp] ⊆ Rc[Z; Zp], t3) with t3[X;Xp] = t1[X;Xp], t3[Z;Zp] = t2[Z;Zp].
+// The middle lists must agree exactly; use ProjectPermute to align first.
+func Transitivity(sch *schema.Schema, id string, first, second *cind.CIND) (*cind.CIND, error) {
+	if err := requireNormal(first, second); err != nil {
+		return nil, err
+	}
+	if first.RHSRel != second.LHSRel {
+		return nil, fmt.Errorf("inference: CIND3: %s ends at %s but %s starts at %s",
+			first.ID, first.RHSRel, second.ID, second.LHSRel)
+	}
+	if !sameList(first.Y, second.X) {
+		return nil, fmt.Errorf("inference: CIND3: middle main lists differ: %v vs %v", first.Y, second.X)
+	}
+	if !sameList(first.Yp, second.Xp) {
+		return nil, fmt.Errorf("inference: CIND3: middle pattern lists differ: %v vs %v", first.Yp, second.Xp)
+	}
+	ypSyms := first.YpPattern()
+	xpSyms2 := second.XpPattern()
+	for i := range ypSyms {
+		if !ypSyms[i].Eq(xpSyms2[i]) {
+			return nil, fmt.Errorf("inference: CIND3: t1[Yp] != t2[Yp] at %s", first.Yp[i])
+		}
+	}
+	r1 := first.NormalRow()
+	r2 := second.NormalRow()
+	return cind.New(sch, id, first.LHSRel, first.X, first.Xp, second.RHSRel, second.Y, second.Yp,
+		[]cind.Row{{LHS: r1.LHS.Clone(), RHS: r2.RHS.Clone()}})
+}
+
+func sameList(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Instantiate is CIND4: pick position j of the embedded IND and a constant
+// a ∈ dom(Aj); move Aj from X to Xp and Bj from Y to Yp, both with pattern
+// constant a (t'p[Aj] = t'p[Bj] = a).
+func Instantiate(sch *schema.Schema, id string, psi *cind.CIND, j int, a string) (*cind.CIND, error) {
+	if err := requireNormal(psi); err != nil {
+		return nil, err
+	}
+	if j < 0 || j >= len(psi.X) {
+		return nil, fmt.Errorf("inference: CIND4: position %d out of range", j)
+	}
+	row := psi.NormalRow()
+	x := removeAt(psi.X, j)
+	y := removeAt(psi.Y, j)
+	xp := append(append([]string(nil), psi.Xp...), psi.X[j])
+	yp := append(append([]string(nil), psi.Yp...), psi.Y[j])
+	lhs := append(pattern.Wilds(len(x)), row.LHS[len(psi.X):].Clone()...)
+	lhs = append(lhs, pattern.Sym(a))
+	rhs := append(pattern.Wilds(len(y)), row.RHS[len(psi.Y):].Clone()...)
+	rhs = append(rhs, pattern.Sym(a))
+	return cind.New(sch, id, psi.LHSRel, x, xp, psi.RHSRel, y, yp,
+		[]cind.Row{{LHS: lhs, RHS: rhs}})
+}
+
+func removeAt(l []string, j int) []string {
+	out := make([]string, 0, len(l)-1)
+	out = append(out, l[:j]...)
+	return append(out, l[j+1:]...)
+}
+
+// Augment is CIND5: add an attribute A ∈ attr(Ra) − (X ∪ Xp) to Xp with any
+// constant a ∈ dom(A). Restricting applicability is always sound.
+func Augment(sch *schema.Schema, id string, psi *cind.CIND, attr, a string) (*cind.CIND, error) {
+	if err := requireNormal(psi); err != nil {
+		return nil, err
+	}
+	row := psi.NormalRow()
+	xp := append(append([]string(nil), psi.Xp...), attr)
+	lhs := append(row.LHS.Clone(), pattern.Sym(a))
+	return cind.New(sch, id, psi.LHSRel, psi.X, xp, psi.RHSRel, psi.Y, psi.Yp,
+		[]cind.Row{{LHS: lhs, RHS: row.RHS.Clone()}})
+}
+
+// Reduce is CIND6: keep only the subset keep ⊆ Yp (order preserved from
+// keep), dropping the rest of the RHS pattern. Requiring less of the
+// matching tuple is always sound.
+func Reduce(sch *schema.Schema, id string, psi *cind.CIND, keep []string) (*cind.CIND, error) {
+	if err := requireNormal(psi); err != nil {
+		return nil, err
+	}
+	row := psi.NormalRow()
+	pos := map[string]int{}
+	for i, a := range psi.Yp {
+		pos[a] = i
+	}
+	ypSyms := pattern.Tuple(row.RHS[len(psi.Y):])
+	var syms []pattern.Symbol
+	for _, a := range keep {
+		i, ok := pos[a]
+		if !ok {
+			return nil, fmt.Errorf("inference: CIND6: %s not in Yp of %s", a, psi.ID)
+		}
+		syms = append(syms, ypSyms[i])
+	}
+	rhs := append(pattern.Wilds(len(psi.Y)), syms...)
+	return cind.New(sch, id, psi.LHSRel, psi.X, psi.Xp, psi.RHSRel, psi.Y, keep,
+		[]cind.Row{{LHS: row.LHS.Clone(), RHS: rhs}})
+}
+
+// MergeFinite is CIND7: given CINDs identical except for the constant on a
+// finite-domain attribute A ∈ Xp, whose constants jointly cover dom(A),
+// derive the CIND with A removed from Xp (a wildcard pattern on a pattern
+// attribute poses no constraint, so the attribute is dropped).
+func MergeFinite(sch *schema.Schema, id string, psis []*cind.CIND, attr string) (*cind.CIND, error) {
+	if err := requireNormal(psis...); err != nil {
+		return nil, err
+	}
+	if len(psis) == 0 {
+		return nil, fmt.Errorf("inference: CIND7: no premises")
+	}
+	base := psis[0]
+	rel, ok := sch.Relation(base.LHSRel)
+	if !ok {
+		return nil, fmt.Errorf("inference: CIND7: unknown relation %s", base.LHSRel)
+	}
+	if !rel.Has(attr) {
+		return nil, fmt.Errorf("inference: CIND7: %s has no attribute %s", base.LHSRel, attr)
+	}
+	dom := rel.Domain(attr)
+	if !dom.IsFinite() {
+		return nil, fmt.Errorf("inference: CIND7: attribute %s does not have a finite domain", attr)
+	}
+	covered := map[string]bool{}
+	for _, p := range psis {
+		c, rest, err := splitXp(p, attr)
+		if err != nil {
+			return nil, err
+		}
+		if !equalModuloXpAttr(base, p, attr) {
+			return nil, fmt.Errorf("inference: CIND7: %s and %s differ beyond %s", base.ID, p.ID, attr)
+		}
+		_ = rest
+		covered[c] = true
+	}
+	for _, v := range dom.Values() {
+		if !covered[v] {
+			return nil, fmt.Errorf("inference: CIND7: dom(%s) value %q not covered", attr, v)
+		}
+	}
+	// Build the result: base with attr removed from Xp.
+	return dropXpAttr(sch, id, base, attr)
+}
+
+// MergeRestore is CIND8, the inverse of CIND4: given CINDs identical except
+// for the constants on A ∈ Xp (finite domain) and B ∈ Yp, with ti[A] = ti[B]
+// in each premise and the ti[A] jointly covering dom(A), derive
+// (Ra[X·A; Xp−A] ⊆ Rb[Y·B; Yp−B]) with wildcards on the restored pair.
+func MergeRestore(sch *schema.Schema, id string, psis []*cind.CIND, attrA, attrB string) (*cind.CIND, error) {
+	if err := requireNormal(psis...); err != nil {
+		return nil, err
+	}
+	if len(psis) == 0 {
+		return nil, fmt.Errorf("inference: CIND8: no premises")
+	}
+	base := psis[0]
+	rel, ok := sch.Relation(base.LHSRel)
+	if !ok || !rel.Has(attrA) {
+		return nil, fmt.Errorf("inference: CIND8: bad LHS attribute %s", attrA)
+	}
+	dom := rel.Domain(attrA)
+	if !dom.IsFinite() {
+		return nil, fmt.Errorf("inference: CIND8: attribute %s does not have a finite domain", attrA)
+	}
+	covered := map[string]bool{}
+	for _, p := range psis {
+		ca, _, err := splitXp(p, attrA)
+		if err != nil {
+			return nil, err
+		}
+		cb, err := ypConst(p, attrB)
+		if err != nil {
+			return nil, err
+		}
+		if ca != cb {
+			return nil, fmt.Errorf("inference: CIND8: %s has ti[%s]=%q but ti[%s]=%q", p.ID, attrA, ca, attrB, cb)
+		}
+		if !equalModuloXpYpAttrs(base, p, attrA, attrB) {
+			return nil, fmt.Errorf("inference: CIND8: %s and %s differ beyond %s/%s", base.ID, p.ID, attrA, attrB)
+		}
+		covered[ca] = true
+	}
+	for _, v := range dom.Values() {
+		if !covered[v] {
+			return nil, fmt.Errorf("inference: CIND8: dom(%s) value %q not covered", attrA, v)
+		}
+	}
+	row := base.NormalRow()
+	// Remove attrA from Xp, attrB from Yp; append the pair to X and Y.
+	xp, xpSyms := dropFrom(base.Xp, pattern.Tuple(row.LHS[len(base.X):]), attrA)
+	yp, ypSyms := dropFrom(base.Yp, pattern.Tuple(row.RHS[len(base.Y):]), attrB)
+	x := append(append([]string(nil), base.X...), attrA)
+	y := append(append([]string(nil), base.Y...), attrB)
+	return cind.New(sch, id, base.LHSRel, x, xp, base.RHSRel, y, yp,
+		[]cind.Row{{
+			LHS: append(pattern.Wilds(len(x)), xpSyms...),
+			RHS: append(pattern.Wilds(len(y)), ypSyms...),
+		}})
+}
+
+// splitXp returns the constant of attr within psi.Xp and the remaining Xp
+// attributes.
+func splitXp(psi *cind.CIND, attr string) (string, []string, error) {
+	syms := psi.XpPattern()
+	for i, a := range psi.Xp {
+		if a == attr {
+			return syms[i].Const(), removeAt(psi.Xp, i), nil
+		}
+	}
+	return "", nil, fmt.Errorf("inference: %s has no Xp attribute %s", psi.ID, attr)
+}
+
+func ypConst(psi *cind.CIND, attr string) (string, error) {
+	syms := psi.YpPattern()
+	for i, a := range psi.Yp {
+		if a == attr {
+			return syms[i].Const(), nil
+		}
+	}
+	return "", fmt.Errorf("inference: %s has no Yp attribute %s", psi.ID, attr)
+}
+
+// xpMap returns Xp as attr→const; ypMap likewise for Yp.
+func xpMap(psi *cind.CIND) map[string]string {
+	m := make(map[string]string, len(psi.Xp))
+	syms := psi.XpPattern()
+	for i, a := range psi.Xp {
+		m[a] = syms[i].Const()
+	}
+	return m
+}
+
+func ypMap(psi *cind.CIND) map[string]string {
+	m := make(map[string]string, len(psi.Yp))
+	syms := psi.YpPattern()
+	for i, a := range psi.Yp {
+		m[a] = syms[i].Const()
+	}
+	return m
+}
+
+// equalModuloXpAttr reports whether a and b agree on relations, embedded
+// pairs, Yp, and all of Xp except possibly the constant on attr.
+func equalModuloXpAttr(a, b *cind.CIND, attr string) bool {
+	if a.LHSRel != b.LHSRel || a.RHSRel != b.RHSRel {
+		return false
+	}
+	if !samePairs(a, b) {
+		return false
+	}
+	am, bm := xpMap(a), xpMap(b)
+	delete(am, attr)
+	delete(bm, attr)
+	if !sameMap(am, bm) {
+		return false
+	}
+	return sameMap(ypMap(a), ypMap(b))
+}
+
+// equalModuloXpYpAttrs is equalModuloXpAttr ignoring both the Xp constant on
+// attrA and the Yp constant on attrB.
+func equalModuloXpYpAttrs(a, b *cind.CIND, attrA, attrB string) bool {
+	if a.LHSRel != b.LHSRel || a.RHSRel != b.RHSRel {
+		return false
+	}
+	if !samePairs(a, b) {
+		return false
+	}
+	am, bm := xpMap(a), xpMap(b)
+	delete(am, attrA)
+	delete(bm, attrA)
+	if !sameMap(am, bm) {
+		return false
+	}
+	ay, by := ypMap(a), ypMap(b)
+	delete(ay, attrB)
+	delete(by, attrB)
+	return sameMap(ay, by)
+}
+
+// samePairs compares the embedded X/Y pairs as sets.
+func samePairs(a, b *cind.CIND) bool {
+	if len(a.X) != len(b.X) {
+		return false
+	}
+	pa := map[string]bool{}
+	for i := range a.X {
+		pa[a.X[i]+"\x00"+a.Y[i]] = true
+	}
+	for i := range b.X {
+		if !pa[b.X[i]+"\x00"+b.Y[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+func sameMap(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+// dropXpAttr rebuilds psi without attr in Xp.
+func dropXpAttr(sch *schema.Schema, id string, psi *cind.CIND, attr string) (*cind.CIND, error) {
+	row := psi.NormalRow()
+	xp, xpSyms := dropFrom(psi.Xp, pattern.Tuple(row.LHS[len(psi.X):]), attr)
+	return cind.New(sch, id, psi.LHSRel, psi.X, xp, psi.RHSRel, psi.Y, psi.Yp,
+		[]cind.Row{{
+			LHS: append(pattern.Wilds(len(psi.X)), xpSyms...),
+			RHS: row.RHS.Clone(),
+		}})
+}
+
+// dropFrom removes attr (and its symbol) from an aligned attr/symbol pair
+// of lists.
+func dropFrom(attrs []string, syms pattern.Tuple, attr string) ([]string, []pattern.Symbol) {
+	var outA []string
+	var outS []pattern.Symbol
+	for i, a := range attrs {
+		if a == attr {
+			continue
+		}
+		outA = append(outA, a)
+		outS = append(outS, syms[i])
+	}
+	return outA, outS
+}

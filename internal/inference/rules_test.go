@@ -1,0 +1,373 @@
+package inference
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"cind/internal/bank"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+var w = pattern.Wild
+
+func sym(v string) pattern.Symbol { return pattern.Sym(v) }
+
+// twoRelSchema: R(A, B, F), S(C, D, G) over one shared infinite domain and
+// one shared finite domain for F/G.
+func twoRelSchema() *schema.Schema {
+	d := schema.Infinite("d")
+	f := schema.Finite("f", "0", "1")
+	return schema.MustNew(
+		schema.MustRelation("R",
+			schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d},
+			schema.Attribute{Name: "F", Dom: f}),
+		schema.MustRelation("S",
+			schema.Attribute{Name: "C", Dom: d}, schema.Attribute{Name: "D", Dom: d},
+			schema.Attribute{Name: "G", Dom: f}),
+	)
+}
+
+func TestReflexivity(t *testing.T) {
+	sch := twoRelSchema()
+	psi, err := Reflexivity(sch, "r", "R", []string{"A", "B"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !psi.IsNormal() || !psi.IsTraditionalIND() {
+		t.Fatal("CIND1 result must be a normal traditional IND")
+	}
+	if psi.LHSRel != "R" || psi.RHSRel != "R" {
+		t.Fatal("CIND1 is reflexive")
+	}
+}
+
+func TestProjectPermute(t *testing.T) {
+	sch := twoRelSchema()
+	psi := cind.MustNew(sch, "p", "R", []string{"A", "B"}, []string{"F"},
+		"S", []string{"C", "D"}, []string{"G"},
+		[]cind.Row{{LHS: pattern.Tup(w, w, sym("0")), RHS: pattern.Tup(w, w, sym("1"))}})
+	got, err := ProjectPermute(sch, "p2", psi, []int{1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got.X, ",") != "B" || strings.Join(got.Y, ",") != "D" {
+		t.Fatalf("projection = %v ⊆ %v", got.X, got.Y)
+	}
+	if len(got.Xp) != 1 || got.XpPattern()[0].Const() != "0" {
+		t.Fatal("pattern must carry over")
+	}
+	if _, err := ProjectPermute(sch, "bad", psi, []int{0, 0}, nil, nil); err == nil {
+		t.Fatal("repeated index must fail")
+	}
+	if _, err := ProjectPermute(sch, "bad", psi, []int{5}, nil, nil); err == nil {
+		t.Fatal("out of range index must fail")
+	}
+	if _, err := ProjectPermute(sch, "bad", psi, []int{0}, []int{0, 0}, nil); err == nil {
+		t.Fatal("bad permutation must fail")
+	}
+}
+
+func TestTransitivity(t *testing.T) {
+	sch := bank.Schema()
+	// (1) of Example 3.4: project ψ1 down to (account_EDI[nil; at] ⊆ saving[nil; ab]).
+	psi1 := bank.Psi1(sch, "EDI")
+	step1, err := ProjectPermute(sch, "s1", psi1, nil, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (3): ψ5's EDI row reduced to Yp = {ab}.
+	psi5 := bank.Psi5(sch).NormalForm()[0] // EDI row
+	step3, err := Reduce(sch, "s3", psi5, []string{"ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compose: step1's RHS is saving[nil; ab=EDI]; step3's LHS is the same.
+	got, err := Transitivity(sch, "s5", step1, step3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.LHSRel != "account_EDI" || got.RHSRel != "interest" {
+		t.Fatalf("composition endpoints: %s -> %s", got.LHSRel, got.RHSRel)
+	}
+	// Mismatched middles must fail.
+	if _, err := Transitivity(sch, "bad", step3, step1); err == nil {
+		t.Fatal("wrong order must fail")
+	}
+}
+
+func TestTransitivityPatternMismatch(t *testing.T) {
+	sch := twoRelSchema()
+	mk := func(id, c string) *cind.CIND {
+		return cind.MustNew(sch, id, "R", nil, []string{"F"}, "S", nil, []string{"G"},
+			[]cind.Row{{LHS: pattern.Tup(sym(c)), RHS: pattern.Tup(sym(c))}})
+	}
+	back := cind.MustNew(sch, "b", "S", nil, []string{"G"}, "R", nil, []string{"F"},
+		[]cind.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("1"))}})
+	if _, err := Transitivity(sch, "t", mk("a", "0"), back); err == nil {
+		t.Fatal("t1[Yp] != t2[Xp] must fail") // 0 vs 1
+	}
+	if _, err := Transitivity(sch, "t", mk("a", "1"), back); err != nil {
+		t.Fatalf("matching patterns must compose: %v", err)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	sch := twoRelSchema()
+	psi := cind.MustNew(sch, "p", "R", []string{"A", "B"}, nil, "S", []string{"C", "D"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(2), RHS: pattern.Wilds(2)}})
+	got, err := Instantiate(sch, "i", psi, 0, "v")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got.X, ",") != "B" || strings.Join(got.Xp, ",") != "A" {
+		t.Fatalf("X = %v, Xp = %v", got.X, got.Xp)
+	}
+	if strings.Join(got.Y, ",") != "D" || strings.Join(got.Yp, ",") != "C" {
+		t.Fatalf("Y = %v, Yp = %v", got.Y, got.Yp)
+	}
+	if got.XpPattern()[0].Const() != "v" || got.YpPattern()[0].Const() != "v" {
+		t.Fatal("t'p[Aj] = t'p[Bj] = a must hold")
+	}
+	if _, err := Instantiate(sch, "i", psi, 9, "v"); err == nil {
+		t.Fatal("bad position must fail")
+	}
+	// Constant outside the finite domain of F must fail validation.
+	psiF := cind.MustNew(sch, "pf", "R", []string{"F"}, nil, "S", []string{"G"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	if _, err := Instantiate(sch, "i", psiF, 0, "7"); err == nil {
+		t.Fatal("constant outside dom(F) must fail")
+	}
+}
+
+func TestAugment(t *testing.T) {
+	sch := twoRelSchema()
+	psi := cind.MustNew(sch, "p", "R", []string{"A"}, nil, "S", []string{"C"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	got, err := Augment(sch, "a", psi, "B", "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got.Xp, ",") != "B" || got.XpPattern()[0].Const() != "x" {
+		t.Fatalf("Xp = %v", got.Xp)
+	}
+	// A is already in X: CIND5 requires A ∉ X ∪ Xp.
+	if _, err := Augment(sch, "a", psi, "A", "x"); err == nil {
+		t.Fatal("augmenting with a main attribute must fail")
+	}
+}
+
+func TestReduce(t *testing.T) {
+	sch := bank.Schema()
+	psi5 := bank.Psi5(sch).NormalForm()[0]
+	got, err := Reduce(sch, "r", psi5, []string{"at", "ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Join(got.Yp, ",") != "at,ab" {
+		t.Fatalf("Yp = %v", got.Yp)
+	}
+	ym := ypMap(got)
+	if ym["at"] != "saving" || ym["ab"] != "EDI" {
+		t.Fatalf("Yp constants = %v", ym)
+	}
+	if _, err := Reduce(sch, "r", psi5, []string{"nope"}); err == nil {
+		t.Fatal("unknown Yp attribute must fail")
+	}
+}
+
+func TestMergeFinite(t *testing.T) {
+	sch := twoRelSchema()
+	mk := func(id, c string) *cind.CIND {
+		return cind.MustNew(sch, id, "R", []string{"A"}, []string{"F"},
+			"S", []string{"C"}, nil,
+			[]cind.Row{{LHS: pattern.Tup(w, sym(c)), RHS: pattern.Tup(w)}})
+	}
+	got, err := MergeFinite(sch, "m", []*cind.CIND{mk("a", "0"), mk("b", "1")}, "F")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Xp) != 0 {
+		t.Fatalf("Xp = %v, want F dropped", got.Xp)
+	}
+	// Partial cover must fail.
+	if _, err := MergeFinite(sch, "m", []*cind.CIND{mk("a", "0")}, "F"); err == nil {
+		t.Fatal("uncovered domain must fail")
+	}
+	// Infinite-domain attribute must fail.
+	inf := cind.MustNew(sch, "i", "R", []string{"A"}, []string{"B"}, "S", []string{"C"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w, sym("z")), RHS: pattern.Tup(w)}})
+	if _, err := MergeFinite(sch, "m", []*cind.CIND{inf}, "B"); err == nil {
+		t.Fatal("infinite domain must fail")
+	}
+	// Premises differing beyond F must fail.
+	other := cind.MustNew(sch, "o", "R", []string{"B"}, []string{"F"}, "S", []string{"C"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w, sym("1")), RHS: pattern.Tup(w)}})
+	if _, err := MergeFinite(sch, "m", []*cind.CIND{mk("a", "0"), other}, "F"); err == nil {
+		t.Fatal("mismatched premises must fail")
+	}
+}
+
+func TestMergeRestoreExample34Shape(t *testing.T) {
+	sch := bank.Schema()
+	// Steps (5) and (6) of Example 3.4, built directly.
+	mk := func(id, c string) *cind.CIND {
+		return cind.MustNew(sch, id, "account_EDI", nil, []string{"at"},
+			"interest", nil, []string{"at"},
+			[]cind.Row{{LHS: pattern.Tup(sym(c)), RHS: pattern.Tup(sym(c))}})
+	}
+	got, err := MergeRestore(sch, "m", []*cind.CIND{mk("s5", "saving"), mk("s6", "checking")}, "at", "at")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Step (7): (account_B[at; nil] ⊆ interest[at; nil], (_||_)).
+	if strings.Join(got.X, ",") != "at" || strings.Join(got.Y, ",") != "at" {
+		t.Fatalf("X = %v, Y = %v", got.X, got.Y)
+	}
+	if len(got.Xp) != 0 || len(got.Yp) != 0 {
+		t.Fatal("patterns must be empty")
+	}
+	if !got.IsTraditionalIND() {
+		t.Fatal("result is the plain IND of Example 3.3")
+	}
+	// Mismatched ti[A] vs ti[B] must fail.
+	bad := cind.MustNew(sch, "bad", "account_EDI", nil, []string{"at"},
+		"interest", nil, []string{"at"},
+		[]cind.Row{{LHS: pattern.Tup(sym("saving")), RHS: pattern.Tup(sym("checking"))}})
+	if _, err := MergeRestore(sch, "m", []*cind.CIND{bad, mk("s6", "checking")}, "at", "at"); err == nil {
+		t.Fatal("ti[A] != ti[B] must fail")
+	}
+}
+
+// ---- soundness property test ----
+
+// randomDB builds a random ground database over the schema with values
+// drawn from a small pool (so that matches happen often).
+func randomDB(rng *rand.Rand, sch *schema.Schema, maxTuples int) *instance.Database {
+	db := instance.NewDatabase(sch)
+	pool := []string{"0", "1", "x", "y"}
+	for _, rel := range sch.Relations() {
+		n := rng.Intn(maxTuples + 1)
+		for i := 0; i < n; i++ {
+			vals := make([]string, rel.Arity())
+			for j, a := range rel.Attrs() {
+				if a.Dom.IsFinite() {
+					vs := a.Dom.Values()
+					vals[j] = vs[rng.Intn(len(vs))]
+				} else {
+					vals[j] = pool[rng.Intn(len(pool))]
+				}
+			}
+			db.Instance(rel.Name()).Insert(instance.Consts(vals...))
+		}
+	}
+	return db
+}
+
+// TestRuleSoundness is the executable half of Theorem 3.3 (soundness): for
+// every rule application, any database satisfying the premises satisfies
+// the conclusion. Premise/conclusion pairs are generated from a pool of
+// CINDs over a small schema and checked on random databases.
+func TestRuleSoundness(t *testing.T) {
+	sch := twoRelSchema()
+	rng := rand.New(rand.NewSource(3))
+
+	basePool := []*cind.CIND{
+		cind.MustNew(sch, "c1", "R", []string{"A", "B"}, []string{"F"},
+			"S", []string{"C", "D"}, []string{"G"},
+			[]cind.Row{{LHS: pattern.Tup(w, w, sym("0")), RHS: pattern.Tup(w, w, sym("1"))}}),
+		cind.MustNew(sch, "c2", "R", []string{"A"}, nil, "S", []string{"C"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cind.MustNew(sch, "c3", "S", []string{"C"}, []string{"G"}, "R", []string{"A"}, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(w, sym("1")), RHS: pattern.Tup(w, sym("0"))}}),
+	}
+
+	type derived struct {
+		conclusion *cind.CIND
+		premises   []*cind.CIND
+	}
+	var cases []derived
+
+	// CIND2 projections.
+	for _, p := range basePool {
+		if len(p.X) > 1 {
+			if out, err := ProjectPermute(sch, "d", p, []int{1, 0}, nil, nil); err == nil {
+				cases = append(cases, derived{out, []*cind.CIND{p}})
+			}
+			if out, err := ProjectPermute(sch, "d", p, []int{0}, nil, nil); err == nil {
+				cases = append(cases, derived{out, []*cind.CIND{p}})
+			}
+		}
+	}
+	// CIND4 instantiations.
+	for _, p := range basePool {
+		if len(p.X) > 0 {
+			if out, err := Instantiate(sch, "d", p, 0, "x"); err == nil {
+				cases = append(cases, derived{out, []*cind.CIND{p}})
+			}
+		}
+	}
+	// CIND5 augments.
+	if out, err := Augment(sch, "d", basePool[1], "B", "y"); err == nil {
+		cases = append(cases, derived{out, []*cind.CIND{basePool[1]}})
+	}
+	// CIND6 reductions.
+	if out, err := Reduce(sch, "d", basePool[0], nil); err == nil {
+		cases = append(cases, derived{out, []*cind.CIND{basePool[0]}})
+	}
+	// CIND3 composition: project c1 onto its first pair, then chain with c3.
+	proj, err := ProjectPermute(sch, "d", basePool[0], []int{0}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out, err := Transitivity(sch, "d", proj, basePool[2]); err == nil {
+		cases = append(cases, derived{out, []*cind.CIND{proj, basePool[2]}})
+	} else {
+		t.Fatalf("composition case failed to build: %v", err)
+	}
+	// CIND7 merge.
+	m0 := cind.MustNew(sch, "m0", "R", []string{"A"}, []string{"F"}, "S", []string{"C"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w, sym("0")), RHS: pattern.Tup(w)}})
+	m1 := cind.MustNew(sch, "m1", "R", []string{"A"}, []string{"F"}, "S", []string{"C"}, nil,
+		[]cind.Row{{LHS: pattern.Tup(w, sym("1")), RHS: pattern.Tup(w)}})
+	if out, err := MergeFinite(sch, "d", []*cind.CIND{m0, m1}, "F"); err == nil {
+		cases = append(cases, derived{out, []*cind.CIND{m0, m1}})
+	} else {
+		t.Fatalf("CIND7 case failed to build: %v", err)
+	}
+	// CIND8 merge.
+	r0 := cind.MustNew(sch, "r0", "R", nil, []string{"F"}, "S", nil, []string{"G"},
+		[]cind.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("0"))}})
+	r1 := cind.MustNew(sch, "r1", "R", nil, []string{"F"}, "S", nil, []string{"G"},
+		[]cind.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("1"))}})
+	if out, err := MergeRestore(sch, "d", []*cind.CIND{r0, r1}, "F", "G"); err == nil {
+		cases = append(cases, derived{out, []*cind.CIND{r0, r1}})
+	} else {
+		t.Fatalf("CIND8 case failed to build: %v", err)
+	}
+
+	if len(cases) < 8 {
+		t.Fatalf("only %d rule cases built", len(cases))
+	}
+
+	checked := 0
+	for trial := 0; trial < 600; trial++ {
+		db := randomDB(rng, sch, 4)
+		for ci, c := range cases {
+			if !cind.SatisfiedAll(c.premises, db) {
+				continue
+			}
+			checked++
+			if !c.conclusion.Satisfied(db) {
+				t.Fatalf("case %d unsound: premises hold but %v violated on\n%v",
+					ci, c.conclusion, db)
+			}
+		}
+	}
+	if checked < 100 {
+		t.Fatalf("too few premise-satisfying databases (%d); weak test", checked)
+	}
+}

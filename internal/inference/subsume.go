@@ -1,0 +1,184 @@
+package inference
+
+import (
+	"sort"
+	"strings"
+
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// canonKey returns a canonical string for a normal-form CIND that is
+// invariant under CIND2 permutations: relations, the set of X/Y pairs, and
+// the Xp/Yp constant maps, all in sorted order. Facts in the engine are
+// deduplicated by this key.
+func canonKey(psi *cind.CIND) string {
+	pairs := make([]string, len(psi.X))
+	for i := range psi.X {
+		pairs[i] = psi.X[i] + "=" + psi.Y[i]
+	}
+	sort.Strings(pairs)
+	xp := mapEntries(xpMap(psi))
+	yp := mapEntries(ypMap(psi))
+	return psi.LHSRel + "[" + strings.Join(pairs, ",") + ";" + xp + "]->" +
+		psi.RHSRel + "[" + yp + "]"
+}
+
+func mapEntries(m map[string]string) string {
+	entries := make([]string, 0, len(m))
+	for k, v := range m {
+		entries = append(entries, k+":"+v)
+	}
+	sort.Strings(entries)
+	return strings.Join(entries, ",")
+}
+
+// canonicalize rewrites a normal-form CIND with pairs sorted by (X attr,
+// Y attr) and pattern lists sorted by attribute, so that structurally equal
+// facts are identical. Sound by CIND2 (projection with the full index set is
+// a permutation).
+func canonicalize(sch *schema.Schema, psi *cind.CIND) *cind.CIND {
+	type pair struct{ x, y string }
+	pairs := make([]pair, len(psi.X))
+	for i := range psi.X {
+		pairs[i] = pair{psi.X[i], psi.Y[i]}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].x != pairs[j].x {
+			return pairs[i].x < pairs[j].x
+		}
+		return pairs[i].y < pairs[j].y
+	})
+	x := make([]string, len(pairs))
+	y := make([]string, len(pairs))
+	for i, p := range pairs {
+		x[i], y[i] = p.x, p.y
+	}
+	xpM, ypM := xpMap(psi), ypMap(psi)
+	xp := sortedKeys(xpM)
+	yp := sortedKeys(ypM)
+	lhs := pattern.Wilds(len(x))
+	for _, a := range xp {
+		lhs = append(lhs, pattern.Sym(xpM[a]))
+	}
+	rhs := pattern.Wilds(len(y))
+	for _, a := range yp {
+		rhs = append(rhs, pattern.Sym(ypM[a]))
+	}
+	out, err := cind.New(sch, psi.ID, psi.LHSRel, x, xp, psi.RHSRel, y, yp,
+		[]cind.Row{{LHS: lhs, RHS: rhs}})
+	if err != nil {
+		// psi was valid; a pure reordering cannot invalidate it.
+		panic("inference: canonicalize broke validity: " + err.Error())
+	}
+	return out
+}
+
+func sortedKeys(m map[string]string) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Subsumes reports whether goal is derivable from psi using only the
+// single-premise rules CIND2 (projection/permutation), CIND4 (instantiate),
+// CIND5 (augment Xp) and CIND6 (reduce Yp). Both must be in normal form.
+//
+// The decision works pairwise on the embedded IND and the pattern maps:
+//
+//   - every X/Y pair of the goal must appear among psi's pairs (CIND2 keeps
+//     it, projection drops the rest);
+//   - every Xp constant of psi must appear identically in the goal (rules
+//     can only strengthen the LHS pattern, never weaken it);
+//   - every Yp entry (B, c) of the goal must come either from psi's Yp with
+//     the same constant, or from a CIND4 instantiation of an unused psi pair
+//     (A, B) — which forces (A, c) to be in the goal's Xp;
+//   - every remaining goal Xp entry is provided by CIND5 (for attributes
+//     not among the kept pairs) or by the instantiations above;
+//   - psi's extra Yp entries are dropped by CIND6.
+func Subsumes(psi, goal *cind.CIND) bool {
+	if !psi.IsNormal() || !goal.IsNormal() {
+		return false
+	}
+	if psi.LHSRel != goal.LHSRel || psi.RHSRel != goal.RHSRel {
+		return false
+	}
+	// Map goal pairs into psi pairs.
+	psiPair := map[string]int{} // "x=y" -> position
+	for i := range psi.X {
+		psiPair[psi.X[i]+"="+psi.Y[i]] = i
+	}
+	usedPair := make(map[int]bool, len(psi.X))
+	for i := range goal.X {
+		j, ok := psiPair[goal.X[i]+"="+goal.Y[i]]
+		if !ok || usedPair[j] {
+			return false
+		}
+		usedPair[j] = true
+	}
+	goalXp, goalYp := xpMap(goal), ypMap(goal)
+	psiXp, psiYp := xpMap(psi), ypMap(psi)
+
+	// psi's Xp must be a sub-map of goal's Xp.
+	for a, c := range psiXp {
+		if goalXp[a] != c {
+			return false
+		}
+	}
+	// Resolve goal's Yp entries.
+	instantiated := map[int]bool{}
+	for b, c := range goalYp {
+		if pc, ok := psiYp[b]; ok && pc == c {
+			continue // directly from psi's Yp
+		}
+		// Need CIND4 on an unused pair (A, b) with goal Xp[A] == c.
+		found := false
+		for j := range psi.X {
+			if usedPair[j] || instantiated[j] || psi.Y[j] != b {
+				continue
+			}
+			if gc, ok := goalXp[psi.X[j]]; ok && gc == c {
+				instantiated[j] = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			return false
+		}
+	}
+	// Remaining goal Xp entries must be coverable: either psi already has
+	// them (checked above as sub-map), or they come from an instantiated
+	// pair's X attribute, or CIND5 can add them — CIND5 requires the
+	// attribute not to sit among the *kept* pairs' X attributes.
+	keptX := map[string]bool{}
+	for i := range goal.X {
+		keptX[goal.X[i]] = true
+	}
+	instX := map[string]bool{}
+	for j := range instantiated {
+		instX[psi.X[j]] = true
+	}
+	for a := range goalXp {
+		if _, ok := psiXp[a]; ok {
+			continue
+		}
+		if instX[a] {
+			continue // produced by the CIND4 step
+		}
+		if keptX[a] {
+			return false // attribute already used as a main LHS attribute
+		}
+		// CIND5 adds it (goal validation guarantees the constant is in
+		// dom(a)). Note: if a belongs to a dropped, uninstantiated psi pair,
+		// projection removed it from X first, so CIND5 applies.
+	}
+	// Instantiated pairs put (X_j, c) into Xp — already required to be in
+	// goal's Xp — and (Y_j, c) into Yp — already matched. Everything else in
+	// psi's Yp is dropped by CIND6.
+	return true
+}

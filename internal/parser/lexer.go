@@ -1,0 +1,175 @@
+// Package parser implements a small text format for schemas, CFDs and
+// CINDs, so the command-line tools can read constraint files and round-trip
+// them. The grammar follows the paper's notation as closely as ASCII
+// allows:
+//
+//	# comment
+//	relation interest(ab, ct, at: finite(saving, checking), rt)
+//
+//	cfd phi3: interest(ct, at -> rt) {
+//	  (_, _ || _)
+//	  (UK, saving || "4.5%")
+//	}
+//
+//	cind psi6: checking[nil; ab] <= interest[nil; ab, at, ct, rt] {
+//	  (EDI || EDI, checking, UK, "1.5%")
+//	}
+//
+// Attribute domains are global by attribute name: declaring
+// "at: finite(saving, checking)" once gives every "at" column that finite
+// domain, which realises the paper's standing compatibility assumption
+// dom(Ai) ⊆ dom(Bi) for column-aligned schemas. Relations must be declared
+// before the constraints that use them.
+package parser
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind int
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokString // quoted
+	tokPunct  // ( ) [ ] { } , ; :
+	tokArrow  // ->
+	tokSubset // <=
+	tokBar    // ||
+)
+
+type token struct {
+	kind tokenKind
+	text string
+	line int
+}
+
+func (t token) String() string {
+	if t.kind == tokEOF {
+		return "end of input"
+	}
+	return fmt.Sprintf("%q", t.text)
+}
+
+// lexer tokenises the input. Identifiers are liberal: anything that is not
+// whitespace, punctuation or a comment starter, so bare tokens like 4.5% or
+// 212-5820844 work without quotes (quotes are needed for spaces and commas).
+type lexer struct {
+	src  string
+	pos  int
+	line int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src, line: 1} }
+
+func (l *lexer) peekByte() (byte, bool) {
+	if l.pos >= len(l.src) {
+		return 0, false
+	}
+	return l.src[l.pos], true
+}
+
+func (l *lexer) next() (token, error) {
+	for {
+		c, ok := l.peekByte()
+		if !ok {
+			return token{kind: tokEOF, line: l.line}, nil
+		}
+		switch {
+		case c == '\n':
+			l.line++
+			l.pos++
+		case unicode.IsSpace(rune(c)):
+			l.pos++
+		case c == '#':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		default:
+			goto scan
+		}
+	}
+scan:
+	c := l.src[l.pos]
+	start := l.line
+	switch {
+	case strings.IndexByte("()[]{},;:", c) >= 0:
+		l.pos++
+		return token{kind: tokPunct, text: string(c), line: start}, nil
+	case c == '|':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '|' {
+			l.pos += 2
+			return token{kind: tokBar, text: "||", line: start}, nil
+		}
+		return token{}, fmt.Errorf("line %d: single '|' (did you mean '||'?)", start)
+	case c == '-':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			l.pos += 2
+			return token{kind: tokArrow, text: "->", line: start}, nil
+		}
+		return l.scanIdent()
+	case c == '<':
+		if l.pos+1 < len(l.src) && l.src[l.pos+1] == '=' {
+			l.pos += 2
+			return token{kind: tokSubset, text: "<=", line: start}, nil
+		}
+		return token{}, fmt.Errorf("line %d: single '<' (did you mean '<='?)", start)
+	case c == '"':
+		return l.scanString()
+	default:
+		return l.scanIdent()
+	}
+}
+
+func (l *lexer) scanString() (token, error) {
+	start := l.line
+	l.pos++ // opening quote
+	var b strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch c {
+		case '"':
+			l.pos++
+			return token{kind: tokString, text: b.String(), line: start}, nil
+		case '\\':
+			if l.pos+1 < len(l.src) {
+				l.pos++
+				b.WriteByte(l.src[l.pos])
+				l.pos++
+				continue
+			}
+			return token{}, fmt.Errorf("line %d: dangling escape", start)
+		case '\n':
+			return token{}, fmt.Errorf("line %d: unterminated string", start)
+		default:
+			b.WriteByte(c)
+			l.pos++
+		}
+	}
+	return token{}, fmt.Errorf("line %d: unterminated string", start)
+}
+
+// identStop are the bytes that terminate a bare identifier.
+const identStop = "()[]{},;:|<\"# \t\r\n"
+
+func (l *lexer) scanIdent() (token, error) {
+	start := l.line
+	begin := l.pos
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if strings.IndexByte(identStop, c) >= 0 {
+			break
+		}
+		// "->" terminates an identifier, a lone '-' does not.
+		if c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '>' {
+			break
+		}
+		l.pos++
+	}
+	if l.pos == begin {
+		return token{}, fmt.Errorf("line %d: unexpected character %q", start, l.src[l.pos])
+	}
+	return token{kind: tokIdent, text: l.src[begin:l.pos], line: start}, nil
+}

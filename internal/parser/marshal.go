@@ -1,0 +1,115 @@
+package parser
+
+import (
+	"fmt"
+	"strings"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// Marshal renders a Spec in the parseable text format. Parse(Marshal(s))
+// yields an equivalent spec (round-trip property, tested).
+func Marshal(s *Spec) string {
+	var b strings.Builder
+	declared := map[string]bool{}
+	for _, r := range s.Schema.Relations() {
+		b.WriteString("relation " + r.Name() + "(")
+		for i, a := range r.Attrs() {
+			if i > 0 {
+				b.WriteString(", ")
+			}
+			b.WriteString(a.Name)
+			if a.Dom.IsFinite() && !declared[a.Name] {
+				b.WriteString(": finite(")
+				for k, v := range a.Dom.Values() {
+					if k > 0 {
+						b.WriteString(", ")
+					}
+					b.WriteString(quoteIfNeeded(v))
+				}
+				b.WriteString(")")
+				declared[a.Name] = true
+			}
+		}
+		b.WriteString(")\n")
+	}
+	for _, c := range s.CFDs {
+		b.WriteString("\n" + marshalCFD(c))
+	}
+	for _, c := range s.CINDs {
+		b.WriteString("\n" + marshalCIND(c))
+	}
+	return b.String()
+}
+
+func marshalCFD(c *cfd.CFD) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cfd %s: %s(%s -> %s) {\n", c.ID, c.Rel,
+		joinAttrs(c.X), joinAttrs(c.Y))
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "  (%s || %s)\n", joinSyms(r.LHS), joinSyms(r.RHS))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func marshalCIND(c *cind.CIND) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cind %s: %s[%s; %s] <= %s[%s; %s] {\n", c.ID,
+		c.LHSRel, listOrNil(c.X), listOrNil(c.Xp),
+		c.RHSRel, listOrNil(c.Y), listOrNil(c.Yp))
+	for _, r := range c.Rows {
+		fmt.Fprintf(&b, "  (%s || %s)\n", joinSyms(r.LHS), joinSyms(r.RHS))
+	}
+	b.WriteString("}\n")
+	return b.String()
+}
+
+func joinAttrs(attrs []string) string { return strings.Join(attrs, ", ") }
+
+func listOrNil(attrs []string) string {
+	if len(attrs) == 0 {
+		return "nil"
+	}
+	return strings.Join(attrs, ", ")
+}
+
+func joinSyms(tp pattern.Tuple) string {
+	parts := make([]string, len(tp))
+	for i, s := range tp {
+		if s.IsWild() {
+			parts[i] = "_"
+		} else {
+			parts[i] = quoteIfNeeded(s.Const())
+		}
+	}
+	return strings.Join(parts, ", ")
+}
+
+// quoteIfNeeded quotes a constant when a bare token would not survive the
+// lexer: punctuation, spaces, comment starters, a leading quote, the
+// wildcard spelling, or the reserved word nil.
+func quoteIfNeeded(v string) string {
+	if v == "" || v == "_" || v == "nil" {
+		return quote(v)
+	}
+	if strings.ContainsAny(v, identStop) || strings.Contains(v, "->") {
+		return quote(v)
+	}
+	return v
+}
+
+func quote(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return `"` + v + `"`
+}
+
+// BankSpec is a convenience: the paper's running example rendered in the
+// text format — used by documentation, tests and the quickstart example.
+func BankSpec(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND) string {
+	return Marshal(&Spec{Schema: sch, CFDs: cfds, CINDs: cinds})
+}

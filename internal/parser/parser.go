@@ -1,0 +1,407 @@
+package parser
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// Spec is a parsed constraint file: a schema plus the constraints over it.
+type Spec struct {
+	Schema *schema.Schema
+	CFDs   []*cfd.CFD
+	CINDs  []*cind.CIND
+}
+
+// Parse reads the textual format described in the package comment.
+func Parse(src string) (*Spec, error) {
+	p := &parser{lex: newLexer(src), domains: map[string]*schema.Domain{}}
+	if err := p.advance(); err != nil {
+		return nil, err
+	}
+	spec := &Spec{}
+	var rels []*schema.Relation
+	for p.tok.kind != tokEOF {
+		kw, err := p.ident("'relation', 'cfd' or 'cind'")
+		if err != nil {
+			return nil, err
+		}
+		switch kw {
+		case "relation":
+			r, err := p.relation()
+			if err != nil {
+				return nil, err
+			}
+			rels = append(rels, r)
+		case "cfd":
+			if err := p.ensureSchema(&spec.Schema, rels); err != nil {
+				return nil, err
+			}
+			c, err := p.cfd(spec.Schema)
+			if err != nil {
+				return nil, err
+			}
+			spec.CFDs = append(spec.CFDs, c)
+		case "cind":
+			if err := p.ensureSchema(&spec.Schema, rels); err != nil {
+				return nil, err
+			}
+			c, err := p.cind(spec.Schema)
+			if err != nil {
+				return nil, err
+			}
+			spec.CINDs = append(spec.CINDs, c)
+		default:
+			return nil, fmt.Errorf("line %d: unknown keyword %q", p.tok.line, kw)
+		}
+	}
+	if spec.Schema == nil {
+		if err := p.ensureSchema(&spec.Schema, rels); err != nil {
+			return nil, err
+		}
+	}
+	return spec, nil
+}
+
+type parser struct {
+	lex     *lexer
+	tok     token
+	domains map[string]*schema.Domain // by attribute name (global typing)
+}
+
+func (p *parser) advance() error {
+	t, err := p.lex.next()
+	if err != nil {
+		return err
+	}
+	p.tok = t
+	return nil
+}
+
+func (p *parser) ident(what string) (string, error) {
+	if p.tok.kind != tokIdent && p.tok.kind != tokString {
+		return "", fmt.Errorf("line %d: expected %s, got %s", p.tok.line, what, p.tok)
+	}
+	text := p.tok.text
+	return text, p.advance()
+}
+
+func (p *parser) expectPunct(s string) error {
+	if (p.tok.kind == tokPunct && p.tok.text == s) ||
+		(s == "->" && p.tok.kind == tokArrow) ||
+		(s == "<=" && p.tok.kind == tokSubset) ||
+		(s == "||" && p.tok.kind == tokBar) {
+		return p.advance()
+	}
+	return fmt.Errorf("line %d: expected %q, got %s", p.tok.line, s, p.tok)
+}
+
+func (p *parser) isPunct(s string) bool {
+	switch s {
+	case "->":
+		return p.tok.kind == tokArrow
+	case "<=":
+		return p.tok.kind == tokSubset
+	case "||":
+		return p.tok.kind == tokBar
+	default:
+		return p.tok.kind == tokPunct && p.tok.text == s
+	}
+}
+
+func (p *parser) ensureSchema(target **schema.Schema, rels []*schema.Relation) error {
+	if *target != nil {
+		return nil
+	}
+	if len(rels) == 0 {
+		return fmt.Errorf("no relations declared before the first constraint")
+	}
+	s, err := schema.New(rels...)
+	if err != nil {
+		return err
+	}
+	*target = s
+	return nil
+}
+
+// relation parses: NAME ( attr [: finite(v, ...)] , ... )
+func (p *parser) relation() (*schema.Relation, error) {
+	name, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	var attrs []schema.Attribute
+	for {
+		attrName, err := p.ident("attribute name")
+		if err != nil {
+			return nil, err
+		}
+		if p.isPunct(":") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			kw, err := p.ident("'finite'")
+			if err != nil {
+				return nil, err
+			}
+			if kw != "finite" {
+				return nil, fmt.Errorf("line %d: expected 'finite', got %q", p.tok.line, kw)
+			}
+			if err := p.expectPunct("("); err != nil {
+				return nil, err
+			}
+			var vals []string
+			for {
+				v, err := p.ident("domain value")
+				if err != nil {
+					return nil, err
+				}
+				vals = append(vals, v)
+				if p.isPunct(",") {
+					if err := p.advance(); err != nil {
+						return nil, err
+					}
+					continue
+				}
+				break
+			}
+			if err := p.expectPunct(")"); err != nil {
+				return nil, err
+			}
+			if prev, ok := p.domains[attrName]; ok && prev.IsFinite() {
+				// Re-declaration must agree.
+				if strings.Join(prev.Values(), ",") != strings.Join(sortedCopy(vals), ",") {
+					return nil, fmt.Errorf("attribute %s declared with conflicting finite domains", attrName)
+				}
+			} else {
+				p.domains[attrName] = schema.Finite(attrName, vals...)
+			}
+		} else if _, ok := p.domains[attrName]; !ok {
+			p.domains[attrName] = schema.Infinite(attrName)
+		}
+		attrs = append(attrs, schema.Attribute{Name: attrName, Dom: p.domains[attrName]})
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		break
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	return schema.NewRelation(name, attrs...)
+}
+
+func sortedCopy(vals []string) []string {
+	out := append([]string(nil), vals...)
+	sort.Strings(out)
+	return out
+}
+
+// attrList parses a comma-separated attribute list, where the single token
+// "nil" denotes the empty list.
+func (p *parser) attrList(stop string) ([]string, error) {
+	if p.tok.kind == tokIdent && p.tok.text == "nil" {
+		if err := p.advance(); err != nil {
+			return nil, err
+		}
+		return nil, nil
+	}
+	var out []string
+	for {
+		if p.isPunct(stop) && len(out) == 0 {
+			return nil, nil // empty list before the stop token
+		}
+		a, err := p.ident("attribute")
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		return out, nil
+	}
+}
+
+// symbols parses pattern symbols up to the stop punctuation: "_" is the
+// wildcard, anything else (identifier or quoted string) a constant.
+func (p *parser) symbols(stop string) (pattern.Tuple, error) {
+	var out pattern.Tuple
+	for !p.isPunct(stop) {
+		if p.tok.kind == tokIdent && p.tok.text == "_" {
+			out = append(out, pattern.Wild)
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		} else {
+			v, err := p.ident("pattern symbol")
+			if err != nil {
+				return nil, err
+			}
+			out = append(out, pattern.Sym(v))
+		}
+		if p.isPunct(",") {
+			if err := p.advance(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return out, nil
+}
+
+// cfd parses: [id:] REL ( X -> Y ) { (lhs || rhs) ... }
+func (p *parser) cfd(sch *schema.Schema) (*cfd.CFD, error) {
+	id, rel, err := p.idAndRel()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("("); err != nil {
+		return nil, err
+	}
+	x, err := p.attrList("->")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("->"); err != nil {
+		return nil, err
+	}
+	y, err := p.attrList(")")
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct(")"); err != nil {
+		return nil, err
+	}
+	rows, err := p.rows(func(lhs, rhs pattern.Tuple) interface{} {
+		return cfd.Row{LHS: lhs, RHS: rhs}
+	})
+	if err != nil {
+		return nil, err
+	}
+	cfdRows := make([]cfd.Row, len(rows))
+	for i, r := range rows {
+		cfdRows[i] = r.(cfd.Row)
+	}
+	return cfd.New(sch, id, rel, x, y, cfdRows)
+}
+
+// cind parses: [id:] REL1 [ X ; Xp ] <= REL2 [ Y ; Yp ] { (lhs || rhs) ... }
+func (p *parser) cind(sch *schema.Schema) (*cind.CIND, error) {
+	id, lhsRel, err := p.idAndRel()
+	if err != nil {
+		return nil, err
+	}
+	x, xp, err := p.bracketLists()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectPunct("<="); err != nil {
+		return nil, err
+	}
+	rhsRel, err := p.ident("relation name")
+	if err != nil {
+		return nil, err
+	}
+	y, yp, err := p.bracketLists()
+	if err != nil {
+		return nil, err
+	}
+	rows, err := p.rows(func(lhs, rhs pattern.Tuple) interface{} {
+		return cind.Row{LHS: lhs, RHS: rhs}
+	})
+	if err != nil {
+		return nil, err
+	}
+	cindRows := make([]cind.Row, len(rows))
+	for i, r := range rows {
+		cindRows[i] = r.(cind.Row)
+	}
+	return cind.New(sch, id, lhsRel, x, xp, rhsRel, y, yp, cindRows)
+}
+
+// idAndRel parses an optional "id:" prefix followed by a relation name.
+func (p *parser) idAndRel() (id, rel string, err error) {
+	first, err := p.ident("constraint id or relation name")
+	if err != nil {
+		return "", "", err
+	}
+	if p.isPunct(":") {
+		if err := p.advance(); err != nil {
+			return "", "", err
+		}
+		rel, err := p.ident("relation name")
+		return first, rel, err
+	}
+	return first, first, nil
+}
+
+// bracketLists parses "[ list ; list ]".
+func (p *parser) bracketLists() ([]string, []string, error) {
+	if err := p.expectPunct("["); err != nil {
+		return nil, nil, err
+	}
+	a, err := p.attrList(";")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expectPunct(";"); err != nil {
+		return nil, nil, err
+	}
+	b, err := p.attrList("]")
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := p.expectPunct("]"); err != nil {
+		return nil, nil, err
+	}
+	return a, b, nil
+}
+
+// rows parses "{ (syms || syms) ... }".
+func (p *parser) rows(mk func(lhs, rhs pattern.Tuple) interface{}) ([]interface{}, error) {
+	if err := p.expectPunct("{"); err != nil {
+		return nil, err
+	}
+	var out []interface{}
+	for !p.isPunct("}") {
+		if err := p.expectPunct("("); err != nil {
+			return nil, err
+		}
+		lhs, err := p.symbols("||")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct("||"); err != nil {
+			return nil, err
+		}
+		rhs, err := p.symbols(")")
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectPunct(")"); err != nil {
+			return nil, err
+		}
+		out = append(out, mk(lhs, rhs))
+	}
+	if err := p.expectPunct("}"); err != nil {
+		return nil, err
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("constraint has no pattern rows")
+	}
+	return out, nil
+}

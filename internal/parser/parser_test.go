@@ -1,0 +1,282 @@
+package parser
+
+import (
+	"strings"
+	"testing"
+
+	"cind/internal/bank"
+	cind "cind/internal/core"
+	"cind/internal/gen"
+)
+
+const sample = `
+# The paper's target schema and two constraints.
+relation saving(an, cn, ca, cp, ab)
+relation checking(an, cn, ca, cp, ab)
+relation interest(ab, ct, at: finite(saving, checking), rt)
+
+cfd phi3: interest(ct, at -> rt) {
+  (_, _ || _)
+  (UK, saving || "4.5%")
+  (UK, checking || "1.5%")
+}
+
+cind psi6: checking[nil; ab] <= interest[nil; ab, at, ct, rt] {
+  (EDI || EDI, checking, UK, "1.5%")
+  (NYC || NYC, checking, US, "1%")
+}
+
+cind psi3: saving[ab; nil] <= interest[ab; nil] {
+  (_ || _)
+}
+`
+
+func TestParseSample(t *testing.T) {
+	spec, err := Parse(sample)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Schema.Len() != 3 {
+		t.Fatalf("relations = %d", spec.Schema.Len())
+	}
+	at := spec.Schema.MustRelationByName("interest").Domain("at")
+	if !at.IsFinite() || at.Size() != 2 {
+		t.Fatalf("at domain = %v", at)
+	}
+	if len(spec.CFDs) != 1 || len(spec.CINDs) != 2 {
+		t.Fatalf("constraints = %d CFDs, %d CINDs", len(spec.CFDs), len(spec.CINDs))
+	}
+	phi3 := spec.CFDs[0]
+	if phi3.ID != "phi3" || phi3.Rel != "interest" || len(phi3.Rows) != 3 {
+		t.Fatalf("phi3 = %v", phi3)
+	}
+	psi6 := spec.CINDs[0]
+	if psi6.ID != "psi6" || psi6.LHSRel != "checking" || psi6.RHSRel != "interest" {
+		t.Fatalf("psi6 = %v", psi6)
+	}
+	if len(psi6.X) != 0 || len(psi6.Xp) != 1 || len(psi6.Yp) != 4 {
+		t.Fatalf("psi6 lists: X=%v Xp=%v Yp=%v", psi6.X, psi6.Xp, psi6.Yp)
+	}
+	psi3 := spec.CINDs[1]
+	if !psi3.IsTraditionalIND() {
+		t.Fatal("psi3 must parse as a traditional IND")
+	}
+}
+
+func TestSharedDomainAcrossRelations(t *testing.T) {
+	spec, err := Parse(`
+relation a(x, at: finite(u, v))
+relation b(y, at)
+cind c: a[nil; at] <= b[nil; at] { (u || u) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	da := spec.Schema.MustRelationByName("a").Domain("at")
+	db := spec.Schema.MustRelationByName("b").Domain("at")
+	if da != db {
+		t.Fatal("same-named attributes must share one domain")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		name, src string
+	}{
+		{"constraint before relation", `cfd c: R(a -> b) { (_ || _) }`},
+		{"unknown keyword", `frobnicate R(a)`},
+		{"missing arrow", `relation R(a, b)` + "\n" + `cfd c: R(a b) { (_ || _) }`},
+		{"no rows", `relation R(a, b)` + "\n" + `cfd c: R(a -> b) { }`},
+		{"single pipe", `relation R(a, b)` + "\n" + `cfd c: R(a -> b) { (_ | _) }`},
+		{"single lt", `relation R(a, b)` + "\n" + `cind c: R[a; nil] < R[b; nil] { (_ || _) }`},
+		{"unterminated string", `relation R(a, b)` + "\n" + `cfd c: R(a -> b) { ("x || _) }`},
+		{"conflicting finite redecl", "relation R(at: finite(u, v))\nrelation S(at: finite(p, q))\ncfd c: R(at -> at) { (_ || _) }"},
+		{"unknown relation", `relation R(a, b)` + "\n" + `cfd c: S(a -> b) { (_ || _) }`},
+		{"row width", `relation R(a, b)` + "\n" + `cfd c: R(a -> b) { (_, _ || _) }`},
+	}
+	for _, c := range cases {
+		if _, err := Parse(c.src); err == nil {
+			t.Errorf("%s: want error", c.name)
+		}
+	}
+}
+
+func TestQuotedConstants(t *testing.T) {
+	spec, err := Parse(`
+relation R(a, b)
+cfd c: R(a -> b) { ("NYC, 19087" || "va l") }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := spec.CFDs[0].Rows[0]
+	if row.LHS[0].Const() != "NYC, 19087" || row.RHS[0].Const() != "va l" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+func TestBareTokensWithSpecials(t *testing.T) {
+	spec, err := Parse(`
+relation R(a, b)
+cfd c: R(a -> b) { (4.5% || 212-5820844) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := spec.CFDs[0].Rows[0]
+	if row.LHS[0].Const() != "4.5%" || row.RHS[0].Const() != "212-5820844" {
+		t.Fatalf("row = %v", row)
+	}
+}
+
+// TestRoundTripBank marshals the paper's full running example and parses it
+// back; every constraint must survive with identical String() form modulo
+// the schema objects.
+func TestRoundTripBank(t *testing.T) {
+	sch := bank.Schema()
+	spec := &Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)}
+	text := Marshal(spec)
+
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatalf("round-trip parse failed: %v\n%s", err, text)
+	}
+	if back.Schema.Len() != sch.Len() {
+		t.Fatalf("schema size changed: %d vs %d", back.Schema.Len(), sch.Len())
+	}
+	if len(back.CFDs) != len(spec.CFDs) || len(back.CINDs) != len(spec.CINDs) {
+		t.Fatalf("constraint counts changed")
+	}
+	for i := range spec.CFDs {
+		if spec.CFDs[i].String() != back.CFDs[i].String() {
+			t.Errorf("CFD %d changed:\n%s\n%s", i, spec.CFDs[i], back.CFDs[i])
+		}
+	}
+	for i := range spec.CINDs {
+		if spec.CINDs[i].String() != back.CINDs[i].String() {
+			t.Errorf("CIND %d changed:\n%s\n%s", i, spec.CINDs[i], back.CINDs[i])
+		}
+	}
+}
+
+// TestRoundTripSemantics: the reparsed bank constraints behave identically
+// on the Fig 1 data (ψ6 still catches t10).
+func TestRoundTripSemantics(t *testing.T) {
+	sch := bank.Schema()
+	text := Marshal(&Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)})
+	back, err := Parse(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := bank.Data(back.Schema)
+	var psi6 *cind.CIND
+	for _, c := range back.CINDs {
+		if c.ID == "psi6" {
+			psi6 = c
+		}
+	}
+	if psi6 == nil {
+		t.Fatal("psi6 lost in round-trip")
+	}
+	viols := psi6.Violations(db)
+	if len(viols) != 1 {
+		t.Fatalf("reparsed ψ6 found %d violations, want 1", len(viols))
+	}
+}
+
+func TestMarshalQuoting(t *testing.T) {
+	for v, want := range map[string]string{
+		"plain":      "plain",
+		"4.5%":       "4.5%",
+		"NYC, 19087": `"NYC, 19087"`,
+		"_":          `"_"`,
+		"nil":        `"nil"`,
+		"":           `""`,
+		`with"quote`: `"with\"quote"`,
+		"a->b":       `"a->b"`,
+	} {
+		if got := quoteIfNeeded(v); got != want {
+			t.Errorf("quoteIfNeeded(%q) = %s, want %s", v, got, want)
+		}
+	}
+}
+
+// TestEmptyListsWithoutNilKeyword: `[; ab]` and `[ab; ]` parse like their
+// explicit-nil forms.
+func TestEmptyListsWithoutNilKeyword(t *testing.T) {
+	spec, err := Parse(`
+relation R(a, b)
+relation S(c, d)
+cind c1: R[; a] <= S[; c] { (x || y) }
+cind c2: R[a; ] <= S[c; ] { (_ || _) }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c1, c2 := spec.CINDs[0], spec.CINDs[1]
+	if len(c1.X) != 0 || len(c1.Xp) != 1 {
+		t.Fatalf("c1 lists: X=%v Xp=%v", c1.X, c1.Xp)
+	}
+	if len(c2.X) != 1 || len(c2.Xp) != 0 {
+		t.Fatalf("c2 lists: X=%v Xp=%v", c2.X, c2.Xp)
+	}
+}
+
+func TestParseEmptyInput(t *testing.T) {
+	if _, err := Parse(""); err == nil {
+		t.Fatal("empty input has no relations and must fail")
+	}
+	if _, err := Parse("# only a comment\n"); err == nil {
+		t.Fatal("comment-only input must fail")
+	}
+}
+
+func TestRelationOnlyFile(t *testing.T) {
+	spec, err := Parse("relation R(a, b)\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Schema.Len() != 1 || len(spec.CFDs)+len(spec.CINDs) != 0 {
+		t.Fatal("relation-only file must parse to a bare schema")
+	}
+}
+
+// TestRoundTripGeneratedWorkloads: Marshal∘Parse is the identity on the
+// String() forms across random generated workloads — the property that
+// makes cindgen | cindcheck a reliable pipeline.
+func TestRoundTripGeneratedWorkloads(t *testing.T) {
+	for seed := int64(1); seed <= 6; seed++ {
+		w := gen.New(gen.Config{Relations: 5, MaxAttrs: 6, F: 0.4, FinDomMax: 5,
+			Card: 40, Seed: seed})
+		text := Marshal(&Spec{Schema: w.Schema, CFDs: w.CFDs, CINDs: w.CINDs})
+		back, err := Parse(text)
+		if err != nil {
+			t.Fatalf("seed %d: %v\n%s", seed, err, text)
+		}
+		if len(back.CFDs) != len(w.CFDs) || len(back.CINDs) != len(w.CINDs) {
+			t.Fatalf("seed %d: counts changed", seed)
+		}
+		for i := range w.CFDs {
+			if back.CFDs[i].String() != w.CFDs[i].String() {
+				t.Fatalf("seed %d: CFD %d changed:\n%s\n%s", seed, i, w.CFDs[i], back.CFDs[i])
+			}
+		}
+		for i := range w.CINDs {
+			if back.CINDs[i].String() != w.CINDs[i].String() {
+				t.Fatalf("seed %d: CIND %d changed:\n%s\n%s", seed, i, w.CINDs[i], back.CINDs[i])
+			}
+		}
+	}
+}
+
+func TestMarshalOutputStable(t *testing.T) {
+	sch := bank.Schema()
+	a := Marshal(&Spec{Schema: sch, CINDs: []*cind.CIND{bank.Psi6(sch)}})
+	b := Marshal(&Spec{Schema: sch, CINDs: []*cind.CIND{bank.Psi6(sch)}})
+	if a != b {
+		t.Fatal("Marshal must be deterministic")
+	}
+	if !strings.Contains(a, "cind psi6: checking[nil; ab] <= interest[nil; ab, at, ct, rt] {") {
+		t.Fatalf("unexpected marshal output:\n%s", a)
+	}
+}

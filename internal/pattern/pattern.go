@@ -1,0 +1,157 @@
+// Package pattern implements the pattern tableaux shared by CFDs and CINDs
+// (Section 2 of the paper): tuples over an attribute list whose fields are
+// either constants or the unnamed variable '_', together with the match
+// order ≍.
+//
+// The order ≍ is defined by: η1 ≍ η2 iff η1 = η2, or η1 is a data value and
+// η2 is '_'. Section 5.1 extends it to chase variables: v ≍ '_' for every
+// variable v, but v 6≍ a for every constant a.
+package pattern
+
+import (
+	"strings"
+
+	"cind/internal/types"
+)
+
+// Symbol is one field of a pattern tuple: a constant or the wildcard '_'.
+// The zero Symbol is the wildcard, so pattern tuples start maximally
+// permissive.
+type Symbol struct {
+	isConst bool
+	val     string
+}
+
+// Wild is the unnamed variable '_'.
+var Wild = Symbol{}
+
+// Sym returns the constant pattern symbol 'a'.
+func Sym(a string) Symbol { return Symbol{isConst: true, val: a} }
+
+// IsWild reports whether the symbol is '_'.
+func (s Symbol) IsWild() bool { return !s.isConst }
+
+// IsConst reports whether the symbol is a constant.
+func (s Symbol) IsConst() bool { return s.isConst }
+
+// Const returns the constant payload; it panics on the wildcard.
+func (s Symbol) Const() string {
+	if !s.isConst {
+		panic("pattern: Const called on wildcard")
+	}
+	return s.val
+}
+
+// Matches reports v ≍ s. The wildcard matches every value, including chase
+// variables; a constant symbol matches only the equal constant. In
+// particular a chase variable never matches a constant symbol (v 6≍ a).
+func (s Symbol) Matches(v types.Value) bool {
+	if !s.isConst {
+		return true
+	}
+	return v.IsConst() && v.Str() == s.val
+}
+
+// Eq reports symbol identity ('_' equals only '_').
+func (s Symbol) Eq(t Symbol) bool { return s == t }
+
+// String renders the symbol as the paper does: '_' or the constant.
+func (s Symbol) String() string {
+	if !s.isConst {
+		return "_"
+	}
+	return s.val
+}
+
+// Tuple is a pattern tuple: a sequence of symbols aligned with some
+// attribute list (the owner of the tuple knows which).
+type Tuple []Symbol
+
+// Tup builds a pattern tuple from symbols.
+func Tup(syms ...Symbol) Tuple { return Tuple(syms) }
+
+// Wilds returns a pattern tuple of n wildcards.
+func Wilds(n int) Tuple {
+	t := make(Tuple, n)
+	return t // zero Symbol is Wild
+}
+
+// Matches reports whether the value tuple vs matches tp field by field:
+// vs ≍ tp. The two tuples must have equal length.
+func (tp Tuple) Matches(vs []types.Value) bool {
+	if len(vs) != len(tp) {
+		panic("pattern: length mismatch in Matches")
+	}
+	for i, s := range tp {
+		if !s.Matches(vs[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Eq reports field-wise symbol identity.
+func (tp Tuple) Eq(other Tuple) bool {
+	if len(tp) != len(other) {
+		return false
+	}
+	for i := range tp {
+		if tp[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// AllWild reports whether every field is '_' — the shape that makes a CIND a
+// traditional IND and a CFD a traditional FD.
+func (tp Tuple) AllWild() bool {
+	for _, s := range tp {
+		if s.isConst {
+			return false
+		}
+	}
+	return true
+}
+
+// Constants returns the set of constant payloads appearing in the tuple.
+func (tp Tuple) Constants() []string {
+	var out []string
+	for _, s := range tp {
+		if s.isConst {
+			out = append(out, s.val)
+		}
+	}
+	return out
+}
+
+// Clone returns an independent copy.
+func (tp Tuple) Clone() Tuple {
+	out := make(Tuple, len(tp))
+	copy(out, tp)
+	return out
+}
+
+// String renders "(a, _, b)".
+func (tp Tuple) String() string {
+	parts := make([]string, len(tp))
+	for i, s := range tp {
+		parts[i] = s.String()
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}
+
+// SubsumedBy reports whether tp is matched by the (more general) pattern q:
+// every value tuple matching tp also matches q. That holds iff q is
+// field-wise either '_' or equal to tp's constant.
+func (tp Tuple) SubsumedBy(q Tuple) bool {
+	if len(tp) != len(q) {
+		return false
+	}
+	for i := range tp {
+		if q[i].isConst && q[i] != tp[i] {
+			return false
+		}
+	}
+	return true
+}

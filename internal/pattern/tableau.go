@@ -1,0 +1,104 @@
+package pattern
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Tableau is a pattern tableau: rows of pattern tuples over a fixed
+// attribute list. CFDs and CINDs both carry one; the split between LHS and
+// RHS attributes is owned by the constraint, not the tableau.
+type Tableau struct {
+	Attrs []string
+	Rows  []Tuple
+}
+
+// NewTableau builds a tableau, validating that every row has one symbol per
+// attribute.
+func NewTableau(attrs []string, rows ...Tuple) (*Tableau, error) {
+	for i, row := range rows {
+		if len(row) != len(attrs) {
+			return nil, fmt.Errorf("pattern: row %d has %d symbols for %d attributes", i, len(row), len(attrs))
+		}
+	}
+	return &Tableau{Attrs: attrs, Rows: rows}, nil
+}
+
+// MustTableau is NewTableau for statically well-formed tableaux.
+func MustTableau(attrs []string, rows ...Tuple) *Tableau {
+	t, err := NewTableau(attrs, rows...)
+	if err != nil {
+		panic(err)
+	}
+	return t
+}
+
+// Index returns the position of the named attribute.
+func (t *Tableau) Index(attr string) (int, bool) {
+	for i, a := range t.Attrs {
+		if a == attr {
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Project returns, for each row, the symbols at the named attributes, in the
+// order given. Unknown attributes panic: tableau construction is validated
+// against the constraint's attribute lists.
+func (t *Tableau) Project(attrs []string) []Tuple {
+	idx := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := t.Index(a)
+		if !ok {
+			panic("pattern: tableau has no attribute " + a)
+		}
+		idx[i] = j
+	}
+	out := make([]Tuple, len(t.Rows))
+	for r, row := range t.Rows {
+		proj := make(Tuple, len(idx))
+		for i, j := range idx {
+			proj[i] = row[j]
+		}
+		out[r] = proj
+	}
+	return out
+}
+
+// Constants returns all constants appearing anywhere in the tableau.
+func (t *Tableau) Constants() []string {
+	var out []string
+	for _, row := range t.Rows {
+		out = append(out, row.Constants()...)
+	}
+	return out
+}
+
+// Clone returns a deep copy.
+func (t *Tableau) Clone() *Tableau {
+	rows := make([]Tuple, len(t.Rows))
+	for i, r := range t.Rows {
+		rows[i] = r.Clone()
+	}
+	attrs := make([]string, len(t.Attrs))
+	copy(attrs, t.Attrs)
+	return &Tableau{Attrs: attrs, Rows: rows}
+}
+
+// String renders the tableau in the paper's tabular style, e.g.
+//
+//	[ab, at | rt]: (EDI, saving | 4.5%), (NYC, saving | 4%)
+//
+// (the '|' split is not known to the tableau, so rows print flat).
+func (t *Tableau) String() string {
+	var b strings.Builder
+	b.WriteString("[" + strings.Join(t.Attrs, ", ") + "]:")
+	for i, r := range t.Rows {
+		if i > 0 {
+			b.WriteString(",")
+		}
+		b.WriteString(" " + r.String())
+	}
+	return b.String()
+}

@@ -1,0 +1,252 @@
+// Package repair implements constraint-driven data repair — the application
+// the paper motivates throughout (Example 1.2; the related work on
+// "repairing is to find another database that is consistent and minimally
+// differs from the original" [8, 13]). It is a pragmatic, deterministic
+// repair in the spirit of the cost-based value-modification heuristic of
+// [8], extended with CIND-driven insertions:
+//
+//   - a CFD violation with a constant RHS pattern is repaired by writing the
+//     pattern constant into the offending attribute (single tuple), or into
+//     both tuples of an offending pair;
+//   - a CFD pair violation with a wildcard RHS pattern is repaired by
+//     copying the first tuple's value into the second (first-writer-wins);
+//   - a CIND violation is repaired by inserting the required RHS tuple: the
+//     embedded values are copied, the Yp pattern constants are written, and
+//     the remaining attributes receive placeholder values (a fresh value of
+//     an infinite domain, the first value of a finite one).
+//
+// Passes repeat until the database is clean or the pass budget runs out —
+// repairs can cascade (an inserted tuple may violate a CFD) and can even
+// ping-pong when Σ itself is inconsistent, which the budget converts into a
+// reported failure instead of divergence.
+package repair
+
+import (
+	"fmt"
+	"strings"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/schema"
+	"cind/internal/types"
+)
+
+// Kind classifies one repair action.
+type Kind int
+
+const (
+	// Modify rewrote attribute values of an existing tuple.
+	Modify Kind = iota
+	// Insert added a tuple demanded by a CIND.
+	Insert
+)
+
+func (k Kind) String() string {
+	if k == Insert {
+		return "insert"
+	}
+	return "modify"
+}
+
+// Change records one repair action.
+type Change struct {
+	Kind       Kind
+	Rel        string
+	Constraint string
+	Before     instance.Tuple // nil for Insert
+	After      instance.Tuple
+}
+
+// String renders the change for reports.
+func (c Change) String() string {
+	if c.Kind == Insert {
+		return fmt.Sprintf("insert %v into %s (for %s)", c.After, c.Rel, c.Constraint)
+	}
+	return fmt.Sprintf("modify %s: %v -> %v (for %s)", c.Rel, c.Before, c.After, c.Constraint)
+}
+
+// Result is the outcome of a repair run.
+type Result struct {
+	// DB is the repaired copy; the input database is never mutated.
+	DB *instance.Database
+	// Changes lists every action in application order.
+	Changes []Change
+	// Clean reports whether the repaired copy satisfies every constraint.
+	Clean bool
+	// Passes is the number of repair passes executed.
+	Passes int
+}
+
+// String summarises the run.
+func (r *Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "repair: %d change(s) in %d pass(es), clean=%v", len(r.Changes), r.Passes, r.Clean)
+	for _, c := range r.Changes {
+		b.WriteString("\n  " + c.String())
+	}
+	return b.String()
+}
+
+// Options bounds the repair loop.
+type Options struct {
+	// MaxPasses caps repair passes (default 10).
+	MaxPasses int
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxPasses <= 0 {
+		o.MaxPasses = 10
+	}
+	return o
+}
+
+// Repair produces a repaired copy of db with respect to the given CFDs and
+// CINDs. Constraints are normalised internally. The repair is sound (every
+// change is forced by a concrete violation) but heuristic: when Σ is
+// inconsistent no repair exists, and the result reports Clean == false.
+func Repair(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{DB: db.Clone()}
+	normCFDs := cfd.NormalizeAll(cfds)
+	normCINDs := cind.NormalizeAll(cinds)
+	var gen types.VarGen // only for unique placeholder naming
+
+	for res.Passes = 0; res.Passes < opts.MaxPasses; res.Passes++ {
+		changed := false
+		for _, c := range normCFDs {
+			if repairCFD(res, c) {
+				changed = true
+			}
+		}
+		for _, c := range normCINDs {
+			if repairCIND(res, c, &gen) {
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+	}
+	res.Clean = cfd.SatisfiedAll(normCFDs, res.DB) && cind.SatisfiedAll(normCINDs, res.DB)
+	return res
+}
+
+// repairCFD fixes the first batch of violations of one normal-form CFD.
+// Returns whether anything changed.
+func repairCFD(res *Result, c *cfd.CFD) bool {
+	viols := c.Violations(res.DB)
+	if len(viols) == 0 {
+		return false
+	}
+	rel := res.DB.Instance(c.Rel).Relation()
+	ai, _ := rel.Index(c.Y[0])
+	rhs := c.Rows[0].RHS[0]
+	changed := false
+	for _, v := range viols {
+		if rhs.IsConst() {
+			want := types.C(rhs.Const())
+			changed = res.modify(c, v.T1, ai, want) || changed
+			if !v.T1.Eq(v.T2) {
+				changed = res.modify(c, v.T2, ai, want) || changed
+			}
+			continue
+		}
+		// Wildcard RHS: a genuine pair conflict; copy T1's value into T2.
+		if !v.T1.Eq(v.T2) {
+			changed = res.modify(c, v.T2, ai, v.T1[ai]) || changed
+		}
+	}
+	return changed
+}
+
+// modify rewrites one attribute of one tuple in place, recording the
+// change. The instance is rebuilt to keep set semantics intact.
+func (r *Result) modify(c *cfd.CFD, target instance.Tuple, ai int, val types.Value) bool {
+	if target[ai].Eq(val) {
+		return false
+	}
+	in := r.DB.Instance(c.Rel)
+	rebuilt := instance.NewInstance(in.Relation())
+	var before, after instance.Tuple
+	for _, t := range in.Tuples() {
+		if before == nil && t.Eq(target) {
+			before = t.Clone()
+			mod := t.Clone()
+			mod[ai] = val
+			after = mod
+			rebuilt.Insert(mod)
+			continue
+		}
+		rebuilt.Insert(t)
+	}
+	if before == nil {
+		return false // already rewritten earlier in this pass
+	}
+	replaceInstance(r.DB, c.Rel, rebuilt)
+	r.Changes = append(r.Changes, Change{
+		Kind: Modify, Rel: c.Rel, Constraint: c.ID, Before: before, After: after,
+	})
+	return true
+}
+
+// repairCIND inserts the tuples demanded by one normal-form CIND's
+// violations. Returns whether anything changed.
+func repairCIND(res *Result, c *cind.CIND, gen *types.VarGen) bool {
+	viols := c.Violations(res.DB)
+	if len(viols) == 0 {
+		return false
+	}
+	src := res.DB.Instance(c.LHSRel).Relation()
+	dst := res.DB.Instance(c.RHSRel).Relation()
+	ypPat := c.YpPattern()
+	changed := false
+	for _, v := range viols {
+		tb := make(instance.Tuple, dst.Arity())
+		filled := make([]bool, dst.Arity())
+		for i, a := range c.Y {
+			j, _ := dst.Index(a)
+			k, _ := src.Index(c.X[i])
+			tb[j] = v.T[k]
+			filled[j] = true
+		}
+		for i, a := range c.Yp {
+			j, _ := dst.Index(a)
+			tb[j] = types.C(ypPat[i].Const())
+			filled[j] = true
+		}
+		for j, a := range dst.Attrs() {
+			if filled[j] {
+				continue
+			}
+			tb[j] = types.C(placeholder(a.Dom, gen))
+		}
+		if res.DB.Instance(c.RHSRel).Insert(tb) {
+			res.Changes = append(res.Changes, Change{
+				Kind: Insert, Rel: c.RHSRel, Constraint: c.ID, After: tb,
+			})
+			changed = true
+		}
+	}
+	return changed
+}
+
+// placeholder picks a value for an attribute the constraint leaves open.
+func placeholder(d *schema.Domain, gen *types.VarGen) string {
+	if d.IsFinite() {
+		return d.Values()[0]
+	}
+	v := gen.Fresh("fill")
+	return fmt.Sprintf("⊥%s%d", d.Name(), v.VarID())
+}
+
+// replaceInstance swaps a rebuilt instance into the database. Database has
+// no public instance-replacement API (the chase never needs one), so the
+// swap copies tuples through the existing surface.
+func replaceInstance(db *instance.Database, rel string, rebuilt *instance.Instance) {
+	in := db.Instance(rel)
+	in.Reset()
+	for _, t := range rebuilt.Tuples() {
+		in.Insert(t)
+	}
+}

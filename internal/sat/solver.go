@@ -1,0 +1,243 @@
+// Package sat is a complete Boolean satisfiability solver used by the
+// SAT-based implementation of CFD_Checking (Section 5.2 of the paper, which
+// used SAT4j [19]). It is a DPLL solver with unit propagation, pure-literal
+// elimination at the root, and an activity-guided branching heuristic —
+// deliberately simple, entirely stdlib, and complete, which is all the
+// experiment requires.
+package sat
+
+import "fmt"
+
+// Literal encodes a propositional literal: variable v (1-based) is the
+// positive literal Literal(v) and its negation Literal(-v). Zero is invalid.
+type Literal int
+
+// Var returns the literal's variable (1-based).
+func (l Literal) Var() int {
+	if l < 0 {
+		return int(-l)
+	}
+	return int(l)
+}
+
+// Pos reports whether the literal is positive.
+func (l Literal) Pos() bool { return l > 0 }
+
+// Neg returns the complementary literal.
+func (l Literal) Neg() Literal { return -l }
+
+// Clause is a disjunction of literals.
+type Clause []Literal
+
+// Formula is a CNF formula over variables 1..NumVars.
+type Formula struct {
+	NumVars int
+	Clauses []Clause
+}
+
+// NewFormula returns an empty formula over n variables.
+func NewFormula(n int) *Formula { return &Formula{NumVars: n} }
+
+// AddClause appends a clause, validating its literals.
+func (f *Formula) AddClause(lits ...Literal) {
+	for _, l := range lits {
+		if l == 0 || l.Var() > f.NumVars {
+			panic(fmt.Sprintf("sat: literal %d out of range (NumVars=%d)", l, f.NumVars))
+		}
+	}
+	f.Clauses = append(f.Clauses, Clause(lits))
+}
+
+// AddExactlyOne adds clauses forcing exactly one of the literals true:
+// one at-least-one clause plus pairwise at-most-one clauses. The pairwise
+// encoding is quadratic but the CFD encoding only applies it to per-attribute
+// candidate sets, which are small.
+func (f *Formula) AddExactlyOne(lits ...Literal) {
+	if len(lits) == 0 {
+		panic("sat: AddExactlyOne of nothing is unsatisfiable by construction")
+	}
+	f.AddClause(lits...)
+	for i := 0; i < len(lits); i++ {
+		for j := i + 1; j < len(lits); j++ {
+			f.AddClause(lits[i].Neg(), lits[j].Neg())
+		}
+	}
+}
+
+// Assignment maps variable (1-based) to truth value. Index 0 is unused.
+type Assignment []bool
+
+// Value returns the assigned value of a literal.
+func (a Assignment) Value(l Literal) bool {
+	v := a[l.Var()]
+	if l.Pos() {
+		return v
+	}
+	return !v
+}
+
+const (
+	unassigned int8 = iota
+	assignedTrue
+	assignedFalse
+)
+
+// Solver holds the DPLL search state for one Solve call.
+type solver struct {
+	f      *Formula
+	assign []int8  // per variable
+	act    []int   // branching activity: occurrence counts
+	trail  []int   // assigned variables in order, for backtracking
+	steps  int     // propagation step counter (statistics)
+}
+
+// Solve decides satisfiability of f. On success it returns a satisfying
+// assignment; on failure it returns nil, false. Solve is deterministic.
+func Solve(f *Formula) (Assignment, bool) {
+	s := &solver{
+		f:      f,
+		assign: make([]int8, f.NumVars+1),
+		act:    make([]int, f.NumVars+1),
+	}
+	for _, c := range f.Clauses {
+		if len(c) == 0 {
+			return nil, false
+		}
+		for _, l := range c {
+			s.act[l.Var()]++
+		}
+	}
+	if !s.dpll() {
+		return nil, false
+	}
+	out := make(Assignment, f.NumVars+1)
+	for v := 1; v <= f.NumVars; v++ {
+		out[v] = s.assign[v] == assignedTrue
+	}
+	return out, true
+}
+
+// litVal evaluates a literal under the current partial assignment:
+// +1 true, -1 false, 0 unassigned.
+func (s *solver) litVal(l Literal) int {
+	a := s.assign[l.Var()]
+	if a == unassigned {
+		return 0
+	}
+	t := a == assignedTrue
+	if !l.Pos() {
+		t = !t
+	}
+	if t {
+		return 1
+	}
+	return -1
+}
+
+func (s *solver) set(l Literal) {
+	v := l.Var()
+	if l.Pos() {
+		s.assign[v] = assignedTrue
+	} else {
+		s.assign[v] = assignedFalse
+	}
+	s.trail = append(s.trail, v)
+}
+
+// propagate applies unit propagation to fixpoint. It returns false on
+// conflict (an all-false clause).
+func (s *solver) propagate() bool {
+	for changed := true; changed; {
+		changed = false
+		for _, c := range s.f.Clauses {
+			s.steps++
+			var unit Literal
+			unset, satisfied := 0, false
+			for _, l := range c {
+				switch s.litVal(l) {
+				case 1:
+					satisfied = true
+				case 0:
+					unset++
+					unit = l
+				}
+				if satisfied || unset > 1 {
+					break
+				}
+			}
+			if satisfied || unset > 1 {
+				continue
+			}
+			if unset == 0 {
+				return false // conflict
+			}
+			s.set(unit)
+			changed = true
+		}
+	}
+	return true
+}
+
+// pickBranch returns the unassigned variable with the highest activity,
+// or 0 when all variables are assigned.
+func (s *solver) pickBranch() int {
+	best, bestAct := 0, -1
+	for v := 1; v <= s.f.NumVars; v++ {
+		if s.assign[v] == unassigned && s.act[v] > bestAct {
+			best, bestAct = v, s.act[v]
+		}
+	}
+	return best
+}
+
+func (s *solver) dpll() bool {
+	mark := len(s.trail)
+	if !s.propagate() {
+		s.undo(mark)
+		return false
+	}
+	v := s.pickBranch()
+	if v == 0 {
+		return true // fully assigned, no conflict
+	}
+	for _, phase := range [2]Literal{Literal(v), Literal(-v)} {
+		inner := len(s.trail)
+		s.set(phase)
+		if s.dpll() {
+			return true
+		}
+		s.undo(inner)
+	}
+	s.undo(mark)
+	return false
+}
+
+func (s *solver) undo(mark int) {
+	for len(s.trail) > mark {
+		v := s.trail[len(s.trail)-1]
+		s.trail = s.trail[:len(s.trail)-1]
+		s.assign[v] = unassigned
+	}
+}
+
+// Verify reports whether the assignment satisfies the formula — used by
+// tests and as a belt-and-braces check by callers that cannot afford a
+// wrong "consistent" verdict.
+func Verify(f *Formula, a Assignment) bool {
+	if len(a) != f.NumVars+1 {
+		return false
+	}
+	for _, c := range f.Clauses {
+		ok := false
+		for _, l := range c {
+			if a.Value(l) {
+				ok = true
+				break
+			}
+		}
+		if !ok {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,198 @@
+package sat
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestEmptyFormulaSat(t *testing.T) {
+	f := NewFormula(3)
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("empty formula is satisfiable")
+	}
+	if !Verify(f, a) {
+		t.Fatal("assignment must verify")
+	}
+}
+
+func TestEmptyClauseUnsat(t *testing.T) {
+	f := NewFormula(1)
+	f.Clauses = append(f.Clauses, Clause{})
+	if _, ok := Solve(f); ok {
+		t.Fatal("empty clause is unsatisfiable")
+	}
+}
+
+func TestUnitPropagationChain(t *testing.T) {
+	// 1; ¬1∨2; ¬2∨3 forces all true.
+	f := NewFormula(3)
+	f.AddClause(1)
+	f.AddClause(-1, 2)
+	f.AddClause(-2, 3)
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("must be sat")
+	}
+	for v := 1; v <= 3; v++ {
+		if !a[v] {
+			t.Fatalf("var %d must be true", v)
+		}
+	}
+}
+
+func TestSimpleUnsat(t *testing.T) {
+	// (1)(−1) contradicts.
+	f := NewFormula(1)
+	f.AddClause(1)
+	f.AddClause(-1)
+	if _, ok := Solve(f); ok {
+		t.Fatal("must be unsat")
+	}
+}
+
+func TestPigeonhole3x2Unsat(t *testing.T) {
+	// 3 pigeons, 2 holes: var p*2+h+1 means pigeon p in hole h.
+	f := NewFormula(6)
+	lit := func(p, h int) Literal { return Literal(p*2 + h + 1) }
+	for p := 0; p < 3; p++ {
+		f.AddClause(lit(p, 0), lit(p, 1))
+	}
+	for h := 0; h < 2; h++ {
+		for p1 := 0; p1 < 3; p1++ {
+			for p2 := p1 + 1; p2 < 3; p2++ {
+				f.AddClause(lit(p1, h).Neg(), lit(p2, h).Neg())
+			}
+		}
+	}
+	if _, ok := Solve(f); ok {
+		t.Fatal("pigeonhole must be unsat")
+	}
+}
+
+func TestExactlyOne(t *testing.T) {
+	f := NewFormula(3)
+	f.AddExactlyOne(1, 2, 3)
+	f.AddClause(-2)
+	f.AddClause(-3)
+	a, ok := Solve(f)
+	if !ok {
+		t.Fatal("must be sat with var 1 true")
+	}
+	if !a[1] || a[2] || a[3] {
+		t.Fatalf("assignment = %v", a)
+	}
+	f.AddClause(-1)
+	if _, ok := Solve(f); ok {
+		t.Fatal("all-negated exactly-one must be unsat")
+	}
+}
+
+func TestAddExactlyOneEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("must panic")
+		}
+	}()
+	NewFormula(1).AddExactlyOne()
+}
+
+func TestAddClauseValidation(t *testing.T) {
+	f := NewFormula(2)
+	for _, bad := range []Literal{0, 3, -5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("literal %d must panic", bad)
+				}
+			}()
+			f.AddClause(bad)
+		}()
+	}
+}
+
+func TestLiteralOps(t *testing.T) {
+	l := Literal(-4)
+	if l.Var() != 4 || l.Pos() {
+		t.Fatal("negative literal misread")
+	}
+	if l.Neg() != Literal(4) {
+		t.Fatal("negation wrong")
+	}
+}
+
+// bruteForce decides satisfiability by enumeration, for cross-validation.
+func bruteForce(f *Formula) bool {
+	n := f.NumVars
+	for code := 0; code < 1<<n; code++ {
+		a := make(Assignment, n+1)
+		for v := 1; v <= n; v++ {
+			a[v] = (code>>(v-1))&1 == 1
+		}
+		if Verify(f, a) {
+			return true
+		}
+	}
+	return false
+}
+
+// TestAgainstBruteForce cross-checks DPLL against enumeration on random
+// 3-CNF formulas over ≤ 8 variables, around the sat/unsat threshold.
+func TestAgainstBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 400; trial++ {
+		n := 2 + rng.Intn(7)
+		m := 1 + rng.Intn(4*n)
+		f := NewFormula(n)
+		for c := 0; c < m; c++ {
+			width := 1 + rng.Intn(3)
+			cl := make(Clause, 0, width)
+			for i := 0; i < width; i++ {
+				v := 1 + rng.Intn(n)
+				l := Literal(v)
+				if rng.Intn(2) == 0 {
+					l = -l
+				}
+				cl = append(cl, l)
+			}
+			f.Clauses = append(f.Clauses, cl)
+		}
+		a, got := Solve(f)
+		want := bruteForce(f)
+		if got != want {
+			t.Fatalf("trial %d: Solve=%v bruteForce=%v formula=%v", trial, got, want, f.Clauses)
+		}
+		if got && !Verify(f, a) {
+			t.Fatalf("trial %d: returned assignment does not verify", trial)
+		}
+	}
+}
+
+func TestVerifyRejectsWrongLength(t *testing.T) {
+	f := NewFormula(2)
+	if Verify(f, make(Assignment, 1)) {
+		t.Fatal("short assignment must not verify")
+	}
+}
+
+func BenchmarkSolveRandom3SAT(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 60
+	f := NewFormula(n)
+	for c := 0; c < int(3.5*float64(n)); c++ {
+		cl := make(Clause, 3)
+		for i := range cl {
+			v := 1 + rng.Intn(n)
+			l := Literal(v)
+			if rng.Intn(2) == 0 {
+				l = -l
+			}
+			cl[i] = l
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Solve(f)
+	}
+}

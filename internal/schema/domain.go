@@ -1,0 +1,114 @@
+// Package schema models relational database schemas as defined in Section 2
+// of the paper: a collection of relation schemas over attributes, each
+// attribute with an associated domain that is finite or infinite. The set
+// finattr(R) of finite-domain attributes drives both the complexity results
+// (Theorems 3.4/3.5) and the chase instantiation of Section 5.
+package schema
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Domain is the set of values an attribute ranges over. Two attributes may
+// (and, for CIND-compatible columns, should) share one Domain value, which is
+// how the paper's standing assumption dom(Ai) ⊆ dom(Bi) is realised here.
+type Domain struct {
+	name string
+	// vals is nil for an infinite domain and the explicit (sorted) value
+	// set for a finite one.
+	vals []string
+	set  map[string]bool
+}
+
+// Infinite returns a fresh infinite domain with the given name. Values of an
+// infinite domain are arbitrary strings.
+func Infinite(name string) *Domain {
+	return &Domain{name: name}
+}
+
+// Finite returns a finite domain holding exactly the given values.
+// Duplicates are collapsed; the value order is normalised to sorted order so
+// that iteration (and therefore every algorithm in the repo) is
+// deterministic. A finite domain must be nonempty.
+func Finite(name string, values ...string) *Domain {
+	if len(values) == 0 {
+		panic("schema: finite domain " + name + " must be nonempty")
+	}
+	set := make(map[string]bool, len(values))
+	for _, v := range values {
+		set[v] = true
+	}
+	vals := make([]string, 0, len(set))
+	for v := range set {
+		vals = append(vals, v)
+	}
+	sort.Strings(vals)
+	return &Domain{name: name, vals: vals, set: set}
+}
+
+// Name returns the domain's name (used only for printing and parsing).
+func (d *Domain) Name() string { return d.name }
+
+// IsFinite reports whether the domain is a finite enumeration.
+func (d *Domain) IsFinite() bool { return d.vals != nil }
+
+// Values returns the value set of a finite domain in deterministic order,
+// and nil for an infinite domain. Callers must not mutate the result.
+func (d *Domain) Values() []string { return d.vals }
+
+// Size returns the cardinality of a finite domain and -1 for an infinite one.
+func (d *Domain) Size() int {
+	if d.vals == nil {
+		return -1
+	}
+	return len(d.vals)
+}
+
+// Contains reports whether s is a member of the domain. Every string belongs
+// to an infinite domain.
+func (d *Domain) Contains(s string) bool {
+	if d.vals == nil {
+		return true
+	}
+	return d.set[s]
+}
+
+// Fresh returns a value of the domain that is not in avoid, and whether one
+// exists. For infinite domains a value is synthesised; for finite domains
+// the first unused enumeration value is returned. This is the "at most one
+// distinct value in dom(A)" of the Theorem 3.2 witness construction.
+func (d *Domain) Fresh(avoid map[string]bool) (string, bool) {
+	if d.vals == nil {
+		for i := 0; ; i++ {
+			cand := "⊥" + d.name + strconv.Itoa(i) // ⊥-prefixed, outside any real dataset
+			if !avoid[cand] {
+				return cand, true
+			}
+		}
+	}
+	for _, v := range d.vals {
+		if !avoid[v] {
+			return v, true
+		}
+	}
+	return "", false
+}
+
+// String renders the domain for diagnostics.
+func (d *Domain) String() string {
+	if d.vals == nil {
+		return d.name
+	}
+	return d.name + "{" + strings.Join(d.vals, ",") + "}"
+}
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (d *Domain) GoString() string {
+	if d.vals == nil {
+		return fmt.Sprintf("schema.Infinite(%q)", d.name)
+	}
+	return fmt.Sprintf("schema.Finite(%q, %q)", d.name, d.vals)
+}

@@ -1,0 +1,181 @@
+package schema
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Attribute is a named column with a domain.
+type Attribute struct {
+	Name string
+	Dom  *Domain
+}
+
+// Relation is a relation schema: a name plus an ordered attribute list.
+type Relation struct {
+	name  string
+	attrs []Attribute
+	index map[string]int
+}
+
+// NewRelation builds a relation schema. Attribute names must be unique
+// within the relation and every attribute needs a domain.
+func NewRelation(name string, attrs ...Attribute) (*Relation, error) {
+	if name == "" {
+		return nil, fmt.Errorf("schema: relation with empty name")
+	}
+	if len(attrs) == 0 {
+		return nil, fmt.Errorf("schema: relation %s has no attributes", name)
+	}
+	r := &Relation{name: name, attrs: attrs, index: make(map[string]int, len(attrs))}
+	for i, a := range attrs {
+		if a.Name == "" {
+			return nil, fmt.Errorf("schema: relation %s: attribute %d has empty name", name, i)
+		}
+		if a.Dom == nil {
+			return nil, fmt.Errorf("schema: relation %s: attribute %s has no domain", name, a.Name)
+		}
+		if _, dup := r.index[a.Name]; dup {
+			return nil, fmt.Errorf("schema: relation %s: duplicate attribute %s", name, a.Name)
+		}
+		r.index[a.Name] = i
+	}
+	return r, nil
+}
+
+// MustRelation is NewRelation for static schemas whose validity is known.
+func MustRelation(name string, attrs ...Attribute) *Relation {
+	r, err := NewRelation(name, attrs...)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Name returns the relation name.
+func (r *Relation) Name() string { return r.name }
+
+// Arity returns the number of attributes.
+func (r *Relation) Arity() int { return len(r.attrs) }
+
+// Attrs returns the ordered attribute list. Callers must not mutate it.
+func (r *Relation) Attrs() []Attribute { return r.attrs }
+
+// AttrNames returns the attribute names in schema order.
+func (r *Relation) AttrNames() []string {
+	names := make([]string, len(r.attrs))
+	for i, a := range r.attrs {
+		names[i] = a.Name
+	}
+	return names
+}
+
+// Index returns the position of the named attribute and whether it exists.
+func (r *Relation) Index(attr string) (int, bool) {
+	i, ok := r.index[attr]
+	return i, ok
+}
+
+// Has reports whether the relation has the named attribute.
+func (r *Relation) Has(attr string) bool {
+	_, ok := r.index[attr]
+	return ok
+}
+
+// Attr returns the named attribute. It panics if absent: constraint
+// construction validates attribute names up front, so a miss here is a bug.
+func (r *Relation) Attr(name string) Attribute {
+	i, ok := r.index[name]
+	if !ok {
+		panic("schema: relation " + r.name + " has no attribute " + name)
+	}
+	return r.attrs[i]
+}
+
+// Domain returns the domain of the named attribute, panicking if absent.
+func (r *Relation) Domain(attr string) *Domain { return r.Attr(attr).Dom }
+
+// FiniteAttrs returns the names of the relation's finite-domain attributes,
+// i.e. its contribution to finattr(R).
+func (r *Relation) FiniteAttrs() []string {
+	var out []string
+	for _, a := range r.attrs {
+		if a.Dom.IsFinite() {
+			out = append(out, a.Name)
+		}
+	}
+	return out
+}
+
+// String renders "name(a1, a2, ...)".
+func (r *Relation) String() string {
+	return r.name + "(" + strings.Join(r.AttrNames(), ", ") + ")"
+}
+
+// Schema is a database schema R = (R1, ..., Rn).
+type Schema struct {
+	rels  []*Relation
+	index map[string]*Relation
+}
+
+// New builds a schema from relation schemas with distinct names.
+func New(rels ...*Relation) (*Schema, error) {
+	s := &Schema{rels: rels, index: make(map[string]*Relation, len(rels))}
+	for _, r := range rels {
+		if _, dup := s.index[r.name]; dup {
+			return nil, fmt.Errorf("schema: duplicate relation %s", r.name)
+		}
+		s.index[r.name] = r
+	}
+	return s, nil
+}
+
+// MustNew is New for statically known-valid schemas.
+func MustNew(rels ...*Relation) *Schema {
+	s, err := New(rels...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Relations returns the relations in declaration order.
+func (s *Schema) Relations() []*Relation { return s.rels }
+
+// Relation looks up a relation by name.
+func (s *Schema) Relation(name string) (*Relation, bool) {
+	r, ok := s.index[name]
+	return r, ok
+}
+
+// MustRelationByName returns the named relation, panicking if absent.
+func (s *Schema) MustRelationByName(name string) *Relation {
+	r, ok := s.index[name]
+	if !ok {
+		panic("schema: no relation named " + name)
+	}
+	return r
+}
+
+// Len returns the number of relations.
+func (s *Schema) Len() int { return len(s.rels) }
+
+// HasFiniteAttrs reports whether finattr(R) is nonempty anywhere in the
+// schema — the condition separating Tables 1 and 2 of the paper.
+func (s *Schema) HasFiniteAttrs() bool {
+	for _, r := range s.rels {
+		if len(r.FiniteAttrs()) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// String lists the relation schemas one per line.
+func (s *Schema) String() string {
+	parts := make([]string, len(s.rels))
+	for i, r := range s.rels {
+		parts[i] = r.String()
+	}
+	return strings.Join(parts, "\n")
+}

@@ -1,0 +1,180 @@
+package schema
+
+import (
+	"strings"
+	"testing"
+)
+
+func str() *Domain { return Infinite("string") }
+
+func TestFiniteDomainNormalisation(t *testing.T) {
+	d := Finite("at", "saving", "checking", "saving")
+	if !d.IsFinite() {
+		t.Fatal("Finite must report IsFinite")
+	}
+	if d.Size() != 2 {
+		t.Fatalf("Size = %d, want duplicates collapsed to 2", d.Size())
+	}
+	vals := d.Values()
+	if vals[0] != "checking" || vals[1] != "saving" {
+		t.Fatalf("Values = %v, want sorted", vals)
+	}
+	if !d.Contains("saving") || d.Contains("current") {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestFiniteDomainEmptyPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("empty finite domain must panic")
+		}
+	}()
+	Finite("empty")
+}
+
+func TestInfiniteDomain(t *testing.T) {
+	d := Infinite("string")
+	if d.IsFinite() {
+		t.Fatal("infinite domain reported finite")
+	}
+	if d.Size() != -1 {
+		t.Fatalf("Size = %d", d.Size())
+	}
+	if !d.Contains("anything at all") {
+		t.Fatal("infinite domain contains everything")
+	}
+	if d.Values() != nil {
+		t.Fatal("infinite domain has no value enumeration")
+	}
+}
+
+func TestFreshInfiniteAvoids(t *testing.T) {
+	d := Infinite("string")
+	avoid := map[string]bool{}
+	for i := 0; i < 50; i++ {
+		v, ok := d.Fresh(avoid)
+		if !ok {
+			t.Fatal("infinite domain can always produce a fresh value")
+		}
+		if avoid[v] {
+			t.Fatalf("Fresh returned avoided value %q", v)
+		}
+		avoid[v] = true
+	}
+}
+
+func TestFreshFiniteExhausts(t *testing.T) {
+	d := Finite("bool", "true", "false")
+	v, ok := d.Fresh(map[string]bool{"true": true})
+	if !ok || v != "false" {
+		t.Fatalf("Fresh = %q, %v", v, ok)
+	}
+	_, ok = d.Fresh(map[string]bool{"true": true, "false": true})
+	if ok {
+		t.Fatal("exhausted finite domain must report no fresh value")
+	}
+}
+
+func TestRelationValidation(t *testing.T) {
+	if _, err := NewRelation(""); err == nil {
+		t.Fatal("empty relation name must fail")
+	}
+	if _, err := NewRelation("R"); err == nil {
+		t.Fatal("relation with no attributes must fail")
+	}
+	if _, err := NewRelation("R", Attribute{Name: "A", Dom: str()}, Attribute{Name: "A", Dom: str()}); err == nil {
+		t.Fatal("duplicate attribute must fail")
+	}
+	if _, err := NewRelation("R", Attribute{Name: "A"}); err == nil {
+		t.Fatal("attribute without domain must fail")
+	}
+	if _, err := NewRelation("R", Attribute{Name: "", Dom: str()}); err == nil {
+		t.Fatal("empty attribute name must fail")
+	}
+}
+
+func TestRelationAccessors(t *testing.T) {
+	at := Finite("at", "saving", "checking")
+	r := MustRelation("account",
+		Attribute{Name: "an", Dom: str()},
+		Attribute{Name: "cn", Dom: str()},
+		Attribute{Name: "at", Dom: at},
+	)
+	if r.Name() != "account" || r.Arity() != 3 {
+		t.Fatalf("basic accessors wrong: %s/%d", r.Name(), r.Arity())
+	}
+	if got := r.AttrNames(); strings.Join(got, ",") != "an,cn,at" {
+		t.Fatalf("AttrNames = %v", got)
+	}
+	if i, ok := r.Index("cn"); !ok || i != 1 {
+		t.Fatalf("Index(cn) = %d, %v", i, ok)
+	}
+	if _, ok := r.Index("zz"); ok {
+		t.Fatal("Index must miss unknown attribute")
+	}
+	if !r.Has("at") || r.Has("zz") {
+		t.Fatal("Has wrong")
+	}
+	if fa := r.FiniteAttrs(); len(fa) != 1 || fa[0] != "at" {
+		t.Fatalf("FiniteAttrs = %v", fa)
+	}
+	if r.Domain("at") != at {
+		t.Fatal("Domain must return the shared *Domain")
+	}
+	if got := r.String(); got != "account(an, cn, at)" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestRelationAttrPanics(t *testing.T) {
+	r := MustRelation("R", Attribute{Name: "A", Dom: str()})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Attr on missing name must panic")
+		}
+	}()
+	r.Attr("B")
+}
+
+func TestSchema(t *testing.T) {
+	r1 := MustRelation("R1", Attribute{Name: "A", Dom: str()})
+	r2 := MustRelation("R2", Attribute{Name: "B", Dom: Finite("b", "x", "y")})
+	s := MustNew(r1, r2)
+	if s.Len() != 2 {
+		t.Fatalf("Len = %d", s.Len())
+	}
+	if got, ok := s.Relation("R2"); !ok || got != r2 {
+		t.Fatal("Relation lookup failed")
+	}
+	if _, ok := s.Relation("R3"); ok {
+		t.Fatal("lookup of unknown relation must fail")
+	}
+	if !s.HasFiniteAttrs() {
+		t.Fatal("schema has a finite attribute")
+	}
+	only := MustNew(r1)
+	if only.HasFiniteAttrs() {
+		t.Fatal("schema without finite attributes misreported")
+	}
+	if !strings.Contains(s.String(), "R1(A)") {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestSchemaDuplicateRelation(t *testing.T) {
+	r := MustRelation("R", Attribute{Name: "A", Dom: str()})
+	if _, err := New(r, r); err == nil {
+		t.Fatal("duplicate relation names must fail")
+	}
+}
+
+func TestMustRelationByNamePanics(t *testing.T) {
+	s := MustNew()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustRelationByName on missing relation must panic")
+		}
+	}()
+	s.MustRelationByName("nope")
+}

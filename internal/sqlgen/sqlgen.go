@@ -1,0 +1,162 @@
+// Package sqlgen emits SQL queries that detect constraint violations in a
+// relational database — the technique of [9] for CFDs (which the paper's
+// related-work section highlights: pattern tableaux "can be treated as data
+// tables in SQL queries and thus allow efficient SQL techniques to detect
+// constraint violations") and its natural extension to CINDs, which the
+// paper's conclusion lists as ongoing work ("SQL-based techniques for
+// detecting CIND violations in real-life data along the same line as [9]").
+//
+// For a normal-form CFD ϕ = (R: X → A, tp), two queries are produced:
+//
+//	QC — single-tuple violations: tuples matching tp[X] whose A attribute
+//	     fails the constant tp[A];
+//	QV — pair violations: groups with equal X (matching tp[X]) holding
+//	     more than one A value.
+//
+// For a normal-form CIND ψ = (R1[X; Xp] ⊆ R2[Y; Yp], tp), one anti-join
+// query returns every R1 tuple matching tp[Xp] without the required R2
+// match.
+//
+// The emitted SQL is ANSI and uses no vendor extensions; identifiers are
+// double-quoted and constants are single-quoted with doubling. The module
+// is offline, so the tests pin the emitted SQL for the paper's running
+// example; package violation provides the same detection semantics natively
+// over in-memory instances.
+package sqlgen
+
+import (
+	"fmt"
+	"strings"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+)
+
+// quoteIdent double-quotes an SQL identifier.
+func quoteIdent(s string) string {
+	return `"` + strings.ReplaceAll(s, `"`, `""`) + `"`
+}
+
+// quoteLit single-quotes an SQL string literal.
+func quoteLit(s string) string {
+	return `'` + strings.ReplaceAll(s, `'`, `''`) + `'`
+}
+
+// CFDQueries holds the two violation queries of [9] for one normal-form
+// pattern row.
+type CFDQueries struct {
+	// Single is QC: single-tuple violations (empty when tp[A] is '_',
+	// where no single tuple can violate).
+	Single string
+	// Pair is QV: multi-tuple violations via grouping.
+	Pair string
+}
+
+// ForCFD emits violation queries for every normal-form component of the
+// CFD, in order.
+func ForCFD(c *cfd.CFD) []CFDQueries {
+	var out []CFDQueries
+	for _, n := range c.NormalForm() {
+		out = append(out, forNormalCFD(n))
+	}
+	return out
+}
+
+func forNormalCFD(c *cfd.CFD) CFDQueries {
+	row := c.Rows[0]
+	t := "t"
+	var conds []string
+	for i, a := range c.X {
+		if row.LHS[i].IsConst() {
+			conds = append(conds, fmt.Sprintf("%s.%s = %s", t, quoteIdent(a), quoteLit(row.LHS[i].Const())))
+		}
+	}
+	where := strings.Join(conds, " AND ")
+
+	var q CFDQueries
+	aCol := quoteIdent(c.Y[0])
+	if row.RHS[0].IsConst() {
+		single := conds
+		single = append(single, fmt.Sprintf("%s.%s <> %s", t, aCol, quoteLit(row.RHS[0].Const())))
+		q.Single = fmt.Sprintf("SELECT %s.* FROM %s %s WHERE %s",
+			t, quoteIdent(c.Rel), t, strings.Join(single, " AND "))
+	}
+	groupCols := make([]string, len(c.X))
+	for i, a := range c.X {
+		groupCols[i] = t + "." + quoteIdent(a)
+	}
+	group := strings.Join(groupCols, ", ")
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s FROM %s %s", group, quoteIdent(c.Rel), t)
+	if where != "" {
+		fmt.Fprintf(&b, " WHERE %s", where)
+	}
+	fmt.Fprintf(&b, " GROUP BY %s HAVING COUNT(DISTINCT %s.%s) > 1", group, t, aCol)
+	q.Pair = b.String()
+	return q
+}
+
+// ForCIND emits one anti-join violation query per normal-form component of
+// the CIND, in order.
+func ForCIND(c *cind.CIND) []string {
+	var out []string
+	for _, n := range c.NormalForm() {
+		out = append(out, forNormalCIND(n))
+	}
+	return out
+}
+
+func forNormalCIND(c *cind.CIND) string {
+	t, s := "t", "s"
+	var outer []string
+	xpPat := c.XpPattern()
+	for i, a := range c.Xp {
+		outer = append(outer, fmt.Sprintf("%s.%s = %s", t, quoteIdent(a), quoteLit(xpPat[i].Const())))
+	}
+	var inner []string
+	for i := range c.X {
+		inner = append(inner, fmt.Sprintf("%s.%s = %s.%s",
+			s, quoteIdent(c.Y[i]), t, quoteIdent(c.X[i])))
+	}
+	ypPat := c.YpPattern()
+	for i, a := range c.Yp {
+		inner = append(inner, fmt.Sprintf("%s.%s = %s", s, quoteIdent(a), quoteLit(ypPat[i].Const())))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s.* FROM %s %s WHERE ", t, quoteIdent(c.LHSRel), t)
+	if len(outer) > 0 {
+		fmt.Fprintf(&b, "%s AND ", strings.Join(outer, " AND "))
+	}
+	fmt.Fprintf(&b, "NOT EXISTS (SELECT 1 FROM %s %s", quoteIdent(c.RHSRel), s)
+	if len(inner) > 0 {
+		fmt.Fprintf(&b, " WHERE %s", strings.Join(inner, " AND "))
+	}
+	b.WriteString(")")
+	return b.String()
+}
+
+// TableauDDL renders a pattern tableau as a data table plus INSERTs — the
+// "pattern tableaux as data tables" representation of [9], useful when
+// pushing detection into a real DBMS with a generic join instead of one
+// query per row. The wildcard is stored as the marker '_'.
+func TableauDDL(name string, attrs []string, rows []pattern.Tuple) string {
+	var b strings.Builder
+	cols := make([]string, len(attrs))
+	for i, a := range attrs {
+		cols[i] = quoteIdent(a) + " TEXT"
+	}
+	fmt.Fprintf(&b, "CREATE TABLE %s (%s);\n", quoteIdent(name), strings.Join(cols, ", "))
+	for _, row := range rows {
+		vals := make([]string, len(row))
+		for i, sym := range row {
+			if sym.IsWild() {
+				vals[i] = quoteLit("_")
+			} else {
+				vals[i] = quoteLit(sym.Const())
+			}
+		}
+		fmt.Fprintf(&b, "INSERT INTO %s VALUES (%s);\n", quoteIdent(name), strings.Join(vals, ", "))
+	}
+	return b.String()
+}

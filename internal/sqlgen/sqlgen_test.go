@@ -1,0 +1,125 @@
+package sqlgen
+
+import (
+	"strings"
+	"testing"
+
+	"cind/internal/bank"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+)
+
+func TestForCINDPsi6(t *testing.T) {
+	sch := bank.Schema()
+	queries := ForCIND(bank.Psi6(sch))
+	if len(queries) != 2 { // one per pattern row
+		t.Fatalf("queries = %d, want 2", len(queries))
+	}
+	want := `SELECT t.* FROM "checking" t WHERE t."ab" = 'EDI' AND ` +
+		`NOT EXISTS (SELECT 1 FROM "interest" s WHERE s."ab" = 'EDI' AND ` +
+		`s."at" = 'checking' AND s."ct" = 'UK' AND s."rt" = '1.5%')`
+	if queries[0] != want {
+		t.Fatalf("ψ6 row 0 query:\n got: %s\nwant: %s", queries[0], want)
+	}
+	if !strings.Contains(queries[1], "'NYC'") || !strings.Contains(queries[1], "'1%'") {
+		t.Fatalf("ψ6 row 1 query wrong: %s", queries[1])
+	}
+}
+
+func TestForCINDEmbeddedJoin(t *testing.T) {
+	sch := bank.Schema()
+	queries := ForCIND(bank.Psi1(sch, "NYC"))
+	if len(queries) != 1 {
+		t.Fatalf("queries = %d", len(queries))
+	}
+	q := queries[0]
+	for _, frag := range []string{
+		`FROM "account_NYC" t`,
+		`t."at" = 'saving'`,
+		`s."an" = t."an"`,
+		`s."cp" = t."cp"`,
+		`s."ab" = 'NYC'`,
+	} {
+		if !strings.Contains(q, frag) {
+			t.Errorf("ψ1 query missing %q:\n%s", frag, q)
+		}
+	}
+}
+
+func TestForCINDTraditional(t *testing.T) {
+	sch := bank.Schema()
+	q := ForCIND(bank.Psi3(sch))[0]
+	want := `SELECT t.* FROM "saving" t WHERE NOT EXISTS ` +
+		`(SELECT 1 FROM "interest" s WHERE s."ab" = t."ab")`
+	if q != want {
+		t.Fatalf("ψ3 query:\n got: %s\nwant: %s", q, want)
+	}
+}
+
+func TestForCFDPhi3(t *testing.T) {
+	sch := bank.Schema()
+	queries := ForCFD(bank.Phi3(sch))
+	if len(queries) != 5 {
+		t.Fatalf("queries = %d, want 5 normal-form rows", len(queries))
+	}
+	// Row 0 is the all-wild fd3: no single-tuple query, pair query without
+	// a WHERE clause.
+	if queries[0].Single != "" {
+		t.Fatalf("all-wild row must have no single-tuple query, got %s", queries[0].Single)
+	}
+	wantPair := `SELECT t."ct", t."at" FROM "interest" t GROUP BY t."ct", t."at" ` +
+		`HAVING COUNT(DISTINCT t."rt") > 1`
+	if queries[0].Pair != wantPair {
+		t.Fatalf("fd3 pair query:\n got: %s\nwant: %s", queries[0].Pair, wantPair)
+	}
+	// Row 2 catches t12: UK/checking must have rt = 1.5%.
+	wantSingle := `SELECT t.* FROM "interest" t WHERE t."ct" = 'UK' AND ` +
+		`t."at" = 'checking' AND t."rt" <> '1.5%'`
+	if queries[2].Single != wantSingle {
+		t.Fatalf("ϕ3 row 2 single query:\n got: %s\nwant: %s", queries[2].Single, wantSingle)
+	}
+	if !strings.Contains(queries[2].Pair, `WHERE t."ct" = 'UK' AND t."at" = 'checking'`) {
+		t.Fatalf("ϕ3 row 2 pair query: %s", queries[2].Pair)
+	}
+}
+
+// TestForCINDEmptyXAndXp: the degenerate "some RHS tuple must exist with
+// these constants" shape (Example 4.2's ψ) produces a well-formed
+// existence query.
+func TestForCINDEmptyXAndXp(t *testing.T) {
+	sch := bank.Schema()
+	psi := cind.MustNew(sch, "exists", "saving", nil, nil,
+		"interest", nil, []string{"ct"},
+		[]cind.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(pattern.Sym("UK"))}})
+	q := ForCIND(psi)[0]
+	want := `SELECT t.* FROM "saving" t WHERE NOT EXISTS ` +
+		`(SELECT 1 FROM "interest" s WHERE s."ct" = 'UK')`
+	if q != want {
+		t.Fatalf("query:\n got: %s\nwant: %s", q, want)
+	}
+}
+
+func TestQuoting(t *testing.T) {
+	if quoteLit("O'Hare") != "'O''Hare'" {
+		t.Fatal("literal quoting wrong")
+	}
+	if quoteIdent(`we"ird`) != `"we""ird"` {
+		t.Fatal("identifier quoting wrong")
+	}
+}
+
+func TestTableauDDL(t *testing.T) {
+	ddl := TableauDDL("T6", []string{"ab", "rt"}, []pattern.Tuple{
+		pattern.Tup(pattern.Sym("EDI"), pattern.Sym("1.5%")),
+		pattern.Tup(pattern.Wild, pattern.Wild),
+	})
+	for _, frag := range []string{
+		`CREATE TABLE "T6" ("ab" TEXT, "rt" TEXT);`,
+		`INSERT INTO "T6" VALUES ('EDI', '1.5%');`,
+		`INSERT INTO "T6" VALUES ('_', '_');`,
+	} {
+		if !strings.Contains(ddl, frag) {
+			t.Errorf("DDL missing %q:\n%s", frag, ddl)
+		}
+	}
+}

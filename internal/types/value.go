@@ -1,0 +1,126 @@
+// Package types defines the value model shared by every layer of the
+// library: data constants, the chase variables of Section 5.1 of the paper,
+// and the orders defined on them.
+//
+// The paper works with two orders:
+//
+//   - the match order ≍ between values and pattern symbols (Section 2),
+//     implemented in package pattern, and
+//   - a total order < on chase variables with v < a for every variable v and
+//     constant a (Section 5.1), implemented here by Less.
+//
+// Constants are modelled as strings. This loses nothing relative to the
+// paper, which never relies on arithmetic: domains are abstract sets, and
+// finite domains are explicit enumerations (package schema).
+package types
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Kind discriminates the two kinds of values that can populate a tuple.
+type Kind uint8
+
+const (
+	// Const is a data constant drawn from an attribute domain.
+	Const Kind = iota
+	// Var is a chase variable from some var[A] pool (Section 5.1).
+	Var
+)
+
+// Value is a single field of a tuple: either a constant or a chase variable.
+// The zero Value is the empty constant, which is a legal (if dull) constant.
+type Value struct {
+	kind Kind
+	str  string // constant payload when kind == Const
+	id   int64  // variable identity when kind == Var
+	name string // variable display name, e.g. "vF1"
+}
+
+// C returns the constant value holding s.
+func C(s string) Value { return Value{kind: Const, str: s} }
+
+// NewVar returns a variable with the given identity and display name.
+// Identities order variables (see Less); names only affect printing.
+// Most callers should allocate variables through a VarGen or a pattern
+// pool rather than calling NewVar directly.
+func NewVar(id int64, name string) Value {
+	if name == "" {
+		name = "v" + strconv.FormatInt(id, 10)
+	}
+	return Value{kind: Var, id: id, name: name}
+}
+
+// Kind reports whether the value is a constant or a variable.
+func (v Value) Kind() Kind { return v.kind }
+
+// IsConst reports whether v is a data constant.
+func (v Value) IsConst() bool { return v.kind == Const }
+
+// IsVar reports whether v is a chase variable.
+func (v Value) IsVar() bool { return v.kind == Var }
+
+// Str returns the constant payload. It panics when v is a variable, because
+// silently treating a variable as data is exactly the class of bug the chase
+// code must not have.
+func (v Value) Str() string {
+	if v.kind != Const {
+		panic("types: Str called on variable " + v.name)
+	}
+	return v.str
+}
+
+// VarID returns the variable identity. It panics when v is a constant.
+func (v Value) VarID() int64 {
+	if v.kind != Var {
+		panic("types: VarID called on constant " + strconv.Quote(v.str))
+	}
+	return v.id
+}
+
+// Eq reports value identity: constants are equal when their payloads are,
+// variables when their identities are. A constant never equals a variable,
+// matching the paper's "v ≠ a" for every variable v and constant a.
+func (v Value) Eq(w Value) bool {
+	if v.kind != w.kind {
+		return false
+	}
+	if v.kind == Const {
+		return v.str == w.str
+	}
+	return v.id == w.id
+}
+
+// Less implements the total order of Section 5.1: variables are ordered
+// among themselves by identity, and every variable precedes every constant.
+// Constants are ordered lexicographically; the paper poses no order on
+// constants, but a deterministic tie-break keeps the chase reproducible.
+func (v Value) Less(w Value) bool {
+	switch {
+	case v.kind == Var && w.kind == Var:
+		return v.id < w.id
+	case v.kind == Var && w.kind == Const:
+		return true
+	case v.kind == Const && w.kind == Var:
+		return false
+	default:
+		return v.str < w.str
+	}
+}
+
+// String renders constants bare and variables by their display name.
+func (v Value) String() string {
+	if v.kind == Const {
+		return v.str
+	}
+	return v.name
+}
+
+// GoString makes %#v output unambiguous in test failures.
+func (v Value) GoString() string {
+	if v.kind == Const {
+		return fmt.Sprintf("types.C(%q)", v.str)
+	}
+	return fmt.Sprintf("types.NewVar(%d, %q)", v.id, v.name)
+}

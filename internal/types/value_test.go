@@ -1,0 +1,197 @@
+package types
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestConstBasics(t *testing.T) {
+	v := C("EDI")
+	if !v.IsConst() || v.IsVar() {
+		t.Fatalf("C(EDI) kind = %v", v.Kind())
+	}
+	if v.Str() != "EDI" {
+		t.Fatalf("Str = %q", v.Str())
+	}
+	if v.String() != "EDI" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestZeroValueIsEmptyConst(t *testing.T) {
+	var v Value
+	if !v.IsConst() {
+		t.Fatal("zero Value should be a constant")
+	}
+	if v.Str() != "" {
+		t.Fatalf("zero Value payload = %q", v.Str())
+	}
+}
+
+func TestVarBasics(t *testing.T) {
+	v := NewVar(7, "vF1")
+	if !v.IsVar() {
+		t.Fatal("NewVar should be a variable")
+	}
+	if v.VarID() != 7 {
+		t.Fatalf("VarID = %d", v.VarID())
+	}
+	if v.String() != "vF1" {
+		t.Fatalf("String = %q", v.String())
+	}
+}
+
+func TestVarDefaultName(t *testing.T) {
+	v := NewVar(3, "")
+	if v.String() != "v3" {
+		t.Fatalf("default name = %q", v.String())
+	}
+}
+
+func TestStrPanicsOnVar(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Str on a variable must panic")
+		}
+	}()
+	_ = NewVar(1, "x").Str()
+}
+
+func TestVarIDPanicsOnConst(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("VarID on a constant must panic")
+		}
+	}()
+	_ = C("a").VarID()
+}
+
+func TestEq(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want bool
+	}{
+		{C("a"), C("a"), true},
+		{C("a"), C("b"), false},
+		{C(""), C(""), true},
+		{NewVar(1, "x"), NewVar(1, "y"), true}, // identity, not name
+		{NewVar(1, "x"), NewVar(2, "x"), false},
+		{C("a"), NewVar(1, "a"), false}, // v ≠ a always
+		{NewVar(1, "a"), C("a"), false},
+	}
+	for _, c := range cases {
+		if got := c.a.Eq(c.b); got != c.want {
+			t.Errorf("Eq(%v, %v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLessVarBeforeConst(t *testing.T) {
+	v := NewVar(1000, "v")
+	a := C("")
+	if !v.Less(a) {
+		t.Fatal("every variable must be < every constant")
+	}
+	if a.Less(v) {
+		t.Fatal("no constant is < a variable")
+	}
+}
+
+func TestLessVarOrder(t *testing.T) {
+	lo, hi := NewVar(1, "a"), NewVar(2, "b")
+	if !lo.Less(hi) || hi.Less(lo) {
+		t.Fatal("variables must be ordered by identity")
+	}
+	if lo.Less(lo) {
+		t.Fatal("Less must be irreflexive")
+	}
+}
+
+// TestLessIsStrictTotalOrder property-checks irreflexivity, asymmetry and
+// totality of Less over a mixed population of constants and variables.
+func TestLessIsStrictTotalOrder(t *testing.T) {
+	mk := func(kind bool, s string, id int64) Value {
+		if kind {
+			return NewVar(id%16, "v")
+		}
+		return C(s)
+	}
+	asym := func(k1 bool, s1 string, id1 int64, k2 bool, s2 string, id2 int64) bool {
+		a, b := mk(k1, s1, id1), mk(k2, s2, id2)
+		if a.Eq(b) {
+			return !a.Less(b) && !b.Less(a)
+		}
+		// total: exactly one direction holds
+		return a.Less(b) != b.Less(a)
+	}
+	if err := quick.Check(asym, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLessTransitive(t *testing.T) {
+	pool := []Value{
+		NewVar(1, "v1"), NewVar(2, "v2"), NewVar(9, "v9"),
+		C(""), C("a"), C("b"), C("zz"),
+	}
+	for _, a := range pool {
+		for _, b := range pool {
+			for _, c := range pool {
+				if a.Less(b) && b.Less(c) && !a.Less(c) {
+					t.Fatalf("transitivity violated: %v < %v < %v but not %v < %v", a, b, c, a, c)
+				}
+			}
+		}
+	}
+}
+
+func TestGoString(t *testing.T) {
+	if got := C("a").GoString(); got != `types.C("a")` {
+		t.Fatalf("GoString = %s", got)
+	}
+	if got := NewVar(2, "x").GoString(); got != `types.NewVar(2, "x")` {
+		t.Fatalf("GoString = %s", got)
+	}
+}
+
+func TestVarGenDistinct(t *testing.T) {
+	var g VarGen
+	seen := map[int64]bool{}
+	for i := 0; i < 100; i++ {
+		v := g.Fresh("A")
+		if seen[v.VarID()] {
+			t.Fatalf("duplicate variable id %d", v.VarID())
+		}
+		seen[v.VarID()] = true
+	}
+	if g.Count() != 100 {
+		t.Fatalf("Count = %d", g.Count())
+	}
+}
+
+func TestPoolCyclesAndReportsReuse(t *testing.T) {
+	var g VarGen
+	p := NewPool(&g, "F", 2)
+	a, b := p.Next(), p.Next()
+	if a.Eq(b) {
+		t.Fatal("pool of size 2 must hold distinct variables")
+	}
+	if p.Reused() {
+		t.Fatal("no reuse after exactly N draws")
+	}
+	c := p.Next()
+	if !p.Reused() {
+		t.Fatal("third draw from a 2-pool is a reuse")
+	}
+	if !c.Eq(a) {
+		t.Fatal("pool must cycle in order")
+	}
+}
+
+func TestPoolMinimumSize(t *testing.T) {
+	var g VarGen
+	p := NewPool(&g, "A", 0)
+	if p.Size() != 1 {
+		t.Fatalf("Size = %d, want clamp to 1", p.Size())
+	}
+}

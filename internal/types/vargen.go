@@ -1,0 +1,59 @@
+package types
+
+import "strconv"
+
+// VarGen allocates chase variables with distinct identities. The zero VarGen
+// is ready to use. VarGen is not safe for concurrent use; each chase run owns
+// its own generator.
+type VarGen struct {
+	next int64
+}
+
+// Fresh returns a new variable whose display name embeds the attribute name,
+// mirroring the paper's vE1, vF1, ... notation.
+func (g *VarGen) Fresh(attr string) Value {
+	g.next++
+	return NewVar(g.next, "v"+attr+strconv.FormatInt(g.next, 10))
+}
+
+// Count returns how many variables have been allocated.
+func (g *VarGen) Count() int64 { return g.next }
+
+// Pool is the bounded variable set var[A] of Section 5.1: a fixed collection
+// of at most N distinct variables for one attribute. The instantiated chase
+// draws from pools instead of allocating fresh variables, which bounds the
+// chase and guarantees termination (at the price of completeness).
+type Pool struct {
+	vars  []Value
+	next  int
+	draws int
+}
+
+// NewPool builds var[A] with n distinct variables for attribute attr,
+// allocating them from g.
+func NewPool(g *VarGen, attr string, n int) *Pool {
+	if n < 1 {
+		n = 1
+	}
+	p := &Pool{vars: make([]Value, n)}
+	for i := range p.vars {
+		p.vars[i] = g.Fresh(attr)
+	}
+	return p
+}
+
+// Next returns the next variable from the pool, cycling when exhausted.
+func (p *Pool) Next() Value {
+	v := p.vars[p.next]
+	p.next = (p.next + 1) % len(p.vars)
+	p.draws++
+	return v
+}
+
+// Reused reports whether some variable was handed out twice. A chase
+// fixpoint reached without any reuse is a genuine fixpoint of the unbounded
+// chase, which upgrades the heuristic answer to a definitive one.
+func (p *Pool) Reused() bool { return p.draws > len(p.vars) }
+
+// Size returns the pool capacity N.
+func (p *Pool) Size() int { return len(p.vars) }

@@ -1,0 +1,234 @@
+// Package views implements propagation of CFDs and CINDs through selection
+// views — the conclusion of the paper lists "propagation of CFDs and CINDs
+// through SQL views" as the natural next step after the static analyses,
+// "needed when deriving schema mapping from the constraints [16]".
+//
+// A SelectionView is V = σ_{A=c}(R): the subset of R whose A attribute
+// equals c, with R's full attribute list. Propagation derives constraints
+// that provably hold on every instance of the views, given that the base
+// constraints hold:
+//
+//   - a CFD on R holds on V verbatim (V ⊆ R and CFD satisfaction is closed
+//     under subsets); rows whose LHS pattern contradicts the selection are
+//     dropped as vacuous, and the selection constant is substituted into
+//     wildcard positions on the selection attribute;
+//   - a CIND (R1[X; Xp] ⊆ R2[Y; Yp], tp) propagates to V1 = σ_{A=c}(R1) on
+//     the left verbatim (fewer tuples to cover); it retargets to
+//     V2 = σ_{B=d}(R2) on the right exactly when the pattern already
+//     guarantees the selection: (B, d) ∈ Yp, or B = Y_i with tp[Y_i] = d.
+//
+// The derived constraints are sound by construction; tests verify them
+// against materialised views of the paper's bank instance.
+package views
+
+import (
+	"fmt"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// SelectionView is V = σ_{Attr=Value}(Base), keeping all of Base's columns.
+type SelectionView struct {
+	Name  string
+	Base  string
+	Attr  string
+	Value string
+}
+
+// Validate checks the view against the schema.
+func (v SelectionView) Validate(sch *schema.Schema) error {
+	base, ok := sch.Relation(v.Base)
+	if !ok {
+		return fmt.Errorf("views: %s: unknown base relation %s", v.Name, v.Base)
+	}
+	if !base.Has(v.Attr) {
+		return fmt.Errorf("views: %s: base %s has no attribute %s", v.Name, v.Base, v.Attr)
+	}
+	if !base.Domain(v.Attr).Contains(v.Value) {
+		return fmt.Errorf("views: %s: %q outside dom(%s)", v.Name, v.Value, v.Attr)
+	}
+	if _, exists := sch.Relation(v.Name); exists {
+		return fmt.Errorf("views: %s: name collides with a base relation", v.Name)
+	}
+	return nil
+}
+
+// ExtendSchema returns a schema containing the base relations plus one
+// relation per view (same attributes and domains as its base).
+func ExtendSchema(sch *schema.Schema, views []SelectionView) (*schema.Schema, error) {
+	rels := append([]*schema.Relation(nil), sch.Relations()...)
+	for _, v := range views {
+		if err := v.Validate(sch); err != nil {
+			return nil, err
+		}
+		base := sch.MustRelationByName(v.Base)
+		vr, err := schema.NewRelation(v.Name, base.Attrs()...)
+		if err != nil {
+			return nil, err
+		}
+		rels = append(rels, vr)
+	}
+	return schema.New(rels...)
+}
+
+// Materialise evaluates the view over db into the out database (which must
+// use an extended schema containing the view relation).
+func Materialise(db *instance.Database, v SelectionView, out *instance.Database) {
+	for _, t := range db.Instance(v.Base).Tuples() {
+		base := db.Instance(v.Base).Relation()
+		i, _ := base.Index(v.Attr)
+		if t[i].IsConst() && t[i].Str() == v.Value {
+			out.Instance(v.Name).Insert(t.Clone())
+		}
+	}
+}
+
+// PropagateCFDs derives, for every view and every CFD on its base, the CFD
+// that holds on the view: vacuous rows (LHS constant on the selection
+// attribute differing from the selection value) are dropped; when the
+// selection attribute is in X, its wildcard positions are strengthened to
+// the selection constant (every view tuple has it). CFDs whose rows are all
+// vacuous are omitted.
+func PropagateCFDs(extended *schema.Schema, views []SelectionView, cfds []*cfd.CFD) ([]*cfd.CFD, error) {
+	var out []*cfd.CFD
+	for _, v := range views {
+		for _, c := range cfds {
+			if c.Rel != v.Base {
+				continue
+			}
+			var rows []cfd.Row
+			for _, row := range c.Rows {
+				lhs := row.LHS.Clone()
+				vacuous := false
+				for k, a := range c.X {
+					if a != v.Attr {
+						continue
+					}
+					if lhs[k].IsConst() && lhs[k].Const() != v.Value {
+						vacuous = true
+						break
+					}
+					lhs[k] = pattern.Sym(v.Value) // strengthen '_' to the selection
+				}
+				if vacuous {
+					continue
+				}
+				// The selection attribute in Y: a row demanding a different
+				// constant would make the row unsatisfiable only for
+				// matching tuples — keep it verbatim (still sound).
+				rows = append(rows, cfd.Row{LHS: lhs, RHS: row.RHS.Clone()})
+			}
+			if len(rows) == 0 {
+				continue
+			}
+			p, err := cfd.New(extended, c.ID+"@"+v.Name, v.Name, c.X, c.Y, rows)
+			if err != nil {
+				return nil, fmt.Errorf("views: propagating %s to %s: %v", c.ID, v.Name, err)
+			}
+			out = append(out, p)
+		}
+	}
+	return out, nil
+}
+
+// PropagateCINDs derives view constraints from base CINDs:
+//
+//   - LHS propagation: (R1[X; Xp] ⊆ R2[Y; Yp]) gives
+//     (V1[X; Xp] ⊆ R2[Y; Yp]) for V1 = σ_{A=c}(R1) — sound because V1 ⊆ R1.
+//     Rows whose Xp pattern contradicts the selection are dropped.
+//   - RHS retargeting: when the row's RHS pattern guarantees the selection
+//     of V2 = σ_{B=d}(R2) — (B, d) ∈ Yp or B = Y_i with tp[Y_i] = d — the
+//     required match lies inside V2, so (R1[X; Xp] ⊆ V2[Y; Yp]) holds.
+func PropagateCINDs(extended *schema.Schema, views []SelectionView, cinds []*cind.CIND) ([]*cind.CIND, error) {
+	var out []*cind.CIND
+	for _, v := range views {
+		for _, c := range cinds {
+			if c.LHSRel == v.Base {
+				p, err := propagateLHS(extended, v, c)
+				if err != nil {
+					return nil, err
+				}
+				if p != nil {
+					out = append(out, p)
+				}
+			}
+			if c.RHSRel == v.Base {
+				p, err := retargetRHS(extended, v, c)
+				if err != nil {
+					return nil, err
+				}
+				if p != nil {
+					out = append(out, p)
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+func propagateLHS(extended *schema.Schema, v SelectionView, c *cind.CIND) (*cind.CIND, error) {
+	lhsAttrs := append(append([]string(nil), c.X...), c.Xp...)
+	var rows []cind.Row
+	for _, row := range c.Rows {
+		vacuous := false
+		lhs := row.LHS.Clone()
+		for k, a := range lhsAttrs {
+			if a != v.Attr {
+				continue
+			}
+			if lhs[k].IsConst() && lhs[k].Const() != v.Value {
+				vacuous = true
+				break
+			}
+			// A wildcard on the selection attribute can be strengthened on
+			// X positions only if tp[X] = tp[Y] stays intact; leave X
+			// wildcards alone and strengthen Xp ones.
+			if k >= len(c.X) {
+				lhs[k] = pattern.Sym(v.Value)
+			}
+		}
+		if vacuous {
+			continue
+		}
+		rows = append(rows, cind.Row{LHS: lhs, RHS: row.RHS.Clone()})
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	p, err := cind.New(extended, c.ID+"@"+v.Name, v.Name, c.X, c.Xp,
+		c.RHSRel, c.Y, c.Yp, rows)
+	if err != nil {
+		return nil, fmt.Errorf("views: propagating %s to %s: %v", c.ID, v.Name, err)
+	}
+	return p, nil
+}
+
+func retargetRHS(extended *schema.Schema, v SelectionView, c *cind.CIND) (*cind.CIND, error) {
+	rhsAttrs := append(append([]string(nil), c.Y...), c.Yp...)
+	var rows []cind.Row
+	for _, row := range c.Rows {
+		guaranteed := false
+		for k, a := range rhsAttrs {
+			if a == v.Attr && row.RHS[k].IsConst() && row.RHS[k].Const() == v.Value {
+				guaranteed = true
+				break
+			}
+		}
+		if guaranteed {
+			rows = append(rows, cind.Row{LHS: row.LHS.Clone(), RHS: row.RHS.Clone()})
+		}
+	}
+	if len(rows) == 0 {
+		return nil, nil
+	}
+	p, err := cind.New(extended, c.ID+"@into@"+v.Name, c.LHSRel, c.X, c.Xp,
+		v.Name, c.Y, c.Yp, rows)
+	if err != nil {
+		return nil, fmt.Errorf("views: retargeting %s into %s: %v", c.ID, v.Name, err)
+	}
+	return p, nil
+}

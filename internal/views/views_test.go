@@ -1,0 +1,201 @@
+package views
+
+import (
+	"strings"
+	"testing"
+
+	"cind/internal/bank"
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+)
+
+// checkingInterestView selects the checking rows of interest.
+func checkingInterestView() SelectionView {
+	return SelectionView{Name: "interest_checking", Base: "interest", Attr: "at", Value: "checking"}
+}
+
+func TestValidate(t *testing.T) {
+	sch := bank.Schema()
+	good := checkingInterestView()
+	if err := good.Validate(sch); err != nil {
+		t.Fatal(err)
+	}
+	cases := []SelectionView{
+		{Name: "v", Base: "nope", Attr: "at", Value: "checking"},
+		{Name: "v", Base: "interest", Attr: "zz", Value: "checking"},
+		{Name: "v", Base: "interest", Attr: "at", Value: "mortgage"}, // outside finite dom
+		{Name: "interest", Base: "interest", Attr: "at", Value: "checking"},
+	}
+	for i, v := range cases {
+		if err := v.Validate(sch); err == nil {
+			t.Errorf("case %d: want error", i)
+		}
+	}
+}
+
+func TestExtendSchemaAndMaterialise(t *testing.T) {
+	sch := bank.Schema()
+	v := checkingInterestView()
+	ext, err := ExtendSchema(sch, []SelectionView{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ext.MustRelationByName(v.Name).Has("rt") {
+		t.Fatal("view must inherit base attributes")
+	}
+
+	// Materialise over Fig 1: interest has two checking rows (t12, t14).
+	base := bank.Data(sch)
+	out := instance.NewDatabase(ext)
+	Materialise(base, v, out)
+	if got := out.Instance(v.Name).Len(); got != 2 {
+		t.Fatalf("view has %d tuples, want 2", got)
+	}
+}
+
+// TestPropagatedCFDsHoldOnView: every propagated CFD must hold on the
+// materialised view whenever the base CFDs hold on the base — checked on
+// the clean bank instance.
+func TestPropagatedCFDsHoldOnView(t *testing.T) {
+	sch := bank.Schema()
+	v := checkingInterestView()
+	ext, err := ExtendSchema(sch, []SelectionView{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := PropagateCFDs(ext, []SelectionView{v}, bank.CFDs(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props) == 0 {
+		t.Fatal("ϕ3 must propagate to the view")
+	}
+	// ϕ3's saving rows are vacuous on the checking view: the propagated
+	// tableau must have dropped them.
+	var phi3v *cfd.CFD
+	for _, p := range props {
+		if strings.HasPrefix(p.ID, "phi3@") {
+			phi3v = p
+		}
+	}
+	if phi3v == nil {
+		t.Fatal("propagated ϕ3 missing")
+	}
+	if len(phi3v.Rows) >= len(bank.Phi3(sch).Rows) {
+		t.Fatalf("vacuous rows must be dropped: %d rows", len(phi3v.Rows))
+	}
+
+	// Satisfaction on the materialised clean instance.
+	clean := bank.CleanData(sch)
+	mat := instance.NewDatabase(ext)
+	for _, rel := range sch.Relations() {
+		for _, tup := range clean.Instance(rel.Name()).Tuples() {
+			mat.Instance(rel.Name()).Insert(tup.Clone())
+		}
+	}
+	Materialise(clean, v, mat)
+	for _, p := range props {
+		if !p.Satisfied(mat) {
+			t.Errorf("propagated %s violated on the view: %v", p.ID, p.Violations(mat))
+		}
+	}
+}
+
+// TestRetargetPsi6IntoView: ψ6's RHS pattern pins at = checking, so it
+// retargets into the checking view: every checking account's interest row
+// lives inside σ_{at=checking}(interest).
+func TestRetargetPsi6IntoView(t *testing.T) {
+	sch := bank.Schema()
+	v := checkingInterestView()
+	ext, err := ExtendSchema(sch, []SelectionView{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := PropagateCINDs(ext, []SelectionView{v}, bank.CINDs(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var retargeted *cind.CIND
+	for _, p := range props {
+		if p.ID == "psi6@into@interest_checking" {
+			retargeted = p
+		}
+	}
+	if retargeted == nil {
+		t.Fatalf("ψ6 must retarget into the view; got %v", ids(props))
+	}
+	if retargeted.RHSRel != v.Name {
+		t.Fatal("retargeted CIND must point at the view")
+	}
+	// ψ4 (checking[ab] ⊆ interest[ab], all wild) must NOT retarget: nothing
+	// guarantees the match is a checking row.
+	for _, p := range props {
+		if strings.HasPrefix(p.ID, "psi4@into@") {
+			t.Fatal("ψ4 must not retarget — selection not guaranteed")
+		}
+	}
+
+	// Semantics: on the clean instance with the view materialised, the
+	// retargeted CIND holds.
+	clean := bank.CleanData(sch)
+	mat := instance.NewDatabase(ext)
+	for _, rel := range sch.Relations() {
+		for _, tup := range clean.Instance(rel.Name()).Tuples() {
+			mat.Instance(rel.Name()).Insert(tup.Clone())
+		}
+	}
+	Materialise(clean, v, mat)
+	if !retargeted.Satisfied(mat) {
+		t.Fatalf("retargeted ψ6 violated: %v", retargeted.Violations(mat))
+	}
+}
+
+// TestPropagateLHSView: a view over a CIND's LHS relation inherits the
+// CIND (fewer tuples to cover), with contradictory rows dropped.
+func TestPropagateLHSView(t *testing.T) {
+	sch := bank.Schema()
+	// View of the EDI checking accounts.
+	v := SelectionView{Name: "checking_edi", Base: "checking", Attr: "ab", Value: "EDI"}
+	ext, err := ExtendSchema(sch, []SelectionView{v})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := PropagateCINDs(ext, []SelectionView{v}, bank.CINDs(sch))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var psi6v *cind.CIND
+	for _, p := range props {
+		if p.ID == "psi6@checking_edi" {
+			psi6v = p
+		}
+	}
+	if psi6v == nil {
+		t.Fatalf("ψ6 must propagate to the LHS view; got %v", ids(props))
+	}
+	// ψ6's NYC row contradicts ab = EDI and must be gone.
+	if len(psi6v.Rows) != 1 {
+		t.Fatalf("rows = %d, want the EDI row only", len(psi6v.Rows))
+	}
+	// It must hold on the materialised clean data.
+	clean := bank.CleanData(sch)
+	mat := instance.NewDatabase(ext)
+	for _, rel := range sch.Relations() {
+		for _, tup := range clean.Instance(rel.Name()).Tuples() {
+			mat.Instance(rel.Name()).Insert(tup.Clone())
+		}
+	}
+	Materialise(clean, v, mat)
+	if !psi6v.Satisfied(mat) {
+		t.Fatalf("propagated ψ6 violated: %v", psi6v.Violations(mat))
+	}
+}
+
+func ids(cs []*cind.CIND) []string {
+	out := make([]string, len(cs))
+	for i, c := range cs {
+		out[i] = c.ID
+	}
+	return out
+}

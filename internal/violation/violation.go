@@ -1,0 +1,136 @@
+// Package violation is the data-cleaning entry point: it loads relational
+// data (CSV) into in-memory instances and reports every CFD and CIND
+// violation — the offline analog of running the sqlgen queries inside a
+// DBMS, and the workflow of the paper's Examples 1.2 and 2.2 (catching the
+// 10.5% interest-rate error).
+package violation
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/instance"
+)
+
+// LoadCSV reads rows into the named relation of db. When header is true the
+// first record must list the relation's attribute names (any order); the
+// columns are then mapped by name. Without a header, records must be in
+// schema order. Values must belong to the attribute domains.
+func LoadCSV(db *instance.Database, rel string, r io.Reader, header bool) error {
+	in := db.Instance(rel)
+	rs := in.Relation()
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = rs.Arity()
+
+	colOrder := make([]int, rs.Arity())
+	for i := range colOrder {
+		colOrder[i] = i
+	}
+	first := true
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("violation: %s: %v", rel, err)
+		}
+		if first && header {
+			first = false
+			for i, name := range rec {
+				j, ok := rs.Index(strings.TrimSpace(name))
+				if !ok {
+					return fmt.Errorf("violation: %s: unknown column %q", rel, name)
+				}
+				colOrder[i] = j
+			}
+			continue
+		}
+		first = false
+		t := make(instance.Tuple, rs.Arity())
+		for i, v := range rec {
+			j := colOrder[i]
+			a := rs.Attrs()[j]
+			if !a.Dom.Contains(v) {
+				return fmt.Errorf("violation: %s: value %q outside dom(%s)", rel, v, a.Name)
+			}
+			t[j] = instance.Consts(v)[0]
+		}
+		in.Insert(t)
+	}
+}
+
+// Report collects every violation found in a database.
+type Report struct {
+	CFD  []cfd.Violation
+	CIND []cind.Violation
+}
+
+// Detect runs every constraint against the database.
+func Detect(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND) *Report {
+	rep := &Report{}
+	for _, c := range cfds {
+		rep.CFD = append(rep.CFD, c.Violations(db)...)
+	}
+	for _, c := range cinds {
+		rep.CIND = append(rep.CIND, c.Violations(db)...)
+	}
+	return rep
+}
+
+// Total returns the number of violations found.
+func (r *Report) Total() int { return len(r.CFD) + len(r.CIND) }
+
+// Clean reports whether no violation was found.
+func (r *Report) Clean() bool { return r.Total() == 0 }
+
+// String renders the report one violation per line.
+func (r *Report) String() string {
+	if r.Clean() {
+		return "clean: no violations"
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "%d violation(s):\n", r.Total())
+	for _, v := range r.CFD {
+		fmt.Fprintf(&b, "  [cfd]  %s\n", v)
+	}
+	for _, v := range r.CIND {
+		fmt.Fprintf(&b, "  [cind] %s\n", v)
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// MarshalCSV renders an instance back to CSV (schema column order, with
+// header) — handy for emitting repaired data.
+func MarshalCSV(in *instance.Instance, w io.Writer) error {
+	cw := csv.NewWriter(w)
+	rs := in.Relation()
+	if err := cw.Write(rs.AttrNames()); err != nil {
+		return err
+	}
+	for _, t := range in.Tuples() {
+		rec := make([]string, len(t))
+		for i, v := range t {
+			if !v.IsConst() {
+				return fmt.Errorf("violation: cannot serialise variable %v", v)
+			}
+			rec[i] = v.Str()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Must panics on error — for static test data.
+func Must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

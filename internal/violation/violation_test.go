@@ -1,0 +1,133 @@
+package violation
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"cind/internal/bank"
+	"cind/internal/instance"
+)
+
+const interestCSV = `ab,ct,at,rt
+EDI,UK,saving,4.5%
+EDI,UK,checking,10.5%
+NYC,US,saving,4%
+NYC,US,checking,1%
+`
+
+func TestLoadCSVWithHeader(t *testing.T) {
+	sch := bank.Schema()
+	db := instance.NewDatabase(sch)
+	if err := LoadCSV(db, "interest", strings.NewReader(interestCSV), true); err != nil {
+		t.Fatal(err)
+	}
+	in := db.Instance("interest")
+	if in.Len() != 4 {
+		t.Fatalf("loaded %d tuples", in.Len())
+	}
+	if !in.Contains(instance.Consts("EDI", "UK", "checking", "10.5%")) {
+		t.Fatal("t12 missing")
+	}
+}
+
+func TestLoadCSVHeaderReorders(t *testing.T) {
+	sch := bank.Schema()
+	db := instance.NewDatabase(sch)
+	csvData := "rt,ab,at,ct\n4.5%,EDI,saving,UK\n"
+	if err := LoadCSV(db, "interest", strings.NewReader(csvData), true); err != nil {
+		t.Fatal(err)
+	}
+	if !db.Instance("interest").Contains(instance.Consts("EDI", "UK", "saving", "4.5%")) {
+		t.Fatal("column remapping failed")
+	}
+}
+
+func TestLoadCSVNoHeader(t *testing.T) {
+	sch := bank.Schema()
+	db := instance.NewDatabase(sch)
+	if err := LoadCSV(db, "interest", strings.NewReader("EDI,UK,saving,4.5%\n"), false); err != nil {
+		t.Fatal(err)
+	}
+	if db.Instance("interest").Len() != 1 {
+		t.Fatal("row not loaded")
+	}
+}
+
+func TestLoadCSVErrors(t *testing.T) {
+	sch := bank.Schema()
+	db := instance.NewDatabase(sch)
+	if err := LoadCSV(db, "interest", strings.NewReader("ab,nope,at,rt\nx,y,saving,z\n"), true); err == nil {
+		t.Fatal("unknown column must fail")
+	}
+	if err := LoadCSV(db, "interest", strings.NewReader("EDI,UK\n"), false); err == nil {
+		t.Fatal("short record must fail")
+	}
+	// Value outside the finite at domain.
+	if err := LoadCSV(db, "interest", strings.NewReader("EDI,UK,mortgage,4%\n"), false); err == nil {
+		t.Fatal("domain violation must fail")
+	}
+}
+
+// TestDetectPaperErrors runs the full Example 1.2 detection: loading Fig 1,
+// ϕ3 flags t12 and ψ6 flags t10; after repair both are clean.
+func TestDetectPaperErrors(t *testing.T) {
+	sch := bank.Schema()
+	dirty := bank.Data(sch)
+	rep := Detect(dirty, bank.CFDs(sch), bank.CINDs(sch))
+	if rep.Clean() {
+		t.Fatal("Fig 1 is dirty")
+	}
+	if len(rep.CFD) != 1 {
+		t.Fatalf("CFD violations = %d, want 1 (t12 vs ϕ3)", len(rep.CFD))
+	}
+	if len(rep.CIND) != 1 {
+		t.Fatalf("CIND violations = %d, want 1 (t10 vs ψ6)", len(rep.CIND))
+	}
+	if rep.Total() != 2 {
+		t.Fatalf("Total = %d", rep.Total())
+	}
+	out := rep.String()
+	if !strings.Contains(out, "[cfd]") || !strings.Contains(out, "[cind]") {
+		t.Fatalf("report rendering: %s", out)
+	}
+
+	clean := bank.CleanData(sch)
+	rep = Detect(clean, bank.CFDs(sch), bank.CINDs(sch))
+	if !rep.Clean() {
+		t.Fatalf("repaired data must be clean: %s", rep)
+	}
+	if rep.String() != "clean: no violations" {
+		t.Fatalf("clean rendering: %s", rep)
+	}
+}
+
+func TestMarshalCSVRoundTrip(t *testing.T) {
+	sch := bank.Schema()
+	db := bank.Data(sch)
+	var buf bytes.Buffer
+	if err := MarshalCSV(db.Instance("interest"), &buf); err != nil {
+		t.Fatal(err)
+	}
+	db2 := instance.NewDatabase(sch)
+	if err := LoadCSV(db2, "interest", &buf, true); err != nil {
+		t.Fatal(err)
+	}
+	if db2.Instance("interest").Len() != db.Instance("interest").Len() {
+		t.Fatal("round-trip lost tuples")
+	}
+	for _, tup := range db.Instance("interest").Tuples() {
+		if !db2.Instance("interest").Contains(tup) {
+			t.Fatalf("tuple %v lost", tup)
+		}
+	}
+}
+
+func TestMustPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Must must panic on error")
+		}
+	}()
+	Must(strings.NewReader("").UnreadByte()) // any non-nil error
+}
