@@ -1,0 +1,14 @@
+#!/bin/sh
+# bench.sh — record the violation-detection benchmarks for trajectory
+# tracking. Emits BENCH_detect.json (a go test -json event stream whose
+# "output" lines carry the ns/op, B/op and allocs/op figures).
+# Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
+set -eu
+
+go test -bench=ViolationDetection -benchmem -run '^$' -json "$@" . > BENCH_detect.json
+
+# Human-readable summary of the recorded metric lines.
+grep -o '"Output":"[^"]*ns/op[^"]*"' BENCH_detect.json \
+	| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
+
+echo "wrote BENCH_detect.json"

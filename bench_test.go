@@ -1,9 +1,11 @@
 // Benchmarks reproducing every table and figure of the evaluation section
 // (Section 6) of "Extending Dependencies with Conditions" (VLDB 2007), plus
-// the ablations called out in DESIGN.md. Each figure has one benchmark
+// consistency-checking ablations and the violation-detection engine
+// benchmarks documented in PERFORMANCE.md. Each figure has one benchmark
 // whose sub-benchmarks are the x-axis positions of the paper's plot;
 // accuracy figures report an "acc%" metric alongside time. cmd/cindexp
-// runs the same harness with the full paper-scale sweeps.
+// runs the same harness with the full paper-scale sweeps; bench.sh records
+// the detection benchmarks to BENCH_detect.json for trajectory tracking.
 package cind_test
 
 import (
@@ -14,14 +16,16 @@ import (
 	cindapi "cind"
 
 	"cind/internal/bank"
+	"cind/internal/cfd"
 	"cind/internal/consistency"
 	"cind/internal/exp"
 	"cind/internal/gen"
 	"cind/internal/instance"
+	"cind/internal/pattern"
 )
 
 // benchParams are the quick-run experiment parameters (shape-preserving;
-// see EXPERIMENTS.md for the mapping to the paper's ranges).
+// see PERFORMANCE.md for the mapping to the paper's ranges).
 func benchParams() exp.Params {
 	p := exp.Defaults()
 	p.Runs = 1
@@ -181,7 +185,7 @@ func BenchmarkTables12(b *testing.B) {
 	}
 }
 
-// ---- ablations (DESIGN.md §4) ----
+// ---- consistency-checking ablations ----
 
 // BenchmarkAblationPreprocessing isolates the preProcessing stage's value:
 // Checking (with it) vs bare RandomChecking on the same consistent
@@ -233,8 +237,9 @@ func BenchmarkAblationTableCap(b *testing.B) {
 }
 
 // BenchmarkViolationDetection times bulk violation detection on a scaled
-// bank instance — the library's data-cleaning hot path (hash anti-joins,
-// linear in the data size).
+// bank instance — the library's data-cleaning hot path, served by the
+// batched engine of internal/detect (interned projection indexes shared
+// across constraints; see PERFORMANCE.md for before/after numbers).
 func BenchmarkViolationDetection(b *testing.B) {
 	sch := bank.Schema()
 	for _, size := range []int{1000, 10000} {
@@ -250,6 +255,91 @@ func BenchmarkViolationDetection(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				cindapi.Detect(db, cfds, cinds)
+			}
+		})
+	}
+}
+
+// BenchmarkViolationDetectionManyCFDs is the engine's batching showcase:
+// k CFDs over one relation sharing the LHS attribute set (an, ab), so the
+// engine builds the X-projection index once for all of them where the
+// per-constraint path re-scans the relation k times.
+func BenchmarkViolationDetectionManyCFDs(b *testing.B) {
+	sch := bank.Schema()
+	for _, k := range []int{10, 50} {
+		b.Run(fmt.Sprintf("cfds=%d", k), func(b *testing.B) {
+			db := bank.Data(sch)
+			for i := 0; i < 5000; i++ {
+				db.Instance("checking").Insert(instance.Consts(
+					fmt.Sprintf("%05d", i), "Customer", "Addr", "555",
+					[]string{"NYC", "EDI"}[i%2]))
+			}
+			cfds := make([]*cindapi.CFD, k)
+			for i := range cfds {
+				branch := []string{"NYC", "EDI"}[i%2]
+				cfds[i] = cfd.MustNew(sch, fmt.Sprintf("phi_%d", i), "checking",
+					[]string{"an", "ab"}, []string{"cn", "ca", "cp"},
+					[]cfd.Row{{
+						LHS: pattern.Tup(pattern.Wild, pattern.Sym(branch)),
+						RHS: pattern.Wilds(3),
+					}})
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cindapi.Detect(db, cfds, nil)
+			}
+		})
+	}
+}
+
+// BenchmarkViolationDetectionDirty measures violation-heavy data: inserted
+// checking tuples collide on (an, ab) with conflicting customer names, so
+// phi2 produces quadratically many violating pairs per collision group and
+// every EDI tuple additionally trips psi6. The limit sub-benchmarks show
+// the streaming cap avoiding full pair materialisation.
+func BenchmarkViolationDetectionDirty(b *testing.B) {
+	sch := bank.Schema()
+	for _, limit := range []int{0, 100} {
+		b.Run(fmt.Sprintf("limit=%d", limit), func(b *testing.B) {
+			db := bank.Data(sch)
+			for i := 0; i < 4000; i++ {
+				db.Instance("checking").Insert(instance.Consts(
+					fmt.Sprintf("%05d", i%500), fmt.Sprintf("Cust-%d", i), "Addr", "555",
+					[]string{"NYC", "EDI"}[i%2]))
+			}
+			cfds := bank.CFDs(sch)
+			cinds := bank.CINDs(sch)
+			opts := cindapi.DetectOptions{Limit: limit}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				cindapi.DetectWith(db, cfds, cinds, opts)
+			}
+		})
+	}
+}
+
+// BenchmarkViolationDetectionParallel exercises the worker pool on a
+// multi-relation workload (every relation of a generated schema carries
+// constraints and data), comparing sequential evaluation against the
+// GOMAXPROCS-bounded fan-out. On a single-core host the two coincide.
+func BenchmarkViolationDetectionParallel(b *testing.B) {
+	w := gen.New(gen.Config{Relations: 16, Card: 160, Consistent: true, Seed: 9})
+	db := w.Witness.Clone()
+	for _, rel := range w.Schema.Relations() {
+		in := db.Instance(rel.Name())
+		tuples := in.Tuples()
+		last := rel.Arity() - 1
+		for i := 0; i+1 < len(tuples) && i < 6; i += 2 {
+			mut := tuples[i].Clone()
+			mut[last] = tuples[i+1][last]
+			in.Insert(mut)
+		}
+	}
+	for _, par := range []int{1, 0} {
+		b.Run(fmt.Sprintf("parallel=%d", par), func(b *testing.B) {
+			opts := cindapi.DetectOptions{Parallel: par}
+			for i := 0; i < b.N; i++ {
+				cindapi.DetectWith(db, w.CFDs, w.CINDs, opts)
 			}
 		})
 	}

@@ -1,0 +1,15 @@
+#!/bin/sh
+# ci.sh — the repository's tier-1 gate plus vet and the race detector.
+# Usage: ./ci.sh
+set -eu
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go test -race ./..."
+go test -race ./...
+
+echo "ci: all green"

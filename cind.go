@@ -20,6 +20,7 @@
 //	internal/gen          the Section 6 workload generator
 //	internal/parser       text format for schemas and constraints
 //	internal/sqlgen       violation-detection SQL (per [9] and Sec 8)
+//	internal/detect       batched, interned, parallel violation detection
 //	internal/violation    CSV loading and violation reports
 //	internal/exp          the Section 6 experiment harness
 //
@@ -31,7 +32,8 @@
 //	outcome := cind.DecideImplication(spec.Schema, spec.CINDs, psi, cind.ImplicationOptions{})
 //
 // See the examples/ directory for runnable walkthroughs of the paper's
-// scenarios, and DESIGN.md / EXPERIMENTS.md for the reproduction map.
+// scenarios, and PERFORMANCE.md for the detection engine's architecture and
+// benchmark methodology.
 package cind
 
 import (
@@ -40,6 +42,7 @@ import (
 	"cind/internal/cfd"
 	"cind/internal/consistency"
 	core "cind/internal/core"
+	"cind/internal/detect"
 	"cind/internal/gen"
 	"cind/internal/implication"
 	"cind/internal/inference"
@@ -120,9 +123,23 @@ func MarshalSpec(s *Spec) string { return parser.Marshal(s) }
 // ViolationReport collects detected violations.
 type ViolationReport = violation.Report
 
+// DetectOptions tunes the batched detection engine: worker count and an
+// optional cap on reported violations.
+type DetectOptions = detect.Options
+
 // Detect runs every constraint against the database and reports violations.
+// Detection goes through the batched engine of internal/detect: constants
+// are interned to integer symbol IDs, constraints sharing a projection are
+// evaluated off one shared index, and independent groups run on a bounded
+// worker pool.
 func Detect(db *Database, cfds []*CFD, cinds []*CIND) *ViolationReport {
 	return violation.Detect(db, cfds, cinds)
+}
+
+// DetectWith is Detect with explicit engine options — use Limit to keep
+// violation-heavy (dirty) data from materialising every violating pair.
+func DetectWith(db *Database, cfds []*CFD, cinds []*CIND, opts DetectOptions) *ViolationReport {
+	return violation.DetectWith(db, cfds, cinds, opts)
 }
 
 // LoadCSV loads CSV rows into the named relation of db.

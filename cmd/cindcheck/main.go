@@ -18,6 +18,7 @@ import (
 	"os"
 
 	"cind/internal/consistency"
+	"cind/internal/detect"
 	"cind/internal/parser"
 )
 
@@ -62,7 +63,23 @@ func main() {
 	fmt.Printf("constraints: %d CFDs, %d CINDs over %d relations\n",
 		len(spec.CFDs), len(spec.CINDs), spec.Schema.Len())
 	if ans.Consistent {
+		// Cross-check ground witnesses with the detection engine BEFORE
+		// printing the verdict: a witness claiming to satisfy Σ must
+		// produce zero violations, and a scripted caller must never see a
+		// CONSISTENT verdict that verification then contradicts.
+		// (Templates with chase variables stand for fresh distinct
+		// constants and are not directly checkable.)
+		verified := ans.Witness != nil && ans.Witness.IsGround()
+		if verified && !detect.Run(ans.Witness, spec.CFDs, spec.CINDs, detect.Options{Limit: 1}).Clean() {
+			// The checker and the detection engine disagree — an internal
+			// bug, not a property of Σ.
+			fmt.Fprintln(os.Stderr, "cindcheck: internal error: witness fails verification by the detection engine")
+			os.Exit(2)
+		}
 		fmt.Println("verdict: CONSISTENT (witness found)")
+		if verified {
+			fmt.Println("witness verified: no violations")
+		}
 		if *verbose && ans.Witness != nil {
 			fmt.Println(ans.Witness)
 		}

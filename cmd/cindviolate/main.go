@@ -5,10 +5,15 @@
 // Usage:
 //
 //	cindviolate -constraints bank.cind -data interest=interest.csv -data saving=saving.csv
+//	cindviolate -constraints bank.cind -data ... -limit 100   # first 100 violations only
 //	cindviolate -constraints bank.cind -sql            # emit detection SQL instead
 //
 // Each -data flag loads one CSV file (with header) into the named relation.
-// Exit status 0 means clean, 1 means violations were found, 2 means error.
+// Detection runs through the batched engine of internal/detect; -limit caps
+// the number of reported violations (dirty data can otherwise produce a
+// quadratic number of violating pairs) and -parallel bounds the worker
+// pool. Exit status 0 means clean, 1 means violations were found, 2 means
+// error.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"os"
 	"strings"
 
+	"cind/internal/detect"
 	"cind/internal/instance"
 	"cind/internal/parser"
 	"cind/internal/sqlgen"
@@ -34,6 +40,8 @@ func (d *dataFlags) Set(v string) error {
 func main() {
 	constraints := flag.String("constraints", "", "constraint file (.cind format)")
 	emitSQL := flag.Bool("sql", false, "print violation-detection SQL and exit")
+	limit := flag.Int("limit", 0, "report at most this many violations (0 = all)")
+	parallel := flag.Int("parallel", 0, "detection worker goroutines (0 = GOMAXPROCS)")
 	var data dataFlags
 	flag.Var(&data, "data", "relation=file.csv (repeatable; header row required)")
 	flag.Parse()
@@ -93,8 +101,28 @@ func main() {
 		fmt.Printf("loaded %s: %d tuples\n", rel, db.Instance(rel).Len())
 	}
 
-	rep := violation.Detect(db, spec.CFDs, spec.CINDs)
+	// Detect one violation beyond the cap so the truncation notice only
+	// fires when something was actually cut off.
+	engLimit := *limit
+	if engLimit > 0 {
+		engLimit++
+	}
+	rep := violation.DetectWith(db, spec.CFDs, spec.CINDs,
+		detect.Options{Limit: engLimit, Parallel: *parallel})
+	truncated := *limit > 0 && rep.Total() > *limit
+	if truncated {
+		// Exactly one surplus violation (the engine was capped at
+		// limit+1), and it is the last in report order.
+		if len(rep.CIND) > 0 {
+			rep.CIND = rep.CIND[:len(rep.CIND)-1]
+		} else {
+			rep.CFD = rep.CFD[:*limit]
+		}
+	}
 	fmt.Println(rep)
+	if truncated {
+		fmt.Printf("(stopped at -limit %d; more violations exist)\n", *limit)
+	}
 	if !rep.Clean() {
 		os.Exit(1)
 	}

@@ -1,0 +1,3 @@
+module cind
+
+go 1.24.0

@@ -177,20 +177,8 @@ func NormalizeAll(cfds []*CFD) []*CFD {
 }
 
 // xIdx / yIdx resolve attribute positions against the relation schema.
-func (c *CFD) xIdx(r *schema.Relation) []int { return attrIdx(r, c.X) }
-func (c *CFD) yIdx(r *schema.Relation) []int { return attrIdx(r, c.Y) }
-
-func attrIdx(r *schema.Relation, attrs []string) []int {
-	idx := make([]int, len(attrs))
-	for i, a := range attrs {
-		j, ok := r.Index(a)
-		if !ok {
-			panic("cfd: relation " + r.Name() + " lost attribute " + a)
-		}
-		idx[i] = j
-	}
-	return idx
-}
+func (c *CFD) xIdx(r *schema.Relation) []int { return r.Cols(c.X) }
+func (c *CFD) yIdx(r *schema.Relation) []int { return r.Cols(c.Y) }
 
 // Violation records one witness of CFD failure: the pair of offending
 // tuples (equal for single-tuple violations) and the tableau row violated.
@@ -220,6 +208,12 @@ func (v Violation) String() string {
 // and partitions each group by Y projection, so clean data costs linear
 // time and dirty data costs time proportional to the number of violating
 // pairs reported.
+//
+// This method is the single-constraint reference implementation and the
+// differential-testing oracle for internal/detect, which evaluates many
+// constraints off shared interned indexes and is the path bulk callers
+// (violation.Detect, the facade) use. The two produce identical violations
+// in identical order.
 func (c *CFD) Violations(db *instance.Database) []Violation {
 	in := db.Instance(c.Rel)
 	rel := in.Relation()
@@ -285,22 +279,12 @@ func (c *CFD) Violations(db *instance.Database) []Violation {
 	return out
 }
 
-// projKey encodes a projection for hashing, keeping constants and chase
-// variables in disjoint namespaces.
+// projKey encodes a projection for hashing via the shared types.AppendKey
+// encoder, keeping constants and chase variables in disjoint namespaces.
 func projKey(vals []types.Value) string {
 	var b []byte
 	for _, v := range vals {
-		if v.IsVar() {
-			b = append(b, 1)
-			id := v.VarID()
-			for i := 0; i < 8; i++ {
-				b = append(b, byte(id>>(8*i)))
-			}
-		} else {
-			b = append(b, 2)
-			b = append(b, v.Str()...)
-		}
-		b = append(b, 0)
+		b = types.AppendKey(b, v)
 	}
 	return string(b)
 }

@@ -5,7 +5,6 @@ import (
 
 	"cind/internal/instance"
 	"cind/internal/pattern"
-	"cind/internal/schema"
 	"cind/internal/types"
 )
 
@@ -30,13 +29,19 @@ func (v Violation) String() string {
 // t1[X] = t2[Y] ≍ tp[Y] and t2[Yp] ≍ tp[Yp]. The check is a hash anti-join
 // per pattern row — linear in the two instance sizes — so detection scales
 // to the cross-product witnesses of Theorem 3.2 and to bulk data cleaning.
+//
+// This method is the single-constraint reference implementation and the
+// differential-testing oracle for internal/detect, which shares one Y
+// index per (RHS relation, Y) across all CINDs of the group and is the
+// path bulk callers use. The two produce identical violations in
+// identical order.
 func (c *CIND) Violations(db *instance.Database) []Violation {
 	i1, i2 := db.Instance(c.LHSRel), db.Instance(c.RHSRel)
 	r1, r2 := i1.Relation(), i2.Relation()
-	lhsIdx := attrIdx(r1, c.lhsAttrs())
-	xIdx := attrIdx(r1, c.X)
-	yIdx := attrIdx(r2, c.Y)
-	ypIdx := attrIdx(r2, c.Yp)
+	lhsIdx := r1.Cols(c.lhsAttrs())
+	xIdx := r1.Cols(c.X)
+	yIdx := r2.Cols(c.Y)
+	ypIdx := r2.Cols(c.Yp)
 
 	var out []Violation
 	for ri, row := range c.Rows {
@@ -67,22 +72,12 @@ func (c *CIND) Violations(db *instance.Database) []Violation {
 	return out
 }
 
-// projKey encodes a projection for hashing, keeping constants and chase
-// variables in disjoint namespaces.
+// projKey encodes a projection for hashing via the shared types.AppendKey
+// encoder, keeping constants and chase variables in disjoint namespaces.
 func projKey(vals []types.Value) string {
 	var b []byte
 	for _, v := range vals {
-		if v.IsVar() {
-			b = append(b, 1)
-			id := v.VarID()
-			for i := 0; i < 8; i++ {
-				b = append(b, byte(id>>(8*i)))
-			}
-		} else {
-			b = append(b, 2)
-			b = append(b, v.Str()...)
-		}
-		b = append(b, 0)
+		b = types.AppendKey(b, v)
 	}
 	return string(b)
 }
@@ -107,17 +102,5 @@ func ViolationsAll(sigma []*CIND, db *instance.Database) []Violation {
 		out = append(out, c.Violations(db)...)
 	}
 	return out
-}
-
-func attrIdx(r *schema.Relation, attrs []string) []int {
-	idx := make([]int, len(attrs))
-	for i, a := range attrs {
-		j, ok := r.Index(a)
-		if !ok {
-			panic("cind: relation " + r.Name() + " lost attribute " + a)
-		}
-		idx[i] = j
-	}
-	return idx
 }
 

@@ -1,0 +1,161 @@
+package detect
+
+import (
+	core "cind/internal/core"
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/types"
+)
+
+// cindGroup batches every CIND over the same (RHS relation, Y attribute
+// list): one shared Y-projection index over the RHS instance serves all
+// tableau rows of all members. Members may have different LHS relations.
+type cindGroup struct {
+	rhsRel string
+	yCols  []int
+	m      []cindMember
+}
+
+// cindMember is one CIND of a group with its patterns compiled to codes.
+type cindMember struct {
+	c       *core.CIND
+	idx     int
+	lhsRel  string
+	lhsCols []int // X ++ Xp positions in the LHS relation
+	xCols   []int // X positions in the LHS relation
+	ypCols  []int // Yp positions in the RHS relation
+	rows    []cindRow
+}
+
+type cindRow struct {
+	lhs []patSym // over X ++ Xp
+	y   []patSym // over Y
+	yp  []patSym // over Yp
+}
+
+// planCINDs groups the input CINDs and compiles their patterns.
+func planCINDs(db *instance.Database, cinds []*core.CIND, it *types.Interner) []*cindGroup {
+	byKey := map[string]*cindGroup{}
+	var groups []*cindGroup
+	for i, c := range cinds {
+		rhs := db.Instance(c.RHSRel).Relation()
+		yCols := rhs.Cols(c.Y)
+		key := groupKey(c.RHSRel, yCols)
+		g, ok := byKey[key]
+		if !ok {
+			g = &cindGroup{rhsRel: c.RHSRel, yCols: yCols}
+			byKey[key] = g
+			groups = append(groups, g)
+		}
+		lhs := db.Instance(c.LHSRel).Relation()
+		lhsAttrs := append(append([]string(nil), c.X...), c.Xp...)
+		m := cindMember{
+			c: c, idx: i, lhsRel: c.LHSRel,
+			lhsCols: lhs.Cols(lhsAttrs),
+			xCols:   lhs.Cols(c.X),
+			ypCols:  rhs.Cols(c.Yp),
+			rows:    make([]cindRow, len(c.Rows)),
+		}
+		for ri, row := range c.Rows {
+			m.rows[ri] = cindRow{
+				lhs: compilePattern(row.LHS, it),
+				y:   compilePattern(pattern.Tuple(row.RHS[:len(c.Y)]), it),
+				yp:  compilePattern(pattern.Tuple(row.RHS[len(c.Y):]), it),
+			}
+		}
+		g.m = append(g.m, m)
+	}
+	return groups
+}
+
+// rowWork is one (member, tableau row) anti-join of a group: the LHS
+// tuples matching the row's LHS pattern, each with the slot of its demanded
+// X projection.
+type rowWork struct {
+	m    *cindMember
+	ri   int
+	tups []int32 // matching LHS tuple indices, in insertion order
+	slot []int32 // parallel: demanded-key slot per matching tuple
+}
+
+// eval runs every (member, row) anti-join of the group off one shared scan
+// of the RHS instance, demand-driven: the first pass over each LHS instance
+// collects the X projections the inclusion actually demands (one slot per
+// distinct key), the single RHS pass marks which demands each row
+// satisfies, and the final pass emits violations in reference order (rows
+// in tableau order, LHS tuples in insertion order). Hashing is therefore
+// bounded by the demanded keys, not by the RHS size — a CIND whose LHS has
+// three tuples never pays to index a million-tuple RHS relation.
+//
+// This reproduces the Section 2 semantics of the reference
+// core.CIND.Violations exactly: an LHS tuple t1 matching tp[X, Xp]
+// violates iff no RHS tuple t2 has t2[Y] = t1[X] with t2[Y] ≍ tp[Y] and
+// t2[Yp] ≍ tp[Yp].
+func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, limit int) {
+	crR := coded[g.rhsRel]
+	slots := newKeyGroups(0)
+	var works []rowWork
+	for mi := range g.m {
+		m := &g.m[mi]
+		crL := coded[m.lhsRel]
+		for ri := range m.rows {
+			row := &m.rows[ri]
+			w := rowWork{m: m, ri: ri}
+			for i := range crL.tuples {
+				if !matchCoded(crL, i, m.lhsCols, row.lhs) {
+					continue
+				}
+				si := slots.findOrAdd(crL, i, m.xCols)
+				w.tups = append(w.tups, int32(i))
+				w.slot = append(w.slot, si)
+			}
+			works = append(works, w)
+		}
+	}
+
+	// One scan of the RHS instance satisfies demands for every row at once.
+	// satisfied is a bitset indexed (slot, work), packed as stride 64-bit
+	// words per slot: Y projections are slot-uniform, so the row's Y
+	// pattern and the per-tuple Yp pattern decide each (slot, work) pair.
+	nw := len(works)
+	stride := (nw + 63) / 64
+	satisfied := make([]uint64, slots.size()*stride)
+	for i := range crR.tuples {
+		si := slots.find(crR, i, g.yCols)
+		if si < 0 {
+			continue
+		}
+		base := int(si) * stride
+		for wi := range works {
+			w := &works[wi]
+			if satisfied[base+wi/64]&(1<<(wi%64)) != 0 {
+				continue
+			}
+			row := &w.m.rows[w.ri]
+			if matchCoded(crR, i, g.yCols, row.y) && matchCoded(crR, i, w.m.ypCols, row.yp) {
+				satisfied[base+wi/64] |= 1 << (wi % 64)
+			}
+		}
+	}
+
+	// Emit violations member-major, rows in tableau order — works were
+	// appended in exactly that order.
+	for wi := range works {
+		w := &works[wi]
+		crL := coded[w.m.lhsRel]
+		vs := out[w.m.idx]
+		if limit > 0 && len(vs) >= limit {
+			continue // this member already reached the cap on an earlier row
+		}
+		for k, ti := range w.tups {
+			if satisfied[int(w.slot[k])*stride+wi/64]&(1<<(wi%64)) != 0 {
+				continue
+			}
+			vs = append(vs, core.Violation{CIND: w.m.c, RowIdx: w.ri, T: crL.tuples[ti]})
+			if limit > 0 && len(vs) >= limit {
+				break
+			}
+		}
+		out[w.m.idx] = vs
+	}
+}

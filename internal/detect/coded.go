@@ -1,0 +1,221 @@
+package detect
+
+import (
+	"cind/internal/instance"
+	"cind/internal/pattern"
+	"cind/internal/types"
+)
+
+// codedRel is a relation instance with every field interned to a uint64
+// symbol code (row-major). It is built once per Run and shared read-only by
+// all evaluation units over that relation, so projection hashing and
+// pattern matches are pure integer work in the hot loops.
+type codedRel struct {
+	tuples []instance.Tuple
+	arity  int
+	codes  []uint64 // len(tuples)*arity
+}
+
+func codeRelation(in *instance.Instance, it *types.Interner) *codedRel {
+	tuples := in.Tuples()
+	arity := in.Relation().Arity()
+	cr := &codedRel{tuples: tuples, arity: arity, codes: make([]uint64, len(tuples)*arity)}
+	// Column-wise with a last-value cache: real columns are repetitive, and
+	// re-coding an identical string (usually the same backing array) is a
+	// cheap string compare instead of an interner lookup.
+	for j := 0; j < arity; j++ {
+		var lastStr string
+		var lastCode uint64
+		seen := false
+		for i, t := range tuples {
+			v := t[j]
+			var c uint64
+			if v.IsConst() {
+				if s := v.Str(); seen && s == lastStr {
+					c = lastCode
+				} else {
+					c = it.Const(s)
+					lastStr, lastCode, seen = s, c, true
+				}
+			} else {
+				c = it.Code(v)
+			}
+			cr.codes[i*arity+j] = c
+		}
+	}
+	return cr
+}
+
+// projHash mixes the projected codes of one tuple into a 64-bit hash.
+func projHash(cr *codedRel, row int, cols []int) uint64 {
+	base := row * cr.arity
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, c := range cols {
+		h ^= cr.codes[base+c]
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 29
+	}
+	return h
+}
+
+// projEq reports whether two projections hold identical code sequences.
+// The column lists must have equal length (CIND validation guarantees
+// |X| = |Y|; CFD groups share one X list).
+func projEq(a *codedRel, ra int, ca []int, b *codedRel, rb int, cb []int) bool {
+	ba, bb := ra*a.arity, rb*b.arity
+	for i := range ca {
+		if a.codes[ba+ca[i]] != b.codes[bb+cb[i]] {
+			return false
+		}
+	}
+	return true
+}
+
+// keyGroups assigns dense ordinals to distinct projections, in first-seen
+// order, without materialising key strings: lookups go through a
+// hash-of-codes map and collisions (different projections, same 64-bit
+// hash) are resolved by comparing code sequences against each group's
+// recorded representative. Representatives may live in different coded
+// relations — a CIND compares LHS X projections against RHS Y projections.
+type keyGroups struct {
+	byHash map[uint64]int32   // hash -> first group with that hash
+	over   map[uint64][]int32 // colliding further groups, lazily allocated
+	crs    []*codedRel        // group -> representative relation
+	rows   []int32            // group -> representative tuple index
+	colss  [][]int            // group -> representative column list
+}
+
+func newKeyGroups(sizeHint int) keyGroups {
+	return keyGroups{byHash: make(map[uint64]int32, sizeHint)}
+}
+
+func (kg *keyGroups) size() int { return len(kg.rows) }
+
+// find returns the ordinal of the group holding the projection, or -1.
+func (kg *keyGroups) find(cr *codedRel, row int, cols []int) int32 {
+	h := projHash(cr, row, cols)
+	gi, ok := kg.byHash[h]
+	if !ok {
+		return -1
+	}
+	if projEq(cr, row, cols, kg.crs[gi], int(kg.rows[gi]), kg.colss[gi]) {
+		return gi
+	}
+	for _, g := range kg.over[h] {
+		if projEq(cr, row, cols, kg.crs[g], int(kg.rows[g]), kg.colss[g]) {
+			return g
+		}
+	}
+	return -1
+}
+
+// findOrAdd is find, adding a new group with this projection as
+// representative when absent.
+func (kg *keyGroups) findOrAdd(cr *codedRel, row int, cols []int) int32 {
+	h := projHash(cr, row, cols)
+	gi, ok := kg.byHash[h]
+	if ok {
+		if projEq(cr, row, cols, kg.crs[gi], int(kg.rows[gi]), kg.colss[gi]) {
+			return gi
+		}
+		for _, g := range kg.over[h] {
+			if projEq(cr, row, cols, kg.crs[g], int(kg.rows[g]), kg.colss[g]) {
+				return g
+			}
+		}
+	}
+	ng := int32(len(kg.rows))
+	kg.crs = append(kg.crs, cr)
+	kg.rows = append(kg.rows, int32(row))
+	kg.colss = append(kg.colss, cols)
+	if !ok {
+		kg.byHash[h] = ng
+	} else {
+		if kg.over == nil {
+			kg.over = map[uint64][]int32{}
+		}
+		kg.over[h] = append(kg.over[h], ng)
+	}
+	return ng
+}
+
+// projIndex groups every tuple of a coded relation by its projection on a
+// fixed column list. Groups are numbered in first-seen (insertion) order —
+// the order the per-constraint reference implementations report in — and
+// the member tuple indices of group g are ix.group(g), also in insertion
+// order. One index serves every constraint in a detection group, which is
+// the batching win: k constraints sharing a projection cost one scan, not k.
+type projIndex struct {
+	cols   []int
+	kg     keyGroups
+	offs   []int32 // group -> start offset into tupIdx
+	tupIdx []int32 // tuple indices, concatenated per group
+}
+
+func buildProjIndex(cr *codedRel, cols []int) *projIndex {
+	n := len(cr.tuples)
+	ix := &projIndex{cols: cols, kg: newKeyGroups(n)}
+	tupGi := make([]int32, n)
+	var counts []int32
+	for i := 0; i < n; i++ {
+		gi := ix.kg.findOrAdd(cr, i, cols)
+		if int(gi) == len(counts) {
+			counts = append(counts, 0)
+		}
+		tupGi[i] = gi
+		counts[gi]++
+	}
+	ng := len(counts)
+	ix.offs = make([]int32, ng+1)
+	for g := 0; g < ng; g++ {
+		ix.offs[g+1] = ix.offs[g] + counts[g]
+	}
+	ix.tupIdx = make([]int32, n)
+	next := append([]int32(nil), ix.offs[:ng]...)
+	for i := 0; i < n; i++ {
+		gi := tupGi[i]
+		ix.tupIdx[next[gi]] = int32(i)
+		next[gi]++
+	}
+	return ix
+}
+
+func (ix *projIndex) size() int { return ix.kg.size() }
+
+// rep returns the representative (first) tuple index of group g.
+func (ix *projIndex) rep(g int) int32 { return ix.kg.rows[g] }
+
+func (ix *projIndex) group(g int32) []int32 { return ix.tupIdx[ix.offs[g]:ix.offs[g+1]] }
+
+// patSym is one compiled pattern symbol: the wildcard, or an interned
+// constant code. A constant symbol matches exactly the values with the same
+// code (chase variables live in a disjoint code namespace, so v ≭ a holds
+// for free).
+type patSym struct {
+	wild bool
+	code uint64
+}
+
+func compilePattern(tp pattern.Tuple, it *types.Interner) []patSym {
+	out := make([]patSym, len(tp))
+	for i, s := range tp {
+		if s.IsConst() {
+			out[i] = patSym{code: it.Const(s.Const())}
+		} else {
+			out[i].wild = true
+		}
+	}
+	return out
+}
+
+// matchCoded reports whether tuple row of cr, projected to cols, matches
+// the compiled pattern.
+func matchCoded(cr *codedRel, row int, cols []int, pat []patSym) bool {
+	base := row * cr.arity
+	for i, p := range pat {
+		if !p.wild && cr.codes[base+cols[i]] != p.code {
+			return false
+		}
+	}
+	return true
+}

@@ -21,6 +21,10 @@ import (
 // Tuple is a value tuple positionally aligned with its relation's attributes.
 type Tuple []types.Value
 
+// Const returns the constant value holding v — a zero-allocation shorthand
+// for data loaders that fill tuples field by field.
+func Const(v string) types.Value { return types.C(v) }
+
 // Consts builds a ground tuple from constants — the common case in tests
 // and data loading.
 func Consts(vals ...string) Tuple {
@@ -70,18 +74,19 @@ func (t Tuple) Project(idx []int) []types.Value {
 	return out
 }
 
-// key encodes the tuple for set membership. Constants and variables are kept
-// in disjoint namespaces so a constant "v1" never collides with variable v1.
+// key encodes the tuple for set membership via the shared types.AppendKey
+// encoder, which keeps constants and variables in disjoint namespaces so a
+// constant "v1" never collides with variable v1.
 func (t Tuple) key() string {
-	var b strings.Builder
+	n := 0
 	for _, v := range t {
-		if v.IsVar() {
-			fmt.Fprintf(&b, "\x01%d\x00", v.VarID())
-		} else {
-			b.WriteString("\x02" + v.Str() + "\x00")
-		}
+		n += types.KeyLen(v)
 	}
-	return b.String()
+	b := make([]byte, 0, n)
+	for _, v := range t {
+		b = types.AppendKey(b, v)
+	}
+	return string(b)
 }
 
 // String renders "(a, b, v1)".

@@ -48,6 +48,15 @@ func TestTupleProject(t *testing.T) {
 	}
 }
 
+func TestConstMatchesConsts(t *testing.T) {
+	if !Const("x").Eq(Consts("x")[0]) {
+		t.Fatal("Const and Consts must build identical values")
+	}
+	if Const("x").Eq(types.NewVar(1, "v")) {
+		t.Fatal("Const must build a constant")
+	}
+}
+
 func TestTupleKeyDisambiguatesVarsFromConsts(t *testing.T) {
 	// Constant "1" and variable with id 1 must not collide in set keys.
 	withConst := Tuple{types.C("1")}

@@ -27,6 +27,7 @@ import (
 
 	"cind/internal/cfd"
 	cind "cind/internal/core"
+	"cind/internal/detect"
 	"cind/internal/instance"
 	"cind/internal/schema"
 	"cind/internal/types"
@@ -128,14 +129,22 @@ func Repair(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts Opt
 			break
 		}
 	}
-	res.Clean = cfd.SatisfiedAll(normCFDs, res.DB) && cind.SatisfiedAll(normCINDs, res.DB)
+	// One batched engine pass with Limit 1 answers "any violation left?"
+	// without re-materialising every violating pair.
+	res.Clean = detect.Run(res.DB, normCFDs, normCINDs, detect.Options{Limit: 1}).Clean()
 	return res
 }
 
 // repairCFD fixes the first batch of violations of one normal-form CFD.
 // Returns whether anything changed.
+//
+// Detection here is per constraint, not batched: each repair mutates the
+// database before the next constraint is evaluated, which a single batched
+// Run per pass would not observe. Repair instances are small (the loop is
+// bounded by MaxPasses), so the engine's per-call relation coding is noise
+// next to the rebuild-on-modify cost.
 func repairCFD(res *Result, c *cfd.CFD) bool {
-	viols := c.Violations(res.DB)
+	viols := detect.CFDViolations(res.DB, c)
 	if len(viols) == 0 {
 		return false
 	}
@@ -193,7 +202,7 @@ func (r *Result) modify(c *cfd.CFD, target instance.Tuple, ai int, val types.Val
 // repairCIND inserts the tuples demanded by one normal-form CIND's
 // violations. Returns whether anything changed.
 func repairCIND(res *Result, c *cind.CIND, gen *types.VarGen) bool {
-	viols := c.Violations(res.DB)
+	viols := detect.CINDViolations(res.DB, c)
 	if len(viols) == 0 {
 		return false
 	}

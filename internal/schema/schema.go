@@ -95,6 +95,22 @@ func (r *Relation) Attr(name string) Attribute {
 // Domain returns the domain of the named attribute, panicking if absent.
 func (r *Relation) Domain(attr string) *Domain { return r.Attr(attr).Dom }
 
+// Cols resolves attribute names to column positions, panicking on a miss —
+// constraints are validated against the schema up front, so a miss here is
+// a bug. This is the shared projection-resolution helper of the constraint
+// and detection packages.
+func (r *Relation) Cols(attrs []string) []int {
+	cols := make([]int, len(attrs))
+	for i, a := range attrs {
+		j, ok := r.index[a]
+		if !ok {
+			panic("schema: relation " + r.name + " has no attribute " + a)
+		}
+		cols[i] = j
+	}
+	return cols
+}
+
 // FiniteAttrs returns the names of the relation's finite-domain attributes,
 // i.e. its contribution to finattr(R).
 func (r *Relation) FiniteAttrs() []string {

@@ -13,6 +13,7 @@ import (
 
 	"cind/internal/cfd"
 	cind "cind/internal/core"
+	"cind/internal/detect"
 	"cind/internal/instance"
 )
 
@@ -58,7 +59,7 @@ func LoadCSV(db *instance.Database, rel string, r io.Reader, header bool) error 
 			if !a.Dom.Contains(v) {
 				return fmt.Errorf("violation: %s: value %q outside dom(%s)", rel, v, a.Name)
 			}
-			t[j] = instance.Consts(v)[0]
+			t[j] = instance.Const(v)
 		}
 		in.Insert(t)
 	}
@@ -70,16 +71,20 @@ type Report struct {
 	CIND []cind.Violation
 }
 
-// Detect runs every constraint against the database.
+// Detect runs every constraint against the database through the batched
+// detection engine (internal/detect): constraints sharing a projection are
+// evaluated off one shared index, and independent groups run in parallel.
+// The report lists violations per constraint in input order, exactly as the
+// per-constraint Violations methods would.
 func Detect(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND) *Report {
-	rep := &Report{}
-	for _, c := range cfds {
-		rep.CFD = append(rep.CFD, c.Violations(db)...)
-	}
-	for _, c := range cinds {
-		rep.CIND = append(rep.CIND, c.Violations(db)...)
-	}
-	return rep
+	return DetectWith(db, cfds, cinds, detect.Options{})
+}
+
+// DetectWith is Detect with explicit engine options (worker count, result
+// limit).
+func DetectWith(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts detect.Options) *Report {
+	res := detect.Run(db, cfds, cinds, opts)
+	return &Report{CFD: res.CFD, CIND: res.CIND}
 }
 
 // Total returns the number of violations found.
