@@ -1,14 +1,22 @@
 #!/bin/sh
 # bench.sh — record the violation-detection benchmarks for trajectory
-# tracking. Emits BENCH_detect.json (a go test -json event stream whose
-# "output" lines carry the ns/op, B/op and allocs/op figures).
+# tracking. Emits BENCH_detect.json (bulk detection) and BENCH_incr.json
+# (incremental session vs per-delta re-detection), both go test -json event
+# streams whose "output" lines carry the ns/op, B/op and allocs/op figures.
 # Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
 set -eu
 
 go test -bench=ViolationDetection -benchmem -run '^$' -json "$@" . > BENCH_detect.json
 
-# Human-readable summary of the recorded metric lines.
-grep -o '"Output":"[^"]*ns/op[^"]*"' BENCH_detect.json \
-	| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
+# The incremental benchmarks run a fixed delta count: the workload database
+# grows under the write mix, so a time-based -benchtime would let large
+# iteration counts drift the instance far past the stated 10k tuples.
+go test -bench=Incremental -benchmem -run '^$' -benchtime=500x -json . > BENCH_incr.json
 
-echo "wrote BENCH_detect.json"
+# Human-readable summary of the recorded metric lines.
+for f in BENCH_detect.json BENCH_incr.json; do
+	grep -o '"Output":"[^"]*ns/op[^"]*"' "$f" \
+		| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
+done
+
+echo "wrote BENCH_detect.json BENCH_incr.json"

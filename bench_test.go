@@ -18,6 +18,7 @@ import (
 	"cind/internal/bank"
 	"cind/internal/cfd"
 	"cind/internal/consistency"
+	"cind/internal/detect"
 	"cind/internal/exp"
 	"cind/internal/gen"
 	"cind/internal/instance"
@@ -342,5 +343,116 @@ func BenchmarkViolationDetectionParallel(b *testing.B) {
 				cindapi.DetectWith(db, w.CFDs, w.CINDs, opts)
 			}
 		})
+	}
+}
+
+// benchDeltaMix pre-generates the steady-state write mix of the incremental
+// benchmarks: 95% inserts of fresh checking tuples, 5% deletes of the
+// oldest still-live inserted one (FIFO churn). Tuples alternate branches so
+// EDI rows keep exercising the psi6 anti-join in both directions.
+func benchDeltaMix(n, start int) []cindapi.Delta {
+	rng := rand.New(rand.NewSource(11))
+	deltas := make([]cindapi.Delta, n)
+	var inserted []cindapi.Tuple
+	head := 0
+	for i := range deltas {
+		if rng.Float64() < 0.05 && head < len(inserted) {
+			deltas[i] = cindapi.DeleteDelta("checking", inserted[head])
+			head++
+			continue
+		}
+		t := instance.Consts(fmt.Sprintf("n%07d", start+i), "Customer", "Addr", "555",
+			[]string{"NYC", "EDI"}[i%2])
+		inserted = append(inserted, t)
+		deltas[i] = cindapi.InsertDelta("checking", t)
+	}
+	return deltas
+}
+
+// incrementalBankDB is the 10k-tuple steady-state instance the incremental
+// benchmarks write into (the BenchmarkViolationDetection workload).
+func incrementalBankDB(size int) (*cindapi.Database, []*cindapi.CFD, []*cindapi.CIND) {
+	sch := bank.Schema()
+	db := bank.Data(sch)
+	for i := 0; i < size; i++ {
+		db.Instance("checking").Insert(instance.Consts(
+			fmt.Sprintf("%05d", i), "Customer", "Addr", "555",
+			[]string{"NYC", "EDI"}[i%2]))
+	}
+	return db, bank.CFDs(sch), bank.CINDs(sch)
+}
+
+// BenchmarkIncrementalDetection compares steady-state violation upkeep
+// under a 95/5 insert/delete mix at 10k tuples: one iteration applies one
+// delta and learns exactly how the violation set changed. mode=session
+// maintains the report incrementally (cind.Session) and reads the change
+// off the returned Diff; mode=redetect re-runs the full batch engine after
+// every delta — what a service without incremental maintenance pays for
+// the same knowledge. bench.sh records both to BENCH_incr.json; the
+// session must be >= 10x faster per delta (PERFORMANCE.md tracks the
+// measured ratio). Materialising the full report on demand is priced
+// separately by BenchmarkIncrementalReport.
+func BenchmarkIncrementalDetection(b *testing.B) {
+	const size = 10000
+	b.Run("tuples=10000/mode=session", func(b *testing.B) {
+		db, cfds, cinds := incrementalBankDB(size)
+		sess := cindapi.NewSession(db, cfds, cinds)
+		deltas := benchDeltaMix(b.N, size)
+		changes := 0
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			diff, err := sess.Apply(deltas[i])
+			if err != nil {
+				b.Fatal(err)
+			}
+			changes += diff.Added.Total() + diff.Removed.Total()
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "deltas/s")
+		b.ReportMetric(float64(changes)/float64(b.N), "changes/delta")
+	})
+	b.Run("tuples=10000/mode=redetect", func(b *testing.B) {
+		db, cfds, cinds := incrementalBankDB(size)
+		deltas := benchDeltaMix(b.N, size)
+		prev := cindapi.Detect(db, cfds, cinds)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			d := deltas[i]
+			if d.Op == detect.OpInsert {
+				db.Insert(d.Rel, d.Tuple)
+			} else {
+				db.Delete(d.Rel, d.Tuple)
+			}
+			rep := cindapi.Detect(db, cfds, cinds)
+			_ = cindapi.DiffReports(prev, rep)
+			prev = rep
+		}
+		b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "deltas/s")
+	})
+}
+
+// BenchmarkIncrementalReport prices materialising the full report from the
+// resident session state on demand (Report caches until the next change,
+// so this is the worst case: every read follows a write).
+func BenchmarkIncrementalReport(b *testing.B) {
+	db, cfds, cinds := incrementalBankDB(10000)
+	sess := cindapi.NewSession(db, cfds, cinds)
+	deltas := benchDeltaMix(b.N, 10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Apply(deltas[i]); err != nil {
+			b.Fatal(err)
+		}
+		_ = sess.Report()
+	}
+}
+
+// BenchmarkIncrementalSessionSeed times NewSession itself — the one-off
+// cost of building the resident indexes over an existing instance.
+func BenchmarkIncrementalSessionSeed(b *testing.B) {
+	db, cfds, cinds := incrementalBankDB(10000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sess := cindapi.NewSession(db, cfds, cinds)
+		_ = sess.Report()
 	}
 }

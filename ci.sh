@@ -1,5 +1,6 @@
 #!/bin/sh
-# ci.sh — the repository's tier-1 gate plus vet and the race detector.
+# ci.sh — the repository's tier-1 gate plus vet, the race detector, a
+# coverage floor on the detection engine, and a short fuzz smoke.
 # Usage: ./ci.sh
 set -eu
 
@@ -11,5 +12,19 @@ go vet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== coverage floor: internal/detect >= 85%"
+cover_out="$(mktemp)"
+go test -coverprofile="$cover_out" ./internal/detect > /dev/null
+pct="$(go tool cover -func="$cover_out" | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+rm -f "$cover_out"
+echo "internal/detect coverage: ${pct}%"
+if [ "$(awk -v p="$pct" 'BEGIN { print (p + 0 < 85.0) ? 1 : 0 }')" = "1" ]; then
+	echo "ci: internal/detect coverage ${pct}% is below the 85% floor" >&2
+	exit 1
+fi
+
+echo "== fuzz smoke: parser round-trip (10s)"
+go test -run '^$' -fuzz '^FuzzParseMarshalRoundTrip$' -fuzztime 10s ./internal/parser
 
 echo "ci: all green"

@@ -28,6 +28,8 @@
 //
 //	spec, err := cind.ParseSpec(src)        // schema + constraints from text
 //	report := cind.Detect(db, spec.CFDs, spec.CINDs)
+//	sess := cind.NewSession(db, spec.CFDs, spec.CINDs) // incremental detection under writes
+//	diff, err := sess.Apply(cind.InsertDelta("checking", t))
 //	answer := cind.CheckConsistency(spec.Schema, spec.CFDs, spec.CINDs, cind.CheckOptions{})
 //	outcome := cind.DecideImplication(spec.Schema, spec.CINDs, psi, cind.ImplicationOptions{})
 //
@@ -97,6 +99,10 @@ var (
 	NewSchema = schema.New
 	// NewDatabase returns an empty instance of a schema.
 	NewDatabase = instance.NewDatabase
+	// Const builds a constant value — for filling tuples field by field.
+	Const = instance.Const
+	// Consts builds a ground tuple from constants.
+	Consts = instance.Consts
 )
 
 // Constraint construction.
@@ -145,6 +151,39 @@ func DetectWith(db *Database, cfds []*CFD, cinds []*CIND, opts DetectOptions) *V
 // LoadCSV loads CSV rows into the named relation of db.
 func LoadCSV(db *Database, rel string, r io.Reader, header bool) error {
 	return violation.LoadCSV(db, rel, r, header)
+}
+
+// Incremental detection (the write-heavy serving path): a Session keeps the
+// detection engine's interned projection indexes resident and maintains the
+// violation report under tuple-level deltas in time proportional to the
+// affected projection groups, instead of re-running Detect after every
+// write.
+type (
+	// Session is a long-lived incremental violation detector.
+	Session = violation.Session
+	// Delta is one tuple-level insert or delete.
+	Delta = detect.Delta
+	// ReportDiff is the net report change of one Apply batch.
+	ReportDiff = violation.ReportDiff
+)
+
+// NewSession builds the resident indexes over db's current contents and
+// returns a session whose Report already reflects them. The database handle
+// is retained and mutated by Apply; don't write to it directly afterwards.
+func NewSession(db *Database, cfds []*CFD, cinds []*CIND) *Session {
+	return violation.NewSession(db, cfds, cinds)
+}
+
+// InsertDelta builds a tuple-insert delta for Session.Apply.
+func InsertDelta(rel string, t Tuple) Delta { return detect.Ins(rel, t) }
+
+// DeleteDelta builds a tuple-delete delta for Session.Apply.
+func DeleteDelta(rel string, t Tuple) Delta { return detect.Del(rel, t) }
+
+// DiffReports computes the violations added and removed between two
+// reports — the snapshot-based oracle for Session's incremental diffs.
+func DiffReports(before, after *ViolationReport) *ReportDiff {
+	return violation.DiffReports(before, after)
 }
 
 // Witness builds the Theorem 3.2 witness: a nonempty database satisfying

@@ -6,19 +6,40 @@
 //
 //	cindviolate -constraints bank.cind -data interest=interest.csv -data saving=saving.csv
 //	cindviolate -constraints bank.cind -data ... -limit 100   # first 100 violations only
+//	cindviolate -constraints bank.cind -data ... -stream deltas.log  # incremental mode
 //	cindviolate -constraints bank.cind -sql            # emit detection SQL instead
 //
 // Each -data flag loads one CSV file (with header) into the named relation.
 // Detection runs through the batched engine of internal/detect; -limit caps
 // the number of reported violations (dirty data can otherwise produce a
 // quadratic number of violating pairs) and -parallel bounds the worker
-// pool. Exit status 0 means clean, 1 means violations were found, 2 means
-// error.
+// pool.
+//
+// -stream switches to incremental detection: after loading the -data files
+// and reporting the initial state, the file's deltas are applied through a
+// resident detect.Session, and every delta that changes the violation
+// report prints the added (+) and removed (-) violations. The delta log is
+// CSV, one delta per line:
+//
+//	+,relation,v1,v2,...   insert the tuple
+//	-,relation,v1,v2,...   delete the tuple
+//
+// Blank lines and lines starting with # are skipped. Values are in schema
+// column order and must belong to the attribute domains, exactly like
+// -data loading; -limit caps the violations printed for a dirty final
+// state. "-stream -" reads the log from stdin, which makes the command a
+// long-lived violation monitor for a write stream.
+//
+// Exit status 0 means clean (in -stream mode: the final state is clean),
+// 1 means violations were found, 2 means error.
 package main
 
 import (
+	"bufio"
+	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -42,6 +63,7 @@ func main() {
 	emitSQL := flag.Bool("sql", false, "print violation-detection SQL and exit")
 	limit := flag.Int("limit", 0, "report at most this many violations (0 = all)")
 	parallel := flag.Int("parallel", 0, "detection worker goroutines (0 = GOMAXPROCS)")
+	stream := flag.String("stream", "", "delta log to apply incrementally (- for stdin)")
 	var data dataFlags
 	flag.Var(&data, "data", "relation=file.csv (repeatable; header row required)")
 	flag.Parse()
@@ -101,6 +123,14 @@ func main() {
 		fmt.Printf("loaded %s: %d tuples\n", rel, db.Instance(rel).Len())
 	}
 
+	if *stream != "" {
+		if *parallel != 0 {
+			fmt.Fprintln(os.Stderr, "cindviolate: -parallel has no effect with -stream (the session is single-writer)")
+		}
+		runStream(db, spec, *stream, *limit)
+		return
+	}
+
 	// Detect one violation beyond the cap so the truncation notice only
 	// fires when something was actually cut off.
 	engLimit := *limit
@@ -125,5 +155,127 @@ func main() {
 	}
 	if !rep.Clean() {
 		os.Exit(1)
+	}
+}
+
+// runStream applies a delta log through an incremental detect.Session,
+// printing every report change as it happens and a final summary. limit
+// caps the violations printed for a dirty final state, like -limit does
+// for batch detection (the incremental upkeep itself is unaffected).
+func runStream(db *instance.Database, spec *parser.Spec, path string, limit int) {
+	var r io.Reader
+	if path == "-" {
+		r = os.Stdin
+	} else {
+		fh, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cindviolate:", err)
+			os.Exit(2)
+		}
+		defer fh.Close()
+		r = fh
+	}
+
+	sess := violation.NewSession(db, spec.CFDs, spec.CINDs)
+	fmt.Printf("initial state: %s\n", summarize(sess.Report()))
+
+	applied, lineNo := 0, 0
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		d, err := parseDelta(spec, line)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cindviolate: %s:%d: %v\n", path, lineNo, err)
+			os.Exit(2)
+		}
+		diff, err := sess.Apply(d)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cindviolate: %s:%d: %v\n", path, lineNo, err)
+			os.Exit(2)
+		}
+		applied++
+		if diff.Empty() {
+			continue
+		}
+		fmt.Printf("%s  (%s)\n", d, diff)
+		for _, v := range diff.Added.CFD {
+			fmt.Printf("  + [cfd]  %s\n", v)
+		}
+		for _, v := range diff.Added.CIND {
+			fmt.Printf("  + [cind] %s\n", v)
+		}
+		for _, v := range diff.Removed.CFD {
+			fmt.Printf("  - [cfd]  %s\n", v)
+		}
+		for _, v := range diff.Removed.CIND {
+			fmt.Printf("  - [cind] %s\n", v)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	rep := sess.Report()
+	fmt.Printf("after %d delta(s): %s\n", applied, summarize(rep))
+	if !rep.Clean() {
+		truncated := false
+		if limit > 0 && rep.Total() > limit {
+			capped := &violation.Report{CFD: rep.CFD, CIND: rep.CIND}
+			if len(capped.CFD) > limit {
+				capped.CFD = capped.CFD[:limit]
+			}
+			if rest := limit - len(capped.CFD); len(capped.CIND) > rest {
+				capped.CIND = capped.CIND[:rest]
+			}
+			rep, truncated = capped, true
+		}
+		fmt.Println(rep)
+		if truncated {
+			fmt.Printf("(stopped at -limit %d; more violations exist)\n", limit)
+		}
+		os.Exit(1)
+	}
+}
+
+func summarize(rep *violation.Report) string {
+	if rep.Clean() {
+		return "clean"
+	}
+	return fmt.Sprintf("%d violation(s) (%d cfd, %d cind)", rep.Total(), len(rep.CFD), len(rep.CIND))
+}
+
+// parseDelta parses one delta-log line: "+,rel,v1,..." or "-,rel,v1,...".
+// Values are validated against the attribute domains, exactly like the
+// -data CSV loading path (unknown relations and arity mismatches are left
+// to Session.Apply, which reports them with the same line context).
+func parseDelta(spec *parser.Spec, line string) (detect.Delta, error) {
+	rec, err := csv.NewReader(strings.NewReader(line)).Read()
+	if err != nil {
+		return detect.Delta{}, err
+	}
+	if len(rec) < 2 {
+		return detect.Delta{}, fmt.Errorf("delta needs op and relation, got %q", line)
+	}
+	vals := rec[2:]
+	if rel, ok := spec.Schema.Relation(rec[1]); ok && len(vals) == rel.Arity() {
+		for i, a := range rel.Attrs() {
+			if !a.Dom.Contains(vals[i]) {
+				return detect.Delta{}, fmt.Errorf("value %q outside dom(%s)", vals[i], a.Name)
+			}
+		}
+	}
+	t := instance.Consts(vals...)
+	switch rec[0] {
+	case "+":
+		return detect.Ins(rec[1], t), nil
+	case "-":
+		return detect.Del(rec[1], t), nil
+	default:
+		return detect.Delta{}, fmt.Errorf("bad delta op %q (want + or -)", rec[0])
 	}
 }

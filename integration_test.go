@@ -4,6 +4,7 @@
 package cind_test
 
 import (
+	"encoding/csv"
 	"os"
 	"path/filepath"
 	"strings"
@@ -195,5 +196,59 @@ func TestTestdataMatchesBankPackage(t *testing.T) {
 		if spec.CFDs[i].String() != want.String() {
 			t.Errorf("CFD %d drifted:\nfile: %s\ncode: %s", i, spec.CFDs[i], want)
 		}
+	}
+}
+
+// TestEndToEndIncrementalStream replays testdata/bank/deltas.log through
+// the facade session — the cindviolate -stream pipeline — and checks the
+// stream cures both paper errors and stays equal to batch detection.
+func TestEndToEndIncrementalStream(t *testing.T) {
+	spec := loadBankSpec(t)
+	db := loadBankCSVs(t, spec)
+	sess := cindapi.NewSession(db, spec.CFDs, spec.CINDs)
+	if got := sess.Report().Total(); got != 2 {
+		t.Fatalf("initial stream state has %d violations, want the paper's 2", got)
+	}
+
+	src, err := os.ReadFile(filepath.Join("testdata", "bank", "deltas.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	applied := 0
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := csv.NewReader(strings.NewReader(line)).Read()
+		if err != nil {
+			t.Fatalf("delta log line %q: %v", line, err)
+		}
+		tu := make(cindapi.Tuple, len(rec)-2)
+		for i, v := range rec[2:] {
+			tu[i] = cindapi.Const(v)
+		}
+		var d cindapi.Delta
+		if rec[0] == "+" {
+			d = cindapi.InsertDelta(rec[1], tu)
+		} else {
+			d = cindapi.DeleteDelta(rec[1], tu)
+		}
+		if _, err := sess.Apply(d); err != nil {
+			t.Fatalf("applying %s: %v", d, err)
+		}
+		applied++
+
+		batch := cindapi.Detect(db, spec.CFDs, spec.CINDs)
+		if sess.Report().String() != batch.String() {
+			t.Fatalf("after %s the session diverges from batch detection:\nsession: %s\nbatch:   %s",
+				d, sess.Report(), batch)
+		}
+	}
+	if applied != 4 {
+		t.Fatalf("delta log applied %d deltas, fixture has 4", applied)
+	}
+	if !sess.Report().Clean() {
+		t.Fatalf("stream should end clean, got %s", sess.Report())
 	}
 }

@@ -110,20 +110,15 @@ func evalCFDMember(cr *codedRel, ix *projIndex, m *cfdMember, limit int) []cfd.V
 	var out []cfd.Violation
 	for ri := range m.rows {
 		row := &m.rows[ri]
+		emit := func(r1, r2 int32) bool {
+			out = append(out, cfd.Violation{CFD: m.c, RowIdx: ri, T1: cr.tuples[r1], T2: cr.tuples[r2]})
+			return limit <= 0 || len(out) < limit
+		}
 		for gi := 0; gi < ix.size(); gi++ {
 			if !matchCoded(cr, int(ix.rep(gi)), ix.cols, row.lhs) {
 				continue
 			}
-			tups := ix.group(int32(gi))
-			if len(tups) == 1 {
-				// Singleton fast path: only the single-tuple check applies.
-				t := int(tups[0])
-				if !matchCoded(cr, t, m.yCols, row.rhs) {
-					out = append(out, cfd.Violation{CFD: m.c, RowIdx: ri, T1: cr.tuples[t], T2: cr.tuples[t]})
-				}
-			} else {
-				out = partitionCFDGroup(cr, m, row, ri, tups, out, limit)
-			}
+			partitionPairs(cr, m.yCols, row.rhs, ix.group(int32(gi)), emit)
 			if limit > 0 && len(out) >= limit {
 				return out[:limit]
 			}
@@ -132,23 +127,34 @@ func evalCFDMember(cr *codedRel, ix *projIndex, m *cfdMember, limit int) []cfd.V
 	return out
 }
 
-// partitionCFDGroup partitions one X group by Y projection and emits the
-// violating pairs.
-func partitionCFDGroup(cr *codedRel, m *cfdMember, row *cfdRow, ri int, tups []int32, out []cfd.Violation, limit int) []cfd.Violation {
+// partitionPairs partitions one X bucket (tuple row ids, in scan order) by
+// Y projection and calls emit for every violating pair, in reference order:
+// within a failing Y partition every pair i ≤ j including (t, t), then
+// every cross-partition pair. emit returning false stops enumeration early
+// (the Limit path); partitionPairs reports whether it ran to completion.
+// This is the single pair-semantics kernel shared by the batch evaluator
+// and the incremental session's bucket recomputation.
+func partitionPairs(cr *codedRel, yCols []int, rhs []patSym, tups []int32, emit func(r1, r2 int32) bool) bool {
+	if len(tups) == 1 {
+		// Singleton fast path: only the single-tuple check applies.
+		if !matchCoded(cr, int(tups[0]), yCols, rhs) {
+			return emit(tups[0], tups[0])
+		}
+		return true
+	}
 	parts := newKeyGroups(len(tups))
 	var order [][]int32
 	var patOK []bool
 	for _, ti := range tups {
-		pi := parts.findOrAdd(cr, int(ti), m.yCols)
+		pi := parts.findOrAdd(cr, int(ti), yCols)
 		if int(pi) == len(order) {
 			order = append(order, nil)
 			// Y projections are partition-uniform, so one pattern check
 			// per partition decides it.
-			patOK = append(patOK, matchCoded(cr, int(ti), m.yCols, row.rhs))
+			patOK = append(patOK, matchCoded(cr, int(ti), yCols, rhs))
 		}
 		order[pi] = append(order[pi], ti)
 	}
-	hitLimit := func() bool { return limit > 0 && len(out) >= limit }
 	// Equal Y values: pairs (including t,t) violate iff the Y pattern fails.
 	for pi, part := range order {
 		if patOK[pi] {
@@ -156,9 +162,8 @@ func partitionCFDGroup(cr *codedRel, m *cfdMember, row *cfdRow, ri int, tups []i
 		}
 		for i := 0; i < len(part); i++ {
 			for j := i; j < len(part); j++ {
-				out = append(out, cfd.Violation{CFD: m.c, RowIdx: ri, T1: cr.tuples[part[i]], T2: cr.tuples[part[j]]})
-				if hitLimit() {
-					return out
+				if !emit(part[i], part[j]) {
+					return false
 				}
 			}
 		}
@@ -168,13 +173,12 @@ func partitionCFDGroup(cr *codedRel, m *cfdMember, row *cfdRow, ri int, tups []i
 		for pj := pi + 1; pj < len(order); pj++ {
 			for _, t1 := range order[pi] {
 				for _, t2 := range order[pj] {
-					out = append(out, cfd.Violation{CFD: m.c, RowIdx: ri, T1: cr.tuples[t1], T2: cr.tuples[t2]})
-					if hitLimit() {
-						return out
+					if !emit(t1, t2) {
+						return false
 					}
 				}
 			}
 		}
 	}
-	return out
+	return true
 }

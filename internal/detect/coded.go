@@ -46,6 +46,20 @@ func codeRelation(in *instance.Instance, it *types.Interner) *codedRel {
 	return cr
 }
 
+// appendTuple codes one tuple and appends it as a new row, returning the
+// row id. The incremental session grows its resident coded relations through
+// this path: rows are append-only (deletions tombstone elsewhere), so row
+// ids — and the code sequences behind keyGroups representatives — stay
+// valid for the lifetime of the session.
+func (cr *codedRel) appendTuple(t instance.Tuple, it *types.Interner) int32 {
+	row := int32(len(cr.tuples))
+	cr.tuples = append(cr.tuples, t)
+	for _, v := range t {
+		cr.codes = append(cr.codes, it.Code(v))
+	}
+	return row
+}
+
 // projHash mixes the projected codes of one tuple into a 64-bit hash.
 func projHash(cr *codedRel, row int, cols []int) uint64 {
 	base := row * cr.arity

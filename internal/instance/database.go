@@ -42,6 +42,12 @@ func (db *Database) Insert(rel string, t Tuple) bool {
 	return db.Instance(rel).Insert(t)
 }
 
+// Delete removes a tuple from the named relation, preserving the relative
+// order of the remaining tuples.
+func (db *Database) Delete(rel string, t Tuple) bool {
+	return db.Instance(rel).Delete(t)
+}
+
 // Size returns the total number of tuples across all relations.
 func (db *Database) Size() int {
 	n := 0

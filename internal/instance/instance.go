@@ -74,20 +74,10 @@ func (t Tuple) Project(idx []int) []types.Value {
 	return out
 }
 
-// key encodes the tuple for set membership via the shared types.AppendKey
+// key encodes the tuple for set membership via the shared types.TupleKey
 // encoder, which keeps constants and variables in disjoint namespaces so a
 // constant "v1" never collides with variable v1.
-func (t Tuple) key() string {
-	n := 0
-	for _, v := range t {
-		n += types.KeyLen(v)
-	}
-	b := make([]byte, 0, n)
-	for _, v := range t {
-		b = types.AppendKey(b, v)
-	}
-	return string(b)
-}
+func (t Tuple) key() string { return types.TupleKey(t) }
 
 // String renders "(a, b, v1)".
 func (t Tuple) String() string {
@@ -98,16 +88,21 @@ func (t Tuple) String() string {
 	return "(" + strings.Join(parts, ", ") + ")"
 }
 
-// Instance is a set of tuples over one relation schema.
+// Instance is a set of tuples over one relation schema. Tuples are kept in
+// insertion order; the set index maps tuple keys to monotone sequence
+// numbers rather than positions, so a delete never has to rewrite the
+// index entries of the tuples behind it.
 type Instance struct {
-	rel    *schema.Relation
-	tuples []Tuple
-	index  map[string]int // tuple key -> position in tuples
+	rel     *schema.Relation
+	tuples  []Tuple
+	seqs    []int64 // parallel to tuples, strictly increasing
+	index   map[string]int64 // tuple key -> sequence number
+	nextSeq int64
 }
 
 // NewInstance returns an empty instance of the relation.
 func NewInstance(rel *schema.Relation) *Instance {
-	return &Instance{rel: rel, index: make(map[string]int)}
+	return &Instance{rel: rel, index: make(map[string]int64)}
 }
 
 // Relation returns the relation schema of the instance.
@@ -131,7 +126,9 @@ func (in *Instance) Insert(t Tuple) bool {
 	if _, dup := in.index[k]; dup {
 		return false
 	}
-	in.index[k] = len(in.tuples)
+	in.index[k] = in.nextSeq
+	in.seqs = append(in.seqs, in.nextSeq)
+	in.nextSeq++
 	in.tuples = append(in.tuples, t)
 	return true
 }
@@ -139,6 +136,33 @@ func (in *Instance) Insert(t Tuple) bool {
 // InsertConsts is Insert(Consts(...)) for readable test setup.
 func (in *Instance) InsertConsts(vals ...string) bool {
 	return in.Insert(Consts(vals...))
+}
+
+// Delete removes the tuple if present and reports whether it was removed.
+// The remaining tuples keep their relative insertion order — the order
+// detection results are reported in — so a delete behaves exactly like the
+// tuple had never been inserted, except that a later re-insert appends at
+// the end. Because the index maps keys to sequence numbers, the cost is a
+// binary search plus one slice compaction; no other index entry changes.
+func (in *Instance) Delete(t Tuple) bool {
+	k := t.key()
+	seq, ok := in.index[k]
+	if !ok {
+		return false
+	}
+	delete(in.index, k)
+	pos := sort.Search(len(in.seqs), func(i int) bool { return in.seqs[i] >= seq })
+	copy(in.tuples[pos:], in.tuples[pos+1:])
+	in.tuples[len(in.tuples)-1] = nil
+	in.tuples = in.tuples[:len(in.tuples)-1]
+	copy(in.seqs[pos:], in.seqs[pos+1:])
+	in.seqs = in.seqs[:len(in.seqs)-1]
+	return true
+}
+
+// DeleteConsts is Delete(Consts(...)) for readable test setup.
+func (in *Instance) DeleteConsts(vals ...string) bool {
+	return in.Delete(Consts(vals...))
 }
 
 // Contains reports whether the exact tuple is present.
@@ -177,16 +201,21 @@ func (in *Instance) substituteVar(id int64, val types.Value) bool {
 }
 
 // reindex rebuilds the set index after in-place tuple mutation, collapsing
-// duplicates that the mutation may have created.
+// duplicates that the mutation may have created. Sequence numbers are
+// reassigned fresh (relative order is preserved, which is all callers
+// depend on).
 func (in *Instance) reindex() {
 	kept := in.tuples[:0]
-	in.index = make(map[string]int, len(in.tuples))
+	in.seqs = in.seqs[:0]
+	in.index = make(map[string]int64, len(in.tuples))
 	for _, t := range in.tuples {
 		k := t.key()
 		if _, dup := in.index[k]; dup {
 			continue
 		}
-		in.index[k] = len(kept)
+		in.index[k] = in.nextSeq
+		in.seqs = append(in.seqs, in.nextSeq)
+		in.nextSeq++
 		kept = append(kept, t)
 	}
 	in.tuples = kept
@@ -196,7 +225,8 @@ func (in *Instance) reindex() {
 // repair to swap in a rebuilt tuple set.
 func (in *Instance) Reset() {
 	in.tuples = nil
-	in.index = make(map[string]int)
+	in.seqs = nil
+	in.index = make(map[string]int64)
 }
 
 // Clone returns a deep copy of the instance.

@@ -234,3 +234,80 @@ func TestDatabaseString(t *testing.T) {
 		t.Fatalf("String = %q", out)
 	}
 }
+
+func TestDeletePreservesOrder(t *testing.T) {
+	in := NewInstance(rel2("r", "a", "b"))
+	for _, v := range []string{"1", "2", "3", "4", "5"} {
+		in.InsertConsts(v, v)
+	}
+	if !in.DeleteConsts("3", "3") {
+		t.Fatal("delete of present tuple must report true")
+	}
+	if in.DeleteConsts("3", "3") {
+		t.Fatal("second delete of the same tuple must report false")
+	}
+	want := []string{"1", "2", "4", "5"}
+	if in.Len() != len(want) {
+		t.Fatalf("Len = %d, want %d", in.Len(), len(want))
+	}
+	for i, tu := range in.Tuples() {
+		if tu[0].Str() != want[i] {
+			t.Fatalf("tuple %d is %v, want first field %q (order must be preserved)", i, tu, want[i])
+		}
+	}
+	if in.Contains(Consts("3", "3")) {
+		t.Fatal("deleted tuple still Contains")
+	}
+	// The index must have shifted: every remaining tuple stays reachable.
+	for _, v := range want {
+		if !in.Contains(Consts(v, v)) {
+			t.Fatalf("tuple (%s,%s) lost after delete", v, v)
+		}
+	}
+}
+
+func TestDeleteThenReinsertAppendsAtEnd(t *testing.T) {
+	in := NewInstance(rel2("r", "a", "b"))
+	in.InsertConsts("1", "1")
+	in.InsertConsts("2", "2")
+	in.InsertConsts("3", "3")
+	in.Delete(Consts("2", "2"))
+	if !in.InsertConsts("2", "2") {
+		t.Fatal("re-insert after delete must succeed")
+	}
+	got := make([]string, in.Len())
+	for i, tu := range in.Tuples() {
+		got[i] = tu[0].Str()
+	}
+	want := []string{"1", "3", "2"}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order after delete+reinsert = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDatabaseDelete(t *testing.T) {
+	sch, err := schema.New(rel2("r", "a", "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	db := NewDatabase(sch)
+	db.Insert("r", Consts("x", "y"))
+	if !db.Delete("r", Consts("x", "y")) {
+		t.Fatal("database delete of present tuple must report true")
+	}
+	if db.Delete("r", Consts("x", "y")) {
+		t.Fatal("database delete of absent tuple must report false")
+	}
+	if db.Size() != 0 {
+		t.Fatalf("Size = %d after delete, want 0", db.Size())
+	}
+}
+
+func TestDeleteAbsentOnEmptyInstance(t *testing.T) {
+	in := NewInstance(rel2("r", "a", "b"))
+	if in.Delete(Consts("x", "y")) {
+		t.Fatal("delete on empty instance must report false")
+	}
+}

@@ -1,0 +1,61 @@
+package parser
+
+import (
+	"os"
+	"testing"
+
+	"cind/internal/bank"
+	"cind/internal/gen"
+)
+
+// FuzzParseMarshalRoundTrip fuzzes the spec round-trip property: any input
+// the parser accepts must marshal to a form that reparses successfully and
+// marshals identically (Marshal ∘ Parse is idempotent on parseable text —
+// the strongest equality available, since Spec holds pointer-identity
+// schema objects). Seeds come from the committed testdata/ corpora, the
+// bank running example, the on-disk bank.cind fixture, and a generated
+// workload; `./ci.sh` runs a short fuzz smoke over them, and `go test
+// -fuzz=FuzzParseMarshalRoundTrip ./internal/parser` digs deeper.
+func FuzzParseMarshalRoundTrip(f *testing.F) {
+	sch := bank.Schema()
+	f.Add(Marshal(&Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)}))
+	w := gen.New(gen.Config{Relations: 3, MaxAttrs: 5, Card: 8, Seed: 3})
+	f.Add(Marshal(&Spec{Schema: w.Schema, CFDs: w.CFDs, CINDs: w.CINDs}))
+	if src, err := os.ReadFile("../../testdata/bank/bank.cind"); err == nil {
+		f.Add(string(src))
+	}
+	f.Add("relation r(a, b: finite(x, y))\ncfd phi: r[a -> b] { (_ || x) }\n")
+	f.Add("relation r(a)\nrelation s(b)\ncind psi: r[a; nil] <= s[b; nil] { (_ || ) }\n")
+	f.Add("relation r(a, b)\n# comment\ncfd broken")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		spec, err := Parse(src)
+		if err != nil {
+			return // rejected inputs are out of scope; the parser must only not panic
+		}
+		first := Marshal(spec)
+		back, err := Parse(first)
+		if err != nil {
+			t.Fatalf("Marshal output does not reparse: %v\ninput:\n%s\nmarshalled:\n%s", err, src, first)
+		}
+		second := Marshal(back)
+		if first != second {
+			t.Fatalf("round-trip unstable:\n--- Marshal(Parse(input))\n%s\n--- Marshal(Parse(that))\n%s", first, second)
+		}
+		// Structural invariants the marshaller relies on.
+		if len(back.CFDs) != len(spec.CFDs) || len(back.CINDs) != len(spec.CINDs) {
+			t.Fatalf("constraint counts changed across round-trip: %d/%d -> %d/%d",
+				len(spec.CFDs), len(spec.CINDs), len(back.CFDs), len(back.CINDs))
+		}
+		for i := range spec.CFDs {
+			if spec.CFDs[i].String() != back.CFDs[i].String() {
+				t.Fatalf("CFD %d changed:\n%s\n%s", i, spec.CFDs[i], back.CFDs[i])
+			}
+		}
+		for i := range spec.CINDs {
+			if spec.CINDs[i].String() != back.CINDs[i].String() {
+				t.Fatalf("CIND %d changed:\n%s\n%s", i, spec.CINDs[i], back.CINDs[i])
+			}
+		}
+	})
+}

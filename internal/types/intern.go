@@ -75,6 +75,29 @@ func AppendKey(dst []byte, v Value) []byte {
 	return append(dst, v.str...)
 }
 
+// AppendTupleKey appends the AppendKey encoding of each value in order.
+// Because each element is self-delimiting, the concatenation is injective
+// on value sequences of any length.
+func AppendTupleKey(dst []byte, vals []Value) []byte {
+	for _, v := range vals {
+		dst = AppendKey(dst, v)
+	}
+	return dst
+}
+
+// TupleKey returns the injective encoding of a value sequence as a string,
+// presized via KeyLen. This is the one tuple-identity encoder shared by
+// instance set membership, the detection session's row lookup, and
+// violation identity keys; they must agree on the format, which is why it
+// lives here.
+func TupleKey(vals []Value) string {
+	n := 0
+	for _, v := range vals {
+		n += KeyLen(v)
+	}
+	return string(AppendTupleKey(make([]byte, 0, n), vals))
+}
+
 // KeyLen returns the exact number of bytes AppendKey writes for v, so
 // callers can presize buffers without duplicating the encoding layout.
 func KeyLen(v Value) int {

@@ -9,12 +9,14 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"strconv"
 	"strings"
 
 	"cind/internal/cfd"
 	cind "cind/internal/core"
 	"cind/internal/detect"
 	"cind/internal/instance"
+	"cind/internal/types"
 )
 
 // LoadCSV reads rows into the named relation of db. When header is true the
@@ -107,6 +109,133 @@ func (r *Report) String() string {
 		fmt.Fprintf(&b, "  [cind] %s\n", v)
 	}
 	return strings.TrimRight(b.String(), "\n")
+}
+
+// Session maintains a Report incrementally under tuple deltas: Apply feeds
+// inserts and deletes to the resident detect.Session, which updates the
+// report in time proportional to the affected projection groups instead of
+// re-running detection. Report always equals Detect over the current
+// database. Safe for concurrent use (one writer, many readers).
+type Session struct {
+	s *detect.Session
+}
+
+// NewSession builds the resident indexes over db's current contents. The
+// database handle is retained and mutated by Apply; callers must not write
+// to it directly afterwards.
+func NewSession(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND) *Session {
+	return &Session{s: detect.NewSession(db, cfds, cinds)}
+}
+
+// Apply applies one batch of deltas and returns the net report change.
+func (s *Session) Apply(deltas ...detect.Delta) (*ReportDiff, error) {
+	d, err := s.s.Apply(deltas...)
+	if err != nil {
+		return nil, err
+	}
+	return &ReportDiff{
+		Added:   Report{CFD: d.Added.CFD, CIND: d.Added.CIND},
+		Removed: Report{CFD: d.Removed.CFD, CIND: d.Removed.CIND},
+	}, nil
+}
+
+// Report returns the current violation report. The returned value is a
+// shared snapshot: treat it as immutable.
+func (s *Session) Report() *Report {
+	r := s.s.Report()
+	return &Report{CFD: r.CFD, CIND: r.CIND}
+}
+
+// DB returns the database the session maintains.
+func (s *Session) DB() *instance.Database { return s.s.DB() }
+
+// ReportDiff is the net change between two reports: violations Added and
+// Removed, each a Report of its own. The two sides are disjoint.
+type ReportDiff struct {
+	Added   Report
+	Removed Report
+}
+
+// Empty reports whether nothing changed.
+func (d *ReportDiff) Empty() bool { return d.Added.Total() == 0 && d.Removed.Total() == 0 }
+
+// String renders a one-line summary.
+func (d *ReportDiff) String() string {
+	return fmt.Sprintf("+%d -%d violations", d.Added.Total(), d.Removed.Total())
+}
+
+// DiffReports computes the set difference between two reports: Added holds
+// the violations of after missing from before (in after's order), Removed
+// the converse (in before's order). Violation identity is the constraint,
+// the tableau row index, and the witness tuple values. Useful for
+// comparing a recomputed report against an incrementally maintained one,
+// and as the ground-truth oracle for Session diffs.
+func DiffReports(before, after *Report) *ReportDiff {
+	d := &ReportDiff{}
+	cfdSeen := make(map[string]int, len(before.CFD))
+	for _, v := range before.CFD {
+		cfdSeen[cfdViolationKey(v)]++
+	}
+	for _, v := range after.CFD {
+		k := cfdViolationKey(v)
+		if cfdSeen[k] > 0 {
+			cfdSeen[k]--
+		} else {
+			d.Added.CFD = append(d.Added.CFD, v)
+		}
+	}
+	for _, v := range before.CFD {
+		k := cfdViolationKey(v)
+		if cfdSeen[k] > 0 {
+			cfdSeen[k]--
+			d.Removed.CFD = append(d.Removed.CFD, v)
+		}
+	}
+	cindSeen := make(map[string]int, len(before.CIND))
+	for _, v := range before.CIND {
+		cindSeen[cindViolationKey(v)]++
+	}
+	for _, v := range after.CIND {
+		k := cindViolationKey(v)
+		if cindSeen[k] > 0 {
+			cindSeen[k]--
+		} else {
+			d.Added.CIND = append(d.Added.CIND, v)
+		}
+	}
+	for _, v := range before.CIND {
+		k := cindViolationKey(v)
+		if cindSeen[k] > 0 {
+			cindSeen[k]--
+			d.Removed.CIND = append(d.Removed.CIND, v)
+		}
+	}
+	return d
+}
+
+// cfdViolationKey / cindViolationKey encode violation identity. Constraint
+// identity is the ID (unique within a constraint set); tuples are encoded
+// through the shared types.AppendKey format, which is self-delimiting, so
+// the concatenation is injective.
+func cfdViolationKey(v cfd.Violation) string {
+	b := append([]byte(v.CFD.ID), 0)
+	b = appendInt(b, v.RowIdx)
+	b = appendTuple(b, v.T1)
+	return string(appendTuple(b, v.T2))
+}
+
+func cindViolationKey(v cind.Violation) string {
+	b := append([]byte(v.CIND.ID), 0)
+	b = appendInt(b, v.RowIdx)
+	return string(appendTuple(b, v.T))
+}
+
+func appendInt(b []byte, n int) []byte {
+	return append(strconv.AppendInt(b, int64(n), 10), 0)
+}
+
+func appendTuple(b []byte, t instance.Tuple) []byte {
+	return types.AppendTupleKey(b, t)
 }
 
 // MarshalCSV renders an instance back to CSV (schema column order, with

@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"cind/internal/bank"
+	"cind/internal/detect"
 	"cind/internal/instance"
 )
 
@@ -130,4 +131,105 @@ func TestMustPanics(t *testing.T) {
 		}
 	}()
 	Must(strings.NewReader("").UnreadByte()) // any non-nil error
+}
+
+// TestSessionTracksDetect drives the incremental session through the bank
+// example's cleaning story and checks it stays equal to the batch detector.
+func TestSessionTracksDetect(t *testing.T) {
+	sch := bank.Schema()
+	db := bank.Data(sch)
+	cfds, cinds := bank.CFDs(sch), bank.CINDs(sch)
+	sess := NewSession(db, cfds, cinds)
+
+	if got, want := sess.Report().Total(), 2; got != want {
+		t.Fatalf("seeded report has %d violations, want %d (t12/phi3 and t10/psi6)", got, want)
+	}
+
+	// Repair the dirty 10.5% rate: delete t12, insert the clean row.
+	diff, err := sess.Apply(
+		detect.Del("interest", instance.Consts("EDI", "UK", "checking", "10.5%")),
+		detect.Ins("interest", instance.Consts("EDI", "UK", "checking", "1.5%")),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Removed.CFD) != 1 || len(diff.Removed.CIND) != 1 {
+		t.Fatalf("fixing t12 should cure one CFD and one CIND violation, got diff %v", diff)
+	}
+	if got, want := sess.Report(), Detect(db, cfds, cinds); got.String() != want.String() {
+		t.Fatalf("session diverges from Detect:\nsession: %s\nbatch:   %s", got, want)
+	}
+	if !sess.Report().Clean() {
+		t.Fatalf("repaired bank data still dirty: %s", sess.Report())
+	}
+
+	// The reverse direction: deleting an RHS tuple creates a CIND violation.
+	diff, err = sess.Apply(detect.Del("interest", instance.Consts("NYC", "US", "checking", "1%")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diff.Added.CIND) == 0 {
+		t.Fatalf("deleting an interest row must create CIND violations, got diff %v", diff)
+	}
+	if got, want := sess.Report(), Detect(db, cfds, cinds); got.String() != want.String() {
+		t.Fatalf("session diverges from Detect after RHS delete:\nsession: %s\nbatch:   %s", got, want)
+	}
+}
+
+// TestDiffReports checks the set-difference semantics and ordering of the
+// report differ.
+func TestDiffReports(t *testing.T) {
+	sch := bank.Schema()
+	dirty := bank.Data(sch)
+	clean := bank.CleanData(sch)
+	cfds, cinds := bank.CFDs(sch), bank.CINDs(sch)
+
+	before := Detect(dirty, cfds, cinds)
+	after := Detect(clean, cfds, cinds)
+
+	d := DiffReports(before, after)
+	if d.Added.Total() != 0 {
+		t.Fatalf("cleaning the data cannot add violations: %v", d.Added)
+	}
+	if d.Removed.Total() != before.Total() {
+		t.Fatalf("cleaning removes all %d violations, diff says %d", before.Total(), d.Removed.Total())
+	}
+	if !DiffReports(before, before).Empty() {
+		t.Fatal("diff of a report with itself must be empty")
+	}
+	inv := DiffReports(after, before)
+	if inv.Added.Total() != before.Total() || inv.Removed.Total() != 0 {
+		t.Fatalf("inverse diff wrong: %v", inv)
+	}
+	if s := d.String(); !strings.Contains(s, "-2") {
+		t.Fatalf("diff summary %q should mention 2 removals", s)
+	}
+}
+
+// TestSessionMatchesDiffReportsOracle: the diff the session computes
+// incrementally equals the one DiffReports derives from the before/after
+// snapshots.
+func TestSessionMatchesDiffReportsOracle(t *testing.T) {
+	sch := bank.Schema()
+	db := bank.Data(sch)
+	cfds, cinds := bank.CFDs(sch), bank.CINDs(sch)
+	sess := NewSession(db, cfds, cinds)
+
+	deltas := []detect.Delta{
+		detect.Ins("checking", instance.Consts("a9", "Zed", "addr", "555", "EDI")),
+		detect.Del("interest", instance.Consts("EDI", "UK", "checking", "10.5%")),
+		detect.Ins("saving", instance.Consts("a9", "Zed", "addr", "555", "SFO")),
+	}
+	for _, d := range deltas {
+		before := sess.Report()
+		got, err := sess.Apply(d)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after := sess.Report()
+		want := DiffReports(before, after)
+		if got.Added.String() != want.Added.String() || got.Removed.String() != want.Removed.String() {
+			t.Fatalf("delta %s: session diff %v disagrees with DiffReports oracle %v", d, got, want)
+		}
+	}
 }
