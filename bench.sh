@@ -1,8 +1,10 @@
 #!/bin/sh
 # bench.sh — record the violation-detection benchmarks for trajectory
-# tracking. Emits BENCH_detect.json (bulk detection) and BENCH_incr.json
-# (incremental session vs per-delta re-detection), both go test -json event
-# streams whose "output" lines carry the ns/op, B/op and allocs/op figures.
+# tracking. Emits BENCH_detect.json (bulk detection), BENCH_incr.json
+# (incremental session vs per-delta re-detection) and BENCH_stream.json
+# (time-to-first-violation via Checker.Violations vs full Detect on the
+# dirty 10k-tuple workload), all go test -json event streams whose "output"
+# lines carry the ns/op, B/op and allocs/op figures.
 # Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
 set -eu
 
@@ -13,10 +15,12 @@ go test -bench=ViolationDetection -benchmem -run '^$' -json "$@" . > BENCH_detec
 # iteration counts drift the instance far past the stated 10k tuples.
 go test -bench=Incremental -benchmem -run '^$' -benchtime=500x -json . > BENCH_incr.json
 
+go test -bench=StreamFirstViolation -benchmem -run '^$' -json "$@" . > BENCH_stream.json
+
 # Human-readable summary of the recorded metric lines.
-for f in BENCH_detect.json BENCH_incr.json; do
+for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json; do
 	grep -o '"Output":"[^"]*ns/op[^"]*"' "$f" \
 		| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
 done
 
-echo "wrote BENCH_detect.json BENCH_incr.json"
+echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json"

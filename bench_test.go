@@ -9,6 +9,7 @@
 package cind_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -344,6 +345,76 @@ func BenchmarkViolationDetectionParallel(b *testing.B) {
 			}
 		})
 	}
+}
+
+// dirtyBankDB builds the violation-heavy 10k-tuple workload of the
+// streaming benchmarks: checking tuples collide on (an, ab) in groups of 50
+// with pairwise-conflicting customer names, so phi2 alone yields ~190
+// cross-partition pairs per group and full-report materialisation is
+// expensive, while the first violation is one group away.
+func dirtyBankDB(size int) (*cindapi.Database, *cindapi.ConstraintSet) {
+	sch := bank.Schema()
+	db := bank.Data(sch)
+	for i := 0; i < size; i++ {
+		db.Instance("checking").Insert(instance.Consts(
+			fmt.Sprintf("%05d", i%(size/50)), fmt.Sprintf("Cust-%d", i), "Addr", "555",
+			[]string{"NYC", "EDI"}[i%2]))
+	}
+	set, err := cindapi.SpecSet(&cindapi.Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)})
+	if err != nil {
+		panic(err)
+	}
+	return db, set
+}
+
+// BenchmarkStreamFirstViolation is the acceptance benchmark for the
+// streaming API: time-to-first-violation via Checker.Violations with an
+// early break, against materialising the full report via Detect, on the
+// dirty 10k-tuple workload. bench.sh records both to BENCH_stream.json;
+// the stream must be far cheaper — it stops the workers after one
+// detection group instead of enumerating every quadratic pair.
+func BenchmarkStreamFirstViolation(b *testing.B) {
+	ctx := context.Background()
+	db, set := dirtyBankDB(10000)
+	chk, err := cindapi.NewChecker(db, set)
+	if err != nil {
+		b.Fatal(err)
+	}
+	full, err := chk.Detect(ctx)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if full.Total() < 10000 {
+		b.Fatalf("workload found only %d violations; not dirty enough", full.Total())
+	}
+
+	b.Run("tuples=10000/mode=stream-first", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			found := 0
+			for v, err := range chk.Violations(ctx) {
+				if err != nil {
+					b.Fatal(err)
+				}
+				_ = v
+				found++
+				break
+			}
+			if found != 1 {
+				b.Fatal("stream yielded nothing")
+			}
+		}
+	})
+	b.Run("tuples=10000/mode=detect-full", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rep, err := chk.Detect(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Clean() {
+				b.Fatal("dirty workload reported clean")
+			}
+		}
+	})
 }
 
 // benchDeltaMix pre-generates the steady-state write mix of the incremental

@@ -1,0 +1,417 @@
+package cind
+
+import (
+	"context"
+	"fmt"
+	"iter"
+	"sync"
+
+	"cind/internal/cfd"
+	"cind/internal/consistency"
+	"cind/internal/constraint"
+	core "cind/internal/core"
+	"cind/internal/detect"
+	"cind/internal/fd"
+	"cind/internal/ind"
+	"cind/internal/parser"
+	"cind/internal/repair"
+	"cind/internal/schema"
+	"cind/internal/violation"
+)
+
+// Constraint is the sealed common interface of *CFD and *CIND — the paper's
+// observation that conditional dependencies form one family (an FD or IND
+// is exactly a CFD or CIND with an all-wildcard tableau) made a static
+// type. Discriminate with Kind; no type outside this library implements it.
+type Constraint = constraint.Constraint
+
+// ConstraintKind discriminates the constraint family of a Constraint or a
+// Violation.
+type ConstraintKind = constraint.Kind
+
+// Constraint kinds.
+const (
+	KindCFD  = constraint.KindCFD
+	KindCIND = constraint.KindCIND
+)
+
+// Traditional-dependency types — the baselines CFDs and CINDs extend.
+// LiftFD and LiftIND admit them into a ConstraintSet.
+type (
+	// FD is a traditional functional dependency R: X → Y.
+	FD = fd.FD
+	// IND is a traditional inclusion dependency R[X] ⊆ S[Y].
+	IND = ind.IND
+)
+
+// NewFD builds a traditional FD (no schema validation; LiftFD validates).
+var NewFD = fd.New
+
+// NewIND builds a traditional IND, validating arity and distinctness.
+var NewIND = ind.New
+
+// LiftFD admits a traditional FD as a CFD with a single all-wildcard
+// pattern row — the Section 2 special case. The lifted constraint reports
+// exactly the violating pairs of the plain FD semantics, a property the
+// equivalence tests assert against internal/fd on the bank and generated
+// workloads.
+func LiftFD(sch *Schema, id string, f FD) (*CFD, error) { return cfd.LiftFD(sch, id, f) }
+
+// LiftIND admits a traditional IND as a CIND with empty pattern attribute
+// lists and a single all-wildcard row — the Section 2 special case. The
+// lifted constraint reports exactly the unmatched tuples of the plain IND
+// semantics, in the same order.
+func LiftIND(sch *Schema, id string, d IND) (*CIND, error) { return core.LiftIND(sch, id, d) }
+
+// ConstraintSet is an ordered, schema-validated collection of constraints —
+// the unit every entry point consumes. Order is preserved exactly as given
+// (or as parsed): Constraints returns it, MarshalConstraints round-trips
+// it, and within each kind reports group violations in it. Reports always
+// list CFD violations before CIND violations regardless of how the kinds
+// interleave in the set (the engine's fixed concatenation order, which
+// Limit truncation follows too). A ConstraintSet is immutable after
+// construction and safe for concurrent use by any number of Checkers.
+type ConstraintSet struct {
+	sch   *schema.Schema
+	items []Constraint
+	cfds  []*cfd.CFD
+	cinds []*core.CIND
+}
+
+// NewConstraintSet validates every constraint against sch (the same checks
+// the constructors run) and returns the set. Constraints keep their given
+// order; a nil constraint or a validation failure rejects the whole set.
+func NewConstraintSet(sch *Schema, cs ...Constraint) (*ConstraintSet, error) {
+	if sch == nil {
+		return nil, fmt.Errorf("cind: NewConstraintSet: nil schema")
+	}
+	s := &ConstraintSet{sch: sch, items: make([]Constraint, 0, len(cs))}
+	for i, c := range cs {
+		if c == nil {
+			return nil, fmt.Errorf("cind: NewConstraintSet: constraint %d is nil", i)
+		}
+		if err := c.Validate(sch); err != nil {
+			return nil, fmt.Errorf("cind: NewConstraintSet: constraint %d: %w", i, err)
+		}
+		s.items = append(s.items, c)
+		switch c := c.(type) {
+		case *cfd.CFD:
+			s.cfds = append(s.cfds, c)
+		case *core.CIND:
+			s.cinds = append(s.cinds, c)
+		}
+	}
+	return s, nil
+}
+
+// MustConstraintSet is NewConstraintSet for statically valid sets.
+func MustConstraintSet(sch *Schema, cs ...Constraint) *ConstraintSet {
+	s, err := NewConstraintSet(sch, cs...)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// ParseConstraints parses the textual constraint format (see
+// internal/parser) into a ConstraintSet, preserving the file's constraint
+// order. MarshalConstraints is its inverse: parse ∘ marshal round-trips the
+// set, order included.
+func ParseConstraints(src string) (*ConstraintSet, error) {
+	spec, err := parser.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	return NewConstraintSet(spec.Schema, spec.Constraints...)
+}
+
+// MarshalConstraints renders the set in the parseable text format, in set
+// order.
+func MarshalConstraints(s *ConstraintSet) string {
+	return parser.Marshal(&parser.Spec{
+		Schema: s.sch, CFDs: s.cfds, CINDs: s.cinds, Constraints: s.items,
+	})
+}
+
+// SpecSet converts a parsed Spec into a ConstraintSet (source order when
+// the spec was produced by ParseSpec and not edited since; CFDs-then-CINDs
+// for hand-built specs or edited per-kind slices — the per-kind fields are
+// authoritative).
+func SpecSet(spec *Spec) (*ConstraintSet, error) {
+	return NewConstraintSet(spec.Schema, spec.Ordered()...)
+}
+
+// Schema returns the schema the set was validated against.
+func (s *ConstraintSet) Schema() *Schema { return s.sch }
+
+// Len returns the number of constraints.
+func (s *ConstraintSet) Len() int { return len(s.items) }
+
+// Constraints returns the constraints in set order (a copy).
+func (s *ConstraintSet) Constraints() []Constraint {
+	return append([]Constraint(nil), s.items...)
+}
+
+// CFDs returns the set's CFDs in set order (a copy).
+func (s *ConstraintSet) CFDs() []*CFD { return append([]*cfd.CFD(nil), s.cfds...) }
+
+// CINDs returns the set's CINDs in set order (a copy).
+func (s *ConstraintSet) CINDs() []*CIND { return append([]*core.CIND(nil), s.cinds...) }
+
+// Append returns a new set extending s with cs (validated); s is unchanged.
+func (s *ConstraintSet) Append(cs ...Constraint) (*ConstraintSet, error) {
+	return NewConstraintSet(s.sch, append(s.Constraints(), cs...)...)
+}
+
+// CheckConsistency runs the combined Checking algorithm of Section 5
+// (Figure 9) on the set. A true answer is definitive (Theorem 5.1); false
+// means no witness was found within the budgets.
+func (s *ConstraintSet) CheckConsistency(opts CheckOptions) CheckAnswer {
+	return consistency.Checking(s.sch, s.cfds, s.cinds, opts)
+}
+
+// RandomCheckConsistency runs the plain RandomChecking algorithm
+// (Figure 5) on the set.
+func (s *ConstraintSet) RandomCheckConsistency(opts CheckOptions) CheckAnswer {
+	return consistency.RandomChecking(s.sch, s.cfds, s.cinds, opts)
+}
+
+// Violation is the unified violation sum type the Checker reports: a CFD
+// pair violation or a CIND inclusion violation. Discriminate with Kind,
+// recover the constraint with Constraint and the offending tuples with
+// Witness; AsCFD/AsCIND expose the kind-specific detail. The Report's
+// per-kind CFD/CIND fields remain available behind it.
+type Violation = detect.Violation
+
+// CheckerOption is a functional option for NewChecker.
+type CheckerOption func(*checkerConfig)
+
+type checkerConfig struct {
+	parallel int
+	limit    int
+}
+
+// WithParallelism bounds the engine's worker pool: 0 (the default) means
+// GOMAXPROCS, 1 forces sequential evaluation. Results are identical
+// regardless.
+func WithParallelism(n int) CheckerOption {
+	return func(c *checkerConfig) { c.parallel = n }
+}
+
+// WithLimit caps reported violations: Detect returns the first n violations
+// of the unlimited run (a true prefix, pair enumeration stops early once
+// the cap is unreachable), and Violations stops after yielding n. 0 means
+// unlimited.
+func WithLimit(n int) CheckerOption {
+	return func(c *checkerConfig) { c.limit = n }
+}
+
+// Checker is the unified constraint-checking handle: one long-lived value
+// that serves batch detection (Detect), streaming detection (Violations)
+// and incremental maintenance under writes (Apply) for one database and one
+// ConstraintSet. It replaces the positional Detect/DetectWith/NewSession
+// entry points.
+//
+// Until the first Apply, Detect and Violations evaluate the database
+// through the batched engine on every call. The first Apply builds the
+// resident incremental session (the PR-2 engine: interned projection
+// indexes kept resident, violations maintained in O(affected-group) time
+// per delta); from then on the Checker owns the database — do not mutate it
+// directly — and Detect/Violations serve the maintained report, which
+// always equals what batch detection over the current contents would
+// produce, violation for violation, in the same order.
+//
+// A Checker is safe for concurrent use: Detect, Violations and Repair take
+// a read lock for the duration of their database scan, Apply the write
+// lock, so a batch or streaming read never observes a half-applied write.
+// A long-lived Violations iteration therefore blocks writers until the
+// consumer finishes or breaks.
+type Checker struct {
+	db  *Database
+	set *ConstraintSet
+	cfg checkerConfig
+
+	// mu orders database readers (the batch engine's scans, repair's
+	// clone) against Apply. The resident session has its own finer lock,
+	// but the first Apply mutates the database while building it, and
+	// every later Apply mutates the database the engine would otherwise
+	// be scanning — so reads hold mu.RLock for their whole run.
+	mu   sync.RWMutex
+	sess *violation.Session
+}
+
+// NewChecker validates the set against db's schema and returns the handle.
+// The database is read, not copied: it must not be mutated behind the
+// Checker's back once Apply has been called.
+func NewChecker(db *Database, set *ConstraintSet, opts ...CheckerOption) (*Checker, error) {
+	if db == nil {
+		return nil, fmt.Errorf("cind: NewChecker: nil database")
+	}
+	if set == nil {
+		return nil, fmt.Errorf("cind: NewChecker: nil constraint set")
+	}
+	// The set was validated at construction, but against its own schema;
+	// re-validate against the database's, which is the one detection
+	// resolves attribute positions over.
+	if db.Schema() != set.Schema() {
+		for i, c := range set.items {
+			if err := c.Validate(db.Schema()); err != nil {
+				return nil, fmt.Errorf("cind: NewChecker: constraint %d not valid over the database schema: %w", i, err)
+			}
+		}
+	}
+	c := &Checker{db: db, set: set}
+	for _, o := range opts {
+		o(&c.cfg)
+	}
+	return c, nil
+}
+
+// Set returns the checker's constraint set.
+func (c *Checker) Set() *ConstraintSet { return c.set }
+
+// Database returns the database the checker evaluates. After the first
+// Apply the checker owns it; use Apply for all writes.
+func (c *Checker) Database() *Database { return c.db }
+
+func (c *Checker) engineOpts() detect.Options {
+	return detect.Options{Parallel: c.cfg.parallel, Limit: c.cfg.limit}
+}
+
+// Detect evaluates every constraint and returns the violation report:
+// violations grouped per constraint in set order, CFDs' pair semantics and
+// CINDs' inclusion semantics exactly as the per-constraint reference
+// implementations define them. Before the first Apply, ctx cancels the
+// engine run cooperatively — the worker pool stops mid enumeration and
+// ctx's error is returned. After the first Apply, Detect serves the
+// session's maintained (usually cached) report and ctx is checked only on
+// entry — there is no long evaluation left to cancel. With WithLimit(n)
+// the report is the first n violations of the unlimited run.
+func (c *Checker) Detect(ctx context.Context) (*Report, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if c.sess != nil {
+		return c.sess.Report().Truncate(c.cfg.limit), nil
+	}
+	return violation.DetectContext(ctx, c.db, c.set.cfds, c.set.cinds, c.engineOpts())
+}
+
+// Violations streams violations as the engine finds them, instead of
+// materialising the full report first: ranging and breaking at the first
+// violation costs one detection group, not the enumeration of every
+// quadratic pair of a dirty instance — first-violation latency instead of
+// full-report latency. Breaking out of the loop stops the workers promptly;
+// the iterator does not return until they have exited, so no engine
+// goroutine outlives the loop. Arrival order interleaves across detection
+// groups (use Detect for the deterministic report); WithLimit(n) ends the
+// stream after n violations.
+//
+// Each iteration yields a violation with a nil error. If ctx is cancelled
+// before the stream completes, one final (zero Violation, ctx.Err()) pair
+// is yielded and the stream ends.
+//
+// Before the first Apply the iterator holds the checker's read lock for
+// the whole iteration (the engine is scanning the database), so do not
+// call any method of the same Checker from inside the loop: Apply
+// deadlocks outright, and even Detect/Repair deadlock when a writer is
+// queued (a waiting writer blocks new read locks). Collect first, or use
+// Detect. After the first Apply the iterator walks an immutable snapshot
+// of the maintained report and holds no lock while yielding, so in-loop
+// calls — the detect-and-fix idiom — are supported.
+func (c *Checker) Violations(ctx context.Context) iter.Seq2[Violation, error] {
+	return func(yield func(Violation, error) bool) {
+		if err := ctx.Err(); err != nil {
+			yield(Violation{}, err)
+			return
+		}
+		c.mu.RLock()
+		sess := c.sess
+		if sess != nil {
+			// The session's report is an immutable snapshot: a later
+			// Apply replaces it rather than mutating it, so yielding
+			// needs no lock (and Apply from inside the loop is fine).
+			rep := sess.Report().Truncate(c.cfg.limit)
+			c.mu.RUnlock()
+			for _, v := range rep.CFD {
+				if ctx.Err() != nil {
+					yield(Violation{}, ctx.Err())
+					return
+				}
+				if !yield(detect.CFDViolation(v), nil) {
+					return
+				}
+			}
+			for _, v := range rep.CIND {
+				if ctx.Err() != nil {
+					yield(Violation{}, ctx.Err())
+					return
+				}
+				if !yield(detect.CINDViolation(v), nil) {
+					return
+				}
+			}
+			return
+		}
+		defer c.mu.RUnlock()
+		n := 0
+		broke := false
+		err := detect.Each(ctx, c.db, c.set.cfds, c.set.cinds, c.engineOpts(), func(v Violation) bool {
+			if !yield(v, nil) {
+				broke = true
+				return false
+			}
+			if n++; c.cfg.limit > 0 && n >= c.cfg.limit {
+				broke = true
+				return false
+			}
+			return true
+		})
+		if err != nil && !broke {
+			yield(Violation{}, err)
+		}
+	}
+}
+
+// Apply applies one batch of tuple deltas atomically and returns the net
+// report change — violations added and removed, disjoint and
+// deterministically ordered. The first Apply builds the resident
+// incremental session over the database's current contents (ctx cancels
+// that seeding pass, the one full-database replay a checker ever pays;
+// an empty Apply is the idiomatic way to pay it eagerly); every
+// subsequent batch is maintained in time proportional to the affected
+// projection groups, not the database size. The batch is validated up
+// front and rejected whole on error; duplicate inserts and absent deletes
+// are per-delta no-ops (set semantics).
+//
+// Do not call Apply from inside a Violations loop that started before
+// this checker's first Apply — that iteration holds the checker's read
+// lock (see Violations) and Apply would deadlock waiting for it.
+func (c *Checker) Apply(ctx context.Context, deltas ...Delta) (*ReportDiff, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.sess == nil {
+		sess, err := violation.NewSessionContext(ctx, c.db, c.set.cfds, c.set.cinds)
+		if err != nil {
+			return nil, err
+		}
+		c.sess = sess
+	}
+	return c.sess.Apply(deltas...)
+}
+
+// Repair produces a repaired copy of the checker's database: CFD violations
+// fixed by value modification, CIND violations by inserting the demanded
+// tuples, iterated to a fixpoint within opts.MaxPasses. The checker's
+// database is never mutated. ctx cancels the repair loop between
+// constraints.
+func (c *Checker) Repair(ctx context.Context, opts RepairOptions) (*RepairResult, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return repair.RepairContext(ctx, c.db, c.set.cfds, c.set.cinds, opts)
+}

@@ -1,6 +1,7 @@
 #!/bin/sh
 # ci.sh — the repository's tier-1 gate plus vet, the race detector, a
-# coverage floor on the detection engine, and a short fuzz smoke.
+# coverage floor on the detection engine, an examples smoke run, and a
+# short fuzz smoke.
 # Usage: ./ci.sh
 set -eu
 
@@ -12,6 +13,12 @@ go vet ./...
 
 echo "== go test -race ./..."
 go test -race ./...
+
+echo "== examples smoke: go run ./examples/*"
+for d in examples/*/; do
+	echo "-- go run ./$d"
+	go run "./$d" > /dev/null
+done
 
 echo "== coverage floor: internal/detect >= 85%"
 cover_out="$(mktemp)"

@@ -20,18 +20,38 @@
 //	internal/gen          the Section 6 workload generator
 //	internal/parser       text format for schemas and constraints
 //	internal/sqlgen       violation-detection SQL (per [9] and Sec 8)
+//	internal/constraint   the sealed Constraint interface (CFD | CIND)
 //	internal/detect       batched, interned, parallel violation detection
 //	internal/violation    CSV loading and violation reports
 //	internal/exp          the Section 6 experiment harness
 //
 // # Quick start
 //
-//	spec, err := cind.ParseSpec(src)        // schema + constraints from text
-//	report := cind.Detect(db, spec.CFDs, spec.CINDs)
-//	sess := cind.NewSession(db, spec.CFDs, spec.CINDs) // incremental detection under writes
-//	diff, err := sess.Apply(cind.InsertDelta("checking", t))
-//	answer := cind.CheckConsistency(spec.Schema, spec.CFDs, spec.CINDs, cind.CheckOptions{})
-//	outcome := cind.DecideImplication(spec.Schema, spec.CINDs, psi, cind.ImplicationOptions{})
+// The unit of work is a ConstraintSet — an ordered, schema-validated mix of
+// CFDs and CINDs (and, via LiftFD/LiftIND, plain FDs and INDs, which the
+// paper shows are the all-wildcard special case) — and the serving handle
+// is a Checker bound to one database and one set:
+//
+//	set, err := cind.ParseConstraints(src)    // schema + constraints from text
+//	chk, err := cind.NewChecker(db, set, cind.WithParallelism(8))
+//
+//	report, err := chk.Detect(ctx)            // full report, ctx-cancellable
+//
+//	for v, err := range chk.Violations(ctx) { // streaming: first-violation latency
+//	    if err != nil { ... }                 // ctx cancelled mid-stream
+//	    fmt.Println(v.Kind(), v.Constraint(), v.Witness())
+//	    break                                 // stops the workers promptly
+//	}
+//
+//	diff, err := chk.Apply(ctx, cind.InsertDelta("checking", t)) // incremental upkeep
+//	res, err := chk.Repair(ctx, cind.RepairOptions{})            // constraint-driven repair
+//
+//	answer := set.CheckConsistency(cind.CheckOptions{})
+//	outcome := cind.DecideImplication(set.Schema(), set.CINDs(), psi, cind.ImplicationOptions{})
+//
+// The positional entry points Detect, DetectWith and NewSession remain as
+// thin deprecated shims over the Checker for one release; MIGRATION.md
+// tabulates old call → new call.
 //
 // See the examples/ directory for runnable walkthroughs of the paper's
 // scenarios, and PERFORMANCE.md for the detection engine's architecture and
@@ -117,7 +137,9 @@ var (
 	Sym = pattern.Sym
 )
 
-// Spec is a parsed constraint file.
+// Spec is a parsed constraint file. Prefer ParseConstraints, which returns
+// the ConstraintSet every entry point consumes; Spec remains for callers
+// that want the raw per-kind slices.
 type Spec = parser.Spec
 
 // ParseSpec parses the textual constraint format (see internal/parser).
@@ -126,11 +148,21 @@ func ParseSpec(src string) (*Spec, error) { return parser.Parse(src) }
 // MarshalSpec renders a Spec back to the textual format.
 func MarshalSpec(s *Spec) string { return parser.Marshal(s) }
 
+// Report collects detected violations: per kind in the CFD/CIND fields, and
+// uniformly via Violations(). Reports list violations grouped per
+// constraint in set order.
+type Report = violation.Report
+
 // ViolationReport collects detected violations.
+//
+// Deprecated: use Report (the same type); this alias predates the Checker
+// API.
 type ViolationReport = violation.Report
 
 // DetectOptions tunes the batched detection engine: worker count and an
 // optional cap on reported violations.
+//
+// Deprecated: pass WithParallelism / WithLimit to NewChecker instead.
 type DetectOptions = detect.Options
 
 // Detect runs every constraint against the database and reports violations.
@@ -138,13 +170,21 @@ type DetectOptions = detect.Options
 // are interned to integer symbol IDs, constraints sharing a projection are
 // evaluated off one shared index, and independent groups run on a bounded
 // worker pool.
-func Detect(db *Database, cfds []*CFD, cinds []*CIND) *ViolationReport {
+//
+// Deprecated: build a Checker — NewChecker(db, set).Detect(ctx) — which
+// adds context cancellation, streaming and incremental maintenance over the
+// same engine and produces the identical report. This shim remains for one
+// release.
+func Detect(db *Database, cfds []*CFD, cinds []*CIND) *Report {
 	return violation.Detect(db, cfds, cinds)
 }
 
 // DetectWith is Detect with explicit engine options — use Limit to keep
 // violation-heavy (dirty) data from materialising every violating pair.
-func DetectWith(db *Database, cfds []*CFD, cinds []*CIND, opts DetectOptions) *ViolationReport {
+//
+// Deprecated: build a Checker with WithParallelism / WithLimit instead.
+// This shim remains for one release.
+func DetectWith(db *Database, cfds []*CFD, cinds []*CIND, opts DetectOptions) *Report {
 	return violation.DetectWith(db, cfds, cinds, opts)
 }
 
@@ -170,6 +210,11 @@ type (
 // NewSession builds the resident indexes over db's current contents and
 // returns a session whose Report already reflects them. The database handle
 // is retained and mutated by Apply; don't write to it directly afterwards.
+//
+// Deprecated: use a Checker — NewChecker(db, set) then Apply(ctx, deltas...)
+// — which builds the same resident session on first Apply and additionally
+// serves Detect and streaming Violations off it. This shim remains for one
+// release.
 func NewSession(db *Database, cfds []*CFD, cinds []*CIND) *Session {
 	return violation.NewSession(db, cfds, cinds)
 }

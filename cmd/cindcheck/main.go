@@ -13,13 +13,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 
+	cind "cind"
+
 	"cind/internal/consistency"
-	"cind/internal/detect"
-	"cind/internal/parser"
 )
 
 func main() {
@@ -41,7 +42,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cindcheck:", err)
 		os.Exit(2)
 	}
-	spec, err := parser.Parse(string(src))
+	set, err := cind.ParseConstraints(string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cindcheck:", err)
 		os.Exit(2)
@@ -53,15 +54,15 @@ func main() {
 	var ans consistency.Answer
 	switch *algo {
 	case "checking":
-		ans = consistency.Checking(spec.Schema, spec.CFDs, spec.CINDs, opts)
+		ans = set.CheckConsistency(opts)
 	case "random":
-		ans = consistency.RandomChecking(spec.Schema, spec.CFDs, spec.CINDs, opts)
+		ans = set.RandomCheckConsistency(opts)
 	default:
 		fmt.Fprintf(os.Stderr, "cindcheck: unknown algorithm %q\n", *algo)
 		os.Exit(2)
 	}
 	fmt.Printf("constraints: %d CFDs, %d CINDs over %d relations\n",
-		len(spec.CFDs), len(spec.CINDs), spec.Schema.Len())
+		len(set.CFDs()), len(set.CINDs()), set.Schema().Len())
 	if ans.Consistent {
 		// Cross-check ground witnesses with the detection engine BEFORE
 		// printing the verdict: a witness claiming to satisfy Σ must
@@ -70,11 +71,19 @@ func main() {
 		// (Templates with chase variables stand for fresh distinct
 		// constants and are not directly checkable.)
 		verified := ans.Witness != nil && ans.Witness.IsGround()
-		if verified && !detect.Run(ans.Witness, spec.CFDs, spec.CINDs, detect.Options{Limit: 1}).Clean() {
-			// The checker and the detection engine disagree — an internal
-			// bug, not a property of Σ.
-			fmt.Fprintln(os.Stderr, "cindcheck: internal error: witness fails verification by the detection engine")
-			os.Exit(2)
+		if verified {
+			chk, err := cind.NewChecker(ans.Witness, set, cind.WithLimit(1))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cindcheck:", err)
+				os.Exit(2)
+			}
+			rep, err := chk.Detect(context.Background())
+			if err != nil || !rep.Clean() {
+				// The checker and the detection engine disagree — an
+				// internal bug, not a property of Σ.
+				fmt.Fprintln(os.Stderr, "cindcheck: internal error: witness fails verification by the detection engine")
+				os.Exit(2)
+			}
 		}
 		fmt.Println("verdict: CONSISTENT (witness found)")
 		if verified {

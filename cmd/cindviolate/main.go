@@ -10,16 +10,18 @@
 //	cindviolate -constraints bank.cind -sql            # emit detection SQL instead
 //
 // Each -data flag loads one CSV file (with header) into the named relation.
-// Detection runs through the batched engine of internal/detect; -limit caps
-// the number of reported violations (dirty data can otherwise produce a
-// quadratic number of violating pairs) and -parallel bounds the worker
-// pool.
+// Detection runs through a cind.Checker over the parsed constraint set;
+// -limit caps the number of reported violations (dirty data can otherwise
+// produce a quadratic number of violating pairs) and -parallel bounds the
+// worker pool. An interrupt (Ctrl-C) cancels the run cooperatively through
+// the checker's context: the worker pool stops mid-enumeration instead of
+// materialising the rest of the report.
 //
 // -stream switches to incremental detection: after loading the -data files
-// and reporting the initial state, the file's deltas are applied through a
-// resident detect.Session, and every delta that changes the violation
-// report prints the added (+) and removed (-) violations. The delta log is
-// CSV, one delta per line:
+// and reporting the initial state, the file's deltas are applied through
+// the checker's resident incremental session, and every delta that changes
+// the violation report prints the added (+) and removed (-) violations.
+// The delta log is CSV, one delta per line:
 //
 //	+,relation,v1,v2,...   insert the tuple
 //	-,relation,v1,v2,...   delete the tuple
@@ -31,23 +33,23 @@
 // long-lived violation monitor for a write stream.
 //
 // Exit status 0 means clean (in -stream mode: the final state is clean),
-// 1 means violations were found, 2 means error.
+// 1 means violations were found, 2 means error (including cancellation).
 package main
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"strings"
 
-	"cind/internal/detect"
-	"cind/internal/instance"
-	"cind/internal/parser"
+	cind "cind"
+
 	"cind/internal/sqlgen"
-	"cind/internal/violation"
 )
 
 type dataFlags []string
@@ -68,6 +70,9 @@ func main() {
 	flag.Var(&data, "data", "relation=file.csv (repeatable; header row required)")
 	flag.Parse()
 
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer cancel()
+
 	if *constraints == "" {
 		fmt.Fprintln(os.Stderr, "cindviolate: -constraints is required")
 		os.Exit(2)
@@ -77,14 +82,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cindviolate:", err)
 		os.Exit(2)
 	}
-	spec, err := parser.Parse(string(src))
+	set, err := cind.ParseConstraints(string(src))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cindviolate:", err)
 		os.Exit(2)
 	}
 
 	if *emitSQL {
-		for _, c := range spec.CFDs {
+		for _, c := range set.CFDs() {
 			fmt.Printf("-- %s\n", c)
 			for _, q := range sqlgen.ForCFD(c) {
 				if q.Single != "" {
@@ -93,7 +98,7 @@ func main() {
 				fmt.Println(q.Pair + ";")
 			}
 		}
-		for _, c := range spec.CINDs {
+		for _, c := range set.CINDs() {
 			fmt.Printf("-- %s\n", c)
 			for _, q := range sqlgen.ForCIND(c) {
 				fmt.Println(q + ";")
@@ -102,7 +107,7 @@ func main() {
 		return
 	}
 
-	db := instance.NewDatabase(spec.Schema)
+	db := cind.NewDatabase(set.Schema())
 	for _, d := range data {
 		rel, file, ok := strings.Cut(d, "=")
 		if !ok {
@@ -114,7 +119,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cindviolate:", err)
 			os.Exit(2)
 		}
-		err = violation.LoadCSV(db, rel, fh, true)
+		err = cind.LoadCSV(db, rel, fh, true)
 		fh.Close()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "cindviolate:", err)
@@ -127,7 +132,7 @@ func main() {
 		if *parallel != 0 {
 			fmt.Fprintln(os.Stderr, "cindviolate: -parallel has no effect with -stream (the session is single-writer)")
 		}
-		runStream(db, spec, *stream, *limit)
+		runStream(ctx, db, set, *stream, *limit)
 		return
 	}
 
@@ -137,17 +142,22 @@ func main() {
 	if engLimit > 0 {
 		engLimit++
 	}
-	rep := violation.DetectWith(db, spec.CFDs, spec.CINDs,
-		detect.Options{Limit: engLimit, Parallel: *parallel})
+	chk, err := cind.NewChecker(db, set,
+		cind.WithLimit(engLimit), cind.WithParallelism(*parallel))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	rep, err := chk.Detect(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate: detection cancelled:", err)
+		os.Exit(2)
+	}
+	// The engine was capped at limit+1, so truncation drops exactly the
+	// one surplus violation and proves more exist.
 	truncated := *limit > 0 && rep.Total() > *limit
 	if truncated {
-		// Exactly one surplus violation (the engine was capped at
-		// limit+1), and it is the last in report order.
-		if len(rep.CIND) > 0 {
-			rep.CIND = rep.CIND[:len(rep.CIND)-1]
-		} else {
-			rep.CFD = rep.CFD[:*limit]
-		}
+		rep = rep.Truncate(*limit)
 	}
 	fmt.Println(rep)
 	if truncated {
@@ -158,11 +168,11 @@ func main() {
 	}
 }
 
-// runStream applies a delta log through an incremental detect.Session,
+// runStream applies a delta log through the checker's incremental session,
 // printing every report change as it happens and a final summary. limit
 // caps the violations printed for a dirty final state, like -limit does
 // for batch detection (the incremental upkeep itself is unaffected).
-func runStream(db *instance.Database, spec *parser.Spec, path string, limit int) {
+func runStream(ctx context.Context, db *cind.Database, set *cind.ConstraintSet, path string, limit int) {
 	var r io.Reader
 	if path == "-" {
 		r = os.Stdin
@@ -176,8 +186,25 @@ func runStream(db *instance.Database, spec *parser.Spec, path string, limit int)
 		r = fh
 	}
 
-	sess := violation.NewSession(db, spec.CFDs, spec.CINDs)
-	fmt.Printf("initial state: %s\n", summarize(sess.Report()))
+	chk, err := cind.NewChecker(db, set)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	// An empty Apply builds the resident incremental session eagerly, so
+	// the initial report, every per-delta diff and the final report all
+	// come from the one set of maintained indexes — no separate batch
+	// detection pass.
+	if _, err := chk.Apply(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	initial, err := chk.Detect(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate: detection cancelled:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("initial state: %s\n", summarize(initial))
 
 	applied, lineNo := 0, 0
 	sc := bufio.NewScanner(r)
@@ -188,12 +215,12 @@ func runStream(db *instance.Database, spec *parser.Spec, path string, limit int)
 		if line == "" || strings.HasPrefix(line, "#") {
 			continue
 		}
-		d, err := parseDelta(spec, line)
+		d, err := parseDelta(set, line)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cindviolate: %s:%d: %v\n", path, lineNo, err)
 			os.Exit(2)
 		}
-		diff, err := sess.Apply(d)
+		diff, err := chk.Apply(ctx, d)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "cindviolate: %s:%d: %v\n", path, lineNo, err)
 			os.Exit(2)
@@ -220,19 +247,16 @@ func runStream(db *instance.Database, spec *parser.Spec, path string, limit int)
 		fmt.Fprintln(os.Stderr, "cindviolate:", err)
 		os.Exit(2)
 	}
-	rep := sess.Report()
+	rep, err := chk.Detect(ctx)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate: detection cancelled:", err)
+		os.Exit(2)
+	}
 	fmt.Printf("after %d delta(s): %s\n", applied, summarize(rep))
 	if !rep.Clean() {
 		truncated := false
 		if limit > 0 && rep.Total() > limit {
-			capped := &violation.Report{CFD: rep.CFD, CIND: rep.CIND}
-			if len(capped.CFD) > limit {
-				capped.CFD = capped.CFD[:limit]
-			}
-			if rest := limit - len(capped.CFD); len(capped.CIND) > rest {
-				capped.CIND = capped.CIND[:rest]
-			}
-			rep, truncated = capped, true
+			rep, truncated = rep.Truncate(limit), true
 		}
 		fmt.Println(rep)
 		if truncated {
@@ -242,7 +266,7 @@ func runStream(db *instance.Database, spec *parser.Spec, path string, limit int)
 	}
 }
 
-func summarize(rep *violation.Report) string {
+func summarize(rep *cind.Report) string {
 	if rep.Clean() {
 		return "clean"
 	}
@@ -252,30 +276,30 @@ func summarize(rep *violation.Report) string {
 // parseDelta parses one delta-log line: "+,rel,v1,..." or "-,rel,v1,...".
 // Values are validated against the attribute domains, exactly like the
 // -data CSV loading path (unknown relations and arity mismatches are left
-// to Session.Apply, which reports them with the same line context).
-func parseDelta(spec *parser.Spec, line string) (detect.Delta, error) {
+// to Checker.Apply, which reports them with the same line context).
+func parseDelta(set *cind.ConstraintSet, line string) (cind.Delta, error) {
 	rec, err := csv.NewReader(strings.NewReader(line)).Read()
 	if err != nil {
-		return detect.Delta{}, err
+		return cind.Delta{}, err
 	}
 	if len(rec) < 2 {
-		return detect.Delta{}, fmt.Errorf("delta needs op and relation, got %q", line)
+		return cind.Delta{}, fmt.Errorf("delta needs op and relation, got %q", line)
 	}
 	vals := rec[2:]
-	if rel, ok := spec.Schema.Relation(rec[1]); ok && len(vals) == rel.Arity() {
+	if rel, ok := set.Schema().Relation(rec[1]); ok && len(vals) == rel.Arity() {
 		for i, a := range rel.Attrs() {
 			if !a.Dom.Contains(vals[i]) {
-				return detect.Delta{}, fmt.Errorf("value %q outside dom(%s)", vals[i], a.Name)
+				return cind.Delta{}, fmt.Errorf("value %q outside dom(%s)", vals[i], a.Name)
 			}
 		}
 	}
-	t := instance.Consts(vals...)
+	t := cind.Consts(vals...)
 	switch rec[0] {
 	case "+":
-		return detect.Ins(rec[1], t), nil
+		return cind.InsertDelta(rec[1], t), nil
 	case "-":
-		return detect.Del(rec[1], t), nil
+		return cind.DeleteDelta(rec[1], t), nil
 	default:
-		return detect.Delta{}, fmt.Errorf("bad delta op %q (want + or -)", rec[0])
+		return cind.Delta{}, fmt.Errorf("bad delta op %q (want + or -)", rec[0])
 	}
 }

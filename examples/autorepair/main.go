@@ -6,12 +6,13 @@
 // CIND violations by inserting the demanded tuples. On the Figure 1
 // instance the repair rewrites t12's 10.5% to the 1.5% that ϕ3's pattern
 // demands — exactly the fix the paper describes in prose — and the result
-// passes full detection.
+// passes full detection. Everything runs through one Checker handle.
 //
 //	go run ./examples/autorepair
 package main
 
 import (
+	"context"
 	"fmt"
 
 	cindapi "cind"
@@ -20,19 +21,40 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	sch := bank.Schema()
-	dirty := bank.Data(sch)
-	cfds := bank.CFDs(sch)
-	cinds := bank.CINDs(sch)
+	set, err := cindapi.SpecSet(&cindapi.Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)})
+	if err != nil {
+		panic(err)
+	}
 
+	chk, err := cindapi.NewChecker(bank.Data(sch), set)
+	if err != nil {
+		panic(err)
+	}
+	before, err := chk.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("before repair:")
-	fmt.Println(cindapi.Detect(dirty, cfds, cinds))
+	fmt.Println(before)
 
-	res := cindapi.RepairDatabase(dirty, cfds, cinds, cindapi.RepairOptions{})
+	res, err := chk.Repair(ctx, cindapi.RepairOptions{})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\n" + res.String())
 
+	repaired, err := cindapi.NewChecker(res.DB, set)
+	if err != nil {
+		panic(err)
+	}
+	after, err := repaired.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nafter repair:")
-	fmt.Println(cindapi.Detect(res.DB, cfds, cinds))
+	fmt.Println(after)
 
 	fmt.Println("\nrepaired interest relation:")
 	fmt.Println(res.DB.Instance("interest"))
@@ -40,9 +62,17 @@ func main() {
 	// An unrepairable case: Example 4.2's Σ admits no nonempty instance,
 	// so the repair loop gives up and says so.
 	sch42, phi, psi := bank.Example42()
+	set42 := cindapi.MustConstraintSet(sch42, phi[0], psi[0])
 	db42 := cindapi.NewDatabase(sch42)
 	db42.Instance("R").InsertConsts("x", "y")
-	bad := cindapi.RepairDatabase(db42, phi, psi, cindapi.RepairOptions{MaxPasses: 4})
+	chk42, err := cindapi.NewChecker(db42, set42)
+	if err != nil {
+		panic(err)
+	}
+	bad, err := chk42.Repair(ctx, cindapi.RepairOptions{MaxPasses: 4})
+	if err != nil {
+		panic(err)
+	}
 	fmt.Printf("\nExample 4.2 (inconsistent Σ): clean=%v after %d passes — no repair exists\n",
 		bad.Clean, bad.Passes)
 }

@@ -13,6 +13,8 @@ import (
 	"fmt"
 	"math/rand"
 
+	cindapi "cind"
+
 	"cind/internal/bank"
 	"cind/internal/consistency"
 	cind "cind/internal/core"
@@ -45,7 +47,8 @@ func main() {
 	// Example 4.2: a CFD and a CIND, each fine alone, conflicting together.
 	sch42, phi, psi := bank.Example42()
 	fmt.Printf("\nExample 4.2: φ = %v\n             ψ = %v\n", phi[0], psi[0])
-	ans := consistency.Checking(sch42, phi, psi, consistency.Options{})
+	set42 := cindapi.MustConstraintSet(sch42, phi[0], psi[0])
+	ans := set42.CheckConsistency(cindapi.CheckOptions{})
 	fmt.Printf("Checking: consistent=%v (correctly rejected)\n", ans.Consistent)
 
 	// Examples 5.4–5.6: the dependency-graph pipeline.
@@ -57,6 +60,10 @@ func main() {
 	fmt.Printf("dependency graph: %d nodes, SCCs %v\n", g.Len(), g.SCCs())
 	verdict := consistency.PreProcessing(g, consistency.Options{Seed: 7})
 	fmt.Printf("preProcessing verdict: %d (1 consistent / 0 inconsistent / -1 unknown)\n", verdict)
-	ans = consistency.Checking(w.Schema, w.CFDs, w.CINDs, consistency.Options{Seed: 7})
+	wset, err2 := cindapi.SpecSet(&cindapi.Spec{Schema: w.Schema, CFDs: w.CFDs, CINDs: w.CINDs})
+	if err2 != nil {
+		panic(err2)
+	}
+	ans = wset.CheckConsistency(cindapi.CheckOptions{Seed: 7})
 	fmt.Printf("Checking: consistent=%v (ground truth: consistent by construction)\n", ans.Consistent)
 }

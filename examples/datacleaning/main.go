@@ -1,47 +1,82 @@
 // Data cleaning: Example 1.2 / 2.2 as a cleaning pipeline.
 //
-// Traditional FDs and INDs (fd1–fd3, ind3–ind4) are satisfied by the dirty
+// Traditional FDs and INDs (fd3, ind3–ind4) are satisfied by the dirty
 // Figure 1 instance — the 10.5% UK checking rate slips through. The
 // conditional versions (ϕ3 with its constant rows, ψ6 with its pattern
-// tableau) catch it. The pipeline below detects, explains, repairs and
-// re-verifies, and finally prints the detection SQL that would run inside a
-// DBMS.
+// tableau) catch it. Because FDs and INDs are exactly the all-wildcard
+// special case of CFDs and CINDs (Section 2), the traditional baselines
+// enter the same Checker via LiftFD/LiftIND instead of a separate code
+// path. The pipeline below detects, explains, repairs and re-verifies, and
+// finally prints the detection SQL that would run inside a DBMS.
 //
 //	go run ./examples/datacleaning
 package main
 
 import (
+	"context"
 	"fmt"
 
+	cindapi "cind"
+
 	"cind/internal/bank"
-	cind "cind/internal/core"
-	"cind/internal/fd"
-	"cind/internal/ind"
 	"cind/internal/instance"
-	"cind/internal/pattern"
 	"cind/internal/sqlgen"
 	"cind/internal/types"
-	"cind/internal/violation"
 )
 
 func main() {
+	ctx := context.Background()
 	sch := bank.Schema()
 	db := bank.Data(sch)
 
-	// 1. Traditional dependencies see nothing wrong.
-	fd3 := fd.New("interest", []string{"ct", "at"}, []string{"rt"})
-	fmt.Printf("traditional fd3 (%s): no violation mechanism catches t12\n", fd3)
-	ind3 := ind.MustNew("saving", []string{"ab"}, "interest", []string{"ab"})
-	ind4 := ind.MustNew("checking", []string{"ab"}, "interest", []string{"ab"})
-	plain3 := cind.MustNew(sch, "ind3", ind3.LHSRel, ind3.X, nil, ind3.RHSRel, ind3.Y, nil,
-		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
-	plain4 := cind.MustNew(sch, "ind4", ind4.LHSRel, ind4.X, nil, ind4.RHSRel, ind4.Y, nil,
-		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
-	fmt.Printf("traditional ind3/ind4 violations: %d, %d (Fig 1 satisfies them)\n",
-		len(plain3.Violations(db)), len(plain4.Violations(db)))
+	// 1. Traditional dependencies, lifted into the conditional family,
+	// see nothing wrong with Figure 1.
+	fd3 := cindapi.NewFD("interest", []string{"ct", "at"}, []string{"rt"})
+	liftedFD, err := cindapi.LiftFD(sch, "fd3", fd3)
+	if err != nil {
+		panic(err)
+	}
+	ind3, err := cindapi.NewIND("saving", []string{"ab"}, "interest", []string{"ab"})
+	if err != nil {
+		panic(err)
+	}
+	ind4, err := cindapi.NewIND("checking", []string{"ab"}, "interest", []string{"ab"})
+	if err != nil {
+		panic(err)
+	}
+	lifted3, err := cindapi.LiftIND(sch, "ind3", ind3)
+	if err != nil {
+		panic(err)
+	}
+	lifted4, err := cindapi.LiftIND(sch, "ind4", ind4)
+	if err != nil {
+		panic(err)
+	}
+	traditional := cindapi.MustConstraintSet(sch, liftedFD, lifted3, lifted4)
+	chk, err := cindapi.NewChecker(db, traditional)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := chk.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("traditional fd3 (%s), ind3, ind4: %d violations (Fig 1 satisfies them — t12 slips through)\n",
+		fd3, rep.Total())
 
 	// 2. The conditional versions catch both errors.
-	rep := violation.Detect(db, bank.CFDs(sch), bank.CINDs(sch))
+	conditional, err := cindapi.SpecSet(&cindapi.Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)})
+	if err != nil {
+		panic(err)
+	}
+	chk, err = cindapi.NewChecker(db, conditional)
+	if err != nil {
+		panic(err)
+	}
+	rep, err = chk.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nconditional dependencies:")
 	fmt.Println(rep)
 
@@ -60,7 +95,14 @@ func main() {
 	}
 
 	// 4. Re-verify.
-	rep = violation.Detect(fixed, bank.CFDs(sch), bank.CINDs(sch))
+	chk, err = cindapi.NewChecker(fixed, conditional)
+	if err != nil {
+		panic(err)
+	}
+	rep, err = chk.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("after repair:", rep)
 
 	// 5. The SQL that detects the ψ6 and ϕ3 violations inside a DBMS.

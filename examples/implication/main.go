@@ -13,9 +13,10 @@ package main
 import (
 	"fmt"
 
+	cindapi "cind"
+
 	"cind/internal/bank"
 	cind "cind/internal/core"
-	"cind/internal/implication"
 	"cind/internal/pattern"
 )
 
@@ -29,7 +30,7 @@ func main() {
 		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
 
 	fmt.Println("Σ ⊨ ψ?  with ψ =", goal)
-	out := implication.Decide(sch, sigma, goal, implication.Options{})
+	out := cindapi.DecideImplication(sch, sigma, goal, cindapi.ImplicationOptions{})
 	fmt.Println("verdict:", out.Verdict, "—", out.Reason)
 	if out.Proof != nil {
 		fmt.Println("\nderivation in system I (cf. Example 3.4):")
@@ -41,7 +42,7 @@ func main() {
 	conv := cind.MustNew(sch, "converse", "interest", []string{"ab"}, nil,
 		"saving", []string{"ab"}, nil,
 		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
-	out = implication.Decide(sch, sigma, conv, implication.Options{})
+	out = cindapi.DecideImplication(sch, sigma, conv, cindapi.ImplicationOptions{})
 	fmt.Println("\nΣ ⊨", conv, "?")
 	fmt.Println("verdict:", out.Verdict, "—", out.Reason)
 	if out.Counterexample != nil {
@@ -54,7 +55,7 @@ func main() {
 		"interest", []string{"ab"}, nil,
 		[]cind.Row{{LHS: pattern.Tup(pattern.Wild, pattern.Sym("01")), RHS: pattern.Wilds(1)}})
 	withRedundant := append(append([]*cind.CIND(nil), sigma...), redundant)
-	cover := implication.MinimalCover(sch, withRedundant, implication.Options{})
+	cover := cindapi.MinimalCover(sch, withRedundant, cindapi.ImplicationOptions{})
 	fmt.Printf("\nminimal cover: %d constraints in, %d out (dropped the ones implied by the rest)\n",
 		len(withRedundant), len(cover))
 }

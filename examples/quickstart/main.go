@@ -1,46 +1,78 @@
 // Quickstart: the paper's running example end to end in ~60 lines.
 //
 // It builds the bank schemas of Example 1.1, loads the Figure 1 instance,
-// expresses the Figure 2 CINDs and Figure 4 CFDs, and detects the two
-// errors the paper's narrative revolves around: the checking account t10
-// with no correctly-priced interest row (ψ6) and the dirty 10.5% rate in
-// t12 (ϕ3). It then confirms the constraint set itself is consistent.
+// expresses the Figure 2 CINDs and Figure 4 CFDs as one ConstraintSet, and
+// detects the two errors the paper's narrative revolves around — the
+// checking account t10 with no correctly-priced interest row (ψ6) and the
+// dirty 10.5% rate in t12 (ϕ3) — through the unified Checker handle: once
+// as a full report, once streamed violation by violation. It then confirms
+// the constraint set itself is consistent.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 
+	cindapi "cind"
+
 	"cind/internal/bank"
-	"cind/internal/consistency"
-	"cind/internal/violation"
 )
 
 func main() {
+	ctx := context.Background()
 	sch := bank.Schema()
 	fmt.Println("schema:")
 	fmt.Println(sch)
 
-	// The constraints of Figures 2 and 4.
-	cinds := bank.CINDs(sch)
-	cfds := bank.CFDs(sch)
-	fmt.Printf("\nconstraints: %d CINDs, %d CFDs; for example:\n", len(cinds), len(cfds))
+	// The constraints of Figures 2 and 4, gathered into one ordered,
+	// schema-validated set.
+	set, err := cindapi.SpecSet(&cindapi.Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nconstraints: %d total (%d CFDs, %d CINDs); for example:\n",
+		set.Len(), len(set.CFDs()), len(set.CINDs()))
 	fmt.Println(" ", bank.Psi6(sch))
 	fmt.Println(" ", bank.Phi3(sch))
 
 	// Detect violations in the Figure 1 instance.
-	dirty := bank.Data(sch)
-	report := violation.Detect(dirty, cfds, cinds)
+	dirty, err := cindapi.NewChecker(bank.Data(sch), set)
+	if err != nil {
+		panic(err)
+	}
+	report, err := dirty.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nviolations in Figure 1:")
 	fmt.Println(report)
 
+	// The same, streamed: break after the first hit and the detection
+	// workers stop — first-violation latency, not full-report latency.
+	for v, err := range dirty.Violations(ctx) {
+		if err != nil {
+			panic(err)
+		}
+		fmt.Printf("\nfirst streamed violation: %s %s (witness %v)\n",
+			v.Kind(), v.Constraint(), v.Witness())
+		break
+	}
+
 	// The repaired instance is clean.
-	clean := bank.CleanData(sch)
+	clean, err := cindapi.NewChecker(bank.CleanData(sch), set)
+	if err != nil {
+		panic(err)
+	}
+	rep, err := clean.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
 	fmt.Println("\nafter repairing t12 (10.5% -> 1.5%):")
-	fmt.Println(violation.Detect(clean, cfds, cinds))
+	fmt.Println(rep)
 
 	// And the constraints themselves are consistent (Section 5 algorithms).
-	ans := consistency.Checking(sch, cfds, cinds, consistency.Options{K: 40, Seed: 5})
+	ans := set.CheckConsistency(cindapi.CheckOptions{K: 40, Seed: 5})
 	fmt.Printf("\nconsistency of Σ (Checking, Fig 9): %v\n", ans.Consistent)
 }

@@ -7,26 +7,29 @@
 // at = 'saving' / at = 'checking' plus the target binding ab = B.
 //
 // This example demonstrates the difference operationally: it migrates the
-// source data following ψ1/ψ2 (the schema-mapping reading of a CIND), shows
-// the result satisfies the CINDs while the embedded plain INDs are still
-// violated, and prints the SQL a matching system would ship to validate the
-// mapping.
+// source data following ψ1/ψ2 (the schema-mapping reading of a CIND — every
+// Checker violation is exactly one source tuple awaiting migration), shows
+// the result satisfies the CINDs while the embedded plain INDs — lifted
+// into the same constraint family via LiftIND — are still violated, and
+// prints the SQL a matching system would ship to validate the mapping.
 //
 //	go run ./examples/schemamatching
 package main
 
 import (
+	"context"
 	"fmt"
 
+	cindapi "cind"
+
 	"cind/internal/bank"
-	cind "cind/internal/core"
 	"cind/internal/instance"
-	"cind/internal/pattern"
 	"cind/internal/sqlgen"
 	"cind/internal/types"
 )
 
 func main() {
+	ctx := context.Background()
 	sch := bank.Schema()
 
 	// Source-only database: the account relations of Fig 1(a)-(b).
@@ -39,56 +42,76 @@ func main() {
 		}
 	}
 
-	// The matching constraints: ψ1 and ψ2 per branch.
-	var matches []*cind.CIND
+	// The matching constraints: ψ1 and ψ2 per branch, as one set.
+	var matches []cindapi.Constraint
 	for _, b := range bank.Branches {
 		matches = append(matches, bank.Psi1(sch, b), bank.Psi2(sch, b))
 	}
+	set := cindapi.MustConstraintSet(sch, matches...)
 	fmt.Println("contextual matches (CINDs):")
-	for _, m := range matches {
+	for _, m := range set.CINDs() {
 		fmt.Println(" ", m)
 	}
 
 	// Before migration the CINDs are violated — each violation is exactly
 	// one source tuple awaiting migration.
-	pending := 0
-	for _, m := range matches {
-		pending += len(m.Violations(db))
+	chk, err := cindapi.NewChecker(db, set)
+	if err != nil {
+		panic(err)
 	}
-	fmt.Printf("\nsource tuples awaiting migration: %d\n", pending)
+	pending, err := chk.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("\nsource tuples awaiting migration: %d\n", pending.Total())
 
 	// Migrate: for every violation, insert the target tuple the CIND
 	// demands (this is the chase step IND(ψ) acting as a data migration).
-	for _, m := range matches {
-		for _, v := range m.Violations(db) {
-			target := sch.MustRelationByName(m.RHSRel)
-			tb := make(instance.Tuple, target.Arity())
-			for i, a := range m.Y {
-				j, _ := target.Index(a)
-				src := sch.MustRelationByName(m.LHSRel)
-				k, _ := src.Index(m.X[i])
-				tb[j] = v.T[k]
-			}
-			ypPat := m.YpPattern()
-			for i, a := range m.Yp {
-				j, _ := target.Index(a)
-				tb[j] = types.C(ypPat[i].Const())
-			}
-			db.Instance(m.RHSRel).Insert(tb)
+	// The unified report carries the violated constraint and witness tuple.
+	for _, v := range pending.Violations() {
+		cv, ok := v.AsCIND()
+		if !ok {
+			continue
 		}
+		m := cv.CIND
+		target := sch.MustRelationByName(m.RHSRel)
+		tb := make(instance.Tuple, target.Arity())
+		for i, a := range m.Y {
+			j, _ := target.Index(a)
+			src := sch.MustRelationByName(m.LHSRel)
+			k, _ := src.Index(m.X[i])
+			tb[j] = cv.T[k]
+		}
+		ypPat := m.YpPattern()
+		for i, a := range m.Yp {
+			j, _ := target.Index(a)
+			tb[j] = types.C(ypPat[i].Const())
+		}
+		db.Instance(m.RHSRel).Insert(tb)
 	}
 	fmt.Printf("migrated: saving=%d checking=%d tuples\n",
 		db.Instance("saving").Len(), db.Instance("checking").Len())
 
-	if cind.SatisfiedAll(matches, db) {
+	after, err := chk.Detect(ctx)
+	if err != nil {
+		panic(err)
+	}
+	if after.Clean() {
 		fmt.Println("all contextual matches satisfied after migration")
 	}
 
 	// The embedded plain INDs still fail — the whole point of conditions.
+	// LiftIND admits them as all-wildcard CINDs into the same machinery.
 	for _, b := range bank.Branches {
 		lhsRel, x, rhsRel, y := bank.Psi1(sch, b).EmbeddedIND()
-		plain := cind.MustNew(sch, "plain_"+b, lhsRel, x, nil, rhsRel, y, nil,
-			[]cind.Row{{LHS: pattern.Wilds(len(x)), RHS: pattern.Wilds(len(y))}})
+		plainIND, err := cindapi.NewIND(lhsRel, x, rhsRel, y)
+		if err != nil {
+			panic(err)
+		}
+		plain, err := cindapi.LiftIND(sch, "plain_"+b, plainIND)
+		if err != nil {
+			panic(err)
+		}
 		fmt.Printf("plain IND %s[an,cn,ca,cp] ⊆ saving[...]: %d violations (checking accounts!)\n",
 			lhsRel, len(plain.Violations(db)))
 	}

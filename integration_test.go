@@ -4,6 +4,7 @@
 package cind_test
 
 import (
+	"context"
 	"encoding/csv"
 	"os"
 	"path/filepath"
@@ -197,6 +198,107 @@ func TestTestdataMatchesBankPackage(t *testing.T) {
 			t.Errorf("CFD %d drifted:\nfile: %s\ncode: %s", i, spec.CFDs[i], want)
 		}
 	}
+}
+
+// TestEndToEndChecker is the full Example 1.2 pipeline through the new
+// unified surface: parse the constraint file into a ConstraintSet, load the
+// CSV data, and find the two paper errors through a Checker — batch,
+// streamed, and after the fixture delta log cures them.
+func TestEndToEndChecker(t *testing.T) {
+	ctx := context.Background()
+	src, err := os.ReadFile(filepath.Join("testdata", "bank", "bank.cind"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := cindapi.ParseConstraints(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if set.Len() != 11 || len(set.CFDs()) != 3 || len(set.CINDs()) != 8 {
+		t.Fatalf("set has %d constraints (%d CFDs, %d CINDs)", set.Len(), len(set.CFDs()), len(set.CINDs()))
+	}
+
+	db := cindapi.NewDatabase(set.Schema())
+	for _, rel := range []string{"interest", "saving", "checking", "account_NYC", "account_EDI"} {
+		f, err := os.Open(filepath.Join("testdata", "bank", rel+".csv"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = cindapi.LoadCSV(db, rel, f, true)
+		f.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	chk, err := cindapi.NewChecker(db, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chk.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total() != 2 {
+		t.Fatalf("violations = %d, want the paper's 2:\n%s", rep.Total(), rep)
+	}
+	streamed := 0
+	for v, err := range chk.Violations(ctx) {
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Constraint() == nil || len(v.Witness()) == 0 {
+			t.Fatalf("streamed violation missing accessors: %s", v)
+		}
+		streamed++
+	}
+	if streamed != 2 {
+		t.Fatalf("stream yielded %d violations, want 2", streamed)
+	}
+
+	// The fixture delta log cures both errors through Apply.
+	for _, d := range readBankDeltas(t) {
+		if _, err := chk.Apply(ctx, d); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rep, err = chk.Detect(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		t.Fatalf("stream should end clean, got %s", rep)
+	}
+}
+
+// readBankDeltas parses the testdata/bank/deltas.log fixture.
+func readBankDeltas(t testing.TB) []cindapi.Delta {
+	t.Helper()
+	src, err := os.ReadFile(filepath.Join("testdata", "bank", "deltas.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []cindapi.Delta
+	for _, line := range strings.Split(string(src), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := csv.NewReader(strings.NewReader(line)).Read()
+		if err != nil {
+			t.Fatalf("delta log line %q: %v", line, err)
+		}
+		tu := make(cindapi.Tuple, len(rec)-2)
+		for i, v := range rec[2:] {
+			tu[i] = cindapi.Const(v)
+		}
+		if rec[0] == "+" {
+			out = append(out, cindapi.InsertDelta(rec[1], tu))
+		} else {
+			out = append(out, cindapi.DeleteDelta(rec[1], tu))
+		}
+	}
+	return out
 }
 
 // TestEndToEndIncrementalStream replays testdata/bank/deltas.log through

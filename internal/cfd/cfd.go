@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cind/internal/constraint"
 	"cind/internal/instance"
 	"cind/internal/pattern"
 	"cind/internal/schema"
@@ -31,13 +32,28 @@ func (r Row) String() string {
 	return "(" + lhs + " || " + rhs + ")"
 }
 
-// CFD is a conditional functional dependency (R: X → Y, Tp).
+// CFD is a conditional functional dependency (R: X → Y, Tp). It implements
+// the sealed constraint.Constraint interface, so mixed CFD/CIND sets can be
+// carried uniformly.
 type CFD struct {
+	constraint.Sealed
+
 	ID   string
 	Rel  string
 	X    []string
 	Y    []string
 	Rows []Row
+}
+
+// Kind reports constraint.KindCFD.
+func (c *CFD) Kind() constraint.Kind { return constraint.KindCFD }
+
+// Validate re-runs the constructor checks against sch: relation and
+// attribute existence, X/Y disjointness, tableau widths, and pattern
+// constants belonging to their attribute domains.
+func (c *CFD) Validate(sch *schema.Schema) error {
+	_, err := New(sch, c.ID, c.Rel, c.X, c.Y, c.Rows)
+	return err
 }
 
 // New builds a CFD and validates it against the schema: the relation and

@@ -1,0 +1,20 @@
+package cfd
+
+import (
+	"cind/internal/fd"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// LiftFD admits a traditional FD as a CFD: the embedded FD is f itself and
+// the pattern tableau is the single all-wildcard row, so the CFD constrains
+// every tuple pair exactly as the FD does (Section 2: "FDs are a special
+// case of CFDs"). The result satisfies IsTraditionalFD, and its violations
+// are exactly the violating pairs of fd.Violations — a property the
+// equivalence tests assert on the bank and generated workloads.
+func LiftFD(sch *schema.Schema, id string, f fd.FD) (*CFD, error) {
+	return New(sch, id, f.Rel, f.X, f.Y, []Row{{
+		LHS: pattern.Wilds(len(f.X)),
+		RHS: pattern.Wilds(len(f.Y)),
+	}})
+}

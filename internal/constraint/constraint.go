@@ -1,0 +1,64 @@
+// Package constraint defines the common type of the library's conditional
+// dependencies. The paper's central observation (Section 2) is that CFDs
+// and CINDs *extend* FDs and INDs: a traditional dependency is exactly a
+// conditional one with an all-wildcard pattern tableau. This package gives
+// that family a single static type — the sealed Constraint interface that
+// *cfd.CFD and *core.CIND implement — so mixed constraint sets can be
+// carried, validated and dispatched uniformly instead of as parallel
+// per-kind slices.
+//
+// The interface is sealed: it embeds an unexported method that only types
+// embedding Sealed (a marker this package hands to internal/cfd and
+// internal/core) can satisfy. Downstream code can therefore switch on
+// Kind() exhaustively.
+package constraint
+
+import "cind/internal/schema"
+
+// Kind discriminates the constraint family.
+type Kind uint8
+
+const (
+	// KindCFD is a conditional functional dependency (Section 4, [9]).
+	KindCFD Kind = iota + 1
+	// KindCIND is a conditional inclusion dependency (Section 2).
+	KindCIND
+)
+
+// String renders the kind as the lowercase tag used in reports.
+func (k Kind) String() string {
+	switch k {
+	case KindCFD:
+		return "cfd"
+	case KindCIND:
+		return "cind"
+	}
+	return "constraint"
+}
+
+// Constraint is the sealed common interface of *cfd.CFD and *core.CIND.
+// Kind discriminates the two; Validate re-checks the constraint against a
+// schema (relation and attribute existence, tableau widths, domain
+// membership — the same checks the constructors run); String renders the
+// paper-style syntax. No other type can implement Constraint.
+type Constraint interface {
+	// Kind reports which conditional dependency family the constraint
+	// belongs to.
+	Kind() Kind
+	// Validate checks the constraint against sch, returning the first
+	// structural error (unknown relation or attribute, bad tableau width,
+	// out-of-domain pattern constant, ...), or nil if the constraint is
+	// well formed over sch.
+	Validate(sch *schema.Schema) error
+	// String renders the constraint in the paper's textual style.
+	String() string
+
+	sealed()
+}
+
+// Sealed is the embedding marker that seals Constraint: a type satisfies
+// the interface only by embedding Sealed, and only internal/cfd and
+// internal/core do. It contributes no fields and no behaviour.
+type Sealed struct{}
+
+func (Sealed) sealed() {}

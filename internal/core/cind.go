@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"strings"
 
+	"cind/internal/constraint"
 	"cind/internal/pattern"
 	"cind/internal/schema"
 )
@@ -39,13 +40,28 @@ func (r Row) String() string {
 }
 
 // CIND is a conditional inclusion dependency (R1[X; Xp] ⊆ R2[Y; Yp], Tp).
+// It implements the sealed constraint.Constraint interface, so mixed
+// CFD/CIND sets can be carried uniformly.
 type CIND struct {
+	constraint.Sealed
+
 	ID     string
 	LHSRel string
 	X, Xp  []string
 	RHSRel string
 	Y, Yp  []string
 	Rows   []Row
+}
+
+// Kind reports constraint.KindCIND.
+func (c *CIND) Kind() constraint.Kind { return constraint.KindCIND }
+
+// Validate re-runs the constructor checks of New against sch: relation and
+// attribute existence, |X| = |Y|, tableau widths, tp[X] = tp[Y], domain
+// membership of pattern constants, and the dom(X_i) ⊆ dom(Y_i) assumption.
+func (c *CIND) Validate(sch *schema.Schema) error {
+	_, err := New(sch, c.ID, c.LHSRel, c.X, c.Xp, c.RHSRel, c.Y, c.Yp, c.Rows)
+	return err
 }
 
 // New builds a CIND and validates it against the schema per the definition

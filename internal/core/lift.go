@@ -1,0 +1,22 @@
+package cind
+
+import (
+	"cind/internal/ind"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// LiftIND admits a traditional IND as a CIND: the embedded IND is d itself,
+// Xp and Yp are empty, and the pattern tableau is the single all-wildcard
+// row, so the inclusion applies unconditionally — exactly the paper's
+// observation that INDs are the special case of CINDs with an all-wildcard
+// tableau (Section 2). The result satisfies IsTraditionalIND, and its
+// violations are exactly the unmatched LHS tuples of ind.Violations — a
+// property the equivalence tests assert on the bank and generated
+// workloads.
+func LiftIND(sch *schema.Schema, id string, d ind.IND) (*CIND, error) {
+	return New(sch, id, d.LHSRel, d.X, nil, d.RHSRel, d.Y, nil, []Row{{
+		LHS: pattern.Wilds(len(d.X)),
+		RHS: pattern.Wilds(len(d.Y)),
+	}})
+}

@@ -78,23 +78,24 @@ type rowWork struct {
 	slot []int32 // parallel: demanded-key slot per matching tuple
 }
 
-// eval runs every (member, row) anti-join of the group off one shared scan
-// of the RHS instance, demand-driven: the first pass over each LHS instance
-// collects the X projections the inclusion actually demands (one slot per
-// distinct key), the single RHS pass marks which demands each row
-// satisfies, and the final pass emits violations in reference order (rows
-// in tableau order, LHS tuples in insertion order). Hashing is therefore
-// bounded by the demanded keys, not by the RHS size — a CIND whose LHS has
-// three tuples never pays to index a million-tuple RHS relation.
+// antiJoin runs the first two phases of the group's demand-driven
+// evaluation off one shared scan of the RHS instance: the first pass over
+// each LHS instance collects the X projections the inclusion actually
+// demands (one slot per distinct key), and the single RHS pass marks which
+// demands each tableau row satisfies. Hashing is therefore bounded by the
+// demanded keys, not by the RHS size — a CIND whose LHS has three tuples
+// never pays to index a million-tuple RHS relation. satisfied is a bitset
+// indexed (slot, work), packed as stride 64-bit words per slot: Y
+// projections are slot-uniform, so the row's Y pattern and the per-tuple
+// Yp pattern decide each (slot, work) pair.
 //
-// This reproduces the Section 2 semantics of the reference
-// core.CIND.Violations exactly: an LHS tuple t1 matching tp[X, Xp]
-// violates iff no RHS tuple t2 has t2[Y] = t1[X] with t2[Y] ≍ tp[Y] and
-// t2[Yp] ≍ tp[Yp].
-func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, limit int) {
+// Both scans poll stop; a stopped anti-join reports ok == false and the
+// caller discards the partial state. A CIND violation is only known after
+// the full RHS scan (absence of a match), so this is the earliest the
+// engine can emit anything for the group.
+func (g *cindGroup) antiJoin(coded map[string]*codedRel, stop func() bool) (works []rowWork, satisfied []uint64, stride int, ok bool) {
 	crR := coded[g.rhsRel]
 	slots := newKeyGroups(0)
-	var works []rowWork
 	for mi := range g.m {
 		m := &g.m[mi]
 		crL := coded[m.lhsRel]
@@ -102,6 +103,9 @@ func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, lim
 			row := &m.rows[ri]
 			w := rowWork{m: m, ri: ri}
 			for i := range crL.tuples {
+				if i&8191 == 0 && stop() {
+					return nil, nil, 0, false
+				}
 				if !matchCoded(crL, i, m.lhsCols, row.lhs) {
 					continue
 				}
@@ -114,13 +118,13 @@ func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, lim
 	}
 
 	// One scan of the RHS instance satisfies demands for every row at once.
-	// satisfied is a bitset indexed (slot, work), packed as stride 64-bit
-	// words per slot: Y projections are slot-uniform, so the row's Y
-	// pattern and the per-tuple Yp pattern decide each (slot, work) pair.
 	nw := len(works)
-	stride := (nw + 63) / 64
-	satisfied := make([]uint64, slots.size()*stride)
+	stride = (nw + 63) / 64
+	satisfied = make([]uint64, slots.size()*stride)
 	for i := range crR.tuples {
+		if i&8191 == 0 && stop() {
+			return nil, nil, 0, false
+		}
 		si := slots.find(crR, i, g.yCols)
 		if si < 0 {
 			continue
@@ -137,6 +141,22 @@ func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, lim
 			}
 		}
 	}
+	return works, satisfied, stride, true
+}
+
+// eval runs every (member, row) anti-join of the group and emits violations
+// in reference order (rows in tableau order, LHS tuples in insertion
+// order), writing each member's violations into its own slot of out.
+//
+// This reproduces the Section 2 semantics of the reference
+// core.CIND.Violations exactly: an LHS tuple t1 matching tp[X, Xp]
+// violates iff no RHS tuple t2 has t2[Y] = t1[X] with t2[Y] ≍ tp[Y] and
+// t2[Yp] ≍ tp[Yp].
+func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, limit int, stop func() bool) {
+	works, satisfied, stride, ok := g.antiJoin(coded, stop)
+	if !ok {
+		return
+	}
 
 	// Emit violations member-major, rows in tableau order — works were
 	// appended in exactly that order.
@@ -148,6 +168,9 @@ func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, lim
 			continue // this member already reached the cap on an earlier row
 		}
 		for k, ti := range w.tups {
+			if k&8191 == 0 && stop() {
+				return
+			}
 			if satisfied[int(w.slot[k])*stride+wi/64]&(1<<(wi%64)) != 0 {
 				continue
 			}
@@ -158,4 +181,31 @@ func (g *cindGroup) eval(coded map[string]*codedRel, out [][]core.Violation, lim
 		}
 		out[w.m.idx] = vs
 	}
+}
+
+// stream emits every violation of the group as soon as the shared RHS scan
+// completes, in the same order eval would produce, without materialising
+// result slices. emit returning false aborts the whole group; stream
+// reports whether it ran to completion.
+func (g *cindGroup) stream(coded map[string]*codedRel, stop func() bool, emit func(v core.Violation) bool) bool {
+	works, satisfied, stride, ok := g.antiJoin(coded, stop)
+	if !ok {
+		return false
+	}
+	for wi := range works {
+		w := &works[wi]
+		crL := coded[w.m.lhsRel]
+		for k, ti := range w.tups {
+			if k&8191 == 0 && stop() {
+				return false
+			}
+			if satisfied[int(w.slot[k])*stride+wi/64]&(1<<(wi%64)) != 0 {
+				continue
+			}
+			if !emit(core.Violation{CIND: w.m.c, RowIdx: w.ri, T: crL.tuples[ti]}) {
+				return false
+			}
+		}
+	}
+	return true
 }

@@ -166,12 +166,18 @@ type projIndex struct {
 	tupIdx []int32 // tuple indices, concatenated per group
 }
 
-func buildProjIndex(cr *codedRel, cols []int) *projIndex {
+// buildProjIndex returns nil when stop fires mid-build — the index pass is
+// the dominant cost on clean data, so cancellation must be able to
+// interrupt it, not just the pair enumeration that follows.
+func buildProjIndex(cr *codedRel, cols []int, stop func() bool) *projIndex {
 	n := len(cr.tuples)
 	ix := &projIndex{cols: cols, kg: newKeyGroups(n)}
 	tupGi := make([]int32, n)
 	var counts []int32
 	for i := 0; i < n; i++ {
+		if i&8191 == 0 && stop() {
+			return nil
+		}
 		gi := ix.kg.findOrAdd(cr, i, cols)
 		if int(gi) == len(counts) {
 			counts = append(counts, 0)

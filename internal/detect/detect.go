@@ -31,6 +31,7 @@
 package detect
 
 import (
+	"context"
 	"runtime"
 	"sync"
 
@@ -85,10 +86,31 @@ func (r *Result) Clean() bool { return r.Total() == 0 }
 // within one constraint the order matches the reference per-constraint
 // implementation.
 func Run(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, opts Options) *Result {
-	it := types.NewInterner()
+	res, _ := RunContext(context.Background(), db, cfds, cinds, opts)
+	return res
+}
 
-	// Code every referenced relation once, sequentially: workers only read
-	// codes, so evaluation needs no locks.
+// stopFunc compiles a context into a cheap polling predicate the hot loops
+// can call: a nil-Done context (Background) costs a single nil check.
+func stopFunc(ctx context.Context) func() bool {
+	done := ctx.Done()
+	if done == nil {
+		return func() bool { return false }
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// plan codes every referenced relation once, sequentially (workers only
+// read codes, so evaluation needs no locks) and builds the detection
+// groups. Shared by the batch and streaming entry points.
+func plan(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, it *types.Interner) (map[string]*codedRel, []*cfdGroup, []*cindGroup) {
 	coded := map[string]*codedRel{}
 	ensure := func(rel string) {
 		if _, ok := coded[rel]; !ok {
@@ -102,8 +124,23 @@ func Run(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, opts Option
 		ensure(c.LHSRel)
 		ensure(c.RHSRel)
 	}
-	cfdGroups := planCFDs(db, cfds, it)
-	cindGroups := planCINDs(db, cinds, it)
+	return coded, planCFDs(db, cfds, it), planCINDs(db, cinds, it)
+}
+
+// RunContext is Run with cooperative cancellation: the planning phase and
+// every evaluation unit poll ctx, so a cancelled detection run stops the
+// worker pool promptly — mid pair enumeration, mid index build, mid
+// anti-join scan — instead of materialising the full report first. On
+// cancellation the partial result is discarded and ctx's error returned.
+func RunContext(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, opts Options) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	stop := stopFunc(ctx)
+	coded, cfdGroups, cindGroups := plan(db, cfds, cinds, types.NewInterner())
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	// Each group writes only its own members' slots, so the fan-out is
 	// race-free by construction and the merge is deterministic.
@@ -112,15 +149,18 @@ func Run(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, opts Option
 	units := make([]func(), 0, len(cfdGroups)+len(cindGroups))
 	for _, g := range cfdGroups {
 		g := g
-		units = append(units, func() { g.eval(coded, cfdOut, opts.Limit) })
+		units = append(units, func() { g.eval(coded, cfdOut, opts.Limit, stop) })
 	}
 	for _, g := range cindGroups {
 		g := g
-		units = append(units, func() { g.eval(coded, cindOut, opts.Limit) })
+		units = append(units, func() { g.eval(coded, cindOut, opts.Limit, stop) })
 	}
 
 	if w := opts.workers(len(units)); w <= 1 {
 		for _, u := range units {
+			if stop() {
+				break
+			}
 			u()
 		}
 	} else {
@@ -141,13 +181,16 @@ func Run(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, opts Option
 		close(ch)
 		wg.Wait()
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 
 	res := &Result{}
 	for _, vs := range cfdOut {
 		res.CFD = append(res.CFD, vs...)
 		if opts.Limit > 0 && len(res.CFD) >= opts.Limit {
 			res.CFD = res.CFD[:opts.Limit]
-			return res
+			return res, nil
 		}
 	}
 	budget := -1
@@ -158,10 +201,10 @@ func Run(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, opts Option
 		res.CIND = append(res.CIND, vs...)
 		if budget >= 0 && len(res.CIND) >= budget {
 			res.CIND = res.CIND[:budget]
-			return res
+			return res, nil
 		}
 	}
-	return res
+	return res, nil
 }
 
 // CFDViolations runs a single CFD through the engine — the batched

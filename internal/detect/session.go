@@ -1,6 +1,7 @@
 package detect
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strconv"
@@ -166,6 +167,15 @@ type cindState struct {
 // indexes, and returns a session whose Report already reflects the initial
 // state. The database handle is retained: Apply mutates it.
 func NewSession(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND) *Session {
+	s, _ := NewSessionContext(context.Background(), db, cfds, cinds)
+	return s
+}
+
+// NewSessionContext is NewSession with cooperative cancellation of the
+// seeding pass — the one full-database replay a session ever pays. Seeding
+// only reads the database, so a cancelled build is abandoned without
+// side effects and ctx's error returned.
+func NewSessionContext(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND) (*Session, error) {
 	s := &Session{
 		db:         db,
 		it:         types.NewInterner(),
@@ -224,19 +234,28 @@ func NewSession(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND) *Ses
 	// Replay the initial contents with events muted, then compute every
 	// bucket's violations once (per-insert recomputation would be
 	// quadratic in the bucket size).
+	stop := stopFunc(ctx)
 	s.seeding = true
+	n := 0
 	for name, lr := range s.rels {
 		for _, t := range db.Instance(name).Tuples() {
+			if n&1023 == 0 && stop() {
+				return nil, ctx.Err()
+			}
+			n++
 			s.stateInsert(name, lr, t)
 		}
 	}
 	for _, st := range s.cfdStates {
 		for _, b := range st.buckets {
+			if stop() {
+				return nil, ctx.Err()
+			}
 			s.recomputeCFDBucket(st, b)
 		}
 	}
 	s.seeding = false
-	return s
+	return s, nil
 }
 
 // DB returns the underlying database the session maintains.

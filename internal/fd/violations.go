@@ -1,0 +1,61 @@
+package fd
+
+import (
+	"fmt"
+
+	"cind/internal/instance"
+	"cind/internal/types"
+)
+
+// Violation records one witness of FD failure: a pair of distinct tuples
+// agreeing on X but not on Y. Unlike CFDs, a traditional FD cannot be
+// violated by a single tuple.
+type Violation struct {
+	FD     FD
+	T1, T2 instance.Tuple
+}
+
+// String explains the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violates %s: %v, %v", v.FD.Rel, v.FD, v.T1, v.T2)
+}
+
+// Violations returns every violating pair of the FD in the database, in
+// deterministic order: X groups in first-seen order, and within a group
+// pairs (i < j) in insertion order. This is the plain-FD reference
+// semantics that CFDs with an all-wildcard tableau (cfd.LiftFD) must
+// reproduce — the equivalence the lift tests assert against the batched
+// detection engine.
+func Violations(db *instance.Database, f FD) []Violation {
+	in := db.Instance(f.Rel)
+	rel := in.Relation()
+	xi, yi := rel.Cols(f.X), rel.Cols(f.Y)
+	groups := map[string][]instance.Tuple{}
+	var order []string
+	for _, t := range in.Tuples() {
+		k := projKey(t.Project(xi))
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], t)
+	}
+	var out []Violation
+	for _, k := range order {
+		group := groups[k]
+		for i := 0; i < len(group); i++ {
+			for j := i + 1; j < len(group); j++ {
+				if projKey(group[i].Project(yi)) != projKey(group[j].Project(yi)) {
+					out = append(out, Violation{FD: f, T1: group[i], T2: group[j]})
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Satisfied reports whether the database satisfies the FD.
+func Satisfied(db *instance.Database, f FD) bool { return len(Violations(db, f)) == 0 }
+
+// projKey encodes a projection through the shared tuple-identity encoder,
+// so this reference semantics can never diverge from the engine's hashing.
+func projKey(vals []types.Value) string { return types.TupleKey(vals) }

@@ -1,0 +1,51 @@
+package ind
+
+import (
+	"fmt"
+
+	"cind/internal/instance"
+	"cind/internal/types"
+)
+
+// Violation records one witness of IND failure: an LHS tuple whose X
+// projection appears in no RHS tuple's Y projection.
+type Violation struct {
+	IND IND
+	T   instance.Tuple
+}
+
+// String explains the violation.
+func (v Violation) String() string {
+	return fmt.Sprintf("%s violates %s: %v has no match", v.IND.LHSRel, v.IND, v.T)
+}
+
+// Violations returns every violating tuple of the IND in the database, in
+// LHS insertion order. This is the plain-IND reference semantics that
+// CINDs with empty pattern lists and an all-wildcard tableau (core.LiftIND)
+// must reproduce — the equivalence the lift tests assert against the
+// batched detection engine, which reports CIND violations in exactly this
+// order.
+func Violations(db *instance.Database, d IND) []Violation {
+	rhs := db.Instance(d.RHSRel)
+	yi := rhs.Relation().Cols(d.Y)
+	present := make(map[string]bool, rhs.Len())
+	for _, t := range rhs.Tuples() {
+		present[projKey(t.Project(yi))] = true
+	}
+	lhs := db.Instance(d.LHSRel)
+	xi := lhs.Relation().Cols(d.X)
+	var out []Violation
+	for _, t := range lhs.Tuples() {
+		if !present[projKey(t.Project(xi))] {
+			out = append(out, Violation{IND: d, T: t})
+		}
+	}
+	return out
+}
+
+// Satisfied reports whether the database satisfies the IND.
+func Satisfied(db *instance.Database, d IND) bool { return len(Violations(db, d)) == 0 }
+
+// projKey encodes a projection through the shared tuple-identity encoder,
+// so this reference semantics can never diverge from the engine's hashing.
+func projKey(vals []types.Value) string { return types.TupleKey(vals) }

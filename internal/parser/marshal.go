@@ -36,11 +36,18 @@ func Marshal(s *Spec) string {
 		}
 		b.WriteString(")\n")
 	}
-	for _, c := range s.CFDs {
-		b.WriteString("\n" + marshalCFD(c))
-	}
-	for _, c := range s.CINDs {
-		b.WriteString("\n" + marshalCIND(c))
+	// Parsed specs carry the interleaved source order in Constraints;
+	// render in that order so files round-trip without reordering. Specs
+	// assembled by hand, or whose per-kind slices were edited after
+	// parsing, fall back to CFDs-then-CINDs order (Ordered checks
+	// consistency by identity, keeping CFDs/CINDs authoritative).
+	for _, c := range s.Ordered() {
+		switch c := c.(type) {
+		case *cfd.CFD:
+			b.WriteString("\n" + marshalCFD(c))
+		case *cind.CIND:
+			b.WriteString("\n" + marshalCIND(c))
+		}
 	}
 	return b.String()
 }

@@ -6,16 +6,69 @@ import (
 	"strings"
 
 	"cind/internal/cfd"
+	"cind/internal/constraint"
 	cind "cind/internal/core"
 	"cind/internal/pattern"
 	"cind/internal/schema"
 )
 
 // Spec is a parsed constraint file: a schema plus the constraints over it.
+// CFDs and CINDs list the constraints per kind; Constraints preserves the
+// interleaved source order (Parse fills all three), which Marshal uses so
+// that a file round-trips without reordering. Specs built by hand may leave
+// Constraints nil, and a caller that edits CFDs or CINDs after parsing
+// invalidates Constraints — Ordered detects both and falls back to
+// CFDs-then-CINDs order, so the per-kind fields stay authoritative.
 type Spec struct {
-	Schema *schema.Schema
-	CFDs   []*cfd.CFD
-	CINDs  []*cind.CIND
+	Schema      *schema.Schema
+	CFDs        []*cfd.CFD
+	CINDs       []*cind.CIND
+	Constraints []constraint.Constraint
+}
+
+// Ordered returns the spec's constraints in a single ordered slice: the
+// interleaved source order when Constraints is consistent with the
+// per-kind fields (same constraints, same relative order — checked by
+// identity, so any edit to CFDs or CINDs invalidates it), CFDs-then-CINDs
+// otherwise.
+func (s *Spec) Ordered() []constraint.Constraint {
+	if ordered := s.consistentOrder(); ordered != nil {
+		return ordered
+	}
+	out := make([]constraint.Constraint, 0, len(s.CFDs)+len(s.CINDs))
+	for _, c := range s.CFDs {
+		out = append(out, c)
+	}
+	for _, c := range s.CINDs {
+		out = append(out, c)
+	}
+	return out
+}
+
+// consistentOrder returns Constraints iff it is exactly an interleaving of
+// the current CFDs and CINDs fields, else nil.
+func (s *Spec) consistentOrder() []constraint.Constraint {
+	if len(s.Constraints) == 0 || len(s.Constraints) != len(s.CFDs)+len(s.CINDs) {
+		return nil
+	}
+	fi, ii := 0, 0
+	for _, c := range s.Constraints {
+		switch c := c.(type) {
+		case *cfd.CFD:
+			if fi >= len(s.CFDs) || s.CFDs[fi] != c {
+				return nil
+			}
+			fi++
+		case *cind.CIND:
+			if ii >= len(s.CINDs) || s.CINDs[ii] != c {
+				return nil
+			}
+			ii++
+		default:
+			return nil
+		}
+	}
+	return s.Constraints
 }
 
 // Parse reads the textual format described in the package comment.
@@ -47,6 +100,7 @@ func Parse(src string) (*Spec, error) {
 				return nil, err
 			}
 			spec.CFDs = append(spec.CFDs, c)
+			spec.Constraints = append(spec.Constraints, c)
 		case "cind":
 			if err := p.ensureSchema(&spec.Schema, rels); err != nil {
 				return nil, err
@@ -56,6 +110,7 @@ func Parse(src string) (*Spec, error) {
 				return nil, err
 			}
 			spec.CINDs = append(spec.CINDs, c)
+			spec.Constraints = append(spec.Constraints, c)
 		default:
 			return nil, fmt.Errorf("line %d: unknown keyword %q", p.tok.line, kw)
 		}

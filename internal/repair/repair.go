@@ -22,6 +22,7 @@
 package repair
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -107,6 +108,16 @@ func (o Options) withDefaults() Options {
 // change is forced by a concrete violation) but heuristic: when Σ is
 // inconsistent no repair exists, and the result reports Clean == false.
 func Repair(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) *Result {
+	res, _ := RepairContext(context.Background(), db, cfds, cinds, opts)
+	return res
+}
+
+// RepairContext is Repair with cooperative cancellation: ctx is polled
+// between constraints within a pass and threaded into the final cleanliness
+// check, so a cancelled repair of a large or ping-ponging instance stops
+// instead of running its full pass budget. On cancellation the partial
+// result is discarded and ctx's error returned.
+func RepairContext(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	res := &Result{DB: db.Clone()}
 	normCFDs := cfd.NormalizeAll(cfds)
@@ -116,11 +127,17 @@ func Repair(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts Opt
 	for res.Passes = 0; res.Passes < opts.MaxPasses; res.Passes++ {
 		changed := false
 		for _, c := range normCFDs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if repairCFD(res, c) {
 				changed = true
 			}
 		}
 		for _, c := range normCINDs {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			if repairCIND(res, c, &gen) {
 				changed = true
 			}
@@ -131,8 +148,12 @@ func Repair(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts Opt
 	}
 	// One batched engine pass with Limit 1 answers "any violation left?"
 	// without re-materialising every violating pair.
-	res.Clean = detect.Run(res.DB, normCFDs, normCINDs, detect.Options{Limit: 1}).Clean()
-	return res
+	final, err := detect.RunContext(ctx, res.DB, normCFDs, normCINDs, detect.Options{Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	res.Clean = final.Clean()
+	return res, nil
 }
 
 // repairCFD fixes the first batch of violations of one normal-form CFD.

@@ -1,0 +1,67 @@
+package violation
+
+import (
+	"strings"
+	"testing"
+
+	"cind/internal/bank"
+	"cind/internal/instance"
+)
+
+// TestLoadCSVHeaderRejectsDuplicateColumn pins the data-loss fix: a header
+// naming the same attribute twice used to map two CSV columns onto one
+// schema index, silently dropping one column's data (and leaving another
+// attribute nil). It must be an error.
+func TestLoadCSVHeaderRejectsDuplicateColumn(t *testing.T) {
+	sch := bank.Schema()
+	db := instance.NewDatabase(sch)
+	// "ab" twice, "rt" never: before the fix both ab fields landed on the
+	// same index and rt stayed at its positional default.
+	csvData := "ab,ct,at,ab\nEDI,UK,saving,4.5%\n"
+	err := LoadCSV(db, "interest", strings.NewReader(csvData), true)
+	if err == nil {
+		t.Fatal("duplicate header column must be rejected")
+	}
+	if !strings.Contains(err.Error(), "duplicate column") {
+		t.Fatalf("want a duplicate-column error, got: %v", err)
+	}
+	if db.Instance("interest").Len() != 0 {
+		t.Fatal("no tuples may be loaded after a header error")
+	}
+}
+
+// TestLoadCSVHeaderRejectsMissingName rejects empty header fields instead
+// of failing the attribute lookup with a confusing "unknown column" error.
+func TestLoadCSVHeaderRejectsMissingName(t *testing.T) {
+	sch := bank.Schema()
+	db := instance.NewDatabase(sch)
+	csvData := "ab,ct,,rt\nEDI,UK,saving,4.5%\n"
+	err := LoadCSV(db, "interest", strings.NewReader(csvData), true)
+	if err == nil {
+		t.Fatal("empty header column name must be rejected")
+	}
+	if !strings.Contains(err.Error(), "missing column name") {
+		t.Fatalf("want a missing-column-name error, got: %v", err)
+	}
+}
+
+// TestLoadCSVHeaderCoversEveryAttribute documents why no separate
+// missing-attribute check is needed: the header has exactly arity fields,
+// so all-known + no-duplicate forces a bijection onto the schema columns.
+// A header that drops one attribute must therefore repeat or misname
+// another, and both are rejected.
+func TestLoadCSVHeaderCoversEveryAttribute(t *testing.T) {
+	sch := bank.Schema()
+	db := instance.NewDatabase(sch)
+	// Dropping "rt" while keeping arity means naming something else --
+	// unknown name.
+	csvData := "ab,ct,at,whoops\nEDI,UK,saving,4.5%\n"
+	if err := LoadCSV(db, "interest", strings.NewReader(csvData), true); err == nil ||
+		!strings.Contains(err.Error(), "unknown column") {
+		t.Fatalf("want an unknown-column error, got: %v", err)
+	}
+	// Short header rows are a CSV field-count error (FieldsPerRecord).
+	if err := LoadCSV(db, "interest", strings.NewReader("ab,ct,at\nEDI,UK,saving\n"), true); err == nil {
+		t.Fatal("short header must be rejected")
+	}
+}

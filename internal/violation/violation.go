@@ -6,6 +6,7 @@
 package violation
 
 import (
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
@@ -20,9 +21,12 @@ import (
 )
 
 // LoadCSV reads rows into the named relation of db. When header is true the
-// first record must list the relation's attribute names (any order); the
-// columns are then mapped by name. Without a header, records must be in
-// schema order. Values must belong to the attribute domains.
+// first record must name every attribute of the relation exactly once (any
+// order); the columns are then mapped by name, and a duplicate, empty or
+// unknown name is rejected — silently mapping two CSV columns onto one
+// schema index would drop a column's data without any error. Without a
+// header, records must be in schema order. Values must belong to the
+// attribute domains.
 func LoadCSV(db *instance.Database, rel string, r io.Reader, header bool) error {
 	in := db.Instance(rel)
 	rs := in.Relation()
@@ -44,11 +48,23 @@ func LoadCSV(db *instance.Database, rel string, r io.Reader, header bool) error 
 		}
 		if first && header {
 			first = false
+			// The header has exactly arity fields (FieldsPerRecord), so
+			// "every name known, no name twice" pins a bijection onto the
+			// schema columns — no attribute can be missing.
+			seen := make([]bool, rs.Arity())
 			for i, name := range rec {
-				j, ok := rs.Index(strings.TrimSpace(name))
+				name = strings.TrimSpace(name)
+				if name == "" {
+					return fmt.Errorf("violation: %s: missing column name in header (field %d)", rel, i+1)
+				}
+				j, ok := rs.Index(name)
 				if !ok {
 					return fmt.Errorf("violation: %s: unknown column %q", rel, name)
 				}
+				if seen[j] {
+					return fmt.Errorf("violation: %s: duplicate column %q in header", rel, name)
+				}
+				seen[j] = true
 				colOrder[i] = j
 			}
 			continue
@@ -89,6 +105,52 @@ func DetectWith(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts
 	return &Report{CFD: res.CFD, CIND: res.CIND}
 }
 
+// DetectContext is DetectWith with cooperative cancellation: the engine's
+// planning phase and every evaluation unit poll ctx, and a cancelled run
+// returns ctx's error instead of a report.
+func DetectContext(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND, opts detect.Options) (*Report, error) {
+	res, err := detect.RunContext(ctx, db, cfds, cinds, opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Report{CFD: res.CFD, CIND: res.CIND}, nil
+}
+
+// Violations returns the report's contents as the unified sum type, CFD
+// violations first — the same concatenation order Total, String and the
+// Limit option use. The per-kind CFD/CIND fields remain the primary
+// storage; this is the kind-agnostic view for consumers that dispatch on
+// Violation.Kind.
+func (r *Report) Violations() []detect.Violation {
+	out := make([]detect.Violation, 0, r.Total())
+	for _, v := range r.CFD {
+		out = append(out, detect.CFDViolation(v))
+	}
+	for _, v := range r.CIND {
+		out = append(out, detect.CINDViolation(v))
+	}
+	return out
+}
+
+// Truncate returns the first limit violations of the report in report
+// order (CFDs before CINDs — the same prefix the engine's Limit option
+// produces), sharing the underlying slices; the receiver is not mutated.
+// A non-positive limit, or one the report does not reach, returns the
+// receiver unchanged.
+func (r *Report) Truncate(limit int) *Report {
+	if limit <= 0 || r.Total() <= limit {
+		return r
+	}
+	out := &Report{CFD: r.CFD, CIND: r.CIND}
+	if len(out.CFD) > limit {
+		out.CFD = out.CFD[:limit]
+	}
+	if rest := limit - len(out.CFD); len(out.CIND) > rest {
+		out.CIND = out.CIND[:rest]
+	}
+	return out
+}
+
 // Total returns the number of violations found.
 func (r *Report) Total() int { return len(r.CFD) + len(r.CIND) }
 
@@ -125,6 +187,16 @@ type Session struct {
 // to it directly afterwards.
 func NewSession(db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND) *Session {
 	return &Session{s: detect.NewSession(db, cfds, cinds)}
+}
+
+// NewSessionContext is NewSession with cooperative cancellation of the
+// seeding pass over the database's current contents.
+func NewSessionContext(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cinds []*cind.CIND) (*Session, error) {
+	s, err := detect.NewSessionContext(ctx, db, cfds, cinds)
+	if err != nil {
+		return nil, err
+	}
+	return &Session{s: s}, nil
 }
 
 // Apply applies one batch of deltas and returns the net report change.

@@ -1,0 +1,230 @@
+// Equivalence tests for LiftFD / LiftIND: the paper's Section 2 claim that
+// FDs and INDs are exactly the all-wildcard special case of CFDs and CINDs,
+// checked operationally — a lifted dependency, run through the Checker's
+// batched engine, reports exactly the violations the plain internal/fd and
+// internal/ind reference semantics find, on the bank instance and on
+// generated workloads.
+package cind_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	cindapi "cind"
+
+	"cind/internal/bank"
+	"cind/internal/fd"
+	"cind/internal/gen"
+	"cind/internal/ind"
+	"cind/internal/instance"
+)
+
+// pairKey normalises an unordered tuple pair: the FD reference enumerates
+// (earlier, later) by insertion order while the CFD engine enumerates
+// cross-partition pairs by partition order, so pair identity — not pair
+// orientation — is the semantic content.
+func pairKey(t1, t2 instance.Tuple) string {
+	a, b := t1.String(), t2.String()
+	if b < a {
+		a, b = b, a
+	}
+	return a + " / " + b
+}
+
+// assertLiftedFDEquivalent checks one FD against its lifted CFD on db.
+func assertLiftedFDEquivalent(t *testing.T, sch *cindapi.Schema, db *cindapi.Database, f cindapi.FD, id string) {
+	t.Helper()
+	lifted, err := cindapi.LiftFD(sch, id, f)
+	if err != nil {
+		t.Fatalf("LiftFD(%s): %v", f, err)
+	}
+	if !lifted.IsTraditionalFD() {
+		t.Fatalf("LiftFD(%s) is not all-wildcard", f)
+	}
+	set, err := cindapi.NewConstraintSet(sch, lifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := cindapi.NewChecker(db, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chk.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := map[string]int{}
+	for _, v := range fd.Violations(db, f) {
+		want[pairKey(v.T1, v.T2)]++
+	}
+	got := map[string]int{}
+	for _, v := range rep.CFD {
+		if !v.T1.Eq(v.T2) {
+			got[pairKey(v.T1, v.T2)]++
+		} else {
+			t.Fatalf("lifted FD %s produced a single-tuple violation %v (plain FDs cannot)", f, v)
+		}
+	}
+	if len(rep.CIND) != 0 {
+		t.Fatalf("lifted FD produced CIND violations")
+	}
+	if len(want) != len(got) {
+		t.Fatalf("%s: plain FD finds %d violating pairs, lifted CFD %d", f, len(want), len(got))
+	}
+	for k, n := range want {
+		if got[k] != n {
+			t.Fatalf("%s: pair %s: plain count %d, lifted count %d", f, k, n, got[k])
+		}
+	}
+}
+
+// assertLiftedINDEquivalent checks one IND against its lifted CIND on db —
+// in order, since both semantics report LHS tuples in insertion order.
+func assertLiftedINDEquivalent(t *testing.T, sch *cindapi.Schema, db *cindapi.Database, d cindapi.IND, id string) {
+	t.Helper()
+	lifted, err := cindapi.LiftIND(sch, id, d)
+	if err != nil {
+		t.Fatalf("LiftIND(%s): %v", d, err)
+	}
+	if !lifted.IsTraditionalIND() {
+		t.Fatalf("LiftIND(%s) is not a traditional IND", d)
+	}
+	set, err := cindapi.NewConstraintSet(sch, lifted)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chk, err := cindapi.NewChecker(db, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chk.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	want := ind.Violations(db, d)
+	if len(rep.CFD) != 0 {
+		t.Fatalf("lifted IND produced CFD violations")
+	}
+	if len(want) != len(rep.CIND) {
+		t.Fatalf("%s: plain IND finds %d violations, lifted CIND %d", d, len(want), len(rep.CIND))
+	}
+	for i := range want {
+		if !want[i].T.Eq(rep.CIND[i].T) {
+			t.Fatalf("%s: violation %d: plain %v, lifted %v (order must match)", d, i, want[i].T, rep.CIND[i].T)
+		}
+	}
+}
+
+// TestLiftFDEquivalenceOnBank lifts the embedded FDs of the paper's CFDs
+// (fd1–fd3 of Section 1) and runs them against the Figure 1 instance and a
+// scaled dirty variant.
+func TestLiftFDEquivalenceOnBank(t *testing.T) {
+	sch := bank.Schema()
+	dbs := map[string]*cindapi.Database{
+		"fig1":  bank.Data(sch),
+		"clean": bank.CleanData(sch),
+	}
+	dirty := bank.Data(sch)
+	for i := 0; i < 300; i++ {
+		dirty.Instance("checking").Insert(instance.Consts(
+			fmt.Sprintf("%04d", i%60), fmt.Sprintf("Cust-%d", i), "Addr", "555",
+			[]string{"NYC", "EDI"}[i%2]))
+	}
+	dbs["dirty"] = dirty
+
+	for name, db := range dbs {
+		for _, c := range bank.CFDs(sch) {
+			f := cindapi.NewFD(c.Rel, c.X, c.Y)
+			t.Run(name+"/"+c.ID, func(t *testing.T) {
+				assertLiftedFDEquivalent(t, sch, db, f, "lift_"+c.ID)
+			})
+		}
+	}
+}
+
+// TestLiftINDEquivalenceOnBank lifts the embedded INDs of the paper's
+// CINDs (including ind3/ind4 of Section 1, the embedded INDs of ψ3/ψ4).
+func TestLiftINDEquivalenceOnBank(t *testing.T) {
+	sch := bank.Schema()
+	for name, db := range map[string]*cindapi.Database{
+		"fig1":  bank.Data(sch),
+		"clean": bank.CleanData(sch),
+	} {
+		for _, c := range bank.CINDs(sch) {
+			lhsRel, x, rhsRel, y := c.EmbeddedIND()
+			d, err := cindapi.NewIND(lhsRel, x, rhsRel, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(name+"/"+c.ID, func(t *testing.T) {
+				assertLiftedINDEquivalent(t, sch, db, d, "lift_"+c.ID)
+			})
+		}
+	}
+}
+
+// TestLiftEquivalenceOnGeneratedWorkloads derives plain FDs and INDs from
+// the embedded dependencies of generated workloads and checks both lifts on
+// the dirtied witness data.
+func TestLiftEquivalenceOnGeneratedWorkloads(t *testing.T) {
+	for _, seed := range []int64{1, 7, 21} {
+		w := gen.New(gen.Config{Relations: 8, Card: 120, Consistent: true, Seed: seed})
+		db := dirtyWitness(w)
+		sch := w.Schema
+		for i, c := range w.CFDs {
+			if i >= 10 {
+				break
+			}
+			f := cindapi.NewFD(c.Rel, c.X, c.Y)
+			t.Run(fmt.Sprintf("seed=%d/fd/%s", seed, c.ID), func(t *testing.T) {
+				assertLiftedFDEquivalent(t, sch, db, f, fmt.Sprintf("lift_fd_%d", i))
+			})
+		}
+		for i, c := range w.CINDs {
+			if i >= 10 {
+				break
+			}
+			lhsRel, x, rhsRel, y := c.EmbeddedIND()
+			d, err := cindapi.NewIND(lhsRel, x, rhsRel, y)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Run(fmt.Sprintf("seed=%d/ind/%s", seed, c.ID), func(t *testing.T) {
+				assertLiftedINDEquivalent(t, sch, db, d, fmt.Sprintf("lift_ind_%d", i))
+			})
+		}
+	}
+}
+
+// TestLiftValidation: lifting validates against the schema like any
+// constructor.
+func TestLiftValidation(t *testing.T) {
+	sch := bank.Schema()
+	if _, err := cindapi.LiftFD(sch, "bad", cindapi.NewFD("nope", []string{"a"}, []string{"b"})); err == nil {
+		t.Fatal("LiftFD over an unknown relation must fail")
+	}
+	bad, err := cindapi.NewIND("saving", []string{"ab"}, "nope", []string{"ab"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cindapi.LiftIND(sch, "bad", bad); err == nil {
+		t.Fatal("LiftIND over an unknown relation must fail")
+	}
+	// A lifted constraint enters a ConstraintSet like any other and
+	// satisfies the sealed interface.
+	f := cindapi.NewFD("interest", []string{"ct", "at"}, []string{"rt"})
+	lifted, err := cindapi.LiftFD(sch, "fd3", f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c cindapi.Constraint = lifted
+	if c.Kind() != cindapi.KindCFD {
+		t.Fatalf("lifted FD kind = %v", c.Kind())
+	}
+	if _, err := cindapi.NewConstraintSet(sch, c); err != nil {
+		t.Fatal(err)
+	}
+}
