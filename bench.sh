@@ -1,10 +1,12 @@
 #!/bin/sh
 # bench.sh — record the violation-detection benchmarks for trajectory
 # tracking. Emits BENCH_detect.json (bulk detection), BENCH_incr.json
-# (incremental session vs per-delta re-detection) and BENCH_stream.json
+# (incremental session vs per-delta re-detection), BENCH_stream.json
 # (time-to-first-violation via Checker.Violations vs full Detect on the
-# dirty 10k-tuple workload), all go test -json event streams whose "output"
-# lines carry the ns/op, B/op and allocs/op figures.
+# dirty 10k-tuple workload) and BENCH_serve.json (cindserve's NDJSON
+# streamed-violations throughput vs the direct in-process iterator), all
+# go test -json event streams whose "output" lines carry the ns/op, B/op
+# and allocs/op figures.
 # Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
 set -eu
 
@@ -17,10 +19,14 @@ go test -bench=Incremental -benchmem -run '^$' -benchtime=500x -json . > BENCH_i
 
 go test -bench=StreamFirstViolation -benchmem -run '^$' -json "$@" . > BENCH_stream.json
 
+# Served vs direct streamed-violations throughput (cindserve's NDJSON
+# endpoint against the in-process Checker.Violations baseline).
+go test -bench=ViolationsThroughput -benchmem -run '^$' -json "$@" ./internal/server > BENCH_serve.json
+
 # Human-readable summary of the recorded metric lines.
-for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json; do
+for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json; do
 	grep -o '"Output":"[^"]*ns/op[^"]*"' "$f" \
 		| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
 done
 
-echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json"
+echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json"

@@ -270,6 +270,47 @@ func NewChecker(db *Database, set *ConstraintSet, opts ...CheckerOption) (*Check
 // Set returns the checker's constraint set.
 func (c *Checker) Set() *ConstraintSet { return c.set }
 
+// Incremental reports whether the resident incremental session has been
+// built (i.e. Apply has run at least once). Before that, Detect and
+// Violations evaluate the database through the batch engine on every call;
+// after, they serve the maintained report.
+func (c *Checker) Incremental() bool {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sess != nil
+}
+
+// RelationSizes returns the per-relation tuple counts of the checker's
+// database, read under the checker's read lock so a concurrent Apply never
+// yields torn counts — the safe way to observe the database once the
+// checker owns it. Like every reader it waits behind an active or queued
+// Apply; liveness-sensitive observers should use TryRelationSizes.
+func (c *Checker) RelationSizes() map[string]int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.relationSizesLocked()
+}
+
+// TryRelationSizes is the non-blocking variant of RelationSizes for
+// observers that must not stall — health and info endpoints. It returns
+// ok=false instead of waiting when a write holds the lock or is queued
+// behind a long-lived read (a queued writer blocks new readers).
+func (c *Checker) TryRelationSizes() (sizes map[string]int, ok bool) {
+	if !c.mu.TryRLock() {
+		return nil, false
+	}
+	defer c.mu.RUnlock()
+	return c.relationSizesLocked(), true
+}
+
+func (c *Checker) relationSizesLocked() map[string]int {
+	out := make(map[string]int, c.db.Schema().Len())
+	for _, rel := range c.db.Schema().Relations() {
+		out[rel.Name()] = c.db.Instance(rel.Name()).Len()
+	}
+	return out
+}
+
 // Database returns the database the checker evaluates. After the first
 // Apply the checker owns it; use Apply for all writes.
 func (c *Checker) Database() *Database { return c.db }

@@ -20,18 +20,62 @@ for d in examples/*/; do
 	go run "./$d" > /dev/null
 done
 
-echo "== coverage floor: internal/detect >= 85%"
-cover_out="$(mktemp)"
-go test -coverprofile="$cover_out" ./internal/detect > /dev/null
-pct="$(go tool cover -func="$cover_out" | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
-rm -f "$cover_out"
-echo "internal/detect coverage: ${pct}%"
-if [ "$(awk -v p="$pct" 'BEGIN { print (p + 0 < 85.0) ? 1 : 0 }')" = "1" ]; then
-	echo "ci: internal/detect coverage ${pct}% is below the 85% floor" >&2
-	exit 1
-fi
+for pkg in internal/detect internal/server; do
+	echo "== coverage floor: $pkg >= 85%"
+	cover_out="$(mktemp)"
+	go test -coverprofile="$cover_out" "./$pkg" > /dev/null
+	pct="$(go tool cover -func="$cover_out" | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+	rm -f "$cover_out"
+	echo "$pkg coverage: ${pct}%"
+	if [ "$(awk -v p="$pct" 'BEGIN { print (p + 0 < 85.0) ? 1 : 0 }')" = "1" ]; then
+		echo "ci: $pkg coverage ${pct}% is below the 85% floor" >&2
+		exit 1
+	fi
+done
 
 echo "== fuzz smoke: parser round-trip (10s)"
 go test -run '^$' -fuzz '^FuzzParseMarshalRoundTrip$' -fuzztime 10s ./internal/parser
+
+echo "== fuzz smoke: delta wire format (10s)"
+go test -run '^$' -fuzz '^FuzzDeltaDecode$' -fuzztime 10s ./internal/server
+
+echo "== cindserve smoke: start, load bank fixtures, stream violations, clean shutdown"
+serve_bin="$(mktemp)"
+serve_log="$(mktemp)"
+go build -o "$serve_bin" ./cmd/cindserve
+"$serve_bin" -addr 127.0.0.1:0 > "$serve_log" 2>&1 &
+serve_pid=$!
+# set -e aborts on the first failing curl: make every exit path reap the
+# server and the temp files.
+trap 'kill "$serve_pid" 2> /dev/null || true; rm -f "$serve_bin" "$serve_log"' EXIT
+base=""
+for _ in $(seq 1 100); do
+	base="$(sed -n 's/^cindserve: listening on //p' "$serve_log")"
+	[ -n "$base" ] && break
+	sleep 0.1
+done
+if [ -z "$base" ]; then
+	echo "ci: cindserve did not report a listen address:" >&2
+	cat "$serve_log" >&2
+	exit 1
+fi
+curl -sSf "$base/healthz" > /dev/null
+curl -sSf -X PUT --data-binary @testdata/bank/bank.cind "$base/datasets/bank/constraints" > /dev/null
+for rel in interest saving checking account_NYC account_EDI; do
+	curl -sSf -X PUT --data-binary "@testdata/bank/$rel.csv" "$base/datasets/bank?relation=$rel" > /dev/null
+done
+nviol="$(curl -sSf "$base/datasets/bank/violations" | wc -l)"
+if [ "$nviol" != "2" ]; then
+	echo "ci: cindserve streamed $nviol violations for the bank fixtures, want 2" >&2
+	exit 1
+fi
+curl -sSf "$base/metrics" > /dev/null
+kill -INT "$serve_pid"
+if ! wait "$serve_pid"; then
+	echo "ci: cindserve did not shut down cleanly:" >&2
+	cat "$serve_log" >&2
+	exit 1
+fi
+echo "cindserve smoke: 2 violations streamed, clean shutdown"
 
 echo "ci: all green"

@@ -23,6 +23,7 @@
 //	internal/constraint   the sealed Constraint interface (CFD | CIND)
 //	internal/detect       batched, interned, parallel violation detection
 //	internal/violation    CSV loading and violation reports
+//	internal/server       the cindserve HTTP service over Checker
 //	internal/exp          the Section 6 experiment harness
 //
 // # Quick start
@@ -48,6 +49,24 @@
 //
 //	answer := set.CheckConsistency(cind.CheckOptions{})
 //	outcome := cind.DecideImplication(set.Schema(), set.CINDs(), psi, cind.ImplicationOptions{})
+//
+// # Serving
+//
+// cmd/cindserve exposes the Checker over HTTP (stdlib only): named
+// datasets pair an instance with a constraint set and a lazily-built
+// Checker, and the endpoints map one-to-one onto the handle —
+//
+//	PUT  /datasets/{name}/constraints    constraint text → ParseConstraints
+//	PUT  /datasets/{name}?relation=R     CSV rows → LoadCSV
+//	GET  /datasets/{name}/violations     NDJSON stream ← Violations(ctx)
+//	POST /datasets/{name}/deltas         delta batch → Apply, returns the Diff
+//	POST /datasets/{name}/repair         Repair change log
+//
+// plus health and expvar metrics. The NDJSON stream is written violation
+// by violation, so a client disconnect cancels the worker pool exactly
+// like breaking out of a Violations loop; ?limit=n is the stream form of
+// WithLimit. See internal/server and the "Serving" section of
+// PERFORMANCE.md.
 //
 // The positional entry points Detect, DetectWith and NewSession remain as
 // thin deprecated shims over the Checker for one release; MIGRATION.md

@@ -1,0 +1,144 @@
+// Command cindserve serves constraint checking over HTTP: named datasets
+// (a database instance + a constraint set + a lazily-built cind.Checker)
+// with CSV upload, NDJSON violation streaming, incremental delta batches
+// and constraint-driven repair — the serving layer for the paper's goal of
+// applying CFD/CIND detection to live data pipelines.
+//
+// Usage:
+//
+//	cindserve -addr 127.0.0.1:8080
+//	cindserve -constraints bank.cind -data interest=interest.csv -dataset bank
+//
+// The optional -constraints/-data flags preload one dataset before serving
+// (the same effect as PUT /datasets/{name}/constraints and PUT
+// /datasets/{name}?relation=...). -addr with port 0 picks a free port; the
+// bound address is printed as
+//
+//	cindserve: listening on http://127.0.0.1:PORT
+//
+// Endpoints (see internal/server):
+//
+//	PUT  /datasets/{name}/constraints    upload the constraint spec (?parallel=N)
+//	PUT  /datasets/{name}?relation=R     upload CSV rows into relation R
+//	GET  /datasets/{name}/violations     stream violations as NDJSON (?limit=N)
+//	POST /datasets/{name}/deltas         apply a delta batch, returns the diff
+//	POST /datasets/{name}/repair         compute a repair change log
+//	GET  /healthz, /metrics, /debug/vars health and expvar metrics
+//
+// An interrupt (Ctrl-C) or SIGTERM shuts down gracefully: in-flight
+// violation streams are drained (each ends with a final {"error": ...}
+// line), then the listener closes. Exit status 0 on a clean shutdown.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	cind "cind"
+
+	"cind/internal/server"
+)
+
+type dataFlags []string
+
+func (d *dataFlags) String() string { return strings.Join(*d, ",") }
+func (d *dataFlags) Set(v string) error {
+	*d = append(*d, v)
+	return nil
+}
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
+	constraints := flag.String("constraints", "", "constraint file (.cind format) to preload")
+	name := flag.String("dataset", "default", "dataset name for preloaded -constraints/-data")
+	parallel := flag.Int("parallel", 0, "detection worker goroutines for the preloaded dataset (0 = GOMAXPROCS)")
+	var data dataFlags
+	flag.Var(&data, "data", "relation=file.csv to preload (repeatable; header row required)")
+	flag.Parse()
+
+	srv := server.New()
+	if len(data) > 0 && *constraints == "" {
+		fmt.Fprintln(os.Stderr, "cindserve: -data requires -constraints")
+		os.Exit(2)
+	}
+	if *constraints != "" {
+		src, err := os.ReadFile(*constraints)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cindserve:", err)
+			os.Exit(2)
+		}
+		set, err := cind.ParseConstraints(string(src))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "cindserve:", err)
+			os.Exit(2)
+		}
+		srv.CreateDataset(*name, set, *parallel)
+		for _, d := range data {
+			rel, file, ok := strings.Cut(d, "=")
+			if !ok {
+				fmt.Fprintf(os.Stderr, "cindserve: bad -data %q (want relation=file.csv)\n", d)
+				os.Exit(2)
+			}
+			fh, err := os.Open(file)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cindserve:", err)
+				os.Exit(2)
+			}
+			err = srv.LoadCSV(*name, rel, fh)
+			fh.Close()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "cindserve:", err)
+				os.Exit(2)
+			}
+		}
+		fmt.Printf("cindserve: preloaded dataset %q from %s\n", *name, *constraints)
+	}
+
+	expvar.Publish("cindserve", srv.Vars())
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("cindserve: listening on http://%s\n", ln.Addr())
+
+	hs := &http.Server{
+		Handler: srv,
+		// Request contexts derive from the server's base context, so
+		// Drain cancels every in-flight stream on shutdown.
+		BaseContext: srv.BaseContext,
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Println("cindserve: shutting down, draining streams")
+		srv.Drain()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(sctx)
+	}()
+
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cindserve:", err)
+		os.Exit(1)
+	}
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cindserve: shut down cleanly")
+}

@@ -49,6 +49,43 @@ func (v Violation) Constraint() constraint.Constraint {
 	return nil
 }
 
+// ConstraintID returns the violated constraint's identifier (the name from
+// the constraint file, e.g. "phi3"), or "" for the zero Violation. It is
+// the stable label wire encodings key violations by.
+func (v Violation) ConstraintID() string {
+	switch v.kind {
+	case constraint.KindCFD:
+		return v.cfdV.CFD.ID
+	case constraint.KindCIND:
+		return v.cindV.CIND.ID
+	}
+	return ""
+}
+
+// Relation returns the relation the witness tuples belong to: the CFD's
+// relation, or the CIND's LHS relation. "" for the zero Violation.
+func (v Violation) Relation() string {
+	switch v.kind {
+	case constraint.KindCFD:
+		return v.cfdV.CFD.Rel
+	case constraint.KindCIND:
+		return v.cindV.CIND.LHSRel
+	}
+	return ""
+}
+
+// Row returns the index of the pattern-tableau row the witness matches
+// (0-based), or -1 for the zero Violation.
+func (v Violation) Row() int {
+	switch v.kind {
+	case constraint.KindCFD:
+		return v.cfdV.RowIdx
+	case constraint.KindCIND:
+		return v.cindV.RowIdx
+	}
+	return -1
+}
+
 // AsCFD returns the kind-specific CFD violation and whether the value holds
 // one.
 func (v Violation) AsCFD() (cfd.Violation, bool) {

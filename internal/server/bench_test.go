@@ -1,0 +1,91 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"net/http"
+	"testing"
+
+	cind "cind"
+)
+
+// benchURL stands up the dense dirty bank workload behind the service and
+// returns the violations endpoint. No session is built, so every stream
+// runs the batched engine — the configuration where the HTTP layer's
+// overhead is measured against the engine actually working.
+func benchURL(b *testing.B) (*http.Client, string, int) {
+	b.Helper()
+	_, ts := startServer(b)
+	c := ts.Client()
+	loadBankHTTP(b, c, ts.URL, "bank", "")
+	do(b, c, http.MethodPut, ts.URL+"/datasets/bank?relation=checking",
+		denseDirtyCSV(1000, 25), http.StatusOK)
+	url := ts.URL + "/datasets/bank/violations"
+	n := len(streamViolations(b, c, url)) // warm-up, and the per-stream count
+	if n == 0 {
+		b.Fatal("benchmark workload is clean")
+	}
+	return c, url, n
+}
+
+// BenchmarkServeViolationsThroughput measures end-to-end streamed-violation
+// throughput: one op is a full NDJSON stream over HTTP — detection, JSON
+// encoding, chunked transfer and client-side line scanning included.
+// Compare with BenchmarkDirectViolationsThroughput for the serving
+// overhead; PERFORMANCE.md "Serving" tabulates both.
+func BenchmarkServeViolationsThroughput(b *testing.B) {
+	c, url, n := benchURL(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		resp, err := c.Get(url)
+		if err != nil {
+			b.Fatal(err)
+		}
+		lines := 0
+		sc := bufio.NewScanner(resp.Body)
+		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+		for sc.Scan() {
+			lines++
+		}
+		resp.Body.Close()
+		if err := sc.Err(); err != nil {
+			b.Fatal(err)
+		}
+		if lines != n {
+			b.Fatalf("stream yielded %d violations, want %d", lines, n)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "violations/s")
+}
+
+// BenchmarkDirectViolationsThroughput is the in-process baseline: the same
+// workload drained through Checker.Violations directly, no HTTP, no JSON.
+func BenchmarkDirectViolationsThroughput(b *testing.B) {
+	chk, _ := bankChecker(b)
+	in := chk.Database().Instance("checking")
+	for _, rec := range parseCSVRows(b, denseDirtyCSV(1000, 25)) {
+		in.Insert(cind.Consts(rec...))
+	}
+	ctx := context.Background()
+	n := 0
+	for range chk.Violations(ctx) {
+		n++ // warm-up count
+	}
+	if n == 0 {
+		b.Fatal("benchmark workload is clean")
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		got := 0
+		for _, err := range chk.Violations(ctx) {
+			if err != nil {
+				b.Fatal(err)
+			}
+			got++
+		}
+		if got != n {
+			b.Fatalf("stream yielded %d violations, want %d", got, n)
+		}
+	}
+	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "violations/s")
+}

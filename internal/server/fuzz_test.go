@@ -1,0 +1,82 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	cind "cind"
+)
+
+var bankSetOnce = sync.OnceValues(func() (*cind.ConstraintSet, error) {
+	src, err := readBankSpec()
+	if err != nil {
+		return nil, err
+	}
+	return cind.ParseConstraints(src)
+})
+
+func readBankSpec() (string, error) {
+	// bankSpec needs a testing.TB; re-read here for the sync.Once path.
+	b, err := bankSpecBytes()
+	return string(b), err
+}
+
+// FuzzDeltaDecode fuzzes the delta wire format end to end: decodeDeltas
+// must never panic, and the deltas endpoint must answer malformed input
+// with 400 and the domain-validation error — never 500 — while accepting
+// exactly the bodies decodeDeltas accepts. Each iteration runs against a
+// fresh empty dataset so state never accumulates across inputs.
+func FuzzDeltaDecode(f *testing.F) {
+	seeds := []string{
+		`{"deltas":[]}`,
+		`[]`,
+		`{"deltas":[{"op":"+","rel":"checking","tuple":["01","W. Sun","NYC","212-1111111","NYC"]}]}`,
+		`[{"op":"-","rel":"interest","tuple":["EDI","UK","checking","10.5%"]}]`,
+		`{"deltas":[{"op":"insert","rel":"saving","tuple":["01","a","b","c","d"]},{"op":"delete","rel":"saving","tuple":["01","a","b","c","d"]}]}`,
+		`{"deltas":[{"op":"*","rel":"checking","tuple":["1","2","3","4","5"]}]}`,
+		`{"deltas":[{"op":"+","rel":"nope","tuple":["1"]}]}`,
+		`{"deltas":[{"op":"+","rel":"checking","tuple":["1"]}]}`,
+		`{"deltas":[{"op":"+","rel":"account_NYC","tuple":["1","2","3","4","money-market"]}]}`,
+		`{"deltas":`,
+		`{"deltas":[]}{"deltas":[]}`,
+		`{"deltas":[{"op":"+","rel":"checking","tuple":["1","2","3","4","5"],"x":1}]}`,
+		"\x00\xff garbage",
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	set, err := bankSetOnce()
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		deltas, decErr := decodeDeltas(data, set)
+
+		s := New()
+		s.CreateDataset("bank", set, 1)
+		req := httptest.NewRequest(http.MethodPost, "/datasets/bank/deltas", bytes.NewReader(data))
+		rw := httptest.NewRecorder()
+		s.ServeHTTP(rw, req)
+
+		if rw.Code >= 500 {
+			t.Fatalf("deltas endpoint answered %d for %q; malformed input must be 400", rw.Code, data)
+		}
+		if decErr == nil && rw.Code != http.StatusOK {
+			t.Fatalf("decodeDeltas accepted %q (%d deltas) but endpoint answered %d: %s",
+				data, len(deltas), rw.Code, rw.Body)
+		}
+		if decErr != nil {
+			if rw.Code != http.StatusBadRequest {
+				t.Fatalf("decodeDeltas rejected %q (%v) but endpoint answered %d", data, decErr, rw.Code)
+			}
+			var e errorWire
+			if err := json.Unmarshal(rw.Body.Bytes(), &e); err != nil || e.Error == "" {
+				t.Fatalf("400 body must carry the validation error, got %q", rw.Body)
+			}
+		}
+	})
+}

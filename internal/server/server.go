@@ -1,0 +1,562 @@
+// Package server implements cindserve: a multi-dataset constraint-checking
+// HTTP service over the cind.Checker handle — the serving layer the paper's
+// closing goal (applying CFD/CIND detection to real-life data pipelines)
+// asks for, built on the stdlib only.
+//
+// Each named dataset pairs a database instance with a schema-validated
+// ConstraintSet and a lazily-built Checker. The endpoints map one-to-one
+// onto the Checker surface:
+//
+//	PUT  /datasets/{name}/constraints   constraint spec text → ParseConstraints
+//	PUT  /datasets/{name}?relation=R    CSV body → LoadCSV into relation R
+//	GET  /datasets/{name}/violations    NDJSON stream ← Checker.Violations(ctx)
+//	POST /datasets/{name}/deltas        delta batch → Checker.Apply, returns the Diff
+//	POST /datasets/{name}/repair        Checker.Repair, returns the change log
+//	GET  /datasets/{name}               dataset info (tuple counts, mode)
+//	GET  /datasets                      dataset names
+//	DELETE /datasets/{name}             drop the dataset
+//	GET  /healthz                       liveness
+//	GET  /metrics                       this server's expvar metric map
+//	GET  /debug/vars                    process-wide expvar
+//
+// The violations stream is backed by Checker.Violations: each line is
+// written and flushed as the engine finds the violation, so first-violation
+// latency is one detection group, not the full report. A client disconnect
+// cancels the request context, which stops the engine's worker pool; the
+// handler does not return until every worker has exited, so a broken
+// connection leaks no goroutines. ?limit=n ends the stream after n
+// violations by breaking out of the iterator — the documented equivalent of
+// WithLimit(n) on the stream, which the differential tests pin.
+//
+// Concurrency follows the Checker's existing lock discipline: streams and
+// repair take the checker's read lock (or, after the first Apply, walk an
+// immutable report snapshot lock-free), delta batches its write lock. The
+// handlers add no locking beyond the per-dataset registry: the registry
+// RWMutex guards the name → dataset map, and each dataset's mutex guards
+// only configuration (lazy checker construction, CSV loads) — never a
+// stream in flight.
+//
+// Graceful shutdown: wire BaseContext into the http.Server and call Drain
+// on shutdown; every in-flight stream observes the cancelled base context,
+// emits a final {"error": ...} line and ends, letting Shutdown complete.
+package server
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+
+	cind "cind"
+)
+
+// Request-body caps — the budget-constrained serving bounds. CSV loads are
+// the bulk path; constraint specs and delta batches are metadata-sized.
+const (
+	maxConstraintsBody = 4 << 20   // 4 MiB of constraint text
+	maxCSVBody         = 256 << 20 // 256 MiB per CSV upload
+	maxDeltasBody      = 32 << 20  // 32 MiB per delta batch
+	maxRepairBody      = 1 << 20   // 1 MiB of repair options
+)
+
+// dataset pairs one database instance with its constraint set and the
+// lazily-built Checker serving it. set, db and parallel are immutable after
+// construction (re-PUTting constraints swaps in a whole new dataset); mu
+// guards chk construction and every direct database write (CSV loads), so
+// raw reads of db elsewhere also hold mu. Streams never hold mu — they
+// rely on the Checker's own lock discipline.
+type dataset struct {
+	name string
+
+	set      *cind.ConstraintSet
+	db       *cind.Database
+	parallel int
+
+	mu          sync.Mutex
+	chk         *cind.Checker
+	incremental bool           // an Apply-path write has succeeded
+	lastSizes   map[string]int // most recent tuple-count snapshot
+}
+
+// checker returns the dataset's Checker, building it on first use.
+func (d *dataset) checker() *cind.Checker {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.checkerLocked()
+}
+
+func (d *dataset) checkerLocked() *cind.Checker {
+	if d.chk == nil {
+		// The set was parsed against this very schema, so NewChecker's
+		// revalidation cannot fail.
+		chk, err := cind.NewChecker(d.db, d.set, cind.WithParallelism(d.parallel))
+		if err != nil {
+			panic("server: checker over own schema: " + err.Error())
+		}
+		d.chk = chk
+	}
+	return d.chk
+}
+
+// Server is the HTTP service: a registry of named datasets plus the
+// handler mux and per-server expvar metrics. It implements http.Handler.
+type Server struct {
+	mu       sync.RWMutex
+	datasets map[string]*dataset
+
+	mux *http.ServeMux
+
+	// baseCtx is cancelled by Drain; every violations stream is bound to
+	// it (directly, and via http.Server.BaseContext when wired), so an
+	// orderly shutdown ends in-flight streams instead of hanging on them.
+	baseCtx context.Context
+	drainFn context.CancelFunc
+
+	vars          *expvar.Map
+	nDatasets     *expvar.Int
+	nRequests     *expvar.Int
+	nStreamed     *expvar.Int // violations streamed over NDJSON, lifetime
+	nActiveStream *expvar.Int // streams currently open
+	nDeltas       *expvar.Int // deltas applied, lifetime
+}
+
+// New returns a ready-to-serve Server with no datasets.
+func New() *Server {
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		datasets:      make(map[string]*dataset),
+		baseCtx:       ctx,
+		drainFn:       cancel,
+		vars:          new(expvar.Map).Init(),
+		nDatasets:     new(expvar.Int),
+		nRequests:     new(expvar.Int),
+		nStreamed:     new(expvar.Int),
+		nActiveStream: new(expvar.Int),
+		nDeltas:       new(expvar.Int),
+	}
+	s.vars.Set("datasets", s.nDatasets)
+	s.vars.Set("requests", s.nRequests)
+	s.vars.Set("violations_streamed", s.nStreamed)
+	s.vars.Set("active_streams", s.nActiveStream)
+	s.vars.Set("deltas_applied", s.nDeltas)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", s.handleHealth)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.Handle("GET /debug/vars", expvar.Handler())
+	mux.HandleFunc("GET /datasets", s.handleList)
+	mux.HandleFunc("PUT /datasets/{name}/constraints", s.handlePutConstraints)
+	mux.HandleFunc("PUT /datasets/{name}", s.handlePutData)
+	mux.HandleFunc("GET /datasets/{name}", s.handleInfo)
+	mux.HandleFunc("DELETE /datasets/{name}", s.handleDelete)
+	mux.HandleFunc("GET /datasets/{name}/violations", s.handleViolations)
+	mux.HandleFunc("POST /datasets/{name}/deltas", s.handleDeltas)
+	mux.HandleFunc("POST /datasets/{name}/repair", s.handleRepair)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.nRequests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// BaseContext is the value for http.Server.BaseContext: request contexts
+// derive from it, so Drain cancels every in-flight request.
+func (s *Server) BaseContext(net.Listener) context.Context { return s.baseCtx }
+
+// Drain cancels the base context: in-flight violation streams emit a final
+// error line and end, new streams end immediately. Call it before
+// http.Server.Shutdown so long-lived streams don't stall the shutdown.
+func (s *Server) Drain() { s.drainFn() }
+
+// Vars returns the server's metric map, for publishing under a process-wide
+// expvar name.
+func (s *Server) Vars() expvar.Var { return s.vars }
+
+// CreateDataset registers (or atomically replaces) a dataset: an empty
+// database over the set's schema, served with the given worker-pool bound
+// (0 = GOMAXPROCS). It is the programmatic form of PUT
+// /datasets/{name}/constraints; replacing a dataset resets its data.
+func (s *Server) CreateDataset(name string, set *cind.ConstraintSet, parallel int) {
+	d := &dataset{name: name, set: set, db: cind.NewDatabase(set.Schema()), parallel: parallel}
+	d.lastSizes = make(map[string]int, set.Schema().Len())
+	for _, rel := range set.Schema().Relations() {
+		d.lastSizes[rel.Name()] = 0
+	}
+	s.mu.Lock()
+	_, existed := s.datasets[name]
+	s.datasets[name] = d
+	s.mu.Unlock()
+	if !existed {
+		s.nDatasets.Add(1)
+	}
+}
+
+// LoadCSV loads CSV rows (header required) into relation rel of the named
+// dataset — the programmatic form of PUT /datasets/{name}?relation=rel.
+// Before the dataset's checker exists the rows are loaded directly; after,
+// they are converted to insert deltas and absorbed through Checker.Apply so
+// concurrent streams never observe a half-loaded relation.
+func (s *Server) LoadCSV(name, rel string, r io.Reader) error {
+	d, ok := s.dataset(name)
+	if !ok {
+		return fmt.Errorf("server: no dataset %q", name)
+	}
+	return d.loadCSV(context.Background(), rel, r)
+}
+
+func (s *Server) dataset(name string) (*dataset, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	d, ok := s.datasets[name]
+	return d, ok
+}
+
+func (d *dataset) loadCSV(ctx context.Context, rel string, r io.Reader) error {
+	if _, ok := d.set.Schema().Relation(rel); !ok {
+		return fmt.Errorf("dataset %q has no relation %q", d.name, rel)
+	}
+	d.mu.Lock()
+	if d.chk == nil {
+		// No checker yet means no reader can be scanning the database
+		// (building the checker requires this mutex), so load in place.
+		defer d.mu.Unlock()
+		return cind.LoadCSV(d.db, rel, r, true)
+	}
+	chk := d.chk
+	d.mu.Unlock()
+	// A checker exists: direct writes could race a stream's scan, so
+	// validate into a scratch instance with the same hardened loader, then
+	// let Apply absorb the rows under the checker's write lock. The
+	// dataset mutex is released first — Apply can wait behind an in-flight
+	// stream, and holding the mutex meanwhile would stall every other
+	// endpoint of the dataset.
+	scratch := cind.NewDatabase(d.set.Schema())
+	if err := cind.LoadCSV(scratch, rel, r, true); err != nil {
+		return err
+	}
+	tuples := scratch.Instance(rel).Tuples()
+	deltas := make([]cind.Delta, len(tuples))
+	for i, t := range tuples {
+		deltas[i] = cind.InsertDelta(rel, t)
+	}
+	if _, err := chk.Apply(ctx, deltas...); err != nil {
+		return err
+	}
+	d.markIncremental()
+	return nil
+}
+
+// relationSizes reports per-relation tuple counts without racing writers
+// and without stalling: raw reads under the dataset mutex while no checker
+// exists (every checker-less write path holds it), the checker's
+// non-blocking TryRelationSizes after. When a writer holds or awaits the
+// checker lock the last-known snapshot is served instead — an info probe
+// must not queue behind a delta batch that is itself queued behind a
+// long-lived stream.
+func (d *dataset) relationSizes() (map[string]int, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.chk == nil {
+		out := make(map[string]int, d.set.Schema().Len())
+		for _, rel := range d.set.Schema().Relations() {
+			out[rel.Name()] = d.db.Instance(rel.Name()).Len()
+		}
+		d.lastSizes = out
+		return out, false
+	}
+	if sizes, ok := d.chk.TryRelationSizes(); ok {
+		d.lastSizes = sizes
+		return sizes, d.incremental
+	}
+	return d.lastSizes, d.incremental
+}
+
+// markIncremental records that an Apply-path write succeeded, so info can
+// report the mode without taking the checker's (possibly writer-queued)
+// lock.
+func (d *dataset) markIncremental() {
+	d.mu.Lock()
+	d.incremental = true
+	d.mu.Unlock()
+}
+
+// --- handlers ---
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(v)
+}
+
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorWire{Error: err.Error()})
+}
+
+// bodyError maps a request-body read failure: over-cap bodies become 413,
+// everything else 400.
+func bodyError(w http.ResponseWriter, err error) {
+	var mbe *http.MaxBytesError
+	if errors.As(err, &mbe) {
+		httpError(w, http.StatusRequestEntityTooLarge, err)
+		return
+	}
+	httpError(w, http.StatusBadRequest, err)
+}
+
+// findDataset resolves {name} or writes a 404.
+func (s *Server) findDataset(w http.ResponseWriter, r *http.Request) (*dataset, bool) {
+	name := r.PathValue("name")
+	d, ok := s.dataset(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no dataset %q", name))
+		return nil, false
+	}
+	return d, true
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	n := len(s.datasets)
+	s.mu.RUnlock()
+	writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "datasets": n})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	fmt.Fprintln(w, s.vars.String())
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.RLock()
+	names := make([]string, 0, len(s.datasets))
+	for name := range s.datasets {
+		names = append(names, name)
+	}
+	s.mu.RUnlock()
+	sort.Strings(names)
+	writeJSON(w, http.StatusOK, map[string]any{"datasets": names})
+}
+
+func (s *Server) handlePutConstraints(w http.ResponseWriter, r *http.Request) {
+	parallel := 0
+	if p := r.URL.Query().Get("parallel"); p != "" {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad parallel %q", p))
+			return
+		}
+		parallel = n
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxConstraintsBody))
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	set, err := cind.ParseConstraints(string(body))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	name := r.PathValue("name")
+	s.CreateDataset(name, set, parallel)
+	rels := make([]string, 0, set.Schema().Len())
+	for _, rel := range set.Schema().Relations() {
+		rels = append(rels, rel.Name())
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": name, "constraints": set.Len(), "relations": rels,
+	})
+}
+
+func (s *Server) handlePutData(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	rel := r.URL.Query().Get("relation")
+	if rel == "" {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("missing ?relation= query parameter"))
+		return
+	}
+	err := d.loadCSV(r.Context(), rel, http.MaxBytesReader(w, r.Body, maxCSVBody))
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	sizes, _ := d.relationSizes()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset": d.name, "relation": rel, "tuples": sizes[rel],
+	})
+}
+
+func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	rels, incremental := d.relationSizes()
+	writeJSON(w, http.StatusOK, map[string]any{
+		"dataset":     d.name,
+		"constraints": d.set.Len(),
+		"relations":   rels,
+		"incremental": incremental,
+	})
+}
+
+func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("name")
+	s.mu.Lock()
+	_, ok := s.datasets[name]
+	delete(s.datasets, name)
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("no dataset %q", name))
+		return
+	}
+	s.nDatasets.Add(-1)
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleViolations streams the dataset's violations as NDJSON, one line per
+// violation, flushed as found. The stream context is the request context
+// (client disconnect cancels the engine's worker pool) additionally bound
+// to the server's base context (Drain ends the stream). ?limit=n stops
+// after n violations by breaking the iterator, which also stops the pool.
+func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	limit := 0
+	if l := r.URL.Query().Get("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			return
+		}
+		limit = n
+	}
+	chk := d.checker()
+
+	ctx, cancel := context.WithCancel(r.Context())
+	defer cancel()
+	unbind := context.AfterFunc(s.baseCtx, cancel)
+	defer unbind()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	fl, _ := w.(http.Flusher)
+
+	s.nActiveStream.Add(1)
+	defer s.nActiveStream.Add(-1)
+
+	enc := json.NewEncoder(w)
+	n := 0
+	for v, err := range chk.Violations(ctx) {
+		if err != nil {
+			// Cancellation (client gone, or Drain): emit a final error
+			// line — a disconnected client simply won't read it — and
+			// end; returning unwinds the iterator, which stops the
+			// workers before Violations hands control back.
+			enc.Encode(errorWire{Error: err.Error()})
+			return
+		}
+		if err := enc.Encode(encodeViolation(v)); err != nil {
+			return // write failed: client is gone, stop the stream
+		}
+		if fl != nil {
+			fl.Flush()
+		}
+		s.nStreamed.Add(1)
+		if n++; limit > 0 && n >= limit {
+			return
+		}
+	}
+}
+
+// handleDeltas applies one atomic batch of tuple deltas through
+// Checker.Apply and returns the net report change. Malformed batches —
+// bad JSON, unknown ops or relations, arity mismatches, out-of-domain
+// values — are domain-validation failures and answer 400, never 500.
+func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxDeltasBody))
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	deltas, err := decodeDeltas(body, d.set)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Apply runs outside the dataset mutex: it can legitimately wait
+	// behind an in-flight pre-Apply stream (the Checker's documented
+	// write-after-reader ordering), and the rest of the dataset's
+	// endpoints must stay live meanwhile. The checker's write lock is the
+	// only serialization writes need.
+	diff, err := d.checker().Apply(r.Context(), deltas...)
+	if err != nil {
+		// decodeDeltas screened every validation failure, so what reaches
+		// here is cancellation: the client going away, or Drain during
+		// shutdown — a server condition, so tell the client to retry.
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	d.markIncremental()
+	s.nDeltas.Add(int64(len(deltas)))
+	writeJSON(w, http.StatusOK, diffWire{
+		Applied: len(deltas),
+		Added:   encodeReport(&diff.Added),
+		Removed: encodeReport(&diff.Removed),
+	})
+}
+
+// handleRepair runs Checker.Repair and returns the change log. The
+// dataset's database is never mutated — the endpoint reports the repaired
+// copy's actions; feed them back as deltas to apply them.
+func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxRepairBody))
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	var req repairRequest
+	if len(body) > 0 {
+		dec := json.NewDecoder(bytes.NewReader(body))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("decode repair options: %v", err))
+			return
+		}
+	}
+	if req.MaxPasses < 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad max_passes %d", req.MaxPasses))
+		return
+	}
+	res, err := d.checker().Repair(r.Context(), cind.RepairOptions{MaxPasses: req.MaxPasses})
+	if err != nil {
+		// Repair only fails on cancellation (disconnect or shutdown).
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, encodeRepair(res))
+}

@@ -1,0 +1,183 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	cind "cind"
+)
+
+// violationWire is the NDJSON line the violations endpoint streams, and the
+// element type of delta-diff and repair responses. Witness tuples are value
+// arrays in schema column order; for a CFD the witness is the offending
+// pair [t1, t2] (t1 == t2 for single-tuple violations), for a CIND the
+// single unmatched LHS tuple [t].
+type violationWire struct {
+	Kind       string     `json:"kind"`
+	Constraint string     `json:"constraint"`
+	Relation   string     `json:"relation"`
+	Row        int        `json:"row"`
+	Witness    [][]string `json:"witness"`
+}
+
+// errorWire is the body of every non-2xx response, and the final NDJSON
+// line of a stream that ended on a cancelled context.
+type errorWire struct {
+	Error string `json:"error"`
+}
+
+func encodeViolation(v cind.Violation) violationWire {
+	ts := v.Witness()
+	w := violationWire{
+		Kind:       v.Kind().String(),
+		Constraint: v.ConstraintID(),
+		Relation:   v.Relation(),
+		Row:        v.Row(),
+		Witness:    make([][]string, len(ts)),
+	}
+	for i, t := range ts {
+		w.Witness[i] = tupleStrings(t)
+	}
+	return w
+}
+
+func encodeReport(r *cind.Report) []violationWire {
+	vs := r.Violations()
+	out := make([]violationWire, len(vs))
+	for i, v := range vs {
+		out[i] = encodeViolation(v)
+	}
+	return out
+}
+
+// deltaWire is one tuple-level change in a deltas request: op is "+" or
+// "insert" for inserts, "-" or "delete" for deletes, and tuple holds the
+// values in schema column order.
+type deltaWire struct {
+	Op    string   `json:"op"`
+	Rel   string   `json:"rel"`
+	Tuple []string `json:"tuple"`
+}
+
+// deltasRequest is the deltas endpoint's body; a bare JSON array of delta
+// objects is accepted as shorthand.
+type deltasRequest struct {
+	Deltas []deltaWire `json:"deltas"`
+}
+
+// diffWire is the deltas endpoint's response: the net report change of the
+// batch, plus the number of deltas received.
+type diffWire struct {
+	Applied int             `json:"applied"`
+	Added   []violationWire `json:"added"`
+	Removed []violationWire `json:"removed"`
+}
+
+// repairRequest is the repair endpoint's (optional) body.
+type repairRequest struct {
+	MaxPasses int `json:"max_passes"`
+}
+
+// changeWire is one repair action in a repair response.
+type changeWire struct {
+	Kind       string   `json:"kind"`
+	Relation   string   `json:"relation"`
+	Constraint string   `json:"constraint"`
+	Before     []string `json:"before,omitempty"`
+	After      []string `json:"after"`
+}
+
+// repairWire is the repair endpoint's response.
+type repairWire struct {
+	Clean   bool         `json:"clean"`
+	Passes  int          `json:"passes"`
+	Changes []changeWire `json:"changes"`
+}
+
+func encodeRepair(res *cind.RepairResult) repairWire {
+	out := repairWire{Clean: res.Clean, Passes: res.Passes, Changes: make([]changeWire, len(res.Changes))}
+	for i, c := range res.Changes {
+		cw := changeWire{
+			Kind:       c.Kind.String(),
+			Relation:   c.Rel,
+			Constraint: c.Constraint,
+			After:      tupleStrings(c.After),
+		}
+		if c.Before != nil {
+			cw.Before = tupleStrings(c.Before)
+		}
+		out.Changes[i] = cw
+	}
+	return out
+}
+
+func tupleStrings(t cind.Tuple) []string {
+	out := make([]string, len(t))
+	for i, v := range t {
+		out[i] = v.String()
+	}
+	return out
+}
+
+// maxDeltaBatch caps the number of deltas one request may carry — the
+// resource bound that keeps a single request from holding the dataset's
+// write lock for an unbounded batch.
+const maxDeltaBatch = 100000
+
+// decodeDeltas parses and domain-validates the delta wire format against
+// the set's schema: ops must be +/insert or -/delete, relations must exist,
+// tuples must match the relation arity and every value must belong to its
+// attribute domain — the same checks CSV loading runs. The body is either
+// {"deltas": [...]} or a bare array. Any malformed input yields an error
+// (never a panic), which the handler maps to 400.
+func decodeDeltas(data []byte, set *cind.ConstraintSet) ([]cind.Delta, error) {
+	var wires []deltaWire
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if t := bytes.TrimLeft(data, " \t\r\n"); len(t) > 0 && t[0] == '[' {
+		if err := dec.Decode(&wires); err != nil {
+			return nil, fmt.Errorf("decode deltas: %v", err)
+		}
+	} else {
+		var req deltasRequest
+		if err := dec.Decode(&req); err != nil {
+			return nil, fmt.Errorf("decode deltas: %v", err)
+		}
+		wires = req.Deltas
+	}
+	if _, err := dec.Token(); err != io.EOF {
+		return nil, fmt.Errorf("decode deltas: trailing data after batch")
+	}
+	if len(wires) > maxDeltaBatch {
+		return nil, fmt.Errorf("decode deltas: batch of %d exceeds the %d-delta cap", len(wires), maxDeltaBatch)
+	}
+	sch := set.Schema()
+	out := make([]cind.Delta, 0, len(wires))
+	for i, dw := range wires {
+		rel, ok := sch.Relation(dw.Rel)
+		if !ok {
+			return nil, fmt.Errorf("delta %d: unknown relation %q", i, dw.Rel)
+		}
+		if len(dw.Tuple) != rel.Arity() {
+			return nil, fmt.Errorf("delta %d: tuple has arity %d, relation %s wants %d",
+				i, len(dw.Tuple), dw.Rel, rel.Arity())
+		}
+		for j, val := range dw.Tuple {
+			if a := rel.Attrs()[j]; !a.Dom.Contains(val) {
+				return nil, fmt.Errorf("delta %d: value %q outside dom(%s)", i, val, a.Name)
+			}
+		}
+		t := cind.Consts(dw.Tuple...)
+		switch dw.Op {
+		case "+", "insert":
+			out = append(out, cind.InsertDelta(dw.Rel, t))
+		case "-", "delete":
+			out = append(out, cind.DeleteDelta(dw.Rel, t))
+		default:
+			return nil, fmt.Errorf("delta %d: bad op %q (want + or -)", i, dw.Op)
+		}
+	}
+	return out, nil
+}
