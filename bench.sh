@@ -3,10 +3,11 @@
 # tracking. Emits BENCH_detect.json (bulk detection), BENCH_incr.json
 # (incremental session vs per-delta re-detection), BENCH_stream.json
 # (time-to-first-violation via Checker.Violations vs full Detect on the
-# dirty 10k-tuple workload) and BENCH_serve.json (cindserve's NDJSON
-# streamed-violations throughput vs the direct in-process iterator), all
-# go test -json event streams whose "output" lines carry the ns/op, B/op
-# and allocs/op figures.
+# dirty 10k-tuple workload), BENCH_serve.json (cindserve's NDJSON
+# streamed-violations throughput vs the direct in-process iterator) and
+# BENCH_reason.json (minimize-then-detect: detection under a redundant
+# constraint set vs its minimized equivalent), all go test -json event
+# streams whose "output" lines carry the ns/op, B/op and allocs/op figures.
 # Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
 set -eu
 
@@ -23,10 +24,15 @@ go test -bench=StreamFirstViolation -benchmem -run '^$' -json "$@" . > BENCH_str
 # endpoint against the in-process Checker.Violations baseline).
 go test -bench=ViolationsThroughput -benchmem -run '^$' -json "$@" ./internal/server > BENCH_serve.json
 
+# Reasoning: minimize-then-detect (detection under a redundant constraint
+# set vs the ConstraintSet.Minimize'd set, plus the one-off minimize cost
+# and the implication micro-benchmarks).
+go test -bench=Reason -benchmem -run '^$' -json "$@" . > BENCH_reason.json
+
 # Human-readable summary of the recorded metric lines.
-for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json; do
+for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json; do
 	grep -o '"Output":"[^"]*ns/op[^"]*"' "$f" \
 		| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
 done
 
-echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json"
+echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json"

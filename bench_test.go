@@ -527,3 +527,148 @@ func BenchmarkIncrementalSessionSeed(b *testing.B) {
 		_ = sess.Report()
 	}
 }
+
+// redundantDirtyBank builds the dirty 10k-tuple bank workload served with a
+// constraint set carrying 3 redundant copies of every CIND — the input the
+// reasoning engine's ConstraintSet.Minimize is built to clean up. Copies of
+// multi-attribute CINDs rotate the X/Y lists jointly (same semantics, CIND2
+// derives them), which defeats the detection engine's group sharing: each
+// permuted copy pays its own projection index, exactly what a hand-edited
+// constraint file accumulating near-duplicates costs in production.
+func redundantDirtyBank(b *testing.B) (*cindapi.Database, *cindapi.ConstraintSet) {
+	b.Helper()
+	db, set := reasonBankDB(20000)
+	var extra []cindapi.Constraint
+	for copyIdx := 1; copyIdx <= 3; copyIdx++ {
+		for _, c := range set.CINDs() {
+			x := append([]string(nil), c.X...)
+			y := append([]string(nil), c.Y...)
+			if len(x) > 1 {
+				rot := copyIdx % len(x)
+				x = append(x[rot:], x[:rot]...)
+				y = append(y[rot:], y[:rot]...)
+			}
+			dup, err := cindapi.NewCIND(set.Schema(), fmt.Sprintf("%s_copy%d", c.ID, copyIdx),
+				c.LHSRel, x, c.Xp, c.RHSRel, y, c.Yp, c.Rows)
+			if err != nil {
+				b.Fatal(err)
+			}
+			extra = append(extra, dup)
+		}
+	}
+	redundant, err := set.Append(extra...)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return db, redundant
+}
+
+// reasonBankDB grows the bank instance to a CIND-dominated detection
+// workload: size account tuples, each with the matching saving/checking
+// row, under unique account numbers — so the CFD groups stay singleton
+// (no quadratic pair enumeration) and detection cost is the CIND side:
+// projection-index builds and anti-join scans over the large relations.
+// The base data's two violations (the paper's dirty t12) keep the report
+// non-clean.
+func reasonBankDB(size int) (*cindapi.Database, *cindapi.ConstraintSet) {
+	sch := bank.Schema()
+	db := bank.Data(sch)
+	for i := 0; i < size; i++ {
+		an := fmt.Sprintf("a%06d", i)
+		city := []string{"NYC", "EDI"}[i%2]
+		at := []string{"saving", "checking"}[(i/2)%2]
+		db.Instance("account_" + city).Insert(instance.Consts(an, "Customer", "Addr", "555", at))
+		db.Instance(at).Insert(instance.Consts(an, "Customer", "Addr", "555", city))
+	}
+	set, err := cindapi.SpecSet(&cindapi.Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)})
+	if err != nil {
+		panic(err)
+	}
+	return db, set
+}
+
+// BenchmarkReasonMinimizeThenDetect is the acceptance benchmark for the
+// reasoning subsystem's serving value: detection cost on the dirty
+// 10k-tuple bank workload under a redundant constraint set, against the
+// same workload after ConstraintSet.Minimize dropped the implied copies.
+// mode=minimize prices the one-off minimization itself (paid per set
+// upload, amortised over every detection that follows). bench.sh records
+// all three to BENCH_reason.json.
+func BenchmarkReasonMinimizeThenDetect(b *testing.B) {
+	ctx := context.Background()
+	db, redundant := redundantDirtyBank(b)
+	res, err := redundant.Minimize(ctx, cindapi.ImplicationOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(res.Dropped) < redundant.Len()/2 {
+		b.Fatalf("minimize dropped only %d of %d constraints; redundancy not detected",
+			len(res.Dropped), redundant.Len())
+	}
+	detect := func(b *testing.B, set *cindapi.ConstraintSet) {
+		chk, err := cindapi.NewChecker(db, set)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rep, err := chk.Detect(ctx)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if rep.Clean() {
+				b.Fatal("dirty workload reported clean")
+			}
+		}
+		b.ReportMetric(float64(set.Len()), "constraints")
+	}
+	b.Run("tuples=20000/set=redundant", func(b *testing.B) { detect(b, redundant) })
+	b.Run("tuples=20000/set=minimized", func(b *testing.B) { detect(b, res.Set) })
+	b.Run("mode=minimize", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			out, err := redundant.Minimize(ctx, cindapi.ImplicationOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if out.Set.Len() != res.Set.Len() {
+				b.Fatal("minimize result changed between runs")
+			}
+		}
+	})
+}
+
+// BenchmarkReasonImplication times one served implication decision — the
+// Example 3.3 goal over the bank Σ (inference-system path) and a refuted
+// converse (chase path with the finite-domain case split).
+func BenchmarkReasonImplication(b *testing.B) {
+	sch := bank.Schema()
+	sigma := bank.CINDs(sch)
+	ex33 := mustBenchCIND(b, sch, "ex33", "account_EDI", []string{"at"}, nil,
+		"interest", []string{"at"}, nil)
+	conv := mustBenchCIND(b, sch, "conv", "interest", []string{"ab"}, nil,
+		"saving", []string{"ab"}, nil)
+	b.Run("goal=ex33/path=inference", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := cindapi.DecideImplication(sch, sigma, ex33, cindapi.ImplicationOptions{}); out.Verdict != cindapi.Implied {
+				b.Fatal("ex33 must be implied")
+			}
+		}
+	})
+	b.Run("goal=converse/path=chase", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if out := cindapi.DecideImplication(sch, sigma, conv, cindapi.ImplicationOptions{}); out.Verdict != cindapi.NotImplied {
+				b.Fatal("converse must be refuted")
+			}
+		}
+	})
+}
+
+func mustBenchCIND(b *testing.B, sch *cindapi.Schema, id, lrel string, x, xp []string, rrel string, y, yp []string) *cindapi.CIND {
+	b.Helper()
+	c, err := cindapi.NewCIND(sch, id, lrel, x, xp, rrel, y, yp,
+		[]cindapi.CINDRow{{LHS: pattern.Wilds(len(x) + len(xp)), RHS: pattern.Wilds(len(y) + len(yp))}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	return c
+}

@@ -20,7 +20,7 @@ for d in examples/*/; do
 	go run "./$d" > /dev/null
 done
 
-for pkg in internal/detect internal/server; do
+for pkg in internal/detect internal/server internal/implication internal/consistency; do
 	echo "== coverage floor: $pkg >= 85%"
 	cover_out="$(mktemp)"
 	go test -coverprofile="$cover_out" "./$pkg" > /dev/null
@@ -69,6 +69,26 @@ if [ "$nviol" != "2" ]; then
 	echo "ci: cindserve streamed $nviol violations for the bank fixtures, want 2" >&2
 	exit 1
 fi
+# Implication round-trip: the Example 3.3 goal must come back implied with
+# a proof, over the same served dataset.
+impl="$(printf 'cind ex33: account_EDI[at; nil] <= interest[at; nil] { (_ || _) }\n' \
+	| curl -sSf -X POST --data-binary @- "$base/datasets/bank/implication")"
+case "$impl" in
+*'"verdict":"implied"'*'"proof":'*) ;;
+*)
+	echo "ci: implication round-trip did not answer implied-with-proof: $impl" >&2
+	exit 1
+	;;
+esac
+# Consistency: the bank constraints are consistent (definitive answer).
+cons="$(curl -sSf "$base/datasets/bank/consistency?k=40&seed=5")"
+case "$cons" in
+*'"consistent":true'*) ;;
+*)
+	echo "ci: consistency check did not answer true: $cons" >&2
+	exit 1
+	;;
+esac
 curl -sSf "$base/metrics" > /dev/null
 kill -INT "$serve_pid"
 if ! wait "$serve_pid"; then

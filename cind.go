@@ -47,8 +47,35 @@
 //	diff, err := chk.Apply(ctx, cind.InsertDelta("checking", t)) // incremental upkeep
 //	res, err := chk.Repair(ctx, cind.RepairOptions{})            // constraint-driven repair
 //
-//	answer := set.CheckConsistency(cind.CheckOptions{})
-//	outcome := cind.DecideImplication(set.Schema(), set.CINDs(), psi, cind.ImplicationOptions{})
+// # Reasoning
+//
+// The reasoning half — implication (Section 3) and consistency (Section 5)
+// — lives on the ConstraintSet, with the same production affordances as
+// detection: context cancellation, bounded parallel fan-out, deterministic
+// answers, certificates for every definitive verdict:
+//
+//	out, err := set.ImpliesContext(ctx, psi, cind.ImplicationOptions{})
+//	// out.Verdict: Implied (with out.Proof or a chase reason),
+//	// NotImplied (with out.Counterexample), or Unknown (budgets tripped).
+//
+//	outs, err := set.ImplyAll(ctx, goals, cind.ImplicationOptions{}) // batch, goal order
+//
+//	min, err := set.Minimize(ctx, cind.ImplicationOptions{})
+//	// min.Set: the surviving constraints, original order; min.Dropped:
+//	// one implication certificate per removed (implied) CIND. Detect with
+//	// min.Set and pay for fewer constraints — same clean/dirty verdict.
+//
+//	ans, err := set.CheckConsistencyContext(ctx, cind.CheckOptions{Seed: 1})
+//	// ans.Consistent true is definitive (Theorem 5.1): every weak component
+//	// of the reduced dependency graph yielded a witness, merged in ans.Witness.
+//
+// Over HTTP the same surface is served per dataset (see Serving below):
+// POST /datasets/{name}/implication decides cind clauses from the request
+// body against the dataset's Σ, GET /datasets/{name}/consistency runs the
+// combined Checking (?k=, ?seed=, ?method=chase|sat), and POST
+// /datasets/{name}/minimize returns the minimized spec text ready to PUT
+// back, plus a certificate per dropped constraint. A disconnected client
+// cancels the reasoning run mid-flight; cancellation answers 503.
 //
 // # Serving
 //
@@ -92,8 +119,8 @@ import (
 	"cind/internal/pattern"
 	"cind/internal/repair"
 	"cind/internal/schema"
-	"cind/internal/violation"
 	"cind/internal/views"
+	"cind/internal/violation"
 )
 
 // Schema-layer types.
@@ -259,10 +286,19 @@ func Witness(sch *Schema, sigma []*CIND, maxTuples int) (*Database, error) {
 
 // Consistency checking (Section 5).
 type (
-	// CheckOptions tunes the Section 5 heuristics (N, K, T, K_CFD, method).
+	// CheckOptions tunes the Section 5 heuristics (N, K, T, K_CFD, method,
+	// and the Parallel bound of the per-component fan-out).
 	CheckOptions = consistency.Options
 	// CheckAnswer is the verdict plus witness template.
 	CheckAnswer = consistency.Answer
+)
+
+// CFD_Checking method selection — the two curves of Figure 10(a).
+const (
+	// CheckChase is the chase-based CFD_Checking (the default).
+	CheckChase = consistency.Chase
+	// CheckSAT is the SAT-based CFD_Checking.
+	CheckSAT = consistency.SAT
 )
 
 // CheckConsistency runs the combined Checking algorithm (Figure 9). A true

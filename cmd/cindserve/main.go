@@ -23,7 +23,17 @@
 //	GET  /datasets/{name}/violations     stream violations as NDJSON (?limit=N)
 //	POST /datasets/{name}/deltas         apply a delta batch, returns the diff
 //	POST /datasets/{name}/repair         compute a repair change log
+//	POST /datasets/{name}/implication    decide Σ ⊨ ψ for each cind clause in the
+//	                                     body: verdict + proof or counterexample
+//	GET  /datasets/{name}/consistency    combined Checking (Fig 9): verdict +
+//	                                     witness (?k=, ?seed=, ?method=chase|sat)
+//	POST /datasets/{name}/minimize       drop implied constraints: minimized spec
+//	                                     text + one certificate per drop
 //	GET  /healthz, /metrics, /debug/vars health and expvar metrics
+//
+// The reasoning endpoints run with the request context: a disconnected
+// client cancels the implication case-split fan-out, the chase and the SAT
+// decision loop cooperatively, and a cancelled computation answers 503.
 //
 // An interrupt (Ctrl-C) or SIGTERM shuts down gracefully: in-flight
 // violation streams are drained (each ends with a final {"error": ...}

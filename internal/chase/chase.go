@@ -11,10 +11,12 @@
 package chase
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
 	"cind/internal/cfd"
+	"cind/internal/conc"
 	cind "cind/internal/core"
 	"cind/internal/instance"
 	"cind/internal/pattern"
@@ -40,6 +42,9 @@ const (
 	// StepLimit: the safety cap on operations was reached (only possible
 	// with unbounded variables); the run is inconclusive.
 	StepLimit
+	// Cancelled: RunContext observed a cancelled context and stopped; the
+	// run is inconclusive and the template is mid-chase.
+	Cancelled
 )
 
 func (r Result) String() string {
@@ -52,6 +57,8 @@ func (r Result) String() string {
 		return "cap-exceeded"
 	case StepLimit:
 		return "step-limit"
+	case Cancelled:
+		return "cancelled"
 	default:
 		return fmt.Sprintf("Result(%d)", int(r))
 	}
@@ -110,6 +117,9 @@ type Chaser struct {
 	sigmaConsts map[string]bool
 	steps       int
 	reused      bool
+	// stop is the cancellation poll of the active RunContext; nil outside
+	// a run (and for plain Run, which cannot be cancelled).
+	stop func() bool
 }
 
 // New builds a chaser. Constraints are normalised internally; the template
@@ -217,7 +227,21 @@ func (c *Chaser) SubstituteVar(id int64, val types.Value) {
 // fixpoint with finite-domain variables left triggers a valuation round
 // followed by more chasing, until no finite-domain variable survives.
 func (c *Chaser) Run() Result {
+	return c.RunContext(context.Background())
+}
+
+// RunContext is Run with cooperative cancellation: every chase operation —
+// each FD pass over a constraint and each IND application — polls ctx, so
+// a cancelled run stops within one operation of the observation and
+// returns Cancelled. A Background (non-cancellable) context costs a single
+// nil check per poll.
+func (c *Chaser) RunContext(ctx context.Context) Result {
+	c.stop = conc.StopFunc(ctx)
+	defer func() { c.stop = nil }()
 	for {
+		if c.stop() {
+			return Cancelled
+		}
 		res := c.runCore()
 		if res != Fixpoint || !c.cfg.InstantiateFinite {
 			return res
@@ -253,6 +277,9 @@ func (c *Chaser) finiteValue(v types.Value) string {
 // runCore chases FD/IND operations to a variable-level fixpoint.
 func (c *Chaser) runCore() Result {
 	for {
+		if c.stop() {
+			return Cancelled
+		}
 		if res, ok := c.fdFixpoint(); !ok {
 			return res
 		}
@@ -275,6 +302,9 @@ func (c *Chaser) fdFixpoint() (Result, bool) {
 	for changed := true; changed; {
 		changed = false
 		for _, phi := range c.order(len(c.cfds)) {
+			if c.stop() {
+				return Cancelled, false
+			}
 			res, did := c.applyFD(c.cfds[phi])
 			if res != Fixpoint {
 				return res, false
@@ -414,6 +444,9 @@ func appendInt(b []byte, n int64) []byte {
 // tuple. Returns whether an op was applied.
 func (c *Chaser) applyOneIND() (bool, Result) {
 	for _, pi := range c.order(len(c.cinds)) {
+		if c.stop() {
+			return false, Cancelled
+		}
 		psi := c.cinds[pi]
 		ta, ok := c.findTrigger(psi)
 		if !ok {
@@ -523,4 +556,3 @@ func idxOf(r *schema.Relation, attrs []string) []int {
 	}
 	return out
 }
-

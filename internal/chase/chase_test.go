@@ -1,7 +1,9 @@
 package chase
 
 import (
+	"context"
 	"testing"
+	"time"
 
 	"cind/internal/cfd"
 	cind "cind/internal/core"
@@ -295,5 +297,44 @@ func TestResultString(t *testing.T) {
 		if r.String() != want {
 			t.Errorf("String(%d) = %q", int(r), r.String())
 		}
+	}
+}
+
+// TestRunContextPreCancelled: an already-cancelled context stops the chase
+// before its first operation.
+func TestRunContextPreCancelled(t *testing.T) {
+	sch := example51Schema(false)
+	cfds, cinds := example51Constraints(sch)
+	ch := New(sch, cfds, cinds, Config{N: 2})
+	ch.SeedFreshTuple("R1")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res := ch.RunContext(ctx); res != Cancelled {
+		t.Fatalf("RunContext(cancelled) = %v, want cancelled", res)
+	}
+}
+
+// TestRunContextCancelMidRun cancels a long unbounded chase partway: the
+// run must stop with Cancelled well before exhausting its step budget.
+func TestRunContextCancelMidRun(t *testing.T) {
+	d := schema.Infinite("d")
+	sch := schema.MustNew(schema.MustRelation("R",
+		schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d}))
+	psi := cind.MustNew(sch, "cyc", "R", []string{"A"}, nil, "R", []string{"B"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	ch := New(sch, nil, []*cind.CIND{psi}, Config{N: 0, TableCap: 1 << 30, MaxSteps: 1 << 30})
+	ch.SeedFreshTuple("R")
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan Result, 1)
+	go func() { done <- ch.RunContext(ctx) }()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case res := <-done:
+		if res != Cancelled {
+			t.Fatalf("RunContext = %v, want cancelled", res)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("chase did not observe cancellation")
 	}
 }

@@ -1,0 +1,76 @@
+// Package conc is the small concurrency kit shared by the parallel
+// engines (detect, chase, consistency, implication): compiling a context
+// into a cheap cancellation poll, clamping a worker-count option, and a
+// bounded index fan-out. Keeping these in one place keeps the engines'
+// cancellation and pooling behaviour identical by construction.
+package conc
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// StopFunc compiles a context into a cheap polling predicate for hot
+// loops: a nil-Done context (Background) costs a single nil check per
+// poll.
+func StopFunc(ctx context.Context) func() bool {
+	done := ctx.Done()
+	if done == nil {
+		return func() bool { return false }
+	}
+	return func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// Workers clamps a Parallel-style option to a usable pool width: n <= 0
+// means GOMAXPROCS, never more workers than units, never fewer than one.
+func Workers(n, units int) int {
+	if n <= 0 {
+		n = runtime.GOMAXPROCS(0)
+	}
+	if n > units {
+		n = units
+	}
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// ForEachIdx runs fn(0) .. fn(n-1) on a pool of the given width and
+// returns when all calls have — no goroutine outlives it. Width <= 1 runs
+// the calls sequentially, in order, on the calling goroutine; fn must
+// therefore embed any early-exit logic (skip checks, cancellation polls)
+// itself, which keeps the sequential and parallel paths behaviourally
+// identical.
+func ForEachIdx(workers, n int, fn func(int)) {
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for k := 0; k < workers; k++ {
+		go func() {
+			defer wg.Done()
+			for i := range ch {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		ch <- i
+	}
+	close(ch)
+	wg.Wait()
+}

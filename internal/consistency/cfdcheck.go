@@ -10,10 +10,12 @@
 package consistency
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"cind/internal/cfd"
+	"cind/internal/conc"
 	"cind/internal/instance"
 	"cind/internal/sat"
 	"cind/internal/schema"
@@ -55,10 +57,20 @@ type Options struct {
 	KCFD int
 	// Method selects the CFD_Checking implementation.
 	Method CFDMethod
-	// Seed makes randomised runs reproducible (0 uses a fixed default).
+	// Seed makes randomised runs reproducible. It is used verbatim — every
+	// seed, 0 included, names a distinct random stream — so seed sweeps
+	// starting at 0 do not duplicate work. The zero value is simply the
+	// default stream.
 	Seed int64
 	// SeedRels restricts the relations RandomChecking seeds; nil means all.
+	// Checking intersects it with each weakly-connected component: a
+	// component whose every relation is excluded cannot be seeded, so
+	// Checking conservatively answers false for the whole set.
 	SeedRels []string
+	// Parallel bounds the worker goroutines Checking fans the per-component
+	// RandomChecking runs out over; 0 means GOMAXPROCS, 1 forces the
+	// sequential order. The answer is identical regardless.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -74,9 +86,6 @@ func (o Options) withDefaults() Options {
 	if o.KCFD == 0 {
 		o.KCFD = 100000
 	}
-	if o.Seed == 0 {
-		o.Seed = 1
-	}
 	return o
 }
 
@@ -90,11 +99,19 @@ func (o Options) rng() *rand.Rand { return rand.New(rand.NewSource(o.Seed)) }
 // Remaining variables in the witness stand for "any fresh value of an
 // infinite domain".
 func CFDChecking(rel *schema.Relation, cfds []*cfd.CFD, opts Options) (instance.Tuple, bool) {
+	tau, ok, _ := CFDCheckingContext(context.Background(), rel, cfds, opts)
+	return tau, ok
+}
+
+// CFDCheckingContext is CFDChecking with cooperative cancellation: the
+// chase-based search polls ctx per candidate valuation, the SAT-based one
+// per DPLL decision. On cancellation it returns (nil, false, ctx.Err()).
+func CFDCheckingContext(ctx context.Context, rel *schema.Relation, cfds []*cfd.CFD, opts Options) (instance.Tuple, bool, error) {
 	opts = opts.withDefaults()
 	if opts.Method == SAT {
-		return CFDCheckingSAT(rel, cfds)
+		return CFDCheckingSATContext(ctx, rel, cfds)
 	}
-	return CFDCheckingChase(rel, cfds, opts.KCFD, opts.rng())
+	return cfdCheckingChase(ctx, rel, cfds, opts.KCFD, opts.rng())
 }
 
 // CFDCheckingChase is the chase-based CFD_Checking of Section 5.2: start
@@ -110,6 +127,14 @@ func CFDChecking(rel *schema.Relation, cfds []*cfd.CFD, opts Options) (instance.
 // remains the one where small finite domains are fully covered by pattern
 // constants.
 func CFDCheckingChase(rel *schema.Relation, cfds []*cfd.CFD, kcfd int, rng *rand.Rand) (instance.Tuple, bool) {
+	tau, ok, _ := cfdCheckingChase(context.Background(), rel, cfds, kcfd, rng)
+	return tau, ok
+}
+
+func cfdCheckingChase(ctx context.Context, rel *schema.Relation, cfds []*cfd.CFD, kcfd int, rng *rand.Rand) (instance.Tuple, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	norm := cfd.NormalizeAll(cfds)
 	var gen types.VarGen
 	tau := make(instance.Tuple, rel.Arity())
@@ -118,7 +143,7 @@ func CFDCheckingChase(rel *schema.Relation, cfds []*cfd.CFD, kcfd int, rng *rand
 	}
 	tau, ok := propagate(rel, norm, tau)
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	// Collect remaining finite-domain variable positions.
 	var finPos []int
@@ -129,9 +154,9 @@ func CFDCheckingChase(rel *schema.Relation, cfds []*cfd.CFD, kcfd int, rng *rand
 	}
 	if len(finPos) == 0 {
 		if singleSatisfiesAll(rel, norm, tau) {
-			return tau, true
+			return tau, true, nil
 		}
-		return nil, false
+		return nil, false, nil
 	}
 	// Candidate values per open position, inert values first.
 	lhsConsts := map[string]map[string]bool{}
@@ -180,22 +205,35 @@ func CFDCheckingChase(rel *schema.Relation, cfds []*cfd.CFD, kcfd int, rng *rand
 		}
 		return nil, false
 	}
+	// Cancellation is polled once per candidate valuation: each try is one
+	// propagate-and-check over a single tuple, so the poll granularity is
+	// one cheap unit of work.
+	stop := conc.StopFunc(ctx)
 	if exhaustive {
 		assign := make([]string, len(finPos))
+		cancelled := false
 		var rec func(k int) (instance.Tuple, bool)
 		rec = func(k int) (instance.Tuple, bool) {
 			if k == len(finPos) {
+				if stop() {
+					cancelled = true
+					return nil, false
+				}
 				return try(assign)
 			}
 			for _, v := range candidates[k] {
 				assign[k] = v
-				if out, ok := rec(k + 1); ok {
-					return out, true
+				if out, ok := rec(k + 1); ok || cancelled {
+					return out, ok
 				}
 			}
 			return nil, false
 		}
-		return rec(0)
+		out, ok := rec(0)
+		if cancelled {
+			return nil, false, ctx.Err()
+		}
+		return out, ok, nil
 	}
 	// First probe: the all-inert valuation (first candidates), then random
 	// sampling up to the kcfd budget.
@@ -204,17 +242,20 @@ func CFDCheckingChase(rel *schema.Relation, cfds []*cfd.CFD, kcfd int, rng *rand
 		assign[k] = candidates[k][0]
 	}
 	if out, ok := try(assign); ok {
-		return out, true
+		return out, true, nil
 	}
 	for trial := 1; trial < kcfd; trial++ {
+		if stop() {
+			return nil, false, ctx.Err()
+		}
 		for k := range finPos {
 			assign[k] = candidates[k][rng.Intn(len(candidates[k]))]
 		}
 		if out, ok := try(assign); ok {
-			return out, true
+			return out, true, nil
 		}
 	}
-	return nil, false
+	return nil, false, nil
 }
 
 // propagate applies the single-tuple CFD chase to fixpoint: whenever the
@@ -266,6 +307,13 @@ func singleSatisfiesAll(rel *schema.Relation, norm []*cfd.CFD, tau instance.Tupl
 // clause per normal CFD with a constant RHS. Complete for single-relation
 // CFD consistency.
 func CFDCheckingSAT(rel *schema.Relation, cfds []*cfd.CFD) (instance.Tuple, bool) {
+	tau, ok, _ := CFDCheckingSATContext(context.Background(), rel, cfds)
+	return tau, ok
+}
+
+// CFDCheckingSATContext is CFDCheckingSAT with cooperative cancellation
+// threaded into the DPLL decision loop.
+func CFDCheckingSATContext(ctx context.Context, rel *schema.Relation, cfds []*cfd.CFD) (instance.Tuple, bool, error) {
 	norm := cfd.NormalizeAll(cfds)
 
 	// Candidate values per attribute.
@@ -357,9 +405,12 @@ func CFDCheckingSAT(rel *schema.Relation, cfds []*cfd.CFD) (instance.Tuple, bool
 		clause = append(clause, sat.Literal(varOf[[2]int{ai, ci}]))
 		f.AddClause(clause...)
 	}
-	assign, ok := sat.Solve(f)
+	assign, ok, err := sat.SolveContext(ctx, f)
+	if err != nil {
+		return nil, false, err
+	}
 	if !ok {
-		return nil, false
+		return nil, false, nil
 	}
 	tau := make(instance.Tuple, rel.Arity())
 	for i, vals := range candidates {
@@ -370,7 +421,7 @@ func CFDCheckingSAT(rel *schema.Relation, cfds []*cfd.CFD) (instance.Tuple, bool
 			}
 		}
 	}
-	return tau, true
+	return tau, true, nil
 }
 
 func idxList(rel *schema.Relation, attrs []string) []int {

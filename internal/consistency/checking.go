@@ -1,34 +1,121 @@
 package consistency
 
 import (
+	"context"
+
 	"cind/internal/cfd"
+	"cind/internal/conc"
 	cind "cind/internal/core"
 	"cind/internal/depgraph"
+	"cind/internal/instance"
 	"cind/internal/schema"
 )
 
 // Checking is the combined algorithm of Figure 9: build the dependency
 // graph, run preProcessing, and — when that is inconclusive — run
-// RandomChecking per connected component of the reduced graph. A true
-// answer is always correct (Theorem 5.1); a false answer is heuristic.
+// RandomChecking on every weakly-connected component of the reduced graph.
+// The answer is consistent only when EVERY component yields a witness
+// (Figure 9's soundness condition: a true answer is always correct,
+// Theorem 5.1); the per-component witnesses are accumulated into one
+// database, so Answer.Witness is a single template in which every
+// surviving component is nonempty and every constraint of Σ holds. A false
+// answer is heuristic: some component's witness search exhausted its
+// budget.
 func Checking(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) Answer {
+	ans, _ := CheckingContext(context.Background(), sch, cfds, cinds, opts)
+	return ans
+}
+
+// CheckingContext is Checking with cooperative cancellation and a parallel
+// component fan-out: the per-component RandomChecking runs are independent
+// (components share no relations and no constraints), so they execute on a
+// bounded worker pool (Options.Parallel; 0 = GOMAXPROCS) and merge
+// deterministically in component order. Each component derives its random
+// stream from Options.Seed alone, so the answer — witness included — is
+// identical regardless of parallelism or scheduling. On cancellation the
+// partial answer is discarded and ctx's error returned.
+func CheckingContext(ctx context.Context, sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) (Answer, error) {
 	opts = opts.withDefaults()
 	g := depgraph.New(sch, cfds, cinds)
-	switch PreProcessing(g, opts) {
-	case PreConsistent:
-		return Answer{Consistent: true}
-	case PreInconsistent:
-		return Answer{}
+	pre, preWitness, err := PreProcessingContext(ctx, g, opts)
+	if err != nil {
+		return Answer{}, err
 	}
-	for _, comp := range g.WeakComponents() {
-		compCFDs, compCINDs := g.ConstraintsOf(comp)
+	switch pre {
+	case PreConsistent:
+		return Answer{Consistent: true, Witness: preWitness}, nil
+	case PreInconsistent:
+		return Answer{}, nil
+	}
+
+	comps := g.WeakComponents()
+	answers := make([]Answer, len(comps))
+
+	// One component failing settles the verdict (false), so the fan-out
+	// cancels the remaining searches; their discarded answers cannot
+	// change the merge. The graph is only read from here on, so the
+	// workers share it without locks.
+	runCtx, stopAll := context.WithCancel(ctx)
+	defer stopAll()
+	conc.ForEachIdx(conc.Workers(opts.Parallel, len(comps)), len(comps), func(i int) {
 		sub := opts
-		sub.SeedRels = comp
-		if ans := RandomChecking(sch, compCFDs, compCINDs, sub); ans.Consistent {
-			return ans
+		sub.SeedRels = intersectRels(comps[i], opts.SeedRels)
+		if len(sub.SeedRels) == 0 {
+			// The caller's SeedRels excludes this whole component: no seed
+			// is allowed, so no witness can be found for it (an empty
+			// SeedRels must not fall back to "all relations").
+			stopAll()
+			return
+		}
+		compCFDs, compCINDs := g.ConstraintsOf(comps[i])
+		answers[i], _ = RandomCheckingContext(runCtx, sch, compCFDs, compCINDs, sub)
+		if !answers[i].Consistent {
+			stopAll()
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return Answer{}, err
+	}
+	for i := range comps {
+		if !answers[i].Consistent {
+			return Answer{}, nil
 		}
 	}
-	return Answer{}
+	// Every component produced a witness over its own (disjoint) relation
+	// set: accumulate them, in component order, into one database. No
+	// constraint of Σ spans two components of the reduced graph (the ⊥-CFDs
+	// preProcessing installed for deleted relations live on the component's
+	// own relations), so the union satisfies Σ as-is.
+	witness := instance.NewDatabase(sch)
+	for i, comp := range comps {
+		for _, rel := range comp {
+			for _, t := range answers[i].Witness.Instance(rel).Tuples() {
+				witness.Insert(rel, t)
+			}
+		}
+	}
+	return Answer{Consistent: true, Witness: witness}, nil
+}
+
+// intersectRels restricts a component's relation list to the caller's
+// SeedRels when one was given (the component list is already the implicit
+// restriction otherwise). Order follows the component list, keeping the
+// attempt cycle deterministic.
+func intersectRels(comp, seedRels []string) []string {
+	if len(seedRels) == 0 {
+		return comp
+	}
+	allowed := make(map[string]bool, len(seedRels))
+	for _, r := range seedRels {
+		allowed[r] = true
+	}
+	var out []string
+	for _, r := range comp {
+		if allowed[r] {
+			out = append(out, r)
+		}
+	}
+	return out
 }
 
 // CheckingBool adapts Checking to the paper's Boolean signature.

@@ -1,0 +1,278 @@
+package consistency
+
+import (
+	"context"
+	"strings"
+	"testing"
+	"time"
+
+	"cind/internal/cfd"
+	cind "cind/internal/core"
+	"cind/internal/pattern"
+	"cind/internal/schema"
+)
+
+// twoComponentSetup builds a schema whose reduced dependency graph has two
+// weakly-connected components:
+//
+//   - {R1, R2}: the consistent Example 5.1 cycle with finite dom(H)
+//     (RandomChecking finds the Example 5.3 witness);
+//   - {S1, S2}: an inconsistent cycle — S1's CFD forces A = 0 and ψa
+//     demands every S1.A appear in S2.B, while S2's CFD forces B = 1 and ψb
+//     demands every S2.B appear in S1.A, so any nonempty instance of either
+//     relation chases to a constant conflict.
+//
+// Both components survive preProcessing (each relation's CFDs are
+// individually consistent, every template triggers an outgoing CIND, and
+// the ⊥-CFD construction is unsatisfiable), so Checking's component loop
+// sees exactly these two.
+func twoComponentSetup(t *testing.T) (*schema.Schema, []*cfd.CFD, []*cind.CIND) {
+	t.Helper()
+	d := schema.Infinite("string")
+	h := schema.Finite("H", "0", "1")
+	e := schema.Infinite("e")
+	sch := schema.MustNew(
+		schema.MustRelation("R1",
+			schema.Attribute{Name: "E", Dom: d}, schema.Attribute{Name: "F", Dom: d}),
+		schema.MustRelation("R2",
+			schema.Attribute{Name: "G", Dom: d}, schema.Attribute{Name: "H", Dom: h}),
+		schema.MustRelation("S1", schema.Attribute{Name: "A", Dom: e}),
+		schema.MustRelation("S2", schema.Attribute{Name: "B", Dom: e}),
+	)
+	cfds := []*cfd.CFD{
+		cfd.MustNew(sch, "phi1", "R1", []string{"E"}, []string{"F"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cfd.MustNew(sch, "phi2", "R2", []string{"H"}, []string{"G"},
+			[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Tup(sym("c"))}}),
+		cfd.MustNew(sch, "sphi1", "S1", nil, []string{"A"},
+			[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("0"))}}),
+		cfd.MustNew(sch, "sphi2", "S2", nil, []string{"B"},
+			[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("1"))}}),
+	}
+	cinds := []*cind.CIND{
+		cind.MustNew(sch, "psi1", "R1", []string{"E"}, nil, "R2", []string{"G"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cind.MustNew(sch, "psi2", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("a"))}}),
+		cind.MustNew(sch, "psi3", "R2", nil, []string{"H"}, "R1", nil, []string{"F"},
+			[]cind.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("b"))}}),
+		cind.MustNew(sch, "psia", "S1", []string{"A"}, nil, "S2", []string{"B"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+		cind.MustNew(sch, "psib", "S2", []string{"B"}, nil, "S1", []string{"A"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}}),
+	}
+	return sch, cfds, cinds
+}
+
+// TestCheckingRequiresEveryComponent is the soundness regression for the
+// Figure 9 loop: one consistent component ({R1, R2}) plus one inconsistent
+// component ({S1, S2}) must answer false. The pre-fix Checking returned
+// consistent as soon as the FIRST component produced a witness, certifying
+// an inconsistent Σ as consistent.
+func TestCheckingRequiresEveryComponent(t *testing.T) {
+	sch, cfds, cinds := twoComponentSetup(t)
+
+	// Sanity: the consistent component alone passes, so a buggy
+	// first-success Checking would answer true here.
+	rOnly, rCINDs := cfds[:2], cinds[:3]
+	if !RandomChecking(sch, rOnly, rCINDs, Options{K: 30, Seed: 7}).Consistent {
+		t.Fatal("the {R1, R2} component alone must be consistent")
+	}
+	for _, par := range []int{1, 4} {
+		ans := Checking(sch, cfds, cinds, Options{K: 30, Seed: 7, Parallel: par})
+		if ans.Consistent {
+			t.Fatalf("Parallel=%d: Σ with an inconsistent component certified consistent", par)
+		}
+	}
+}
+
+// TestCheckingMergedWitnessSatisfiesSigma: when every component passes, the
+// accumulated witness is one database in which each component is nonempty
+// and all of Σ holds (Theorem 5.1 for the combined answer).
+func TestCheckingMergedWitnessSatisfiesSigma(t *testing.T) {
+	sch, cfds, cinds := twoComponentSetup(t)
+	// Make the S component consistent: align S2's forced constant with
+	// S1's so the two cycles agree on 0.
+	cfds[3] = cfd.MustNew(sch, "sphi2", "S2", nil, []string{"B"},
+		[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("0"))}})
+
+	ans := Checking(sch, cfds, cinds, Options{K: 40, Seed: 7})
+	if !ans.Consistent {
+		t.Fatal("both components are consistent; Checking must find witnesses for each")
+	}
+	if ans.Witness == nil {
+		t.Fatal("a component-loop answer must carry the merged witness")
+	}
+	for _, rel := range []string{"R1", "S1"} {
+		if ans.Witness.Instance(rel).Len() == 0 {
+			t.Fatalf("merged witness leaves component relation %s empty", rel)
+		}
+	}
+	if !cfd.SatisfiedAll(cfds, ans.Witness) || !cind.SatisfiedAll(cinds, ans.Witness) {
+		t.Fatal("merged witness must satisfy all of Σ")
+	}
+}
+
+// TestSeedZeroIsDistinctStream: Options no longer remaps Seed 0 to 1, so a
+// seed sweep starting at 0 does not run seed 1's search twice.
+func TestSeedZeroIsDistinctStream(t *testing.T) {
+	if s := (Options{}).withDefaults().Seed; s != 0 {
+		t.Fatalf("withDefaults rewrote Seed 0 to %d", s)
+	}
+	r0 := Options{Seed: 0}.withDefaults().rng()
+	r1 := Options{Seed: 1}.withDefaults().rng()
+	same := true
+	for i := 0; i < 16; i++ {
+		if r0.Int63() != r1.Int63() {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seeds 0 and 1 drive identical random streams")
+	}
+}
+
+// TestCheckingHonorsCallerSeedRels: the component loop must intersect the
+// caller's SeedRels with each component instead of overwriting it. With
+// seeding restricted to the R component, the S component cannot be seeded
+// at all, so Checking conservatively answers false even though Σ is
+// consistent — whereas the pre-fix code ignored the restriction entirely.
+func TestCheckingHonorsCallerSeedRels(t *testing.T) {
+	sch, cfds, cinds := twoComponentSetup(t)
+	cfds[3] = cfd.MustNew(sch, "sphi2", "S2", nil, []string{"B"},
+		[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("0"))}})
+
+	unrestricted := Checking(sch, cfds, cinds, Options{K: 40, Seed: 7})
+	if !unrestricted.Consistent {
+		t.Fatal("setup: unrestricted Checking must succeed")
+	}
+	restricted := Checking(sch, cfds, cinds, Options{K: 40, Seed: 7, SeedRels: []string{"R1", "R2"}})
+	if restricted.Consistent {
+		t.Fatal("SeedRels excluding the S component was overwritten rather than intersected")
+	}
+	// A restriction that covers every component keeps the answer.
+	covering := Checking(sch, cfds, cinds, Options{K: 40, Seed: 7,
+		SeedRels: []string{"R1", "S1", "S2"}})
+	if !covering.Consistent {
+		t.Fatal("SeedRels covering every component must still find the witness")
+	}
+}
+
+// TestCheckingDeterministicAcrossRuns: under a fixed Seed the answer —
+// merged witness included — is identical run to run and independent of the
+// worker-pool width.
+func TestCheckingDeterministicAcrossRuns(t *testing.T) {
+	sch, cfds, cinds := twoComponentSetup(t)
+	cfds[3] = cfd.MustNew(sch, "sphi2", "S2", nil, []string{"B"},
+		[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(sym("0"))}})
+
+	var first string
+	for run := 0; run < 3; run++ {
+		for _, par := range []int{1, 4} {
+			ans := Checking(sch, cfds, cinds, Options{K: 40, Seed: 11, Parallel: par})
+			if !ans.Consistent {
+				t.Fatalf("run %d Parallel=%d: inconsistent", run, par)
+			}
+			got := ans.Witness.String()
+			if first == "" {
+				first = got
+			} else if got != first {
+				t.Fatalf("run %d Parallel=%d: witness diverged:\n%s\nvs\n%s", run, par, got, first)
+			}
+		}
+	}
+	if !strings.Contains(first, "R1") {
+		t.Fatalf("witness rendering looks wrong: %q", first)
+	}
+}
+
+// TestCheckingContextCancelled: cancellation mid-check surfaces ctx's error
+// rather than a fabricated verdict.
+func TestCheckingContextCancelled(t *testing.T) {
+	sch, cfds, cinds := twoComponentSetup(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := CheckingContext(ctx, sch, cfds, cinds, Options{}); err != context.Canceled {
+		t.Fatalf("CheckingContext(cancelled) err = %v, want context.Canceled", err)
+	}
+	if _, err := RandomCheckingContext(ctx, sch, cfds, cinds, Options{}); err != context.Canceled {
+		t.Fatalf("RandomCheckingContext(cancelled) err = %v, want context.Canceled", err)
+	}
+	if _, _, err := CFDCheckingContext(ctx, sch.MustRelationByName("R1"), cfds[:1], Options{}); err != context.Canceled {
+		t.Fatalf("CFDCheckingContext(cancelled) err = %v, want context.Canceled", err)
+	}
+}
+
+// TestCheckingContextCancelMidRun: a hard consistency check must observe
+// cancellation promptly (the per-valuation and per-chase-operation polls).
+func TestCheckingContextCancelMidRun(t *testing.T) {
+	// A CFD set whose chase search space is astronomically large and
+	// witness-free: many finite attributes fully covered by conflicting
+	// pattern constants keeps CFD_Checking sampling for its whole KCFD
+	// budget.
+	vals := []string{"0", "1"}
+	n := 16
+	attrs := make([]schema.Attribute, n)
+	for i := range attrs {
+		attrs[i] = schema.Attribute{Name: string(rune('A' + i)), Dom: schema.Finite("d"+string(rune('A'+i)), vals...)}
+	}
+	sch := schema.MustNew(schema.MustRelation("R", attrs...))
+	var cfds []*cfd.CFD
+	// A=a forces B to both 0 and 1 depending on C; every valuation of the
+	// 2^16 space fails somewhere.
+	for i := 0; i < n-1; i++ {
+		x := attrs[i].Name
+		y := attrs[i+1].Name
+		cfds = append(cfds,
+			cfd.MustNew(sch, "c"+x+"0", "R", []string{x}, []string{y},
+				[]cfd.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("1"))}}),
+			cfd.MustNew(sch, "c"+x+"1", "R", []string{x}, []string{y},
+				[]cfd.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("0"))}}),
+		)
+	}
+	// Close the loop to kill every assignment.
+	cfds = append(cfds,
+		cfd.MustNew(sch, "loop0", "R", []string{attrs[n-1].Name}, []string{"A"},
+			[]cfd.Row{{LHS: pattern.Tup(sym("0")), RHS: pattern.Tup(sym("0"))}}),
+		cfd.MustNew(sch, "loop1", "R", []string{attrs[n-1].Name}, []string{"A"},
+			[]cfd.Row{{LHS: pattern.Tup(sym("1")), RHS: pattern.Tup(sym("1"))}}),
+	)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := CheckingContext(ctx, sch, cfds, nil, Options{KCFD: 1 << 30, K: 1 << 20})
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if err != context.Canceled {
+			t.Fatalf("CheckingContext mid-run cancel err = %v, want context.Canceled", err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("CheckingContext did not observe cancellation")
+	}
+}
+
+// TestPreConsistentAnswerCarriesWitness: a true verdict decided in
+// preProcessing (Figure 7 line 5) must carry its single-tuple witness, and
+// that witness must satisfy Σ — every true answer comes with its
+// certificate, whichever stage produced it.
+func TestPreConsistentAnswerCarriesWitness(t *testing.T) {
+	sch, cfds, cinds := twoComponentSetup(t)
+	// CFDs only: preProcessing answers consistent at the first relation.
+	ans := Checking(sch, cfds, nil, Options{})
+	if !ans.Consistent {
+		t.Fatal("CFD-only Σ is consistent")
+	}
+	if ans.Witness == nil || ans.Witness.IsEmpty() {
+		t.Fatal("preprocessing's true answer must carry the single-tuple witness")
+	}
+	if !cfd.SatisfiedAll(cfds, ans.Witness) {
+		t.Fatal("preprocessing witness must satisfy the CFDs")
+	}
+	_ = cinds
+}

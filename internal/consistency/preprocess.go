@@ -1,6 +1,8 @@
 package consistency
 
 import (
+	"context"
+
 	"cind/internal/cfd"
 	cind "cind/internal/core"
 	"cind/internal/depgraph"
@@ -29,8 +31,25 @@ const (
 // their predecessors; indegree-0 nodes are pruned. The verdict follows the
 // paper's 1 / 0 / −1 convention via PreVerdict.
 func PreProcessing(g *depgraph.Graph, opts Options) PreVerdict {
+	v, _, _ := PreProcessingContext(context.Background(), g, opts)
+	return v
+}
+
+// PreProcessingContext is PreProcessing with cooperative cancellation (ctx
+// is polled per dequeued relation and threaded into each CFD_Checking
+// call), additionally returning the witness a PreConsistent verdict rests
+// on: the single-tuple database {τ(R)} of Figure 7 line 5 (every other
+// relation empty), so a true answer always carries its certificate. On
+// cancellation the graph is left partially reduced and ctx's error
+// returned; the verdict is then meaningless.
+func PreProcessingContext(ctx context.Context, g *depgraph.Graph, opts Options) (PreVerdict, *instance.Database, error) {
 	opts = opts.withDefaults()
 	sch := g.Schema()
+	oneTuple := func(rel string, tau instance.Tuple) *instance.Database {
+		db := instance.NewDatabase(sch)
+		db.Insert(rel, tau)
+		return db
+	}
 
 	queue := g.TopoOrder()
 	inQueue := map[string]bool{}
@@ -43,6 +62,9 @@ func PreProcessing(g *depgraph.Graph, opts Options) PreVerdict {
 	poisoned := map[string]bool{}
 
 	for len(queue) > 0 {
+		if err := ctx.Err(); err != nil {
+			return PreUnknown, nil, err
+		}
 		rel := queue[0]
 		queue = queue[1:]
 		inQueue[rel] = false
@@ -52,11 +74,15 @@ func PreProcessing(g *depgraph.Graph, opts Options) PreVerdict {
 		r := sch.MustRelationByName(rel)
 		tau, ok := instance.Tuple(nil), false
 		if !poisoned[rel] {
-			tau, ok = CFDChecking(r, g.CFDs(rel), opts)
+			var err error
+			tau, ok, err = CFDCheckingContext(ctx, r, g.CFDs(rel), opts)
+			if err != nil {
+				return PreUnknown, nil, err
+			}
 		}
 		if ok {
 			if !triggersAnyCIND(r, tau, g.OutCINDs(rel)) {
-				return PreConsistent
+				return PreConsistent, oneTuple(rel, tau), nil
 			}
 			// The found τ triggers some CIND, but a different tuple may
 			// not: search directly for a non-triggering witness by solving
@@ -64,8 +90,10 @@ func PreProcessing(g *depgraph.Graph, opts Options) PreVerdict {
 			// strengthens line 5 of Figure 7 while staying sound — a
 			// solution is a single-tuple witness with all other relations
 			// empty.
-			if _, ok2 := nonTriggeringWitness(sch, g, rel, opts); ok2 {
-				return PreConsistent
+			if tau2, ok2, err := nonTriggeringWitness(ctx, sch, g, rel, opts); err != nil {
+				return PreUnknown, nil, err
+			} else if ok2 {
+				return PreConsistent, oneTuple(rel, tau2), nil
 			}
 			continue
 		}
@@ -101,9 +129,9 @@ func PreProcessing(g *depgraph.Graph, opts Options) PreVerdict {
 		}
 	}
 	if g.Len() == 0 {
-		return PreInconsistent
+		return PreInconsistent, nil, nil
 	}
-	return PreUnknown
+	return PreUnknown, nil, nil
 }
 
 // nonTriggeringWitness tries to solve CFD(rel) extended with the
@@ -111,16 +139,16 @@ func PreProcessing(g *depgraph.Graph, opts Options) PreVerdict {
 // satisfying CFD(rel) that triggers nothing, i.e. a one-tuple witness for
 // the whole Σ. Fails when some outgoing CIND has an empty Xp (unavoidable)
 // or the combined CFD set is unsatisfiable.
-func nonTriggeringWitness(sch *schema.Schema, g *depgraph.Graph, rel string, opts Options) (instance.Tuple, bool) {
+func nonTriggeringWitness(ctx context.Context, sch *schema.Schema, g *depgraph.Graph, rel string, opts Options) (instance.Tuple, bool, error) {
 	combined := append([]*cfd.CFD(nil), g.CFDs(rel)...)
 	for _, psi := range g.OutCINDs(rel) {
 		nt, built := nonTriggeringCFDs(sch, rel, psi)
 		if !built {
-			return nil, false
+			return nil, false, nil
 		}
 		combined = append(combined, nt...)
 	}
-	return CFDChecking(sch.MustRelationByName(rel), combined, opts)
+	return CFDCheckingContext(ctx, sch.MustRelationByName(rel), combined, opts)
 }
 
 // triggersAnyCIND reports whether the instantiated template τ matches the

@@ -1,6 +1,8 @@
 package consistency
 
 import (
+	"context"
+
 	"cind/internal/cfd"
 	"cind/internal/chase"
 	cind "cind/internal/core"
@@ -30,6 +32,16 @@ type Answer struct {
 // attempts are made, cycling seed relations and re-randomising choices;
 // any defined chase proves consistency.
 func RandomChecking(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) Answer {
+	ans, _ := RandomCheckingContext(context.Background(), sch, cfds, cinds, opts)
+	return ans
+}
+
+// RandomCheckingContext is RandomChecking with cooperative cancellation:
+// ctx is polled between attempts, per candidate valuation inside
+// CFD_Checking and per chase operation inside the instantiated chase, so a
+// cancelled check stops promptly. On cancellation it returns ctx's error;
+// the Answer is then meaningless.
+func RandomCheckingContext(ctx context.Context, sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opts Options) (Answer, error) {
 	opts = opts.withDefaults()
 	rng := opts.rng()
 
@@ -40,7 +52,7 @@ func RandomChecking(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opt
 		}
 	}
 	if len(seedRels) == 0 {
-		return Answer{}
+		return Answer{}, nil
 	}
 	norm := cfd.NormalizeAll(cfds)
 	perRel := map[string][]*cfd.CFD{}
@@ -49,6 +61,9 @@ func RandomChecking(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opt
 	}
 
 	for attempt := 0; attempt < opts.K; attempt++ {
+		if err := ctx.Err(); err != nil {
+			return Answer{}, err
+		}
 		// Cycle through candidate seed relations before revisiting any:
 		// the paper picks one at random, but covering every relation
 		// within the K budget raises the hit rate at no cost.
@@ -63,7 +78,10 @@ func RandomChecking(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opt
 		// of rel satisfies CFD(rel); seeding it is then pointless.
 		tauOpts := opts
 		tauOpts.Seed = opts.Seed + int64(attempt)*7919
-		tau, ok := CFDChecking(r, perRel[rel], tauOpts)
+		tau, ok, err := CFDCheckingContext(ctx, r, perRel[rel], tauOpts)
+		if err != nil {
+			return Answer{}, err
+		}
 		if !ok {
 			continue
 		}
@@ -88,9 +106,12 @@ func RandomChecking(sch *schema.Schema, cfds []*cfd.CFD, cinds []*cind.CIND, opt
 				ch.SubstituteVar(seed[i].VarID(), types.C(vals[rng.Intn(len(vals))]))
 			}
 		}
-		if ch.Run() == chase.Fixpoint {
-			return Answer{Consistent: true, Witness: ch.DB()}
+		switch ch.RunContext(ctx) {
+		case chase.Fixpoint:
+			return Answer{Consistent: true, Witness: ch.DB()}, nil
+		case chase.Cancelled:
+			return Answer{}, ctx.Err()
 		}
 	}
-	return Answer{}
+	return Answer{}, nil
 }

@@ -19,7 +19,7 @@ import (
 type Graph struct {
 	sch   *schema.Schema
 	nodes map[string]bool
-	cfds  map[string][]*cfd.CFD             // CFD(R), normalised
+	cfds  map[string][]*cfd.CFD              // CFD(R), normalised
 	edges map[string]map[string][]*cind.CIND // from -> to -> CIND(Ri, Rj)
 }
 
@@ -250,7 +250,10 @@ func (g *Graph) WeakComponents() [][]string {
 
 // ConstraintsOf collects the CFDs and CINDs restricted to a set of
 // relations — Σ' of Figure 9 line 7. CINDs are included only when both
-// endpoints are inside.
+// endpoints are inside. The output order is deterministic (input relation
+// order, edges per relation by target name): Checking chases Σ' with a
+// seeded rng, so map-order iteration here would make same-seed runs
+// diverge.
 func (g *Graph) ConstraintsOf(rels []string) ([]*cfd.CFD, []*cind.CIND) {
 	in := map[string]bool{}
 	for _, r := range rels {
@@ -260,10 +263,15 @@ func (g *Graph) ConstraintsOf(rels []string) ([]*cfd.CFD, []*cind.CIND) {
 	var cinds []*cind.CIND
 	for _, r := range rels {
 		cfds = append(cfds, g.cfds[r]...)
-		for to, cs := range g.edges[r] {
+		tos := make([]string, 0, len(g.edges[r]))
+		for to := range g.edges[r] {
 			if in[to] {
-				cinds = append(cinds, cs...)
+				tos = append(tos, to)
 			}
+		}
+		sort.Strings(tos)
+		for _, to := range tos {
+			cinds = append(cinds, g.edges[r][to]...)
 		}
 	}
 	return cfds, cinds

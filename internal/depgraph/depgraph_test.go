@@ -233,3 +233,118 @@ func TestAddCFDs(t *testing.T) {
 		t.Fatal("AddCFDs must extend CFD(R1)")
 	}
 }
+
+// TestWeakComponentsDeterministicOrder: WeakComponents is built from map
+// iteration internally, so its ordering guarantee — components sorted by
+// their first (lexicographically smallest) relation, members sorted — must
+// hold identically across repeated calls and across graphs built from
+// permuted constraint input. Checking's parallel component fan-out merges
+// by index, so this ordering is load-bearing for its determinism.
+func TestWeakComponentsDeterministicOrder(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+
+	want := ""
+	for run := 0; run < 20; run++ {
+		// Permute the constraint input: rotate both slices by run.
+		rc := append(append([]*cfd.CFD(nil), cfds[run%len(cfds):]...), cfds[:run%len(cfds)]...)
+		ri := append(append([]*cind.CIND(nil), cinds[run%len(cinds):]...), cinds[:run%len(cinds)]...)
+		g := New(sch, rc, ri)
+		var parts []string
+		for _, comp := range g.WeakComponents() {
+			for i := 1; i < len(comp); i++ {
+				if comp[i-1] >= comp[i] {
+					t.Fatalf("run %d: component %v not sorted", run, comp)
+				}
+			}
+			parts = append(parts, strings.Join(comp, "+"))
+		}
+		for i := 1; i < len(parts); i++ {
+			if parts[i-1] >= parts[i] {
+				t.Fatalf("run %d: components %v not in deterministic order", run, parts)
+			}
+		}
+		got := strings.Join(parts, " | ")
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("run %d: WeakComponents = %q, want %q", run, got, want)
+		}
+	}
+	if want != "R1+R2+R5 | R3+R4" {
+		t.Fatalf("Example 5.4 weak components = %q, want %q", want, "R1+R2+R5 | R3+R4")
+	}
+}
+
+// TestSCCsDeterministicOrder: SCCs must emit the same components, each
+// sorted, in the same (successor-first) order on every call and under
+// permuted constraint input.
+func TestSCCsDeterministicOrder(t *testing.T) {
+	sch := example54Schema()
+	cfds, cinds := example54Constraints(sch)
+
+	want := ""
+	for run := 0; run < 20; run++ {
+		rc := append(append([]*cfd.CFD(nil), cfds[run%len(cfds):]...), cfds[:run%len(cfds)]...)
+		ri := append(append([]*cind.CIND(nil), cinds[run%len(cinds):]...), cinds[:run%len(cinds)]...)
+		g := New(sch, rc, ri)
+		var parts []string
+		for _, comp := range g.SCCs() {
+			for i := 1; i < len(comp); i++ {
+				if comp[i-1] >= comp[i] {
+					t.Fatalf("run %d: SCC %v not sorted", run, comp)
+				}
+			}
+			parts = append(parts, strings.Join(comp, "+"))
+		}
+		got := strings.Join(parts, " | ")
+		if want == "" {
+			want = got
+		} else if got != want {
+			t.Fatalf("run %d: SCCs = %q, want %q", run, got, want)
+		}
+	}
+	// Successor-first: the {R1, R2} cycle precedes its predecessor R5, and
+	// R4 precedes R3.
+	if want != "R1+R2 | R4 | R3 | R5" {
+		t.Fatalf("Example 5.4 SCCs = %q, want %q", want, "R1+R2 | R4 | R3 | R5")
+	}
+}
+
+// TestConstraintsOfDeterministicOrder: a relation with CINDs into two
+// distinct RHS relations must yield the same Σ' slice order on every call
+// — ConstraintsOf feeds the seeded chase of Checking, so map-order
+// iteration here would break same-seed reproducibility.
+func TestConstraintsOfDeterministicOrder(t *testing.T) {
+	d := schema.Infinite("d")
+	mk := func(name string) *schema.Relation {
+		return schema.MustRelation(name,
+			schema.Attribute{Name: "A", Dom: d}, schema.Attribute{Name: "B", Dom: d})
+	}
+	sch := schema.MustNew(mk("R"), mk("S"), mk("T"))
+	mkCIND := func(id, to string) *cind.CIND {
+		return cind.MustNew(sch, id, "R", []string{"A"}, nil, to, []string{"A"}, nil,
+			[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	}
+	cinds := []*cind.CIND{mkCIND("toT", "T"), mkCIND("toS", "S"), mkCIND("toT2", "T")}
+	g := New(sch, nil, cinds)
+	want := ""
+	for run := 0; run < 50; run++ {
+		_, got := g.ConstraintsOf([]string{"R", "S", "T"})
+		ids := make([]string, len(got))
+		for i, c := range got {
+			ids[i] = c.ID
+		}
+		s := strings.Join(ids, ",")
+		if want == "" {
+			want = s
+		} else if s != want {
+			t.Fatalf("run %d: ConstraintsOf order %q, want %q", run, s, want)
+		}
+	}
+	// Targets sorted by name (S before T), edges within a target in input
+	// order.
+	if want != "toS,toT,toT2" {
+		t.Fatalf("ConstraintsOf order = %q, want toS,toT,toT2", want)
+	}
+}

@@ -32,10 +32,9 @@ package detect
 
 import (
 	"context"
-	"runtime"
-	"sync"
 
 	"cind/internal/cfd"
+	"cind/internal/conc"
 	core "cind/internal/core"
 	"cind/internal/instance"
 	"cind/internal/types"
@@ -54,19 +53,7 @@ type Options struct {
 	Limit int
 }
 
-func (o Options) workers(units int) int {
-	n := o.Parallel
-	if n <= 0 {
-		n = runtime.GOMAXPROCS(0)
-	}
-	if n > units {
-		n = units
-	}
-	if n < 1 {
-		n = 1
-	}
-	return n
-}
+func (o Options) workers(units int) int { return conc.Workers(o.Parallel, units) }
 
 // Result collects the violations of one run, per constraint kind, in input
 // constraint order.
@@ -92,20 +79,7 @@ func Run(db *instance.Database, cfds []*cfd.CFD, cinds []*core.CIND, opts Option
 
 // stopFunc compiles a context into a cheap polling predicate the hot loops
 // can call: a nil-Done context (Background) costs a single nil check.
-func stopFunc(ctx context.Context) func() bool {
-	done := ctx.Done()
-	if done == nil {
-		return func() bool { return false }
-	}
-	return func() bool {
-		select {
-		case <-done:
-			return true
-		default:
-			return false
-		}
-	}
-}
+func stopFunc(ctx context.Context) func() bool { return conc.StopFunc(ctx) }
 
 // plan codes every referenced relation once, sequentially (workers only
 // read codes, so evaluation needs no locks) and builds the detection
@@ -156,31 +130,12 @@ func RunContext(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cin
 		units = append(units, func() { g.eval(coded, cindOut, opts.Limit, stop) })
 	}
 
-	if w := opts.workers(len(units)); w <= 1 {
-		for _, u := range units {
-			if stop() {
-				break
-			}
-			u()
+	conc.ForEachIdx(opts.workers(len(units)), len(units), func(i int) {
+		if stop() {
+			return
 		}
-	} else {
-		ch := make(chan func())
-		var wg sync.WaitGroup
-		wg.Add(w)
-		for i := 0; i < w; i++ {
-			go func() {
-				defer wg.Done()
-				for u := range ch {
-					u()
-				}
-			}()
-		}
-		for _, u := range units {
-			ch <- u
-		}
-		close(ch)
-		wg.Wait()
-	}
+		units[i]()
+	})
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}

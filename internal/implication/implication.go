@@ -22,9 +22,12 @@
 package implication
 
 import (
+	"context"
 	"fmt"
+	"sync/atomic"
 
 	"cind/internal/chase"
+	"cind/internal/conc"
 	cind "cind/internal/core"
 	"cind/internal/inference"
 	"cind/internal/instance"
@@ -76,6 +79,11 @@ type Options struct {
 	ChaseSteps    int // per-branch chase step cap (default 20000)
 	TableCap      int // per-branch table cap (default 1000)
 	MaxValuations int // finite-domain case-split cap (default 64)
+	// Parallel bounds the worker goroutines the finite-domain case-split
+	// branches fan out over (and, in DecideAll, the goals); 0 means
+	// GOMAXPROCS, 1 forces the sequential order. The outcome — verdict and
+	// certificate — is identical regardless.
+	Parallel int
 }
 
 func (o Options) withDefaults() Options {
@@ -91,36 +99,102 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-// Decide determines whether sigma ⊨ psi.
+// Decide determines whether sigma ⊨ psi. A nil goal comes back as Unknown
+// (never as the zero Outcome, whose Verdict would read Implied).
 func Decide(sch *schema.Schema, sigma []*cind.CIND, psi *cind.CIND, opts Options) Outcome {
+	out, err := DecideContext(context.Background(), sch, sigma, psi, opts)
+	if err != nil {
+		return Outcome{Verdict: Unknown, Reason: err.Error()}
+	}
+	return out
+}
+
+// DecideContext is Decide with cooperative cancellation and a parallel
+// fan-out over the finite-domain case-split branches: the canonical seeds
+// of each goal component are independent, so they chase on a bounded
+// worker pool (Options.Parallel; 0 = GOMAXPROCS) and merge
+// deterministically — the verdict, and on refutation the counterexample of
+// the lowest-numbered refuting branch, are identical to the sequential
+// enumeration regardless of scheduling. Cancellation is polled per branch
+// and per chase operation inside each branch; on cancellation the partial
+// outcome is discarded, ctx's error is returned, and every worker has
+// exited before DecideContext returns (no goroutine outlives the call).
+func DecideContext(ctx context.Context, sch *schema.Schema, sigma []*cind.CIND, psi *cind.CIND, opts Options) (Outcome, error) {
 	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+	if psi == nil {
+		return Outcome{}, fmt.Errorf("implication: nil goal")
+	}
 
 	// Fast path and positive certificate: the inference system.
 	if proof, ok := inference.Derive(sch, sigma, psi, opts.Inference); ok {
-		return Outcome{Verdict: Implied, Proof: proof, Reason: "derived in inference system I"}
+		return Outcome{Verdict: Implied, Proof: proof, Reason: "derived in inference system I"}, nil
 	}
 
 	// Chase every normal-form component of the goal.
 	goals := cind.NormalizeAll([]*cind.CIND{psi})
 	allImplied := true
 	for _, g := range goals {
-		out := decideComponent(sch, sigma, g, opts)
+		out, err := decideComponent(ctx, sch, sigma, g, opts)
+		if err != nil {
+			return Outcome{}, err
+		}
 		switch out.Verdict {
 		case NotImplied:
-			return out
+			return out, nil
 		case Unknown:
 			allImplied = false
 		}
 	}
 	if allImplied {
-		return Outcome{Verdict: Implied, Reason: "universal chase contains the required match in every branch"}
+		return Outcome{Verdict: Implied, Reason: "universal chase contains the required match in every branch"}, nil
 	}
-	return Outcome{Verdict: Unknown, Reason: "budgets exhausted before a certificate was found"}
+	return Outcome{Verdict: Unknown, Reason: "budgets exhausted before a certificate was found"}, nil
+}
+
+// DecideAll is the batch form: it decides sigma ⊨ psi for every goal and
+// returns the outcomes in goal order, identical to calling Decide per
+// goal. A single goal keeps the full case-split branch fan-out; multiple
+// goals fan out at the goal level instead (each goal's branch enumeration
+// then runs sequentially, so the pool is not oversubscribed). On
+// cancellation the partial slice is discarded and ctx's error returned.
+func DecideAll(ctx context.Context, sch *schema.Schema, sigma []*cind.CIND, psis []*cind.CIND, opts Options) ([]Outcome, error) {
+	opts = opts.withDefaults()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	for i, psi := range psis {
+		if psi == nil {
+			return nil, fmt.Errorf("implication: goal %d is nil", i)
+		}
+	}
+	if len(psis) == 1 {
+		out, err := DecideContext(ctx, sch, sigma, psis[0], opts)
+		if err != nil {
+			return nil, err
+		}
+		return []Outcome{out}, nil
+	}
+	out := make([]Outcome, len(psis))
+	goalOpts := opts
+	goalOpts.Parallel = 1
+	conc.ForEachIdx(conc.Workers(opts.Parallel, len(psis)), len(psis), func(i int) {
+		// Errors are dropped per goal: the only error DecideContext can
+		// return is cancellation, which the merge below re-checks (and
+		// which makes the remaining calls immediate no-ops).
+		out[i], _ = DecideContext(ctx, sch, sigma, psis[i], goalOpts)
+	})
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // decideComponent runs the canonical-database analysis for one normal-form
 // goal component.
-func decideComponent(sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND, opts Options) Outcome {
+func decideComponent(ctx context.Context, sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND, opts Options) (Outcome, error) {
 	rel := sch.MustRelationByName(g.LHSRel)
 
 	// Identify the seed tuple's fixed and enumerated positions.
@@ -146,46 +220,68 @@ func decideComponent(sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND, opts 
 		seedBase[j] = types.C(fmt.Sprintf("⊥seed%d", frozen))
 	}
 
-	// Enumerate finite-domain valuations of the seed, up to the cap.
-	total := 1
-	for _, e := range enums {
-		total *= len(e.vals)
-		if total > opts.MaxValuations {
-			break
-		}
-	}
-	capped := total > opts.MaxValuations
-
-	branchImplied := 0
-	branches := 0
-	var counter *instance.Database
+	// Materialise the finite-domain valuations of the seed, up to the cap;
+	// capped enumeration can never conclude Implied.
+	var seeds []instance.Tuple
+	capped := false
 	enumerate(enums, seedBase, func(seed instance.Tuple) bool {
-		branches++
-		if branches > opts.MaxValuations {
+		if len(seeds) >= opts.MaxValuations {
+			capped = true
 			return false
 		}
-		verdict, cex := chaseBranch(sch, sigma, g, seed, opts)
-		switch verdict {
-		case Implied:
-			branchImplied++
-		case NotImplied:
-			counter = cex
-			return false
-		}
+		seeds = append(seeds, seed)
 		return true
 	})
 
-	if counter != nil {
-		return Outcome{
-			Verdict:        NotImplied,
-			Counterexample: counter,
-			Reason:         "chase fixpoint is a model of Σ violating ψ",
+	verdicts := make([]Verdict, len(seeds))
+	counters := make([]*instance.Database, len(seeds))
+
+	// Branch fan-out. A refutation at branch i makes every branch above i
+	// irrelevant (the merge picks the lowest refuting branch), so later
+	// branches are skipped once one refutes; branches below a found
+	// refutation still run, keeping the reported counterexample
+	// deterministic. With one worker the indexes run in order, so the skip
+	// check reduces to the classical stop-at-first-refutation.
+	minRefuted := int64(len(seeds))
+	conc.ForEachIdx(conc.Workers(opts.Parallel, len(seeds)), len(seeds), func(i int) {
+		if int64(i) > atomic.LoadInt64(&minRefuted) {
+			return
+		}
+		v, cex, err := chaseBranch(ctx, sch, sigma, g, seeds[i], opts)
+		if err != nil {
+			return // cancellation: the merge re-checks ctx
+		}
+		verdicts[i], counters[i] = v, cex
+		if v == NotImplied {
+			for {
+				cur := atomic.LoadInt64(&minRefuted)
+				if int64(i) >= cur || atomic.CompareAndSwapInt64(&minRefuted, cur, int64(i)) {
+					break
+				}
+			}
+		}
+	})
+	if err := ctx.Err(); err != nil {
+		return Outcome{}, err
+	}
+
+	branchImplied := 0
+	for i := range seeds {
+		switch verdicts[i] {
+		case NotImplied:
+			return Outcome{
+				Verdict:        NotImplied,
+				Counterexample: counters[i],
+				Reason:         "chase fixpoint is a model of Σ violating ψ",
+			}, nil
+		case Implied:
+			branchImplied++
 		}
 	}
-	if !capped && branchImplied == branches {
-		return Outcome{Verdict: Implied, Reason: "all canonical branches contain the required match"}
+	if !capped && branchImplied == len(seeds) {
+		return Outcome{Verdict: Implied, Reason: "all canonical branches contain the required match"}, nil
 	}
-	return Outcome{Verdict: Unknown, Reason: "some chase branch was inconclusive"}
+	return Outcome{Verdict: Unknown, Reason: "some chase branch was inconclusive"}, nil
 }
 
 // enumAttr is a seed-tuple position whose finite domain is enumerated.
@@ -215,18 +311,22 @@ func enumerate(enums []enumAttr, base instance.Tuple, visit func(instance.Tuple)
 
 // chaseBranch analyses one canonical seed: it runs the universal
 // (fresh-variable) chase for the positive direction and, if that leaves the
-// goal unmatched, the instantiated chase for the refutation direction.
-func chaseBranch(sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND,
-	seed instance.Tuple, opts Options) (Verdict, *instance.Database) {
+// goal unmatched, the instantiated chase for the refutation direction. A
+// non-nil error reports cancellation and nothing else.
+func chaseBranch(ctx context.Context, sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND,
+	seed instance.Tuple, opts Options) (Verdict, *instance.Database, error) {
 
 	// Universal chase: unbounded fresh variables (N = 0).
 	uni := chase.New(sch, nil, sigma, chase.Config{
 		N: 0, MaxSteps: opts.ChaseSteps, TableCap: opts.TableCap,
 	})
 	uni.InsertTuple(g.LHSRel, seed.Clone())
-	uniRes := uni.Run()
+	uniRes := uni.RunContext(ctx)
+	if uniRes == chase.Cancelled {
+		return Unknown, nil, ctx.Err()
+	}
 	if uniRes == chase.Fixpoint && seedHasMatch(uni.DB(), g, seed) {
-		return Implied, nil
+		return Implied, nil, nil
 	}
 
 	// Refutation: instantiated chase, then ground and verify.
@@ -235,8 +335,12 @@ func chaseBranch(sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND,
 		InstantiateFinite: true,
 	})
 	inst.InsertTuple(g.LHSRel, seed.Clone())
-	if inst.Run() != chase.Fixpoint {
-		return Unknown, nil
+	switch inst.RunContext(ctx) {
+	case chase.Fixpoint:
+	case chase.Cancelled:
+		return Unknown, nil, ctx.Err()
+	default:
+		return Unknown, nil, nil
 	}
 	avoid := map[string]bool{}
 	for _, c := range constantsOf(sigma, g) {
@@ -249,18 +353,18 @@ func chaseBranch(sch *schema.Schema, sigma []*cind.CIND, g *cind.CIND,
 	}
 	ground, ok := inst.DB().Ground(inst.VarDomain, avoid)
 	if !ok {
-		return Unknown, nil
+		return Unknown, nil, nil
 	}
 	// Belt and braces: the grounded fixpoint must satisfy Σ.
 	if !cind.SatisfiedAll(sigma, ground) {
-		return Unknown, nil
+		return Unknown, nil, nil
 	}
 	if seedViolates(ground, g, seed) {
-		return NotImplied, ground
+		return NotImplied, ground, nil
 	}
 	// The instantiated branch happened to satisfy the goal; the universal
 	// branch did not prove it, so this branch stays inconclusive.
-	return Unknown, nil
+	return Unknown, nil, nil
 }
 
 // seedHasMatch reports whether the specific seed tuple has the RHS match g
@@ -295,18 +399,65 @@ func constantsOf(sigma []*cind.CIND, g *cind.CIND) []string {
 // members with a definitive Implied verdict are dropped; the result is
 // therefore equivalent to sigma but not necessarily globally minimal.
 func MinimalCover(sch *schema.Schema, sigma []*cind.CIND, opts Options) []*cind.CIND {
-	out := append([]*cind.CIND(nil), sigma...)
-	for i := 0; i < len(out); {
-		rest := make([]*cind.CIND, 0, len(out)-1)
-		rest = append(rest, out[:i]...)
-		rest = append(rest, out[i+1:]...)
-		if Decide(sch, rest, out[i], opts).Verdict == Implied {
-			out = rest
+	out, _ := MinimalCoverContext(context.Background(), sch, sigma, opts)
+	return out
+}
+
+// MinimalCoverContext is MinimalCover with cooperative cancellation
+// threaded into every implication decision. On cancellation it returns
+// ctx's error and a nil cover.
+func MinimalCoverContext(ctx context.Context, sch *schema.Schema, sigma []*cind.CIND, opts Options) ([]*cind.CIND, error) {
+	cover, _, err := MinimalCoverCertified(ctx, sch, sigma, opts)
+	return cover, err
+}
+
+// Drop records one member MinimalCoverCertified removed: its position in
+// the original sigma and the Implied outcome — a proof in the inference
+// system or a universal-chase argument over the members remaining at drop
+// time — that justified the removal.
+type Drop struct {
+	Index   int
+	Outcome Outcome
+}
+
+// MinimalCoverCertified is MinimalCoverContext returning, alongside the
+// cover, one certificate per removed member, in original sigma order.
+// Members are tracked by position, so a sigma listing the same *CIND
+// pointer twice is handled like any other redundancy: one occurrence is
+// dropped (the rest implies it), the other judged on its own.
+func MinimalCoverCertified(ctx context.Context, sch *schema.Schema, sigma []*cind.CIND, opts Options) ([]*cind.CIND, []Drop, error) {
+	type member struct {
+		idx int
+		psi *cind.CIND
+	}
+	cur := make([]member, len(sigma))
+	for i, psi := range sigma {
+		cur[i] = member{i, psi}
+	}
+	var drops []Drop
+	for i := 0; i < len(cur); {
+		rest := make([]*cind.CIND, 0, len(cur)-1)
+		for j, m := range cur {
+			if j != i {
+				rest = append(rest, m.psi)
+			}
+		}
+		dec, err := DecideContext(ctx, sch, rest, cur[i].psi, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		if dec.Verdict == Implied {
+			drops = append(drops, Drop{Index: cur[i].idx, Outcome: dec})
+			cur = append(cur[:i], cur[i+1:]...)
 			continue
 		}
 		i++
 	}
-	return out
+	cover := make([]*cind.CIND, len(cur))
+	for i, m := range cur {
+		cover[i] = m.psi
+	}
+	return cover, drops, nil
 }
 
 // Equivalent reports whether the two sets imply each other, with Unknown

@@ -6,7 +6,10 @@
 // experiment requires.
 package sat
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+)
 
 // Literal encodes a propositional literal: variable v (1-based) is the
 // positive literal Literal(v) and its negation Literal(-v). Zero is invalid.
@@ -85,36 +88,75 @@ const (
 // Solver holds the DPLL search state for one Solve call.
 type solver struct {
 	f      *Formula
-	assign []int8  // per variable
-	act    []int   // branching activity: occurrence counts
-	trail  []int   // assigned variables in order, for backtracking
-	steps  int     // propagation step counter (statistics)
+	assign []int8 // per variable
+	act    []int  // branching activity: occurrence counts
+	trail  []int  // assigned variables in order, for backtracking
+	steps  int    // propagation step counter (statistics)
+
+	// done is the context's cancellation channel (nil when the caller
+	// cannot cancel); cancelled latches once the decision loop observes it.
+	done      <-chan struct{}
+	cancelled bool
 }
 
 // Solve decides satisfiability of f. On success it returns a satisfying
 // assignment; on failure it returns nil, false. Solve is deterministic.
 func Solve(f *Formula) (Assignment, bool) {
+	a, ok, _ := SolveContext(context.Background(), f)
+	return a, ok
+}
+
+// SolveContext is Solve with cooperative cancellation: the DPLL decision
+// loop polls ctx at every branching decision, so a cancelled solve abandons
+// the search promptly instead of completing an exponential backtrack. On
+// cancellation it returns (nil, false, ctx.Err()); a nil error means the
+// (deterministic) search genuinely completed.
+func SolveContext(ctx context.Context, f *Formula) (Assignment, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	s := &solver{
 		f:      f,
 		assign: make([]int8, f.NumVars+1),
 		act:    make([]int, f.NumVars+1),
+		done:   ctx.Done(),
 	}
 	for _, c := range f.Clauses {
 		if len(c) == 0 {
-			return nil, false
+			return nil, false, nil
 		}
 		for _, l := range c {
 			s.act[l.Var()]++
 		}
 	}
 	if !s.dpll() {
-		return nil, false
+		if s.cancelled {
+			return nil, false, ctx.Err()
+		}
+		return nil, false, nil
 	}
 	out := make(Assignment, f.NumVars+1)
 	for v := 1; v <= f.NumVars; v++ {
 		out[v] = s.assign[v] == assignedTrue
 	}
-	return out, true
+	return out, true, nil
+}
+
+// stopped polls the cancellation channel, latching the result.
+func (s *solver) stopped() bool {
+	if s.cancelled {
+		return true
+	}
+	if s.done == nil {
+		return false
+	}
+	select {
+	case <-s.done:
+		s.cancelled = true
+		return true
+	default:
+		return false
+	}
 }
 
 // litVal evaluates a literal under the current partial assignment:
@@ -191,6 +233,9 @@ func (s *solver) pickBranch() int {
 }
 
 func (s *solver) dpll() bool {
+	if s.stopped() {
+		return false
+	}
 	mark := len(s.trail)
 	if !s.propagate() {
 		s.undo(mark)

@@ -1,8 +1,10 @@
 package sat
 
 import (
+	"context"
 	"math/rand"
 	"testing"
+	"time"
 )
 
 func TestEmptyFormulaSat(t *testing.T) {
@@ -194,5 +196,62 @@ func BenchmarkSolveRandom3SAT(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		Solve(f)
+	}
+}
+
+// TestSolveContextPreCancelled: an already-cancelled context never starts
+// the search.
+func TestSolveContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	f := NewFormula(1)
+	f.AddClause(1)
+	if a, ok, err := SolveContext(ctx, f); err != context.Canceled || ok || a != nil {
+		t.Fatalf("SolveContext(cancelled) = (%v, %v, %v), want (nil, false, Canceled)", a, ok, err)
+	}
+}
+
+// TestSolveContextCancelMidSearch cancels an exponential pigeonhole search
+// partway: the decision loop must observe the cancellation and stop instead
+// of completing the backtrack.
+func TestSolveContextCancelMidSearch(t *testing.T) {
+	// PHP(n+1, n): n+1 pigeons in n holes — unsatisfiable, and famously
+	// exponential for DPLL without cutting planes.
+	n := 12
+	varOf := func(p, h int) Literal { return Literal(p*n + h + 1) }
+	f := NewFormula((n + 1) * n)
+	for p := 0; p <= n; p++ {
+		cl := make(Clause, n)
+		for h := 0; h < n; h++ {
+			cl[h] = varOf(p, h)
+		}
+		f.Clauses = append(f.Clauses, cl)
+	}
+	for h := 0; h < n; h++ {
+		for p1 := 0; p1 <= n; p1++ {
+			for p2 := p1 + 1; p2 <= n; p2++ {
+				f.AddClause(-varOf(p1, h), -varOf(p2, h))
+			}
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	type out struct {
+		ok  bool
+		err error
+	}
+	done := make(chan out, 1)
+	go func() {
+		_, ok, err := SolveContext(ctx, f)
+		done <- out{ok, err}
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case o := <-done:
+		if o.err != context.Canceled || o.ok {
+			t.Fatalf("SolveContext = (ok=%v, err=%v), want (false, Canceled)", o.ok, o.err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("solver did not observe cancellation")
 	}
 }

@@ -12,12 +12,24 @@
 //	GET  /datasets/{name}/violations    NDJSON stream ← Checker.Violations(ctx)
 //	POST /datasets/{name}/deltas        delta batch → Checker.Apply, returns the Diff
 //	POST /datasets/{name}/repair        Checker.Repair, returns the change log
+//	POST /datasets/{name}/implication   cind clauses → ConstraintSet.ImplyAll:
+//	                                    verdict + proof / counterexample per goal
+//	GET  /datasets/{name}/consistency   ConstraintSet.CheckConsistencyContext
+//	POST /datasets/{name}/minimize      ConstraintSet.Minimize: minimized spec
+//	                                    text + certificate per dropped constraint
 //	GET  /datasets/{name}               dataset info (tuple counts, mode)
 //	GET  /datasets                      dataset names
 //	DELETE /datasets/{name}             drop the dataset
 //	GET  /healthz                       liveness
 //	GET  /metrics                       this server's expvar metric map
 //	GET  /debug/vars                    process-wide expvar
+//
+// The reasoning endpoints (implication, consistency, minimize) run the
+// Section 3 / Section 5 engines with the request context: a client
+// disconnect — or Drain — cancels the case-split branches, the chase and
+// the SAT decision loop cooperatively, and a cancelled computation answers
+// 503 (retryable server condition), mirroring the deltas/repair
+// convention. No reasoning goroutine outlives its request.
 //
 // The violations stream is backed by Checker.Violations: each line is
 // written and flushed as the engine finds the violation, so first-violation
@@ -65,6 +77,7 @@ const (
 	maxCSVBody         = 256 << 20 // 256 MiB per CSV upload
 	maxDeltasBody      = 32 << 20  // 32 MiB per delta batch
 	maxRepairBody      = 1 << 20   // 1 MiB of repair options
+	maxGoalsBody       = 4 << 20   // 4 MiB of implication goal clauses
 )
 
 // dataset pairs one database instance with its constraint set and the
@@ -79,6 +92,9 @@ type dataset struct {
 	set      *cind.ConstraintSet
 	db       *cind.Database
 	parallel int
+	// goalPrefix is the schema preamble implication goals parse under,
+	// rendered once (the set is immutable).
+	goalPrefix string
 
 	mu          sync.Mutex
 	chk         *cind.Checker
@@ -126,6 +142,9 @@ type Server struct {
 	nStreamed     *expvar.Int // violations streamed over NDJSON, lifetime
 	nActiveStream *expvar.Int // streams currently open
 	nDeltas       *expvar.Int // deltas applied, lifetime
+	nImplication  *expvar.Int // implication goals decided, lifetime
+	nConsistency  *expvar.Int // consistency checks run, lifetime
+	nMinimize     *expvar.Int // minimize runs, lifetime
 }
 
 // New returns a ready-to-serve Server with no datasets.
@@ -141,12 +160,18 @@ func New() *Server {
 		nStreamed:     new(expvar.Int),
 		nActiveStream: new(expvar.Int),
 		nDeltas:       new(expvar.Int),
+		nImplication:  new(expvar.Int),
+		nConsistency:  new(expvar.Int),
+		nMinimize:     new(expvar.Int),
 	}
 	s.vars.Set("datasets", s.nDatasets)
 	s.vars.Set("requests", s.nRequests)
 	s.vars.Set("violations_streamed", s.nStreamed)
 	s.vars.Set("active_streams", s.nActiveStream)
 	s.vars.Set("deltas_applied", s.nDeltas)
+	s.vars.Set("implication_checks", s.nImplication)
+	s.vars.Set("consistency_checks", s.nConsistency)
+	s.vars.Set("minimize_runs", s.nMinimize)
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
@@ -160,6 +185,9 @@ func New() *Server {
 	mux.HandleFunc("GET /datasets/{name}/violations", s.handleViolations)
 	mux.HandleFunc("POST /datasets/{name}/deltas", s.handleDeltas)
 	mux.HandleFunc("POST /datasets/{name}/repair", s.handleRepair)
+	mux.HandleFunc("POST /datasets/{name}/implication", s.handleImplication)
+	mux.HandleFunc("GET /datasets/{name}/consistency", s.handleConsistency)
+	mux.HandleFunc("POST /datasets/{name}/minimize", s.handleMinimize)
 	s.mux = mux
 	return s
 }
@@ -188,7 +216,8 @@ func (s *Server) Vars() expvar.Var { return s.vars }
 // (0 = GOMAXPROCS). It is the programmatic form of PUT
 // /datasets/{name}/constraints; replacing a dataset resets its data.
 func (s *Server) CreateDataset(name string, set *cind.ConstraintSet, parallel int) {
-	d := &dataset{name: name, set: set, db: cind.NewDatabase(set.Schema()), parallel: parallel}
+	d := &dataset{name: name, set: set, db: cind.NewDatabase(set.Schema()),
+		parallel: parallel, goalPrefix: goalPrefix(set)}
 	d.lastSizes = make(map[string]int, set.Schema().Len())
 	for _, rel := range set.Schema().Relations() {
 		d.lastSizes[rel.Name()] = 0
@@ -449,10 +478,8 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 	}
 	chk := d.checker()
 
-	ctx, cancel := context.WithCancel(r.Context())
-	defer cancel()
-	unbind := context.AfterFunc(s.baseCtx, cancel)
-	defer unbind()
+	ctx, stop := s.boundContext(r)
+	defer stop()
 
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -559,4 +586,214 @@ func (s *Server) handleRepair(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, encodeRepair(res))
+}
+
+// --- reasoning handlers ---
+
+// boundContext binds a request context to the server's base context, so a
+// Drain cancels in-flight work (streams and reasoning alike) exactly like
+// a client disconnect. The returned stop func must be deferred.
+func (s *Server) boundContext(r *http.Request) (context.Context, func()) {
+	ctx, cancel := context.WithCancel(r.Context())
+	unbind := context.AfterFunc(s.baseCtx, cancel)
+	return ctx, func() { unbind(); cancel() }
+}
+
+// cancelAware maps a reasoning-engine error: cancellation (client gone, or
+// Drain) is a retryable server condition (503); anything else answers
+// fallback — 400 where the request content can be at fault, 500 where it
+// cannot.
+func cancelAware(w http.ResponseWriter, err error, fallback int) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	httpError(w, fallback, err)
+}
+
+// implicationOptions reads the reasoning budget knobs from the query —
+// the serving face of the paper's budgeted decision procedure:
+// ?parallel= bounds the case-split worker pool, ?max_valuations= the
+// finite-domain branch cap, ?chase_steps= and ?table_cap= the per-branch
+// chase budgets.
+func implicationOptions(r *http.Request) (cind.ImplicationOptions, error) {
+	var opts cind.ImplicationOptions
+	q := r.URL.Query()
+	if p := q.Get("parallel"); p != "" {
+		n, err := strconv.Atoi(p)
+		if err != nil || n < 0 {
+			return opts, fmt.Errorf("bad parallel %q", p)
+		}
+		opts.Parallel = n
+	}
+	for _, knob := range []struct {
+		name string
+		dst  *int
+	}{
+		{"max_valuations", &opts.MaxValuations},
+		{"chase_steps", &opts.ChaseSteps},
+		{"table_cap", &opts.TableCap},
+	} {
+		v := q.Get(knob.name)
+		if v == "" {
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			return opts, fmt.Errorf("bad %s %q", knob.name, v)
+		}
+		*knob.dst = n
+	}
+	return opts, nil
+}
+
+// handleImplication decides Σ ⊨ ψ for every cind clause in the body, where
+// Σ is the dataset's CIND set and the clauses are stated against the
+// dataset's schema (no relation declarations in the body). The response
+// carries one verdict per goal, in goal order, with the inference-system
+// proof or the chase counterexample as the certificate. A client
+// disconnect cancels the case-split fan-out; cancellation answers 503.
+func (s *Server) handleImplication(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	opts, err := implicationOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxGoalsBody))
+	if err != nil {
+		bodyError(w, err)
+		return
+	}
+	goals, err := decodeGoals(body, d.goalPrefix)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, stop := s.boundContext(r)
+	defer stop()
+	outcomes, err := d.set.ImplyAll(ctx, goals, opts)
+	if err != nil {
+		// Non-cancellation errors here are goal-validation failures — the
+		// client's clauses.
+		cancelAware(w, err, http.StatusBadRequest)
+		return
+	}
+	s.nImplication.Add(int64(len(goals)))
+	resp := implicationResponse{Results: make([]implicationWire, len(outcomes))}
+	for i, out := range outcomes {
+		resp.Results[i] = encodeOutcome(goals[i].ID, out)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleConsistency runs the combined Checking algorithm (Figure 9) on the
+// dataset's constraint set: every weakly-connected component of the
+// reduced dependency graph must yield a witness, and the merged witness
+// template is returned with a true answer (definitive, Theorem 5.1).
+// Budgets come from the query: ?k= attempts, ?seed= for reproducibility,
+// ?method=chase|sat, ?parallel= for the component fan-out. Cancellation
+// answers 503.
+func (s *Server) handleConsistency(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	var opts cind.CheckOptions
+	q := r.URL.Query()
+	intArg := func(name string, dst *int, min int) bool {
+		v := q.Get(name)
+		if v == "" {
+			return true
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < min {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s %q", name, v))
+			return false
+		}
+		*dst = n
+		return true
+	}
+	if !intArg("k", &opts.K, 1) || !intArg("parallel", &opts.Parallel, 0) {
+		return
+	}
+	if seed := q.Get("seed"); seed != "" {
+		n, err := strconv.ParseInt(seed, 10, 64)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad seed %q", seed))
+			return
+		}
+		opts.Seed = n
+	}
+	switch q.Get("method") {
+	case "", "chase":
+	case "sat":
+		opts.Method = cind.CheckSAT
+	default:
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad method %q (want chase or sat)", q.Get("method")))
+		return
+	}
+	ctx, stop := s.boundContext(r)
+	defer stop()
+	ans, err := d.set.CheckConsistencyContext(ctx, opts)
+	if err != nil {
+		cancelAware(w, err, http.StatusBadRequest)
+		return
+	}
+	s.nConsistency.Add(1)
+	resp := consistencyWire{Consistent: ans.Consistent}
+	if ans.Witness != nil {
+		resp.Witness = encodeDatabase(ans.Witness)
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleMinimize runs ConstraintSet.Minimize on the dataset's set and
+// returns the minimized set rendered in the constraint text format —
+// ready to PUT to a constraints endpoint — plus one implication
+// certificate per dropped constraint. The dataset itself is not modified:
+// minimization is a read-only analysis, applied by re-uploading the
+// returned spec. Cancellation answers 503.
+func (s *Server) handleMinimize(w http.ResponseWriter, r *http.Request) {
+	d, ok := s.findDataset(w, r)
+	if !ok {
+		return
+	}
+	opts, err := implicationOptions(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, stop := s.boundContext(r)
+	defer stop()
+	res, err := d.set.Minimize(ctx, opts)
+	if err != nil {
+		// Minimize takes no request content: a non-cancellation failure is
+		// the server's own invariant breaking, never the client's fault.
+		cancelAware(w, err, http.StatusInternalServerError)
+		return
+	}
+	s.nMinimize.Add(1)
+	resp := minimizeWire{
+		Kept:        res.Set.Len(),
+		Dropped:     make([]droppedWire, len(res.Dropped)),
+		Constraints: cind.MarshalConstraints(res.Set),
+	}
+	for i, dr := range res.Dropped {
+		dw := droppedWire{
+			ID:         dr.CIND.ID,
+			Index:      dr.Index,
+			Constraint: dr.CIND.String(),
+			Verdict:    dr.Outcome.Verdict.String(),
+			Reason:     dr.Outcome.Reason,
+		}
+		if dr.Outcome.Proof != nil {
+			dw.Proof = dr.Outcome.Proof.String()
+		}
+		resp.Dropped[i] = dw
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

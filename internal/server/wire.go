@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"regexp"
+	"strconv"
+	"strings"
 
 	cind "cind"
 )
@@ -121,10 +124,131 @@ func tupleStrings(t cind.Tuple) []string {
 	return out
 }
 
+// --- reasoning wire types ---
+
+// implicationWire is one goal's outcome in an implication response. An
+// implied goal carries the inference-system proof (when one exists) or the
+// universal-chase reason; a refuted goal carries the counterexample
+// database (relation → tuples, variables rendered as fresh unknowns).
+type implicationWire struct {
+	Constraint     string                `json:"constraint"`
+	Verdict        string                `json:"verdict"`
+	Reason         string                `json:"reason"`
+	Proof          string                `json:"proof,omitempty"`
+	Counterexample map[string][][]string `json:"counterexample,omitempty"`
+}
+
+// implicationResponse is the implication endpoint's body: one outcome per
+// goal, in goal order.
+type implicationResponse struct {
+	Results []implicationWire `json:"results"`
+}
+
+// consistencyWire is the consistency endpoint's response. Consistent true
+// is definitive (Theorem 5.1) and carries the merged per-component witness
+// template; false means no witness was found within the budgets.
+type consistencyWire struct {
+	Consistent bool                  `json:"consistent"`
+	Witness    map[string][][]string `json:"witness,omitempty"`
+}
+
+// droppedWire is one removed constraint in a minimize response, with its
+// implication certificate.
+type droppedWire struct {
+	ID         string `json:"id"`
+	Index      int    `json:"index"`
+	Constraint string `json:"constraint"`
+	Verdict    string `json:"verdict"`
+	Reason     string `json:"reason"`
+	Proof      string `json:"proof,omitempty"`
+}
+
+// minimizeWire is the minimize endpoint's response: the minimized set
+// rendered in the constraint text format (PUT it back to a constraints
+// endpoint to serve it), plus the certificate-carrying drop list.
+type minimizeWire struct {
+	Kept        int           `json:"kept"`
+	Dropped     []droppedWire `json:"dropped"`
+	Constraints string        `json:"constraints"`
+}
+
+func encodeOutcome(id string, out cind.ImplicationOutcome) implicationWire {
+	w := implicationWire{
+		Constraint: id,
+		Verdict:    out.Verdict.String(),
+		Reason:     out.Reason,
+	}
+	if out.Proof != nil {
+		w.Proof = out.Proof.String()
+	}
+	if out.Counterexample != nil {
+		w.Counterexample = encodeDatabase(out.Counterexample)
+	}
+	return w
+}
+
+// encodeDatabase renders a witness or counterexample database as
+// relation → tuples, empty relations omitted.
+func encodeDatabase(db *cind.Database) map[string][][]string {
+	out := map[string][][]string{}
+	for _, rel := range db.Schema().Relations() {
+		in := db.Instance(rel.Name())
+		if in.Len() == 0 {
+			continue
+		}
+		rows := make([][]string, 0, in.Len())
+		for _, t := range in.Tuples() {
+			rows = append(rows, tupleStrings(t))
+		}
+		out[rel.Name()] = rows
+	}
+	return out
+}
+
 // maxDeltaBatch caps the number of deltas one request may carry — the
 // resource bound that keeps a single request from holding the dataset's
 // write lock for an unbounded batch.
 const maxDeltaBatch = 100000
+
+// goalPrefix renders a dataset schema's relation declarations — the
+// invisible preamble implication goals are parsed under. Computed once per
+// dataset (the set is immutable), not per request.
+func goalPrefix(set *cind.ConstraintSet) string {
+	return cind.MarshalSpec(&cind.Spec{Schema: set.Schema()}) + "\n"
+}
+
+// goalLineNumber rewrites "line N" in a parse error so the number refers
+// to the client's request body, not the schema preamble the server
+// prepended.
+var goalLineNumber = regexp.MustCompile(`line (\d+)`)
+
+// decodeGoals parses the body of an implication request: one or more
+// `cind` clauses in the constraint text format, WITHOUT relation
+// declarations — the dataset's own schema (pre-rendered as prefix by
+// goalPrefix) is prepended, so goals are stated against the relations the
+// dataset already serves. CFD clauses are rejected (implication analysis
+// covers CINDs, Section 3), as is an empty body.
+func decodeGoals(body []byte, prefix string) ([]*cind.CIND, error) {
+	spec, err := cind.ParseSpec(prefix + string(body))
+	if err != nil {
+		offset := strings.Count(prefix, "\n")
+		msg := goalLineNumber.ReplaceAllStringFunc(err.Error(), func(m string) string {
+			n, convErr := strconv.Atoi(strings.TrimPrefix(m, "line "))
+			if convErr != nil || n <= offset {
+				return m
+			}
+			return fmt.Sprintf("line %d", n-offset)
+		})
+		return nil, fmt.Errorf("parse goals: %s", msg)
+	}
+	if len(spec.CFDs) > 0 {
+		return nil, fmt.Errorf("parse goals: implication analysis covers cind clauses only, got a cfd")
+	}
+	if len(spec.CINDs) == 0 {
+		return nil, fmt.Errorf("parse goals: no cind clause in the request body")
+	}
+	return spec.CINDs, nil
+}
 
 // decodeDeltas parses and domain-validates the delta wire format against
 // the set's schema: ops must be +/insert or -/delete, relations must exist,

@@ -1,0 +1,176 @@
+package cind
+
+import (
+	"context"
+	"fmt"
+
+	"cind/internal/consistency"
+	core "cind/internal/core"
+	"cind/internal/implication"
+)
+
+// This file is the reasoning half of the public API — implication
+// (Section 3) and consistency (Section 5) over a ConstraintSet, with the
+// same production affordances the detection half got in earlier releases:
+// context cancellation, bounded parallel fan-out with deterministic
+// results, and certificates for every definitive answer.
+
+// ImpliesContext decides whether the set's CINDs imply psi (Σ ⊨ ψ,
+// Section 3), with cooperative cancellation and the implication engine's
+// parallel case-split fan-out (ImplicationOptions.Parallel; 0 = GOMAXPROCS).
+// An Implied outcome carries a proof in the inference system I (Theorem
+// 3.3) or a universal-chase argument; NotImplied carries a counterexample
+// database satisfying Σ and violating ψ. The outcome is deterministic
+// regardless of parallelism. CFDs in the set do not participate —
+// implication analysis is the paper's CIND story.
+func (s *ConstraintSet) ImpliesContext(ctx context.Context, psi *CIND, opts ImplicationOptions) (ImplicationOutcome, error) {
+	if psi == nil {
+		return ImplicationOutcome{}, fmt.Errorf("cind: ImpliesContext: nil goal")
+	}
+	if err := psi.Validate(s.sch); err != nil {
+		return ImplicationOutcome{}, fmt.Errorf("cind: ImpliesContext: goal not valid over the set's schema: %w", err)
+	}
+	return implication.DecideContext(ctx, s.sch, s.cinds, psi, opts)
+}
+
+// Implies is ImpliesContext without cancellation. A validation failure (nil
+// goal, goal over a foreign schema) comes back as Unknown with the error as
+// the reason — never as a fabricated Implied.
+func (s *ConstraintSet) Implies(psi *CIND, opts ImplicationOptions) ImplicationOutcome {
+	out, err := s.ImpliesContext(context.Background(), psi, opts)
+	if err != nil {
+		return ImplicationOutcome{Verdict: Unknown, Reason: err.Error()}
+	}
+	return out
+}
+
+// ImplyAll is the batch form of ImpliesContext: it decides Σ ⊨ ψ for every
+// goal, fanning the goals out over the worker pool, and returns the
+// outcomes in goal order — identical to calling ImpliesContext per goal.
+func (s *ConstraintSet) ImplyAll(ctx context.Context, psis []*CIND, opts ImplicationOptions) ([]ImplicationOutcome, error) {
+	for i, psi := range psis {
+		if psi == nil {
+			return nil, fmt.Errorf("cind: ImplyAll: goal %d is nil", i)
+		}
+		if err := psi.Validate(s.sch); err != nil {
+			return nil, fmt.Errorf("cind: ImplyAll: goal %d not valid over the set's schema: %w", i, err)
+		}
+	}
+	return implication.DecideAll(ctx, s.sch, s.cinds, psis, opts)
+}
+
+// DroppedConstraint records one constraint Minimize removed, with the
+// implication certificate justifying the removal.
+type DroppedConstraint struct {
+	// Index is the constraint's position in the original set.
+	Index int
+	// CIND is the dropped constraint (only CINDs are ever dropped).
+	CIND *CIND
+	// Outcome is the Implied verdict that justified the drop: a proof in
+	// the inference system I, or a universal-chase argument, that the
+	// REMAINING constraints at drop time (which are a superset of the
+	// minimized set's CINDs) imply the dropped one.
+	Outcome ImplicationOutcome
+}
+
+// MinimizeResult is Minimize's certificate-carrying outcome.
+type MinimizeResult struct {
+	// Set is the minimized constraint set: the surviving constraints in
+	// their original relative order, validated against the same schema.
+	Set *ConstraintSet
+	// Dropped lists the removed constraints in original set order, each
+	// with its implication certificate.
+	Dropped []DroppedConstraint
+}
+
+// Minimize drops every CIND that is provably implied by the set's other
+// CINDs — the "minimal cover" application the paper's conclusion names —
+// and returns the surviving set plus a certificate per drop. Order is
+// preserved: the minimized set lists the survivors exactly as the original
+// did, CFDs included (CFDs are never dropped; implication analysis covers
+// CINDs). Only definitive Implied verdicts drop a constraint, so the
+// result is equivalent to the original set: every database satisfying the
+// minimized set satisfies the original, violation reports restricted to
+// surviving constraints are identical, and a clean bill of health from the
+// minimized set is a clean bill of health from the original. Because
+// implication is undecidable in general, the result is equivalent but not
+// necessarily globally minimal.
+//
+// Minimizing before detection is a serving-side optimisation: the engine
+// evaluates fewer constraints for the same clean/dirty verdict (see
+// PERFORMANCE.md, "Reasoning").
+func (s *ConstraintSet) Minimize(ctx context.Context, opts ImplicationOptions) (*MinimizeResult, error) {
+	_, drops, err := implication.MinimalCoverCertified(ctx, s.sch, s.cinds, opts)
+	if err != nil {
+		return nil, err
+	}
+	// Drops are positions into s.cinds; map them back to set positions by
+	// walking the items with a running CIND occurrence counter, so a set
+	// listing the same *CIND pointer twice drops exactly the certified
+	// occurrence.
+	droppedAt := make(map[int]ImplicationOutcome, len(drops))
+	for _, d := range drops {
+		droppedAt[d.Index] = d.Outcome
+	}
+	res := &MinimizeResult{}
+	kept := make([]Constraint, 0, len(s.items))
+	nthCIND := 0
+	for idx, c := range s.items {
+		if psi, ok := c.(*core.CIND); ok {
+			out, isDropped := droppedAt[nthCIND]
+			nthCIND++
+			if isDropped {
+				res.Dropped = append(res.Dropped, DroppedConstraint{Index: idx, CIND: psi, Outcome: out})
+				continue
+			}
+		}
+		kept = append(kept, c)
+	}
+	set, err := NewConstraintSet(s.sch, kept...)
+	if err != nil {
+		// The survivors were all validated when s was built.
+		return nil, fmt.Errorf("cind: Minimize: rebuilding the set: %w", err)
+	}
+	res.Set = set
+	return res, nil
+}
+
+// CheckConsistencyContext is CheckConsistency with cooperative cancellation
+// and the per-component parallel fan-out of the combined Checking algorithm
+// (CheckOptions.Parallel; 0 = GOMAXPROCS): every weakly-connected component
+// of the reduced dependency graph must yield a witness (Figure 9), and the
+// per-component witnesses are merged into Answer.Witness. The answer is
+// deterministic under a fixed CheckOptions.Seed regardless of parallelism.
+func (s *ConstraintSet) CheckConsistencyContext(ctx context.Context, opts CheckOptions) (CheckAnswer, error) {
+	return consistency.CheckingContext(ctx, s.sch, s.cfds, s.cinds, opts)
+}
+
+// RandomCheckConsistencyContext is RandomCheckConsistency with cooperative
+// cancellation threaded through the chase.
+func (s *ConstraintSet) RandomCheckConsistencyContext(ctx context.Context, opts CheckOptions) (CheckAnswer, error) {
+	return consistency.RandomCheckingContext(ctx, s.sch, s.cfds, s.cinds, opts)
+}
+
+// DecideImplicationContext is DecideImplication with cooperative
+// cancellation and the parallel case-split fan-out.
+func DecideImplicationContext(ctx context.Context, sch *Schema, sigma []*CIND, psi *CIND, opts ImplicationOptions) (ImplicationOutcome, error) {
+	return implication.DecideContext(ctx, sch, sigma, psi, opts)
+}
+
+// ImplyAll decides sigma ⊨ ψ for every goal in one batch, fanning the
+// goals out over the implication engine's worker pool; outcomes come back
+// in goal order, identical to deciding each goal alone.
+func ImplyAll(ctx context.Context, sch *Schema, sigma []*CIND, psis []*CIND, opts ImplicationOptions) ([]ImplicationOutcome, error) {
+	return implication.DecideAll(ctx, sch, sigma, psis, opts)
+}
+
+// MinimalCoverContext is MinimalCover with cooperative cancellation.
+func MinimalCoverContext(ctx context.Context, sch *Schema, sigma []*CIND, opts ImplicationOptions) ([]*CIND, error) {
+	return implication.MinimalCoverContext(ctx, sch, sigma, opts)
+}
+
+// CheckConsistencyContext is CheckConsistency with cooperative cancellation
+// and the per-component parallel fan-out.
+func CheckConsistencyContext(ctx context.Context, sch *Schema, cfds []*CFD, cinds []*CIND, opts CheckOptions) (CheckAnswer, error) {
+	return consistency.CheckingContext(ctx, sch, cfds, cinds, opts)
+}

@@ -1,0 +1,317 @@
+// Tests for the reasoning half of the public API: ConstraintSet.Implies /
+// ImplyAll / Minimize / CheckConsistencyContext, certificate soundness of
+// minimization, and detection parity between a set and its minimized form.
+package cind_test
+
+import (
+	"context"
+	"fmt"
+	"strings"
+	"testing"
+
+	cindapi "cind"
+
+	"cind/internal/bank"
+	"cind/internal/implication"
+)
+
+// dupCIND rebuilds a CIND under a fresh ID — the way tests plant exact
+// redundancy.
+func dupCIND(t testing.TB, sch *cindapi.Schema, id string, c *cindapi.CIND) *cindapi.CIND {
+	t.Helper()
+	out, err := cindapi.NewCIND(sch, id, c.LHSRel, c.X, c.Xp, c.RHSRel, c.Y, c.Yp, c.Rows)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return out
+}
+
+// redundantBankSet builds the bank set extended with provably redundant
+// CINDs: an exact duplicate of ψ3 under a fresh ID, and the Example 3.3
+// goal (account_B[at] ⊆ interest[at]), which Σ derives in the inference
+// system. Minimize must drop redundancy while preserving order.
+func redundantBankSet(t testing.TB) (*cindapi.Schema, *cindapi.ConstraintSet) {
+	t.Helper()
+	sch, set := bankSet(t)
+	dup := dupCIND(t, sch, "dup_psi3", bank.Psi3(sch))
+	ex33, err := cindapi.NewCIND(sch, "ex33", "account_EDI", []string{"at"}, nil,
+		"interest", []string{"at"}, nil,
+		[]cindapi.CINDRow{{LHS: []cindapi.Symbol{cindapi.Wild}, RHS: []cindapi.Symbol{cindapi.Wild}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	bigger, err := set.Append(dup, ex33)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sch, bigger
+}
+
+// violationKeys flattens a report for differential comparison: kind,
+// constraint ID and witness tuples, in report order.
+func violationKeys(rep *cindapi.Report) []string {
+	var out []string
+	for _, v := range rep.Violations() {
+		parts := []string{v.Kind().String(), v.ConstraintID(), v.Relation()}
+		for _, tu := range v.Witness() {
+			parts = append(parts, tu.String())
+		}
+		out = append(out, strings.Join(parts, " "))
+	}
+	return out
+}
+
+// TestMinimizeDropsRedundantWithCertificates: Minimize removes the planted
+// redundancy, every drop carries an Implied certificate, the surviving set
+// preserves order, and the minimized set remains equivalent to the
+// original (each dropped member is still implied by the survivors).
+func TestMinimizeDropsRedundantWithCertificates(t *testing.T) {
+	sch, set := redundantBankSet(t)
+	res, err := set.Minimize(context.Background(), cindapi.ImplicationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) == 0 {
+		t.Fatal("the planted duplicate and the derivable ex33 must be dropped")
+	}
+	droppedIDs := map[string]bool{}
+	for _, d := range res.Dropped {
+		if d.CIND == nil {
+			t.Fatal("drop record without the constraint")
+		}
+		droppedIDs[d.CIND.ID] = true
+		if d.Outcome.Verdict != cindapi.Implied {
+			t.Fatalf("dropped %s without an Implied verdict (%v)", d.CIND.ID, d.Outcome.Verdict)
+		}
+		if d.Outcome.Proof == nil && d.Outcome.Reason == "" {
+			t.Fatalf("dropped %s carries neither proof nor chase reason", d.CIND.ID)
+		}
+		if set.Constraints()[d.Index].(*cindapi.CIND) != d.CIND {
+			t.Fatalf("drop index %d does not point at %s in the original set", d.Index, d.CIND.ID)
+		}
+	}
+	if !droppedIDs["ex33"] && !droppedIDs["dup_psi3"] && !droppedIDs["psi3"] {
+		t.Fatalf("no planted redundancy dropped; dropped = %v", droppedIDs)
+	}
+	// Order preservation: the survivors appear in original relative order.
+	want := []string{}
+	for _, c := range set.Constraints() {
+		id := constraintID(c)
+		if !droppedIDs[id] {
+			want = append(want, id)
+		}
+	}
+	got := []string{}
+	for _, c := range res.Set.Constraints() {
+		got = append(got, constraintID(c))
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("minimized order %v, want %v", got, want)
+	}
+	// CFDs are never dropped.
+	if len(res.Set.CFDs()) != len(set.CFDs()) {
+		t.Fatal("Minimize must not drop CFDs")
+	}
+	// Certificate soundness, re-checked: the surviving CINDs still imply
+	// every dropped member (the bank redundancy is inference-derivable, so
+	// the conservative Equivalent check must succeed).
+	for _, d := range res.Dropped {
+		out := implication.Decide(sch, res.Set.CINDs(), d.CIND, implication.Options{})
+		if out.Verdict != cindapi.Implied {
+			t.Fatalf("survivors no longer imply dropped %s: %v (%s)", d.CIND.ID, out.Verdict, out.Reason)
+		}
+	}
+}
+
+// TestMinimizeDetectionParity: on the bank data and on generated dirty
+// workloads, the minimized set's report equals the full set's report
+// restricted to surviving constraints — violation for violation, in order —
+// and the clean/dirty verdict of any database is preserved.
+func TestMinimizeDetectionParity(t *testing.T) {
+	ctx := context.Background()
+	check := func(name string, db *cindapi.Database, set *cindapi.ConstraintSet) {
+		t.Run(name, func(t *testing.T) {
+			res, err := set.Minimize(ctx, cindapi.ImplicationOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			surviving := map[string]bool{}
+			for _, c := range res.Set.Constraints() {
+				surviving[constraintID(c)] = true
+			}
+			full := detectAll(t, db, set)
+			min := detectAll(t, db, res.Set)
+
+			var fullKept []string
+			for _, k := range violationKeys(full) {
+				if surviving[strings.Fields(k)[1]] {
+					fullKept = append(fullKept, k)
+				}
+			}
+			minKeys := violationKeys(min)
+			if strings.Join(fullKept, "\n") != strings.Join(minKeys, "\n") {
+				t.Fatalf("minimized report diverges from the full report's surviving slice:\nfull(kept):\n%s\nminimized:\n%s",
+					strings.Join(fullKept, "\n"), strings.Join(minKeys, "\n"))
+			}
+			// Verdict preservation: dropped constraints are implied by the
+			// survivors, so a database clean under the minimized set is
+			// clean under the original.
+			if min.Clean() != full.Clean() {
+				t.Fatalf("clean verdict diverged: full=%v minimized=%v", full.Clean(), min.Clean())
+			}
+		})
+	}
+
+	sch, set := redundantBankSet(t)
+	check("bank", bank.Data(sch), set)
+
+	for seed := int64(1); seed <= 4; seed++ {
+		set, db := genWorkloadSet(t, seed)
+		// Plant redundancy: duplicate every CIND under a fresh ID.
+		var dups []cindapi.Constraint
+		for _, c := range set.CINDs() {
+			dups = append(dups, dupCIND(t, set.Schema(), "dup_"+c.ID, c))
+		}
+		bigger, err := set.Append(dups...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check(fmt.Sprintf("gen-%d", seed), db, bigger)
+	}
+}
+
+// detectAll runs batch detection for a set over a database.
+func detectAll(t *testing.T, db *cindapi.Database, set *cindapi.ConstraintSet) *cindapi.Report {
+	t.Helper()
+	chk, err := cindapi.NewChecker(db, set)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := chk.Detect(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func constraintID(c cindapi.Constraint) string {
+	switch c := c.(type) {
+	case *cindapi.CFD:
+		return c.ID
+	case *cindapi.CIND:
+		return c.ID
+	}
+	return ""
+}
+
+// TestImpliesMatchesFacade: the set-level Implies agrees with the facade
+// DecideImplication, and ImplyAll returns per-goal outcomes in goal order.
+func TestImpliesMatchesFacade(t *testing.T) {
+	sch, set := bankSet(t)
+	goals := append([]*cindapi.CIND{}, set.CINDs()...)
+	conv, err := cindapi.NewCIND(sch, "conv", "interest", []string{"ab"}, nil,
+		"saving", []string{"ab"}, nil,
+		[]cindapi.CINDRow{{LHS: []cindapi.Symbol{cindapi.Wild}, RHS: []cindapi.Symbol{cindapi.Wild}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	goals = append(goals, conv)
+
+	batch, err := set.ImplyAll(context.Background(), goals, cindapi.ImplicationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, psi := range goals {
+		single := set.Implies(psi, cindapi.ImplicationOptions{})
+		facade := cindapi.DecideImplication(sch, set.CINDs(), psi, cindapi.ImplicationOptions{})
+		if single.Verdict != facade.Verdict || batch[i].Verdict != facade.Verdict {
+			t.Fatalf("goal %s: set=%v batch=%v facade=%v",
+				psi.ID, single.Verdict, batch[i].Verdict, facade.Verdict)
+		}
+	}
+	// An invalid goal is rejected up front, not at detection depth.
+	d := cindapi.InfiniteDomain("d")
+	xrel, err := cindapi.NewRelation("X",
+		cindapi.Attribute{Name: "A", Dom: d}, cindapi.Attribute{Name: "B", Dom: d})
+	if err != nil {
+		t.Fatal(err)
+	}
+	other, err := cindapi.NewSchema(xrel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alien, err := cindapi.NewCIND(other, "alien", "X", []string{"A"}, nil,
+		"X", []string{"B"}, nil,
+		[]cindapi.CINDRow{{LHS: []cindapi.Symbol{cindapi.Wild}, RHS: []cindapi.Symbol{cindapi.Wild}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := set.ImpliesContext(context.Background(), alien, cindapi.ImplicationOptions{}); err == nil {
+		t.Fatal("a goal over a foreign schema must be rejected")
+	}
+	if _, err := set.ImplyAll(context.Background(), []*cindapi.CIND{alien}, cindapi.ImplicationOptions{}); err == nil {
+		t.Fatal("ImplyAll must reject a foreign goal")
+	}
+}
+
+// TestCheckConsistencyContextOnSet: the context variant agrees with the
+// plain call on the bank constraints, and honors cancellation.
+func TestCheckConsistencyContextOnSet(t *testing.T) {
+	_, set := bankSet(t)
+	opts := cindapi.CheckOptions{K: 40, Seed: 5}
+	plain := set.CheckConsistency(opts)
+	viaCtx, err := set.CheckConsistencyContext(context.Background(), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Consistent != viaCtx.Consistent {
+		t.Fatalf("context variant diverged: %v vs %v", viaCtx.Consistent, plain.Consistent)
+	}
+	if !viaCtx.Consistent {
+		t.Fatal("the bank constraints are consistent")
+	}
+	cancelled, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := set.CheckConsistencyContext(cancelled, opts); err != context.Canceled {
+		t.Fatalf("cancelled CheckConsistencyContext err = %v", err)
+	}
+	if _, err := set.RandomCheckConsistencyContext(cancelled, opts); err != context.Canceled {
+		t.Fatalf("cancelled RandomCheckConsistencyContext err = %v", err)
+	}
+	if _, err := set.Minimize(cancelled, cindapi.ImplicationOptions{}); err != context.Canceled {
+		t.Fatalf("cancelled Minimize err = %v", err)
+	}
+}
+
+// TestMinimizeDuplicatePointerOccurrence: a set listing the SAME *CIND
+// pointer twice is redundancy like any other — exactly one occurrence is
+// dropped (tracked by position, not pointer identity), and the minimized
+// set still contains the constraint.
+func TestMinimizeDuplicatePointerOccurrence(t *testing.T) {
+	sch := bank.Schema()
+	psi3 := bank.Psi3(sch)
+	psi4 := bank.Psi4(sch)
+	set, err := cindapi.NewConstraintSet(sch, psi3, psi4, psi3) // same pointer twice
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := set.Minimize(context.Background(), cindapi.ImplicationOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Dropped) != 1 || res.Dropped[0].CIND != psi3 {
+		t.Fatalf("want exactly one ψ3 occurrence dropped, got %d drops", len(res.Dropped))
+	}
+	if res.Set.Len() != 2 {
+		t.Fatalf("minimized set has %d members, want 2 (ψ3 kept once)", res.Set.Len())
+	}
+	found := 0
+	for _, c := range res.Set.CINDs() {
+		if c == psi3 {
+			found++
+		}
+	}
+	if found != 1 {
+		t.Fatalf("ψ3 appears %d times in the minimized set, want exactly 1", found)
+	}
+}
