@@ -4,10 +4,12 @@
 # (incremental session vs per-delta re-detection), BENCH_stream.json
 # (time-to-first-violation via Checker.Violations vs full Detect on the
 # dirty 10k-tuple workload), BENCH_serve.json (cindserve's NDJSON
-# streamed-violations throughput vs the direct in-process iterator) and
+# streamed-violations throughput vs the direct in-process iterator),
 # BENCH_reason.json (minimize-then-detect: detection under a redundant
-# constraint set vs its minimized equivalent), all go test -json event
-# streams whose "output" lines carry the ns/op, B/op and allocs/op figures.
+# constraint set vs its minimized equivalent) and BENCH_wal.json (the delta
+# path with WAL durability at each fsync policy vs in-memory), all go test
+# -json event streams whose "output" lines carry the ns/op, B/op and
+# allocs/op figures.
 # Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
 set -eu
 
@@ -29,10 +31,15 @@ go test -bench=ViolationsThroughput -benchmem -run '^$' -json "$@" ./internal/se
 # and the implication micro-benchmarks).
 go test -bench=Reason -benchmem -run '^$' -json "$@" . > BENCH_reason.json
 
+# Durability: the delta path through the handler with the WAL at each sync
+# policy vs the in-memory baseline (what "acknowledged means durable"
+# costs per batch).
+go test -bench=WALDeltaApply -benchmem -run '^$' -json "$@" ./internal/server > BENCH_wal.json
+
 # Human-readable summary of the recorded metric lines.
-for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json; do
+for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json; do
 	grep -o '"Output":"[^"]*ns/op[^"]*"' "$f" \
 		| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
 done
 
-echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json"
+echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json"

@@ -20,7 +20,7 @@ for d in examples/*/; do
 	go run "./$d" > /dev/null
 done
 
-for pkg in internal/detect internal/server internal/implication internal/consistency; do
+for pkg in internal/detect internal/server internal/implication internal/consistency internal/wal; do
 	echo "== coverage floor: $pkg >= 85%"
 	cover_out="$(mktemp)"
 	go test -coverprofile="$cover_out" "./$pkg" > /dev/null
@@ -38,6 +38,9 @@ go test -run '^$' -fuzz '^FuzzParseMarshalRoundTrip$' -fuzztime 10s ./internal/p
 
 echo "== fuzz smoke: delta wire format (10s)"
 go test -run '^$' -fuzz '^FuzzDeltaDecode$' -fuzztime 10s ./internal/server
+
+echo "== fuzz smoke: WAL frame decoder (10s)"
+go test -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime 10s ./internal/wal
 
 echo "== cindserve smoke: start, load bank fixtures, stream violations, clean shutdown"
 serve_bin="$(mktemp)"
@@ -97,5 +100,87 @@ if ! wait "$serve_pid"; then
 	exit 1
 fi
 echo "cindserve smoke: 2 violations streamed, clean shutdown"
+
+echo "== durability smoke: kill -9 under delta load, restart, recovered report intact"
+data_dir="$(mktemp -d)"
+load_pid=""
+trap 'kill "$serve_pid" "$load_pid" 2> /dev/null || true; rm -rf "$serve_bin" "$serve_log" "$data_dir"' EXIT
+: > "$serve_log"
+"$serve_bin" -addr 127.0.0.1:0 -data "$data_dir" -fsync always > "$serve_log" 2>&1 &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+	base="$(sed -n 's/^cindserve: listening on //p' "$serve_log")"
+	[ -n "$base" ] && break
+	sleep 0.1
+done
+if [ -z "$base" ]; then
+	echo "ci: durable cindserve did not report a listen address:" >&2
+	cat "$serve_log" >&2
+	exit 1
+fi
+curl -sSf -X PUT --data-binary @testdata/bank/bank.cind "$base/datasets/bank/constraints" > /dev/null
+for rel in interest saving checking account_NYC account_EDI; do
+	curl -sSf -X PUT --data-binary "@testdata/bank/$rel.csv" "$base/datasets/bank?relation=$rel" > /dev/null
+done
+# Hammer the deltas endpoint from the background (fresh checking tuples
+# with unique keys and ab=NYC, which interest covers: they change the
+# data, never the 2-violation report) and SIGKILL the server mid-stream —
+# the crash a WAL exists to survive.
+(
+	i=0
+	while :; do
+		printf '[{"op":"+","rel":"checking","tuple":["c%d","n","a","p","NYC"]}]' "$i" \
+			| curl -sf -X POST --data-binary @- "$base/datasets/bank/deltas" > /dev/null || exit 0
+		i=$((i + 1))
+	done
+) &
+load_pid=$!
+sleep 0.5
+kill -9 "$serve_pid"
+wait "$serve_pid" 2> /dev/null || true
+kill "$load_pid" 2> /dev/null || true
+wait "$load_pid" 2> /dev/null || true
+: > "$serve_log"
+"$serve_bin" -addr 127.0.0.1:0 -data "$data_dir" -fsync always > "$serve_log" 2>&1 &
+serve_pid=$!
+base=""
+for _ in $(seq 1 100); do
+	base="$(sed -n 's/^cindserve: listening on //p' "$serve_log")"
+	[ -n "$base" ] && break
+	sleep 0.1
+done
+if [ -z "$base" ]; then
+	echo "ci: cindserve did not come back after kill -9:" >&2
+	cat "$serve_log" >&2
+	exit 1
+fi
+nviol="$(curl -sSf "$base/datasets/bank/violations" | wc -l)"
+if [ "$nviol" != "2" ]; then
+	echo "ci: recovered server streamed $nviol violations, want 2" >&2
+	exit 1
+fi
+# The load must have actually landed: recovery brought back more checking
+# tuples than the 4 fixture rows.
+nchk="$(curl -sSf "$base/datasets/bank" | sed -n 's/.*"checking":\([0-9]*\).*/\1/p')"
+if [ -z "$nchk" ] || [ "$nchk" -le 4 ]; then
+	echo "ci: recovered checking relation holds ${nchk:-?} tuples, want > 4 (load never landed?)" >&2
+	exit 1
+fi
+metrics="$(curl -sSf "$base/metrics")"
+case "$metrics" in
+*'"wal_replayed_batches"'*) ;;
+*)
+	echo "ci: recovered server reports no WAL replay metrics: $metrics" >&2
+	exit 1
+	;;
+esac
+kill -INT "$serve_pid"
+if ! wait "$serve_pid"; then
+	echo "ci: recovered cindserve did not shut down cleanly:" >&2
+	cat "$serve_log" >&2
+	exit 1
+fi
+echo "durability smoke: survived kill -9, recovered report intact"
 
 echo "ci: all green"

@@ -95,6 +95,16 @@
 // WithLimit. See internal/server and the "Serving" section of
 // PERFORMANCE.md.
 //
+// Datasets are in-memory by default; cindserve -data DIR makes them
+// durable. Each dataset then owns a directory holding its constraint spec,
+// periodic CSV snapshots and a CRC-framed write-ahead log of applied delta
+// batches; on restart the snapshot is loaded and the WAL tail replayed
+// through the same Checker.Apply path, so the recovered violation report
+// is identical to a never-crashed process's (a kill -9 mid-append tears at
+// most the unacknowledged tail frame, which recovery truncates). -fsync
+// picks the sync policy: always, off, or a coalescing interval like 100ms.
+// See internal/wal and the "Durability" section of PERFORMANCE.md.
+//
 // The positional entry points Detect, DetectWith and NewSession remain as
 // thin deprecated shims over the Checker for one release; MIGRATION.md
 // tabulates old call → new call.

@@ -7,14 +7,27 @@
 // Usage:
 //
 //	cindserve -addr 127.0.0.1:8080
-//	cindserve -constraints bank.cind -data interest=interest.csv -dataset bank
+//	cindserve -constraints bank.cind -load interest=interest.csv -dataset bank
+//	cindserve -data /var/lib/cindserve -fsync always
 //
-// The optional -constraints/-data flags preload one dataset before serving
+// The optional -constraints/-load flags preload one dataset before serving
 // (the same effect as PUT /datasets/{name}/constraints and PUT
 // /datasets/{name}?relation=...). -addr with port 0 picks a free port; the
 // bound address is printed as
 //
 //	cindserve: listening on http://127.0.0.1:PORT
+//
+// Durability: -data DIR makes datasets survive restarts. Each dataset gets
+// a directory under DIR holding its constraint spec, periodic CSV
+// snapshots and a CRC-framed write-ahead log of applied delta batches; on
+// boot the newest snapshot is loaded and the WAL tail replayed through the
+// same Checker.Apply path live requests use, so the recovered violation
+// report is identical to a never-crashed process's. A torn WAL tail from a
+// crash mid-append is detected by its CRC frame and truncated, never
+// replayed. -fsync picks the sync policy: "always" (default — an
+// acknowledged batch is a durable batch), "off" (leave flushing to the OS)
+// or an interval like "100ms" (coalesce fsyncs, bounding loss to the
+// window). Without -data the server is purely in-memory, as before.
 //
 // Endpoints (see internal/server):
 //
@@ -37,7 +50,8 @@
 //
 // An interrupt (Ctrl-C) or SIGTERM shuts down gracefully: in-flight
 // violation streams are drained (each ends with a final {"error": ...}
-// line), then the listener closes. Exit status 0 on a clean shutdown.
+// line), the listener closes, and in durable mode the WAL is flushed and
+// closed. Exit status 0 on a clean shutdown.
 package main
 
 import (
@@ -57,12 +71,13 @@ import (
 	cind "cind"
 
 	"cind/internal/server"
+	"cind/internal/wal"
 )
 
-type dataFlags []string
+type loadFlags []string
 
-func (d *dataFlags) String() string { return strings.Join(*d, ",") }
-func (d *dataFlags) Set(v string) error {
+func (d *loadFlags) String() string { return strings.Join(*d, ",") }
+func (d *loadFlags) Set(v string) error {
 	*d = append(*d, v)
 	return nil
 }
@@ -70,15 +85,29 @@ func (d *dataFlags) Set(v string) error {
 func main() {
 	addr := flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks a free port)")
 	constraints := flag.String("constraints", "", "constraint file (.cind format) to preload")
-	name := flag.String("dataset", "default", "dataset name for preloaded -constraints/-data")
+	name := flag.String("dataset", "default", "dataset name for preloaded -constraints/-load")
 	parallel := flag.Int("parallel", 0, "detection worker goroutines for the preloaded dataset (0 = GOMAXPROCS)")
-	var data dataFlags
-	flag.Var(&data, "data", "relation=file.csv to preload (repeatable; header row required)")
+	dataDir := flag.String("data", "", "data directory for durable datasets (WAL + snapshots); empty = in-memory")
+	fsync := flag.String("fsync", "always", `WAL sync policy: "always", "off", or a flush interval like "100ms"`)
+	var load loadFlags
+	flag.Var(&load, "load", "relation=file.csv to preload (repeatable; header row required)")
 	flag.Parse()
 
-	srv := server.New()
-	if len(data) > 0 && *constraints == "" {
-		fmt.Fprintln(os.Stderr, "cindserve: -data requires -constraints")
+	policy, err := wal.ParsePolicy(*fsync)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve:", err)
+		os.Exit(2)
+	}
+	srv, err := server.NewWithOptions(server.Options{DataDir: *dataDir, Fsync: policy})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve:", err)
+		os.Exit(2)
+	}
+	if *dataDir != "" {
+		fmt.Printf("cindserve: durable datasets under %s (fsync=%s)\n", *dataDir, *fsync)
+	}
+	if len(load) > 0 && *constraints == "" {
+		fmt.Fprintln(os.Stderr, "cindserve: -load requires -constraints")
 		os.Exit(2)
 	}
 	if *constraints != "" {
@@ -92,11 +121,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, "cindserve:", err)
 			os.Exit(2)
 		}
-		srv.CreateDataset(*name, set, *parallel)
-		for _, d := range data {
+		if err := srv.CreateDataset(*name, set, *parallel); err != nil {
+			fmt.Fprintln(os.Stderr, "cindserve:", err)
+			os.Exit(2)
+		}
+		for _, d := range load {
 			rel, file, ok := strings.Cut(d, "=")
 			if !ok {
-				fmt.Fprintf(os.Stderr, "cindserve: bad -data %q (want relation=file.csv)\n", d)
+				fmt.Fprintf(os.Stderr, "cindserve: bad -load %q (want relation=file.csv)\n", d)
 				os.Exit(2)
 			}
 			fh, err := os.Open(file)
@@ -123,12 +155,9 @@ func main() {
 	}
 	fmt.Printf("cindserve: listening on http://%s\n", ln.Addr())
 
-	hs := &http.Server{
-		Handler: srv,
-		// Request contexts derive from the server's base context, so
-		// Drain cancels every in-flight stream on shutdown.
-		BaseContext: srv.BaseContext,
-	}
+	// NewHTTPServer wires BaseContext (Drain cancels in-flight streams) and
+	// the slow-client header/idle timeouts.
+	hs := server.NewHTTPServer(srv)
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -148,6 +177,10 @@ func main() {
 	}
 	if err := <-shutdownErr; err != nil {
 		fmt.Fprintln(os.Stderr, "cindserve: shutdown:", err)
+		os.Exit(1)
+	}
+	if err := srv.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve: close wal:", err)
 		os.Exit(1)
 	}
 	fmt.Println("cindserve: shut down cleanly")

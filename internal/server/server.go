@@ -61,6 +61,7 @@ import (
 	"expvar"
 	"fmt"
 	"io"
+	"io/fs"
 	"net"
 	"net/http"
 	"sort"
@@ -68,6 +69,8 @@ import (
 	"sync"
 
 	cind "cind"
+
+	"cind/internal/wal"
 )
 
 // Request-body caps — the budget-constrained serving bounds. CSV loads are
@@ -86,6 +89,12 @@ const (
 // guards chk construction and every direct database write (CSV loads), so
 // raw reads of db elsewhere also hold mu. Streams never hold mu — they
 // rely on the Checker's own lock discipline.
+//
+// In durable mode every mutation additionally holds writeMu for the whole
+// {apply, WAL append, maybe snapshot} sequence, so the WAL's record order
+// is exactly the order mutations were applied in — the invariant boot
+// replay depends on. writeMu is ordered outside mu and outside the
+// checker's locks; nothing that holds writeMu takes the registry lock.
 type dataset struct {
 	name string
 
@@ -100,6 +109,15 @@ type dataset struct {
 	chk         *cind.Checker
 	incremental bool           // an Apply-path write has succeeded
 	lastSizes   map[string]int // most recent tuple-count snapshot
+
+	// Durable-mode state, all guarded by writeMu; pd is nil in-memory.
+	writeMu      sync.Mutex
+	pd           *wal.Dataset
+	snapBatches  int   // snapshot after this many WAL appends…
+	snapBytes    int64 // …or this much WAL growth, whichever first
+	sinceSnap    int   // WAL appends since the last snapshot
+	snapAtOffset int64 // WAL end offset the last snapshot covered
+	snapErrs     *expvar.Int
 }
 
 // checker returns the dataset's Checker, building it on first use.
@@ -128,6 +146,14 @@ type Server struct {
 	mu       sync.RWMutex
 	datasets map[string]*dataset
 
+	// store is the durability layer (nil = in-memory mode): per-dataset
+	// directories under Options.DataDir holding the constraint spec, CSV
+	// snapshots and a CRC-framed WAL of applied delta batches. See
+	// internal/wal and the persistence methods in persist.go.
+	store       *wal.Store
+	snapBatches int
+	snapBytes   int64
+
 	mux *http.ServeMux
 
 	// baseCtx is cancelled by Drain; every violations stream is bound to
@@ -145,9 +171,13 @@ type Server struct {
 	nImplication  *expvar.Int // implication goals decided, lifetime
 	nConsistency  *expvar.Int // consistency checks run, lifetime
 	nMinimize     *expvar.Int // minimize runs, lifetime
+	nSnapErrs     *expvar.Int // best-effort snapshots that failed
+	lastRecovery  *expvar.Int // last boot recovery duration, milliseconds
 }
 
-// New returns a ready-to-serve Server with no datasets.
+// New returns a ready-to-serve in-memory Server with no datasets. For
+// durable datasets (WAL + snapshot persistence under a data directory) use
+// NewWithOptions.
 func New() *Server {
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
@@ -163,6 +193,8 @@ func New() *Server {
 		nImplication:  new(expvar.Int),
 		nConsistency:  new(expvar.Int),
 		nMinimize:     new(expvar.Int),
+		nSnapErrs:     new(expvar.Int),
+		lastRecovery:  new(expvar.Int),
 	}
 	s.vars.Set("datasets", s.nDatasets)
 	s.vars.Set("requests", s.nRequests)
@@ -215,19 +247,63 @@ func (s *Server) Vars() expvar.Var { return s.vars }
 // database over the set's schema, served with the given worker-pool bound
 // (0 = GOMAXPROCS). It is the programmatic form of PUT
 // /datasets/{name}/constraints; replacing a dataset resets its data.
-func (s *Server) CreateDataset(name string, set *cind.ConstraintSet, parallel int) {
+//
+// In durable mode the dataset directory (constraint spec + empty WAL) is
+// staged and renamed into place before the registry swap: a failed create
+// leaves no on-disk residue, and replacing a dataset atomically replaces
+// its on-disk state too. Names must satisfy wal.ValidName. In-memory mode
+// never fails.
+func (s *Server) CreateDataset(name string, set *cind.ConstraintSet, parallel int) error {
+	d := s.newDataset(name, set, parallel)
+	if s.store != nil {
+		if err := s.store.Create(name, cind.MarshalConstraints(set)); err != nil {
+			return err
+		}
+		pd, err := s.store.Open(name)
+		if err != nil {
+			s.store.Remove(name)
+			return err
+		}
+		d.pd = pd
+	}
+	s.installDataset(d)
+	return nil
+}
+
+func (s *Server) newDataset(name string, set *cind.ConstraintSet, parallel int) *dataset {
 	d := &dataset{name: name, set: set, db: cind.NewDatabase(set.Schema()),
-		parallel: parallel, goalPrefix: goalPrefix(set)}
+		parallel: parallel, goalPrefix: goalPrefix(set),
+		snapBatches: s.snapBatches, snapBytes: s.snapBytes, snapErrs: s.nSnapErrs}
 	d.lastSizes = make(map[string]int, set.Schema().Len())
 	for _, rel := range set.Schema().Relations() {
 		d.lastSizes[rel.Name()] = 0
 	}
+	return d
+}
+
+// installDataset swaps d into the registry. A displaced dataset's WAL
+// handle is closed so a writer still in flight on the old value fails fast
+// instead of appending to a directory that was renamed away.
+func (s *Server) installDataset(d *dataset) {
 	s.mu.Lock()
-	_, existed := s.datasets[name]
-	s.datasets[name] = d
+	old, existed := s.datasets[d.name]
+	s.datasets[d.name] = d
 	s.mu.Unlock()
 	if !existed {
 		s.nDatasets.Add(1)
+	} else {
+		old.closePersist()
+	}
+}
+
+// closePersist waits out any in-flight mutation and closes the dataset's
+// WAL handle; later persisted writes fail with a closed-log error. No-op
+// in-memory and idempotent.
+func (d *dataset) closePersist() {
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
+	if d.pd != nil {
+		d.pd.Close()
 	}
 }
 
@@ -255,12 +331,34 @@ func (d *dataset) loadCSV(ctx context.Context, rel string, r io.Reader) error {
 	if _, ok := d.set.Schema().Relation(rel); !ok {
 		return fmt.Errorf("dataset %q has no relation %q", d.name, rel)
 	}
+	// writeMu orders this load against other mutations and, in durable
+	// mode, keeps the WAL append adjacent to the in-memory effect.
+	d.writeMu.Lock()
+	defer d.writeMu.Unlock()
 	d.mu.Lock()
 	if d.chk == nil {
 		// No checker yet means no reader can be scanning the database
 		// (building the checker requires this mutex), so load in place.
-		defer d.mu.Unlock()
-		return cind.LoadCSV(d.db, rel, r, true)
+		if d.pd == nil {
+			defer d.mu.Unlock()
+			return cind.LoadCSV(d.db, rel, r, true)
+		}
+		// Durable: validate into a scratch instance first so the rows can
+		// be logged as insert batches (the WAL's only record kind), then
+		// absorb them in place. Instances are sets, so in-place inserts
+		// and replayed insert deltas converge on identical contents.
+		scratch := cind.NewDatabase(d.set.Schema())
+		if err := cind.LoadCSV(scratch, rel, r, true); err != nil {
+			d.mu.Unlock()
+			return err
+		}
+		tuples := scratch.Instance(rel).Tuples()
+		in := d.db.Instance(rel)
+		for _, t := range tuples {
+			in.Insert(t)
+		}
+		d.mu.Unlock()
+		return d.persistInserts(rel, tuples)
 	}
 	chk := d.chk
 	d.mu.Unlock()
@@ -283,7 +381,7 @@ func (d *dataset) loadCSV(ctx context.Context, rel string, r io.Reader) error {
 		return err
 	}
 	d.markIncremental()
-	return nil
+	return d.persistDeltas(deltas)
 }
 
 // relationSizes reports per-relation tuple counts without racing writers
@@ -398,7 +496,17 @@ func (s *Server) handlePutConstraints(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	name := r.PathValue("name")
-	s.CreateDataset(name, set, parallel)
+	if err := s.CreateDataset(name, set, parallel); err != nil {
+		// In durable mode the dataset name doubles as a directory name; a
+		// name the store rejects is the client's fault, any other create
+		// failure is the server's storage.
+		code := http.StatusInternalServerError
+		if s.store != nil && !wal.ValidName(name) {
+			code = http.StatusBadRequest
+		}
+		httpError(w, code, err)
+		return
+	}
 	rels := make([]string, 0, set.Schema().Len())
 	for _, rel := range set.Schema().Relations() {
 		rels = append(rels, rel.Name())
@@ -446,7 +554,7 @@ func (s *Server) handleInfo(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("name")
 	s.mu.Lock()
-	_, ok := s.datasets[name]
+	d, ok := s.datasets[name]
 	delete(s.datasets, name)
 	s.mu.Unlock()
 	if !ok {
@@ -454,6 +562,17 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nDatasets.Add(-1)
+	if s.store != nil {
+		// Wait out any in-flight mutation and close the WAL handle, then
+		// remove the directory atomically (renamed out of the namespace
+		// before deletion) — no crash instant leaves a half-deleted
+		// dataset for recovery to trip over.
+		d.closePersist()
+		if err := s.store.Remove(name); err != nil && !errors.Is(err, fs.ErrNotExist) {
+			httpError(w, http.StatusInternalServerError, err)
+			return
+		}
+	}
 	w.WriteHeader(http.StatusNoContent)
 }
 
@@ -534,14 +653,28 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	// Apply runs outside the dataset mutex: it can legitimately wait
 	// behind an in-flight pre-Apply stream (the Checker's documented
 	// write-after-reader ordering), and the rest of the dataset's
-	// endpoints must stay live meanwhile. The checker's write lock is the
-	// only serialization writes need.
+	// endpoints must stay live meanwhile. writeMu keeps the WAL append
+	// adjacent to the apply so log order equals apply order; in-memory
+	// mode writers are already serialized by the checker's write lock, so
+	// the extra mutex costs no concurrency.
+	d.writeMu.Lock()
 	diff, err := d.checker().Apply(r.Context(), deltas...)
 	if err != nil {
+		d.writeMu.Unlock()
 		// decodeDeltas screened every validation failure, so what reaches
 		// here is cancellation: the client going away, or Drain during
 		// shutdown — a server condition, so tell the client to retry.
 		httpError(w, http.StatusServiceUnavailable, err)
+		return
+	}
+	perr := d.persistDeltas(deltas)
+	d.writeMu.Unlock()
+	if perr != nil {
+		// The batch is live in memory but not durably logged: the server's
+		// storage is failing, not the request. 500 tells the operator;
+		// the report diff is withheld so the error cannot be missed.
+		httpError(w, http.StatusInternalServerError,
+			fmt.Errorf("delta batch applied but not durably logged: %v", perr))
 		return
 	}
 	d.markIncremental()

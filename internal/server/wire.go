@@ -205,6 +205,17 @@ func encodeDatabase(db *cind.Database) map[string][][]string {
 	return out
 }
 
+// encodeDeltas renders applied deltas back into the wire format — the WAL
+// payload encoding, so decodeDeltas replays a logged batch through exactly
+// the validation a live request passes.
+func encodeDeltas(deltas []cind.Delta) []deltaWire {
+	out := make([]deltaWire, len(deltas))
+	for i, d := range deltas {
+		out[i] = deltaWire{Op: d.Op.String(), Rel: d.Rel, Tuple: tupleStrings(d.Tuple)}
+	}
+	return out
+}
+
 // maxDeltaBatch caps the number of deltas one request may carry — the
 // resource bound that keeps a single request from holding the dataset's
 // write lock for an unbounded batch.

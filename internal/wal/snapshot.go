@@ -1,0 +1,188 @@
+package wal
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	cind "cind"
+)
+
+// Manifest describes one snapshot: the WAL offset its relation CSVs cover
+// (replay resumes there) and the relations captured. It is written last,
+// inside the staged directory, and the directory is renamed into place —
+// so a snap-<seq> directory that exists is complete by construction.
+type Manifest struct {
+	Seq       int      `json:"seq"`
+	WALOffset int64    `json:"wal_offset"`
+	Relations []string `json:"relations"`
+	CreatedAt string   `json:"created_at"`
+}
+
+const manifestFile = "manifest.json"
+
+// WriteSnapshot captures db as one CSV per relation plus a manifest
+// carrying walOffset, staged hidden and renamed to snap-<seq>. The caller
+// must guarantee db is quiescent for writes (cindserve holds the dataset's
+// write mutex) and that walOffset is the log's end offset for that state.
+// Older snapshots beyond keepSnapshots are pruned on success.
+func (d *Dataset) WriteSnapshot(db *cind.Database, walOffset int64) (err error) {
+	tmp, err := os.MkdirTemp(d.dir, tmpPrefix+"snap-")
+	if err != nil {
+		return fmt.Errorf("wal: snapshot %s: %w", d.name, err)
+	}
+	defer func() {
+		if err != nil {
+			os.RemoveAll(tmp)
+		}
+	}()
+	var rels []string
+	for _, rel := range db.Schema().Relations() {
+		if err := writeRelationCSV(filepath.Join(tmp, rel.Name()+".csv"), db, rel.Name()); err != nil {
+			return fmt.Errorf("wal: snapshot %s: %w", d.name, err)
+		}
+		rels = append(rels, rel.Name())
+	}
+	seqs := d.snapshotSeqs()
+	seq := 1
+	if len(seqs) > 0 {
+		seq = seqs[len(seqs)-1] + 1
+	}
+	m := Manifest{Seq: seq, WALOffset: walOffset, Relations: rels,
+		CreatedAt: time.Now().UTC().Format(time.RFC3339)}
+	data, err := json.Marshal(m)
+	if err != nil {
+		return fmt.Errorf("wal: snapshot %s: %w", d.name, err)
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestFile), data); err != nil {
+		return fmt.Errorf("wal: snapshot %s: %w", d.name, err)
+	}
+	if err := os.Rename(tmp, filepath.Join(d.dir, snapPrefix+strconv.Itoa(seq))); err != nil {
+		return fmt.Errorf("wal: snapshot %s: %w", d.name, err)
+	}
+	if err := syncDir(d.dir); err != nil {
+		return err
+	}
+	d.store.counters.Snapshots.Add(1)
+	// Prune beyond the retention window; a failure here only delays reclaim.
+	seqs = d.snapshotSeqs()
+	for len(seqs) > keepSnapshots {
+		os.RemoveAll(filepath.Join(d.dir, snapPrefix+strconv.Itoa(seqs[0])))
+		seqs = seqs[1:]
+	}
+	return nil
+}
+
+// LoadLatestSnapshot loads the newest readable snapshot into a fresh
+// database built by fresh, returning it and the WAL offset replay should
+// resume from. A snapshot that fails to load (debris, manual tampering) is
+// skipped in favor of the next older one; with no usable snapshot it
+// returns (nil, 0, nil) — the caller replays the WAL from offset 0, which
+// reconstructs the same state because the log is never truncated.
+func (d *Dataset) LoadLatestSnapshot(fresh func() *cind.Database) (*cind.Database, int64, error) {
+	seqs := d.snapshotSeqs()
+	for i := len(seqs) - 1; i >= 0; i-- {
+		dir := filepath.Join(d.dir, snapPrefix+strconv.Itoa(seqs[i]))
+		db, off, err := loadSnapshot(dir, fresh)
+		if err == nil {
+			return db, off, nil
+		}
+	}
+	return nil, 0, nil
+}
+
+func loadSnapshot(dir string, fresh func() *cind.Database) (*cind.Database, int64, error) {
+	data, err := os.ReadFile(filepath.Join(dir, manifestFile))
+	if err != nil {
+		return nil, 0, err
+	}
+	var m Manifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return nil, 0, fmt.Errorf("wal: manifest %s: %w", dir, err)
+	}
+	db := fresh()
+	for _, rel := range m.Relations {
+		f, err := os.Open(filepath.Join(dir, rel+".csv"))
+		if err != nil {
+			return nil, 0, err
+		}
+		err = cind.LoadCSV(db, rel, f, true)
+		f.Close()
+		if err != nil {
+			return nil, 0, err
+		}
+	}
+	return db, m.WALOffset, nil
+}
+
+// snapshotSeqs lists the dataset's snapshot sequence numbers, ascending.
+func (d *Dataset) snapshotSeqs() []int {
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil
+	}
+	var seqs []int
+	for _, e := range entries {
+		if !e.IsDir() || !strings.HasPrefix(e.Name(), snapPrefix) {
+			continue
+		}
+		n, err := strconv.Atoi(strings.TrimPrefix(e.Name(), snapPrefix))
+		if err == nil && n > 0 {
+			seqs = append(seqs, n)
+		}
+	}
+	sort.Ints(seqs)
+	return seqs
+}
+
+// writeRelationCSV renders one relation as CSV: header row of attribute
+// names in schema order, then the tuples in instance order. Server data is
+// ground by construction; a chase variable in a tuple is a bug, reported
+// rather than silently stringified into an unloadable file.
+func writeRelationCSV(path string, db *cind.Database, rel string) error {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return err
+	}
+	w := csv.NewWriter(f)
+	in := db.Instance(rel)
+	rs := in.Relation()
+	header := make([]string, 0, rs.Arity())
+	for _, a := range rs.Attrs() {
+		header = append(header, a.Name)
+	}
+	if err := w.Write(header); err != nil {
+		f.Close()
+		return err
+	}
+	row := make([]string, rs.Arity())
+	for _, t := range in.Tuples() {
+		for i, v := range t {
+			if !v.IsConst() {
+				f.Close()
+				return fmt.Errorf("non-ground tuple %s in %s", t, rel)
+			}
+			row[i] = v.Str()
+		}
+		if err := w.Write(row); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	w.Flush()
+	if err := w.Error(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

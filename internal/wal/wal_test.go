@@ -1,0 +1,522 @@
+package wal
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	cind "cind"
+)
+
+const testSpec = `relation T(a, b)
+
+cfd f1: T(a -> b) {
+  (_ || _)
+}
+`
+
+func testSet(t *testing.T) *cind.ConstraintSet {
+	t.Helper()
+	set, err := cind.ParseConstraints(testSpec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// faultWriter forwards writes to w until budget bytes have passed, then
+// short-writes the remainder of the budget and fails — the torn-tail
+// injection the recovery tests drive frames through.
+type faultWriter struct {
+	w      io.Writer
+	budget int
+}
+
+func (f *faultWriter) Write(p []byte) (int, error) {
+	if len(p) <= f.budget {
+		f.budget -= len(p)
+		return f.w.Write(p)
+	}
+	n := f.budget
+	f.budget = 0
+	if n > 0 {
+		if m, err := f.w.Write(p[:n]); err != nil {
+			return m, err
+		}
+	}
+	return n, errors.New("injected write failure")
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	payloads := [][]byte{[]byte("a"), {}, []byte(`{"deltas":[]}`), bytes.Repeat([]byte{0xff}, 4096)}
+	var buf bytes.Buffer
+	for _, p := range payloads {
+		if _, err := AppendFrame(&buf, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	records, validEnd := Decode(buf.Bytes())
+	if validEnd != int64(buf.Len()) {
+		t.Fatalf("validEnd = %d, want %d (clean log)", validEnd, buf.Len())
+	}
+	if len(records) != len(payloads) {
+		t.Fatalf("decoded %d records, want %d", len(records), len(payloads))
+	}
+	off := int64(0)
+	for i, r := range records {
+		if !bytes.Equal(r.Payload, payloads[i]) {
+			t.Fatalf("record %d payload = %q, want %q", i, r.Payload, payloads[i])
+		}
+		if r.Offset != off {
+			t.Fatalf("record %d offset = %d, want %d", i, r.Offset, off)
+		}
+		off = r.End()
+	}
+}
+
+func TestFrameRejectsOversizedRecord(t *testing.T) {
+	if _, err := AppendFrame(io.Discard, make([]byte, MaxRecord+1)); err == nil {
+		t.Fatal("AppendFrame accepted a record beyond MaxRecord")
+	}
+}
+
+func TestDecodeStopsAtCorruption(t *testing.T) {
+	var clean bytes.Buffer
+	AppendFrame(&clean, []byte("first"))
+	AppendFrame(&clean, []byte("second"))
+	cases := map[string][]byte{
+		"short header":     append(append([]byte{}, clean.Bytes()...), 0x01, 0x02),
+		"short payload":    append(append([]byte{}, clean.Bytes()...), 0x05, 0x00, 0x00, 0x00, 0xde, 0xad, 0xbe, 0xef, 'x'),
+		"crc mismatch":     append(append([]byte{}, clean.Bytes()...), 0x01, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 'x'),
+		"oversized length": append(append([]byte{}, clean.Bytes()...), 0xff, 0xff, 0xff, 0xff, 0x00, 0x00, 0x00, 0x00),
+	}
+	for name, data := range cases {
+		records, validEnd := Decode(data)
+		if validEnd != int64(clean.Len()) {
+			t.Errorf("%s: validEnd = %d, want %d", name, validEnd, clean.Len())
+		}
+		if len(records) != 2 {
+			t.Errorf("%s: decoded %d records, want 2", name, len(records))
+		}
+	}
+	// Corrupting an interior byte invalidates that frame and everything after.
+	data := append([]byte{}, clean.Bytes()...)
+	data[frameHeader] ^= 0x40 // first payload byte of record 0
+	records, validEnd := Decode(data)
+	if validEnd != 0 || len(records) != 0 {
+		t.Fatalf("interior corruption: got %d records, validEnd %d, want 0/0", len(records), validEnd)
+	}
+}
+
+func TestOpenLogTruncatesTornTail(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "wal.log")
+
+	// Write two intact frames, then tear a third mid-frame through the
+	// fault-injecting writer — the on-disk shape a kill -9 mid-append leaves.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	AppendFrame(f, []byte("one"))
+	AppendFrame(f, []byte("two"))
+	intact, _ := f.Seek(0, io.SeekCurrent)
+	fw := &faultWriter{w: f, budget: 5}
+	if _, err := AppendFrame(fw, []byte("torn-record-payload")); err == nil {
+		t.Fatal("fault writer did not fail")
+	}
+	f.Close()
+
+	var c Counters
+	log, records, err := OpenLog(path, Policy{Mode: SyncAlways}, &c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 2 || string(records[0].Payload) != "one" || string(records[1].Payload) != "two" {
+		t.Fatalf("recovered records = %v", records)
+	}
+	if log.Size() != intact {
+		t.Fatalf("recovered size = %d, want %d", log.Size(), intact)
+	}
+	if got := c.TornTails.Load(); got != 1 {
+		t.Fatalf("TornTails = %d, want 1", got)
+	}
+	// Appends after recovery extend the valid prefix.
+	if _, err := log.Append([]byte("three")); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if fi, _ := os.Stat(path); fi.Size() != intact+frameHeader+5 {
+		t.Fatalf("file size after append = %d", fi.Size())
+	}
+	_, records, err = OpenLog(path, Policy{Mode: SyncAlways}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 3 || string(records[2].Payload) != "three" {
+		t.Fatalf("reopened records = %v", records)
+	}
+}
+
+func TestSyncPolicies(t *testing.T) {
+	appendTwice := func(t *testing.T, policy Policy) *Counters {
+		t.Helper()
+		var c Counters
+		log, _, err := OpenLog(filepath.Join(t.TempDir(), "wal.log"), policy, &c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.Append([]byte("a")); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := log.Append([]byte("b")); err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { log.Close() })
+		return &c
+	}
+	t.Run("always", func(t *testing.T) {
+		c := appendTwice(t, Policy{Mode: SyncAlways})
+		if got := c.Fsyncs.Load(); got != 2 {
+			t.Fatalf("Fsyncs = %d, want 2", got)
+		}
+	})
+	t.Run("off", func(t *testing.T) {
+		c := appendTwice(t, Policy{Mode: SyncOff})
+		if got := c.Fsyncs.Load(); got != 0 {
+			t.Fatalf("Fsyncs = %d, want 0", got)
+		}
+	})
+	t.Run("interval", func(t *testing.T) {
+		c := appendTwice(t, Policy{Mode: SyncInterval, Interval: 10 * time.Millisecond})
+		deadline := time.Now().Add(5 * time.Second)
+		for c.Fsyncs.Load() == 0 {
+			if time.Now().After(deadline) {
+				t.Fatal("interval policy never flushed")
+			}
+			time.Sleep(time.Millisecond)
+		}
+		// A burst of appends coalesces into at most a handful of fsyncs,
+		// never one per append over a long quiet period.
+		if got := c.Fsyncs.Load(); got > 2 {
+			t.Fatalf("Fsyncs = %d after 2 appends, want coalesced", got)
+		}
+	})
+}
+
+func TestAppendToClosedLogFails(t *testing.T) {
+	log, _, err := OpenLog(filepath.Join(t.TempDir(), "wal.log"), Policy{Mode: SyncOff}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := log.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if _, err := log.Append([]byte("x")); err == nil {
+		t.Fatal("append to closed log succeeded")
+	}
+	if err := log.Sync(); err != nil {
+		t.Fatal("sync on closed log should be a no-op")
+	}
+}
+
+func TestParsePolicy(t *testing.T) {
+	for in, want := range map[string]Policy{
+		"always":   {Mode: SyncAlways},
+		"off":      {Mode: SyncOff},
+		"interval": {Mode: SyncInterval, Interval: DefaultSyncInterval},
+		"250ms":    {Mode: SyncInterval, Interval: 250 * time.Millisecond},
+	} {
+		got, err := ParsePolicy(in)
+		if err != nil || got != want {
+			t.Errorf("ParsePolicy(%q) = %+v, %v; want %+v", in, got, err, want)
+		}
+	}
+	for _, bad := range []string{"", "sometimes", "-1s", "0s"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Errorf("ParsePolicy(%q) succeeded", bad)
+		}
+	}
+	if SyncAlways.String() != "always" || SyncInterval.String() != "interval" || SyncOff.String() != "off" {
+		t.Fatal("SyncMode.String mismatch")
+	}
+}
+
+func TestValidName(t *testing.T) {
+	for _, ok := range []string{"bank", "a", "data-set_1.v2", strings.Repeat("x", 128)} {
+		if !ValidName(ok) {
+			t.Errorf("ValidName(%q) = false", ok)
+		}
+	}
+	for _, bad := range []string{"", ".", "..", ".hidden", "a/b", "a\\b", "a b", "über", strings.Repeat("x", 129)} {
+		if ValidName(bad) {
+			t.Errorf("ValidName(%q) = true", bad)
+		}
+	}
+}
+
+// listEntries returns the store root's entries — the orphan check.
+func listEntries(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+func TestStoreCreateRemoveLeavesNoOrphans(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Policy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Create("bank", testSpec); err != nil {
+			t.Fatal(err)
+		}
+		names, err := s.Datasets()
+		if err != nil || len(names) != 1 || names[0] != "bank" {
+			t.Fatalf("Datasets = %v, %v", names, err)
+		}
+		if err := s.Remove("bank"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Failed creates: invalid names, and a rename blocked by a plain file
+	// squatting on the destination. Neither may leave debris behind.
+	if err := s.Create("../escape", testSpec); err == nil {
+		t.Fatal("Create accepted a path-traversal name")
+	}
+	if err := os.WriteFile(filepath.Join(dir, "blocked"), []byte("x"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("blocked", testSpec); err == nil {
+		t.Fatal("Create over a squatting file succeeded")
+	}
+	os.Remove(filepath.Join(dir, "blocked"))
+	if got := listEntries(t, dir); len(got) != 0 {
+		t.Fatalf("store root not empty after create-fail/delete cycles: %v", got)
+	}
+	if err := s.Remove("gone"); !errors.Is(err, os.ErrNotExist) {
+		t.Fatalf("Remove of missing dataset = %v, want ErrNotExist", err)
+	}
+}
+
+func TestStoreCreateReplacesExisting(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Policy{Mode: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("d", testSpec); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Append([]byte("old-batch")); err != nil {
+		t.Fatal(err)
+	}
+	d.Close()
+	if err := s.Create("d", testSpec+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	d2, err := s.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	if d2.Spec() != testSpec+"\n" {
+		t.Fatalf("replaced spec = %q", d2.Spec())
+	}
+	if len(d2.Records()) != 0 || d2.LogSize() != 0 {
+		t.Fatal("replacement dataset inherited the old WAL")
+	}
+	if got := listEntries(t, dir); len(got) != 1 || got[0] != "d" {
+		t.Fatalf("store root after replace: %v", got)
+	}
+}
+
+func TestOpenStoreSweepsDebris(t *testing.T) {
+	dir := t.TempDir()
+	for _, debris := range []string{tmpPrefix + "create-123", trashPrefix + "456"} {
+		if err := os.MkdirAll(filepath.Join(dir, debris, "junk"), 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := OpenStore(dir, Policy{Mode: SyncOff}); err != nil {
+		t.Fatal(err)
+	}
+	if got := listEntries(t, dir); len(got) != 0 {
+		t.Fatalf("debris survived OpenStore: %v", got)
+	}
+}
+
+func TestSnapshotRoundTripAndFallback(t *testing.T) {
+	set := testSet(t)
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Policy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("d", testSpec); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	fresh := func() *cind.Database { return cind.NewDatabase(set.Schema()) }
+
+	if db, off, err := d.LoadLatestSnapshot(fresh); err != nil || db != nil || off != 0 {
+		t.Fatalf("LoadLatestSnapshot with no snapshot = %v, %d, %v", db, off, err)
+	}
+
+	db := fresh()
+	db.Instance("T").Insert(cind.Consts("a1", "b1"))
+	db.Instance("T").Insert(cind.Consts("a2", "quoted \"value\", with comma"))
+	if err := d.WriteSnapshot(db, 42); err != nil {
+		t.Fatal(err)
+	}
+	db.Instance("T").Insert(cind.Consts("a3", "b3"))
+	if err := d.WriteSnapshot(db, 99); err != nil {
+		t.Fatal(err)
+	}
+	if got := s.Counters().Snapshots.Load(); got != 2 {
+		t.Fatalf("Snapshots counter = %d, want 2", got)
+	}
+
+	loaded, off, err := d.LoadLatestSnapshot(fresh)
+	if err != nil || loaded == nil {
+		t.Fatalf("LoadLatestSnapshot: %v, %v", loaded, err)
+	}
+	if off != 99 {
+		t.Fatalf("snapshot offset = %d, want 99", off)
+	}
+	if got := loaded.Instance("T").Len(); got != 3 {
+		t.Fatalf("loaded %d tuples, want 3", got)
+	}
+	want := db.Instance("T").Tuples()
+	for i, tu := range loaded.Instance("T").Tuples() {
+		if !tu.Eq(want[i]) {
+			t.Fatalf("tuple %d = %s, want %s", i, tu, want[i])
+		}
+	}
+
+	// Tamper with the newest snapshot's manifest: recovery falls back to
+	// the older one instead of failing or loading garbage.
+	if err := os.WriteFile(filepath.Join(dir, "d", snapPrefix+"2", manifestFile), []byte("{broken"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	loaded, off, err = d.LoadLatestSnapshot(fresh)
+	if err != nil || loaded == nil || off != 42 {
+		t.Fatalf("fallback snapshot = off %d, err %v", off, err)
+	}
+	if got := loaded.Instance("T").Len(); got != 2 {
+		t.Fatalf("fallback loaded %d tuples, want 2", got)
+	}
+}
+
+func TestSnapshotPruneKeepsRetentionWindow(t *testing.T) {
+	set := testSet(t)
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Policy{Mode: SyncOff})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("d", testSpec); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d.Close()
+	db := cind.NewDatabase(set.Schema())
+	for i := 0; i < keepSnapshots+3; i++ {
+		db.Instance("T").Insert(cind.Consts(fmt.Sprintf("a%d", i), "b"))
+		if err := d.WriteSnapshot(db, int64(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs := d.snapshotSeqs()
+	if len(seqs) != keepSnapshots {
+		t.Fatalf("retained %d snapshots, want %d (%v)", len(seqs), keepSnapshots, seqs)
+	}
+	if seqs[len(seqs)-1] != keepSnapshots+3 {
+		t.Fatalf("newest snapshot seq = %d, want %d", seqs[len(seqs)-1], keepSnapshots+3)
+	}
+}
+
+func TestDatasetAppendAndReopen(t *testing.T) {
+	dir := t.TempDir()
+	s, err := OpenStore(dir, Policy{Mode: SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Create("d", testSpec); err != nil {
+		t.Fatal(err)
+	}
+	d, err := s.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Name() != "d" || d.Spec() != testSpec {
+		t.Fatalf("Name/Spec = %q/%q", d.Name(), d.Spec())
+	}
+	off1, err := d.Append([]byte("batch-1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	off2, err := d.Append([]byte("batch-2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off1 != 0 || off2 != frameHeader+7 {
+		t.Fatalf("offsets = %d, %d", off1, off2)
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	d2, err := s.Open("d")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer d2.Close()
+	recs := d2.Records()
+	if len(recs) != 2 || string(recs[0].Payload) != "batch-1" || string(recs[1].Payload) != "batch-2" {
+		t.Fatalf("reopened records = %v", recs)
+	}
+	if d2.LogSize() != recs[1].End() {
+		t.Fatalf("LogSize = %d, want %d", d2.LogSize(), recs[1].End())
+	}
+
+	if _, err := s.Open("missing"); err == nil {
+		t.Fatal("Open of missing dataset succeeded")
+	}
+	if _, err := s.Open("../escape"); err == nil {
+		t.Fatal("Open accepted a path-traversal name")
+	}
+}
