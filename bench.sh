@@ -3,8 +3,10 @@
 # tracking. Emits BENCH_detect.json (bulk detection), BENCH_incr.json
 # (incremental session vs per-delta re-detection), BENCH_stream.json
 # (time-to-first-violation via Checker.Violations vs full Detect on the
-# dirty 10k-tuple workload), BENCH_serve.json (cindserve's NDJSON
-# streamed-violations throughput vs the direct in-process iterator),
+# dirty 10k-tuple workload), BENCH_serve.json (cindserve's violation
+# streaming throughput per negotiated encoding — ndjson/json/binary, each
+# as the thin-client serving rate and the _decoded end-to-end rate — vs
+# the direct in-process iterator),
 # BENCH_reason.json (minimize-then-detect: detection under a redundant
 # constraint set vs its minimized equivalent) and BENCH_wal.json (the delta
 # path with WAL durability at each fsync policy vs in-memory), all go test
@@ -22,8 +24,9 @@ go test -bench=Incremental -benchmem -run '^$' -benchtime=500x -json . > BENCH_i
 
 go test -bench=StreamFirstViolation -benchmem -run '^$' -json "$@" . > BENCH_stream.json
 
-# Served vs direct streamed-violations throughput (cindserve's NDJSON
-# endpoint against the in-process Checker.Violations baseline).
+# Served vs direct streamed-violations throughput: the violations endpoint
+# in every negotiated encoding (serving rate + _decoded end-to-end rate)
+# against the in-process Checker.Violations baseline.
 go test -bench=ViolationsThroughput -benchmem -run '^$' -json "$@" ./internal/server > BENCH_serve.json
 
 # Reasoning: minimize-then-detect (detection under a redundant constraint

@@ -20,7 +20,7 @@ for d in examples/*/; do
 	go run "./$d" > /dev/null
 done
 
-for pkg in internal/detect internal/server internal/implication internal/consistency internal/wal; do
+for pkg in internal/detect internal/server internal/implication internal/consistency internal/wal internal/stream; do
 	echo "== coverage floor: $pkg >= 85%"
 	cover_out="$(mktemp)"
 	go test -coverprofile="$cover_out" "./$pkg" > /dev/null
@@ -42,15 +42,20 @@ go test -run '^$' -fuzz '^FuzzDeltaDecode$' -fuzztime 10s ./internal/server
 echo "== fuzz smoke: WAL frame decoder (10s)"
 go test -run '^$' -fuzz '^FuzzWALDecode$' -fuzztime 10s ./internal/wal
 
+echo "== fuzz smoke: violation stream decoder (10s)"
+go test -run '^$' -fuzz '^FuzzStreamDecode$' -fuzztime 10s ./internal/stream
+
 echo "== cindserve smoke: start, load bank fixtures, stream violations, clean shutdown"
 serve_bin="$(mktemp)"
+violate_bin="$(mktemp)"
 serve_log="$(mktemp)"
 go build -o "$serve_bin" ./cmd/cindserve
+go build -o "$violate_bin" ./cmd/cindviolate
 "$serve_bin" -addr 127.0.0.1:0 > "$serve_log" 2>&1 &
 serve_pid=$!
 # set -e aborts on the first failing curl: make every exit path reap the
 # server and the temp files.
-trap 'kill "$serve_pid" 2> /dev/null || true; rm -f "$serve_bin" "$serve_log"' EXIT
+trap 'kill "$serve_pid" 2> /dev/null || true; rm -f "$serve_bin" "$violate_bin" "$serve_log"' EXIT
 base=""
 for _ in $(seq 1 100); do
 	base="$(sed -n 's/^cindserve: listening on //p' "$serve_log")"
@@ -67,9 +72,33 @@ curl -sSf -X PUT --data-binary @testdata/bank/bank.cind "$base/datasets/bank/con
 for rel in interest saving checking account_NYC account_EDI; do
 	curl -sSf -X PUT --data-binary "@testdata/bank/$rel.csv" "$base/datasets/bank?relation=$rel" > /dev/null
 done
-nviol="$(curl -sSf "$base/datasets/bank/violations" | wc -l)"
+# The default stream is NDJSON: violation lines plus the trailer line.
+ndjson="$(curl -sSf "$base/datasets/bank/violations")"
+nviol="$(printf '%s\n' "$ndjson" | grep -c '"kind"')"
 if [ "$nviol" != "2" ]; then
 	echo "ci: cindserve streamed $nviol violations for the bank fixtures, want 2" >&2
+	exit 1
+fi
+case "$(printf '%s\n' "$ndjson" | tail -n 1)" in
+*'"done":true'*'"count":2'*) ;;
+*)
+	echo "ci: NDJSON stream did not end with its trailer line:" >&2
+	printf '%s\n' "$ndjson" >&2
+	exit 1
+	;;
+esac
+# Binary stream format: fetch the same endpoint as CRC-framed batches
+# through cindviolate's converter; its NDJSON output must be byte-identical
+# to the served NDJSON (exit 1 = violations found, the expected status).
+bin_status=0
+bin="$("$violate_bin" -from "$base/datasets/bank/violations" -encoding binary)" || bin_status=$?
+if [ "$bin_status" != "1" ]; then
+	echo "ci: cindviolate -from -encoding binary exited $bin_status, want 1 (violations found)" >&2
+	exit 1
+fi
+if [ "$bin" != "$ndjson" ]; then
+	echo "ci: binary stream decoded to a different report than NDJSON:" >&2
+	printf 'binary:\n%s\nndjson:\n%s\n' "$bin" "$ndjson" >&2
 	exit 1
 fi
 # Implication round-trip: the Example 3.3 goal must come back implied with
@@ -99,12 +128,12 @@ if ! wait "$serve_pid"; then
 	cat "$serve_log" >&2
 	exit 1
 fi
-echo "cindserve smoke: 2 violations streamed, clean shutdown"
+echo "cindserve smoke: 2 violations streamed (binary == ndjson), clean shutdown"
 
 echo "== durability smoke: kill -9 under delta load, restart, recovered report intact"
 data_dir="$(mktemp -d)"
 load_pid=""
-trap 'kill "$serve_pid" "$load_pid" 2> /dev/null || true; rm -rf "$serve_bin" "$serve_log" "$data_dir"' EXIT
+trap 'kill "$serve_pid" "$load_pid" 2> /dev/null || true; rm -rf "$serve_bin" "$violate_bin" "$serve_log" "$data_dir"' EXIT
 : > "$serve_log"
 "$serve_bin" -addr 127.0.0.1:0 -data "$data_dir" -fsync always > "$serve_log" 2>&1 &
 serve_pid=$!
@@ -155,7 +184,7 @@ if [ -z "$base" ]; then
 	cat "$serve_log" >&2
 	exit 1
 fi
-nviol="$(curl -sSf "$base/datasets/bank/violations" | wc -l)"
+nviol="$(curl -sSf "$base/datasets/bank/violations" | grep -c '"kind"')"
 if [ "$nviol" != "2" ]; then
 	echo "ci: recovered server streamed $nviol violations, want 2" >&2
 	exit 1

@@ -85,15 +85,26 @@
 //
 //	PUT  /datasets/{name}/constraints    constraint text → ParseConstraints
 //	PUT  /datasets/{name}?relation=R     CSV rows → LoadCSV
-//	GET  /datasets/{name}/violations     NDJSON stream ← Violations(ctx)
+//	GET  /datasets/{name}/violations     violation stream ← Violations(ctx)
 //	POST /datasets/{name}/deltas         delta batch → Apply, returns the Diff
 //	POST /datasets/{name}/repair         Repair change log
 //
-// plus health and expvar metrics. The NDJSON stream is written violation
-// by violation, so a client disconnect cancels the worker pool exactly
-// like breaking out of a Violations loop; ?limit=n is the stream form of
-// WithLimit. See internal/server and the "Serving" section of
-// PERFORMANCE.md.
+// plus health and expvar metrics (per-endpoint latency histograms under
+// latency_us). The violation stream's encoding is negotiated by the
+// Accept header: NDJSON by default — one violation per line, ending with
+// a {"done":true,"count":N} trailer line so a complete stream is
+// distinguishable from a cut connection — application/json for one
+// batched document, or application/x-cind-frames for CRC-framed binary
+// batches, the fastest transfer (~2.8x NDJSON; cindviolate -from
+// converts it back to NDJSON). Encoding runs off the detection hot loop
+// on a batching writer that flushes by size (~32KiB) or deadline
+// (~50ms), first violation eagerly — so time-to-first-violation is
+// engine latency, throughput is not bounded by per-line flushes, and a
+// bounded batch backlog keeps a fast engine from buffering an entire
+// stream ahead of a slow client. A client disconnect cancels the engine
+// exactly like breaking out of a Violations loop; ?limit=n is the
+// stream form of WithLimit (0 streams everything). See internal/server,
+// internal/stream and the "Serving" section of PERFORMANCE.md.
 //
 // Datasets are in-memory by default; cindserve -data DIR makes them
 // durable. Each dataset then owns a directory holding its constraint spec,

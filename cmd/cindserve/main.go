@@ -33,7 +33,7 @@
 //
 //	PUT  /datasets/{name}/constraints    upload the constraint spec (?parallel=N)
 //	PUT  /datasets/{name}?relation=R     upload CSV rows into relation R
-//	GET  /datasets/{name}/violations     stream violations as NDJSON (?limit=N)
+//	GET  /datasets/{name}/violations     stream violations (?limit=N; 0 = all)
 //	POST /datasets/{name}/deltas         apply a delta batch, returns the diff
 //	POST /datasets/{name}/repair         compute a repair change log
 //	POST /datasets/{name}/implication    decide Σ ⊨ ψ for each cind clause in the
@@ -43,6 +43,16 @@
 //	POST /datasets/{name}/minimize       drop implied constraints: minimized spec
 //	                                     text + one certificate per drop
 //	GET  /healthz, /metrics, /debug/vars health and expvar metrics
+//
+// The violations stream's encoding is negotiated by the Accept header
+// (internal/stream): NDJSON by default — one violation object per line,
+// ending with a {"done":true,"count":N} trailer line — application/json
+// for a single batched document, or application/x-cind-frames for
+// CRC-framed binary batches, the fastest transfer (cindviolate -from
+// consumes it and re-emits NDJSON). Every encoding ends with an explicit
+// trailer or error record, so clients can tell a complete stream from a
+// cut connection. /metrics carries per-endpoint latency histograms
+// (log2-bucketed, with p50/p99/max/mean summaries) under latency_us.
 //
 // The reasoning endpoints run with the request context: a disconnected
 // client cancels the implication case-split fan-out, the chase and the SAT

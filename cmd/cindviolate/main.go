@@ -8,6 +8,7 @@
 //	cindviolate -constraints bank.cind -data ... -limit 100   # first 100 violations only
 //	cindviolate -constraints bank.cind -data ... -stream deltas.log  # incremental mode
 //	cindviolate -constraints bank.cind -sql            # emit detection SQL instead
+//	cindviolate -from http://host/datasets/bank/violations -encoding binary
 //
 // Each -data flag loads one CSV file (with header) into the named relation.
 // Detection runs through a cind.Checker over the parsed constraint set;
@@ -32,6 +33,18 @@
 // state. "-stream -" reads the log from stdin, which makes the command a
 // long-lived violation monitor for a write stream.
 //
+// -from fetches a violation stream from a running cindserve instead of
+// detecting locally: the URL is a violations endpoint, -encoding picks the
+// transfer encoding requested via Accept (ndjson, json, or binary — the
+// length-prefixed frame format), and the output is always NDJSON — one
+// violation object per line plus the {"done":true,"count":N} trailer —
+// regardless of what went over the wire. That makes the command a
+// binary-to-NDJSON converter for shell pipelines: the output of
+// "-from URL -encoding binary" is byte-identical to curling the same URL
+// with the default Accept. -limit stops after N violations (the trailer is
+// then omitted, since the stream was cut deliberately); a stream that ends
+// without its trailer, or with the server's error record, exits 2.
+//
 // Exit status 0 means clean (in -stream mode: the final state is clean),
 // 1 means violations were found, 2 means error (including cancellation).
 package main
@@ -40,9 +53,11 @@ import (
 	"bufio"
 	"context"
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"strings"
@@ -50,6 +65,7 @@ import (
 	cind "cind"
 
 	"cind/internal/sqlgen"
+	streampkg "cind/internal/stream"
 )
 
 type dataFlags []string
@@ -66,12 +82,23 @@ func main() {
 	limit := flag.Int("limit", 0, "report at most this many violations (0 = all)")
 	parallel := flag.Int("parallel", 0, "detection worker goroutines (0 = GOMAXPROCS)")
 	stream := flag.String("stream", "", "delta log to apply incrementally (- for stdin)")
+	from := flag.String("from", "", "fetch violations from a cindserve URL instead of detecting locally")
+	encoding := flag.String("encoding", "ndjson", "transfer encoding to request with -from: ndjson, json or binary")
 	var data dataFlags
 	flag.Var(&data, "data", "relation=file.csv (repeatable; header row required)")
 	flag.Parse()
 
 	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt)
 	defer cancel()
+
+	if *from != "" {
+		if *constraints != "" || len(data) > 0 || *stream != "" || *emitSQL {
+			fmt.Fprintln(os.Stderr, "cindviolate: -from does not combine with -constraints, -data, -stream or -sql")
+			os.Exit(2)
+		}
+		runFetch(ctx, *from, *encoding, *limit)
+		return
+	}
 
 	if *constraints == "" {
 		fmt.Fprintln(os.Stderr, "cindviolate: -constraints is required")
@@ -164,6 +191,74 @@ func main() {
 		fmt.Printf("(stopped at -limit %d; more violations exist)\n", *limit)
 	}
 	if !rep.Clean() {
+		os.Exit(1)
+	}
+}
+
+// runFetch streams violations from a cindserve endpoint, re-emitting them
+// as NDJSON lines whatever the transfer encoding was. The decoder's
+// terminal result maps onto the exit codes: a clean trailer-terminated
+// stream exits 0 (clean) or 1 (violations), while truncation, a
+// server-side error record, or corruption exits 2 — a pipeline can trust
+// that exit 0/1 means every violation the server found was delivered.
+func runFetch(ctx context.Context, url, encName string, limit int) {
+	enc, err := streampkg.ParseEncoding(encName)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	req.Header.Set("Accept", enc.ContentType())
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<10))
+		fmt.Fprintf(os.Stderr, "cindviolate: %s: %s: %s\n", url, resp.Status, strings.TrimSpace(string(body)))
+		os.Exit(2)
+	}
+
+	out := bufio.NewWriterSize(os.Stdout, 64<<10)
+	jenc := json.NewEncoder(out)
+	dec := streampkg.NewDecoder(resp.Body, enc)
+	n, cut := 0, false
+	for {
+		if limit > 0 && n >= limit {
+			cut = true
+			break
+		}
+		v, err := dec.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			out.Flush()
+			fmt.Fprintln(os.Stderr, "cindviolate:", err)
+			os.Exit(2)
+		}
+		if err := jenc.Encode(v); err != nil {
+			fmt.Fprintln(os.Stderr, "cindviolate:", err)
+			os.Exit(2)
+		}
+		n++
+	}
+	if !cut {
+		// Re-emit the trailer so the output is itself a complete NDJSON
+		// stream; after a -limit cut there is none to stand behind.
+		fmt.Fprintf(out, "{\"done\":true,\"count\":%d}\n", dec.Count())
+	}
+	if err := out.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "cindviolate:", err)
+		os.Exit(2)
+	}
+	if n > 0 {
 		os.Exit(1)
 	}
 }

@@ -148,6 +148,45 @@ func Each(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cinds []*
 		return err
 	}
 
+	units := make([]func(send func(Violation) bool), 0, len(cfdGroups)+len(cindGroups))
+	for _, g := range cfdGroups {
+		g := g
+		units = append(units, func(send func(Violation) bool) {
+			g.stream(coded, stop, func(v cfd.Violation) bool { return send(CFDViolation(v)) })
+		})
+	}
+	for _, g := range cindGroups {
+		g := g
+		units = append(units, func(send func(Violation) bool) {
+			g.stream(coded, stop, func(v core.Violation) bool { return send(CINDViolation(v)) })
+		})
+	}
+
+	w := opts.workers(len(units))
+	if w == 1 {
+		// Sequential fast path: one worker draining the units in order is
+		// behaviourally identical to the pool below — same violation
+		// order, same cancellation promptness — minus the per-violation
+		// channel handoff, which on a violation-dense database is most of
+		// the streaming cost. yield runs on this goroutine.
+		broke := false
+		send := func(v Violation) bool {
+			if broke || stop() || !yield(v) {
+				broke = true
+				cancel()
+				return false
+			}
+			return true
+		}
+		for _, u := range units {
+			if broke || stop() {
+				break
+			}
+			u(send)
+		}
+		return ctx.Err()
+	}
+
 	// Workers hand violations to the consumer over ch; a send blocked on a
 	// slow consumer unblocks on cancellation, so a consumer break never
 	// strands a worker.
@@ -160,29 +199,14 @@ func Each(ctx context.Context, db *instance.Database, cfds []*cfd.CFD, cinds []*
 			return false
 		}
 	}
-	units := make([]func(), 0, len(cfdGroups)+len(cindGroups))
-	for _, g := range cfdGroups {
-		g := g
-		units = append(units, func() {
-			g.stream(coded, stop, func(v cfd.Violation) bool { return send(CFDViolation(v)) })
-		})
-	}
-	for _, g := range cindGroups {
-		g := g
-		units = append(units, func() {
-			g.stream(coded, stop, func(v core.Violation) bool { return send(CINDViolation(v)) })
-		})
-	}
-
-	w := opts.workers(len(units))
 	var wg sync.WaitGroup
-	uch := make(chan func())
+	uch := make(chan func(send func(Violation) bool))
 	wg.Add(w)
 	for i := 0; i < w; i++ {
 		go func() {
 			defer wg.Done()
 			for u := range uch {
-				u()
+				u(send)
 			}
 		}()
 	}

@@ -2,17 +2,24 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"context"
+	"encoding/binary"
+	"io"
 	"net/http"
 	"testing"
 
 	cind "cind"
+
+	"cind/internal/stream"
 )
 
 // benchURL stands up the dense dirty bank workload behind the service and
 // returns the violations endpoint. No session is built, so every stream
 // runs the batched engine — the configuration where the HTTP layer's
-// overhead is measured against the engine actually working.
+// overhead is measured against the engine actually working. The warm-up
+// stream is fully decoded, so every benchmarked stream's content is the
+// content the differential tests verify.
 func benchURL(b *testing.B) (*http.Client, string, int) {
 	b.Helper()
 	_, ts := startServer(b)
@@ -28,38 +35,144 @@ func benchURL(b *testing.B) (*http.Client, string, int) {
 	return c, url, n
 }
 
-// BenchmarkServeViolationsThroughput measures end-to-end streamed-violation
-// throughput: one op is a full NDJSON stream over HTTP — detection, JSON
-// encoding, chunked transfer and client-side line scanning included.
-// Compare with BenchmarkDirectViolationsThroughput for the serving
-// overhead; PERFORMANCE.md "Serving" tabulates both.
-func BenchmarkServeViolationsThroughput(b *testing.B) {
-	c, url, n := benchURL(b)
-	b.ResetTimer()
-	for i := 0; i < b.N; i++ {
-		resp, err := c.Get(url)
+func streamReq(b *testing.B, c *http.Client, url string, enc stream.Encoding) *http.Response {
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	req.Header.Set("Accept", enc.ContentType())
+	resp, err := c.Do(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return resp
+}
+
+// drainCount reads one whole violation stream, counting served violations
+// with a deliberately thin client: a frame walk for binary, a newline
+// count for NDJSON, a field count for JSON. The benchmark client shares
+// this machine with the server, so a full struct decode per violation
+// would bill the server for client CPU; the thin drain measures the
+// serving rate the endpoint sustains. Full client-side decoding is
+// measured separately by the _decoded sub-benchmarks.
+func drainCount(tb testing.TB, r io.Reader, enc stream.Encoding) int {
+	tb.Helper()
+	switch enc {
+	case stream.Binary:
+		br := bufio.NewReaderSize(r, 64<<10)
+		for {
+			var hdr [8]byte
+			if _, err := io.ReadFull(br, hdr[:]); err != nil {
+				tb.Fatalf("stream cut before trailer: %v", err)
+			}
+			n := int(binary.LittleEndian.Uint32(hdr[:4]))
+			tag, err := br.ReadByte()
+			if err != nil {
+				tb.Fatalf("frame cut: %v", err)
+			}
+			switch tag {
+			case 'V':
+				if _, err := br.Discard(n - 1); err != nil {
+					tb.Fatalf("frame cut: %v", err)
+				}
+			case 'Z':
+				payload := make([]byte, n-1)
+				if _, err := io.ReadFull(br, payload); err != nil {
+					tb.Fatalf("trailer cut: %v", err)
+				}
+				c, _ := binary.Uvarint(payload)
+				return int(c)
+			default:
+				tb.Fatalf("unexpected frame tag %q", tag)
+			}
+		}
+	case stream.NDJSON:
+		lines := chunkCount(tb, r, []byte("\n"))
+		return lines - 1 // minus the trailer line
+	default: // JSONArray: one "row": field per violation
+		return chunkCount(tb, r, []byte(`"row":`))
+	}
+}
+
+// chunkCount counts occurrences of pat across r, carrying a pattern-sized
+// tail between reads so matches spanning chunk boundaries are counted.
+func chunkCount(tb testing.TB, r io.Reader, pat []byte) int {
+	tb.Helper()
+	buf := make([]byte, 64<<10)
+	carry := len(pat) - 1
+	count, kept := 0, 0
+	for {
+		n, err := r.Read(buf[kept:])
+		if n > 0 {
+			count += bytes.Count(buf[:kept+n], pat)
+			if keep := min(carry, kept+n); keep > 0 {
+				copy(buf, buf[kept+n-keep:kept+n])
+				kept = keep
+			}
+		}
+		if err == io.EOF {
+			return count
+		}
 		if err != nil {
-			b.Fatal(err)
-		}
-		lines := 0
-		sc := bufio.NewScanner(resp.Body)
-		sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-		for sc.Scan() {
-			lines++
-		}
-		resp.Body.Close()
-		if err := sc.Err(); err != nil {
-			b.Fatal(err)
-		}
-		if lines != n {
-			b.Fatalf("stream yielded %d violations, want %d", lines, n)
+			tb.Fatalf("drain: %v", err)
 		}
 	}
-	b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "violations/s")
+}
+
+// BenchmarkServeViolationsThroughput measures the serving rate of the
+// violations endpoint per negotiated encoding: one op is a full violation
+// stream over HTTP — detection, encoding, chunked transfer — drained by a
+// thin counting client. The <enc>_decoded variants additionally run
+// stream.Decoder on the client side of the same core, giving the
+// single-machine end-to-end rate. Compare with
+// BenchmarkDirectViolationsThroughput for the engine-only baseline;
+// PERFORMANCE.md "Serving" tabulates all of them, and bench.sh records the
+// curve in BENCH_serve.json.
+func BenchmarkServeViolationsThroughput(b *testing.B) {
+	for _, enc := range []stream.Encoding{stream.NDJSON, stream.JSONArray, stream.Binary} {
+		b.Run(enc.String(), func(b *testing.B) {
+			c, url, n := benchURL(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp := streamReq(b, c, url, enc)
+				got := drainCount(b, resp.Body, enc)
+				resp.Body.Close()
+				if got != n {
+					b.Fatalf("stream yielded %d violations, want %d", got, n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "violations/s")
+		})
+		b.Run(enc.String()+"_decoded", func(b *testing.B) {
+			c, url, n := benchURL(b)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resp := streamReq(b, c, url, enc)
+				got := 0
+				dec := stream.NewDecoder(resp.Body, enc)
+				for {
+					_, err := dec.Next()
+					if err == io.EOF {
+						break
+					}
+					if err != nil {
+						b.Fatal(err)
+					}
+					got++
+				}
+				resp.Body.Close()
+				if got != n {
+					b.Fatalf("stream yielded %d violations, want %d", got, n)
+				}
+			}
+			b.ReportMetric(float64(n)*float64(b.N)/b.Elapsed().Seconds(), "violations/s")
+		})
+	}
 }
 
 // BenchmarkDirectViolationsThroughput is the in-process baseline: the same
-// workload drained through Checker.Violations directly, no HTTP, no JSON.
+// workload drained through Checker.Violations directly, no HTTP, no
+// encoding.
 func BenchmarkDirectViolationsThroughput(b *testing.B) {
 	chk, _ := bankChecker(b)
 	in := chk.Database().Instance("checking")

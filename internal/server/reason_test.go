@@ -244,18 +244,22 @@ func TestReasoningMetrics(t *testing.T) {
 	do(t, c, http.MethodGet, ts.URL+"/datasets/bank/consistency?k=40&seed=5", nil, http.StatusOK)
 	do(t, c, http.MethodPost, ts.URL+"/datasets/bank/minimize", nil, http.StatusOK)
 
-	var metrics map[string]int64
+	var metrics struct {
+		Implication int64 `json:"implication_checks"`
+		Consistency int64 `json:"consistency_checks"`
+		Minimize    int64 `json:"minimize_runs"`
+	}
 	if err := json.Unmarshal(do(t, c, http.MethodGet, ts.URL+"/metrics", nil, http.StatusOK), &metrics); err != nil {
 		t.Fatal(err)
 	}
-	if metrics["implication_checks"] != 2 {
-		t.Fatalf("implication_checks = %d, want 2", metrics["implication_checks"])
+	if metrics.Implication != 2 {
+		t.Fatalf("implication_checks = %d, want 2", metrics.Implication)
 	}
-	if metrics["consistency_checks"] != 1 {
-		t.Fatalf("consistency_checks = %d, want 1", metrics["consistency_checks"])
+	if metrics.Consistency != 1 {
+		t.Fatalf("consistency_checks = %d, want 1", metrics.Consistency)
 	}
-	if metrics["minimize_runs"] != 1 {
-		t.Fatalf("minimize_runs = %d, want 1", metrics["minimize_runs"])
+	if metrics.Minimize != 1 {
+		t.Fatalf("minimize_runs = %d, want 1", metrics.Minimize)
 	}
 	_ = s
 }

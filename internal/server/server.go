@@ -9,7 +9,10 @@
 //
 //	PUT  /datasets/{name}/constraints   constraint spec text → ParseConstraints
 //	PUT  /datasets/{name}?relation=R    CSV body → LoadCSV into relation R
-//	GET  /datasets/{name}/violations    NDJSON stream ← Checker.Violations(ctx)
+//	GET  /datasets/{name}/violations    violation stream ← Checker.Violations(ctx);
+//	                                    Accept-negotiated encoding (NDJSON default,
+//	                                    JSON array, CRC-framed binary — see
+//	                                    internal/stream)
 //	POST /datasets/{name}/deltas        delta batch → Checker.Apply, returns the Diff
 //	POST /datasets/{name}/repair        Checker.Repair, returns the change log
 //	POST /datasets/{name}/implication   cind clauses → ConstraintSet.ImplyAll:
@@ -31,14 +34,23 @@
 // 503 (retryable server condition), mirroring the deltas/repair
 // convention. No reasoning goroutine outlives its request.
 //
-// The violations stream is backed by Checker.Violations: each line is
-// written and flushed as the engine finds the violation, so first-violation
-// latency is one detection group, not the full report. A client disconnect
-// cancels the request context, which stops the engine's worker pool; the
-// handler does not return until every worker has exited, so a broken
-// connection leaks no goroutines. ?limit=n ends the stream after n
-// violations by breaking out of the iterator — the documented equivalent of
-// WithLimit(n) on the stream, which the differential tests pin.
+// The violations stream is backed by Checker.Violations and served through
+// internal/stream: the Accept header selects the encoding (NDJSON stays the
+// default; application/json buys one parseable document,
+// application/x-cind-frames the CRC-framed binary batches), and a
+// per-stream encoder goroutine batches and flushes by size or deadline
+// (32KiB / 50ms, first violation eagerly) so the detection hot loop never
+// blocks on encoding or the socket. Every encoding ends with an explicit
+// terminal record — the NDJSON trailer line {"done":true,"count":N}, the
+// JSON document's "done" member, the binary 'Z' frame — or, after a
+// cancellation, a terminal error record, so a complete stream is always
+// distinguishable from a truncated one. A client disconnect cancels the
+// request context, which stops the engine's worker pool; the handler does
+// not return until every worker has exited, so a broken connection leaks no
+// goroutines. ?limit=n ends the stream after n violations by breaking out
+// of the iterator — the documented equivalent of WithLimit(n) on the
+// stream, which the differential tests pin; ?limit=0 (like WithLimit(0))
+// streams unlimited.
 //
 // Concurrency follows the Checker's existing lock discipline: streams and
 // repair take the checker's read lock (or, after the first Apply, walk an
@@ -70,6 +82,7 @@ import (
 
 	cind "cind"
 
+	"cind/internal/stream"
 	"cind/internal/wal"
 )
 
@@ -165,14 +178,19 @@ type Server struct {
 	vars          *expvar.Map
 	nDatasets     *expvar.Int
 	nRequests     *expvar.Int
-	nStreamed     *expvar.Int // violations streamed over NDJSON, lifetime
+	nStreamed     *expvar.Int // violations streamed (any encoding), lifetime
 	nActiveStream *expvar.Int // streams currently open
 	nDeltas       *expvar.Int // deltas applied, lifetime
 	nImplication  *expvar.Int // implication goals decided, lifetime
 	nConsistency  *expvar.Int // consistency checks run, lifetime
 	nMinimize     *expvar.Int // minimize runs, lifetime
 	nSnapErrs     *expvar.Int // best-effort snapshots that failed
+	nWALErrs      *expvar.Int // mutations applied but not durably logged
 	lastRecovery  *expvar.Int // last boot recovery duration, milliseconds
+
+	// latency holds one histogram per instrumented endpoint, published as
+	// "latency_us". Populated in New, read-only after.
+	latency map[string]*latencyHistogram
 }
 
 // New returns a ready-to-serve in-memory Server with no datasets. For
@@ -194,7 +212,9 @@ func New() *Server {
 		nConsistency:  new(expvar.Int),
 		nMinimize:     new(expvar.Int),
 		nSnapErrs:     new(expvar.Int),
+		nWALErrs:      new(expvar.Int),
 		lastRecovery:  new(expvar.Int),
+		latency:       make(map[string]*latencyHistogram),
 	}
 	s.vars.Set("datasets", s.nDatasets)
 	s.vars.Set("requests", s.nRequests)
@@ -204,22 +224,24 @@ func New() *Server {
 	s.vars.Set("implication_checks", s.nImplication)
 	s.vars.Set("consistency_checks", s.nConsistency)
 	s.vars.Set("minimize_runs", s.nMinimize)
+	s.vars.Set("wal_append_errors", s.nWALErrs)
+	s.vars.Set("latency_us", expvar.Func(s.latencySnapshot))
 
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", s.handleHealth)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.Handle("GET /debug/vars", expvar.Handler())
-	mux.HandleFunc("GET /datasets", s.handleList)
-	mux.HandleFunc("PUT /datasets/{name}/constraints", s.handlePutConstraints)
-	mux.HandleFunc("PUT /datasets/{name}", s.handlePutData)
-	mux.HandleFunc("GET /datasets/{name}", s.handleInfo)
-	mux.HandleFunc("DELETE /datasets/{name}", s.handleDelete)
-	mux.HandleFunc("GET /datasets/{name}/violations", s.handleViolations)
-	mux.HandleFunc("POST /datasets/{name}/deltas", s.handleDeltas)
-	mux.HandleFunc("POST /datasets/{name}/repair", s.handleRepair)
-	mux.HandleFunc("POST /datasets/{name}/implication", s.handleImplication)
-	mux.HandleFunc("GET /datasets/{name}/consistency", s.handleConsistency)
-	mux.HandleFunc("POST /datasets/{name}/minimize", s.handleMinimize)
+	mux.HandleFunc("GET /datasets", s.instrument("list", s.handleList))
+	mux.HandleFunc("PUT /datasets/{name}/constraints", s.instrument("put_constraints", s.handlePutConstraints))
+	mux.HandleFunc("PUT /datasets/{name}", s.instrument("put_data", s.handlePutData))
+	mux.HandleFunc("GET /datasets/{name}", s.instrument("info", s.handleInfo))
+	mux.HandleFunc("DELETE /datasets/{name}", s.instrument("delete", s.handleDelete))
+	mux.HandleFunc("GET /datasets/{name}/violations", s.instrument("violations", s.handleViolations))
+	mux.HandleFunc("POST /datasets/{name}/deltas", s.instrument("deltas", s.handleDeltas))
+	mux.HandleFunc("POST /datasets/{name}/repair", s.instrument("repair", s.handleRepair))
+	mux.HandleFunc("POST /datasets/{name}/implication", s.instrument("implication", s.handleImplication))
+	mux.HandleFunc("GET /datasets/{name}/consistency", s.instrument("consistency", s.handleConsistency))
+	mux.HandleFunc("POST /datasets/{name}/minimize", s.instrument("minimize", s.handleMinimize))
 	s.mux = mux
 	return s
 }
@@ -358,7 +380,10 @@ func (d *dataset) loadCSV(ctx context.Context, rel string, r io.Reader) error {
 			in.Insert(t)
 		}
 		d.mu.Unlock()
-		return d.persistInserts(rel, tuples)
+		if err := d.persistInserts(rel, tuples); err != nil {
+			return &notDurableError{err: err}
+		}
+		return nil
 	}
 	chk := d.chk
 	d.mu.Unlock()
@@ -381,8 +406,23 @@ func (d *dataset) loadCSV(ctx context.Context, rel string, r io.Reader) error {
 		return err
 	}
 	d.markIncremental()
-	return d.persistDeltas(deltas)
+	if err := d.persistDeltas(deltas); err != nil {
+		return &notDurableError{err: err}
+	}
+	return nil
 }
+
+// notDurableError marks a mutation that is live in memory but failed to
+// reach the WAL: the handler must not answer with an error status (a
+// retrying client would double-apply) — it reports success with
+// "durable": false instead.
+type notDurableError struct{ err error }
+
+func (e *notDurableError) Error() string {
+	return "applied but not durably logged: " + e.err.Error()
+}
+
+func (e *notDurableError) Unwrap() error { return e.err }
 
 // relationSizes reports per-relation tuple counts without racing writers
 // and without stalling: raw reads under the dataset mutex while no checker
@@ -527,6 +567,20 @@ func (s *Server) handlePutData(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	err := d.loadCSV(r.Context(), rel, http.MaxBytesReader(w, r.Body, maxCSVBody))
+	var nde *notDurableError
+	if errors.As(err, &nde) {
+		// The rows are live; only the WAL append failed. Same contract as
+		// deltas: success with "durable": false, never a retry-inviting
+		// error status.
+		s.nWALErrs.Add(1)
+		sizes, _ := d.relationSizes()
+		w.Header().Set("X-Applied", "true")
+		writeJSON(w, http.StatusOK, map[string]any{
+			"dataset": d.name, "relation": rel, "tuples": sizes[rel],
+			"durable": false, "storage_error": nde.Error(),
+		})
+		return
+	}
 	if err != nil {
 		bodyError(w, err)
 		return
@@ -576,11 +630,19 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 	w.WriteHeader(http.StatusNoContent)
 }
 
-// handleViolations streams the dataset's violations as NDJSON, one line per
-// violation, flushed as found. The stream context is the request context
-// (client disconnect cancels the engine's worker pool) additionally bound
-// to the server's base context (Drain ends the stream). ?limit=n stops
-// after n violations by breaking the iterator, which also stops the pool.
+// handleViolations streams the dataset's violations in the
+// Accept-negotiated encoding (see internal/stream; NDJSON is the default),
+// batching and flushing off the iterator loop through a stream.Writer. The
+// stream context is the request context (client disconnect cancels the
+// engine's worker pool) additionally bound to the server's base context
+// (Drain ends the stream). ?limit=n stops after n violations by breaking
+// the iterator, which also stops the pool; ?limit=0, like WithLimit(0),
+// streams unlimited — the rejected values are negative or non-numeric.
+//
+// Every exit path emits the encoding's terminal record: the trailer after
+// a complete stream (limit included), the terminal error record after a
+// cancellation — flushed, so a client can always tell a complete stream
+// from a truncated one.
 func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 	d, ok := s.findDataset(w, r)
 	if !ok {
@@ -590,41 +652,49 @@ func (s *Server) handleViolations(w http.ResponseWriter, r *http.Request) {
 	if l := r.URL.Query().Get("limit"); l != "" {
 		n, err := strconv.Atoi(l)
 		if err != nil || n < 0 {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad limit %q", l))
+			httpError(w, http.StatusBadRequest,
+				fmt.Errorf("bad limit %q (want a non-negative integer; 0 streams unlimited)", l))
 			return
 		}
 		limit = n
 	}
+	enc := stream.Negotiate(r.Header.Get("Accept"))
 	chk := d.checker()
 
 	ctx, stop := s.boundContext(r)
 	defer stop()
 
-	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("Content-Type", enc.ContentType())
 	w.WriteHeader(http.StatusOK)
 	fl, _ := w.(http.Flusher)
 
 	s.nActiveStream.Add(1)
 	defer s.nActiveStream.Add(-1)
 
-	enc := json.NewEncoder(w)
+	sw := stream.NewWriter(w, fl, enc, stream.Options{})
+	defer func() {
+		// Close is idempotent: a no-op after the explicit CloseError /
+		// Close below, the trailer writer on the limit-break path.
+		sw.Close()
+		s.nStreamed.Add(sw.Count())
+	}()
 	n := 0
 	for v, err := range chk.Violations(ctx) {
 		if err != nil {
-			// Cancellation (client gone, or Drain): emit a final error
-			// line — a disconnected client simply won't read it — and
-			// end; returning unwinds the iterator, which stops the
-			// workers before Violations hands control back.
-			enc.Encode(errorWire{Error: err.Error()})
+			// Cancellation (client gone, or Drain): end with the terminal
+			// error record — a disconnected client simply won't read it —
+			// and unwind the iterator, which stops the workers before
+			// Violations hands control back.
+			sw.CloseError(err.Error())
 			return
 		}
-		if err := enc.Encode(encodeViolation(v)); err != nil {
-			return // write failed: client is gone, stop the stream
+		if !sw.Send(v) {
+			// The response writer failed: the client is gone. CloseError
+			// keeps the writer's bookkeeping exact; nothing reaches the
+			// socket.
+			sw.CloseError("client write failed")
+			return
 		}
-		if fl != nil {
-			fl.Flush()
-		}
-		s.nStreamed.Add(1)
 		if n++; limit > 0 && n >= limit {
 			return
 		}
@@ -669,21 +739,29 @@ func (s *Server) handleDeltas(w http.ResponseWriter, r *http.Request) {
 	}
 	perr := d.persistDeltas(deltas)
 	d.writeMu.Unlock()
-	if perr != nil {
-		// The batch is live in memory but not durably logged: the server's
-		// storage is failing, not the request. 500 tells the operator;
-		// the report diff is withheld so the error cannot be missed.
-		httpError(w, http.StatusInternalServerError,
-			fmt.Errorf("delta batch applied but not durably logged: %v", perr))
-		return
-	}
 	d.markIncremental()
 	s.nDeltas.Add(int64(len(deltas)))
-	writeJSON(w, http.StatusOK, diffWire{
+	resp := diffWire{
 		Applied: len(deltas),
 		Added:   encodeReport(&diff.Added),
 		Removed: encodeReport(&diff.Removed),
-	})
+	}
+	if d.pd != nil {
+		durable := perr == nil
+		resp.Durable = &durable
+	}
+	if perr != nil {
+		// The batch is live in memory but not durably logged: the server's
+		// storage is failing, not the request. This must NOT be an error
+		// status — a retrying client would double-apply a batch that is
+		// already live — so the diff is returned with "durable": false (and
+		// an X-Applied header, for clients that only look at headers) and
+		// the storage failure is reported alongside, not instead.
+		s.nWALErrs.Add(1)
+		resp.StorageError = fmt.Sprintf("delta batch applied but not durably logged: %v", perr)
+		w.Header().Set("X-Applied", "true")
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleRepair runs Checker.Repair and returns the change log. The

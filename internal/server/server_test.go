@@ -19,6 +19,8 @@ import (
 	"time"
 
 	cind "cind"
+
+	"cind/internal/stream"
 )
 
 var bankRelations = []string{"account_NYC", "account_EDI", "saving", "checking", "interest"}
@@ -73,11 +75,25 @@ func do(t testing.TB, c *http.Client, method, url string, body []byte, wantCode 
 	return out
 }
 
-// streamViolations GETs the violations endpoint and parses the NDJSON
-// stream; an {"error": ...} line fails the test.
+// streamViolations GETs the violations endpoint (default NDJSON encoding)
+// and decodes the stream; a terminal error line or a stream without its
+// trailer fails the test.
 func streamViolations(t testing.TB, c *http.Client, url string) []violationWire {
+	return streamViolationsEnc(t, c, url, stream.NDJSON)
+}
+
+// streamViolationsEnc is streamViolations with an explicit negotiated
+// encoding: the request carries the encoding's content type in Accept, the
+// response must answer with it, and the stream must end cleanly (trailer
+// present, count matching).
+func streamViolationsEnc(t testing.TB, c *http.Client, url string, enc stream.Encoding) []violationWire {
 	t.Helper()
-	resp, err := c.Get(url)
+	req, err := http.NewRequest(http.MethodGet, url, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	req.Header.Set("Accept", enc.ContentType())
+	resp, err := c.Do(req)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -86,26 +102,12 @@ func streamViolations(t testing.TB, c *http.Client, url string) []violationWire 
 		body, _ := io.ReadAll(resp.Body)
 		t.Fatalf("GET %s = %d (body: %s)", url, resp.StatusCode, body)
 	}
-	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
-		t.Fatalf("violations Content-Type = %q", ct)
+	if ct := resp.Header.Get("Content-Type"); ct != enc.ContentType() {
+		t.Fatalf("violations Content-Type = %q, want %q", ct, enc.ContentType())
 	}
-	var out []violationWire
-	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		var e errorWire
-		if json.Unmarshal(line, &e) == nil && e.Error != "" {
-			t.Fatalf("stream ended with error line: %s", e.Error)
-		}
-		var v violationWire
-		if err := json.Unmarshal(line, &v); err != nil {
-			t.Fatalf("torn NDJSON line %q: %v", line, err)
-		}
-		out = append(out, v)
-	}
-	if err := sc.Err(); err != nil {
-		t.Fatal(err)
+	out, err := stream.DecodeAll(resp.Body, enc)
+	if err != nil {
+		t.Fatalf("decode %s stream: %v", enc, err)
 	}
 	return out
 }
@@ -247,6 +249,9 @@ func encodeDiff(d *cind.ReportDiff, applied int) diffWire {
 
 func assertSameDiff(t testing.TB, label string, got diffWire, want diffWire) {
 	t.Helper()
+	// Durability is a property of the server's storage with no direct-call
+	// twin; the durability tests assert it explicitly.
+	got.Durable, got.StorageError = nil, ""
 	gb, _ := json.Marshal(got)
 	wb, _ := json.Marshal(want)
 	if !bytes.Equal(gb, wb) {
@@ -543,6 +548,7 @@ func TestHTTPErrors(t *testing.T) {
 		{"out-of-domain CSV value", "PUT", base + "?relation=account_NYC", "an,cn,ca,cp,at\n1,2,3,4,money-market\n", 400},
 		{"bad limit", "GET", base + "/violations?limit=all", "", 400},
 		{"negative limit", "GET", base + "/violations?limit=-1", "", 400},
+		{"zero limit streams unlimited", "GET", base + "/violations?limit=0", "", 200},
 		{"delta garbage", "POST", base + "/deltas", "{", 400},
 		{"delta bad op", "POST", base + "/deltas", `{"deltas":[{"op":"*","rel":"checking","tuple":["1","2","3","4","5"]}]}`, 400},
 		{"delta unknown relation", "POST", base + "/deltas", `{"deltas":[{"op":"+","rel":"nope","tuple":["1"]}]}`, 400},
@@ -704,14 +710,9 @@ func TestProgrammaticAPIAndLateCSVLoad(t *testing.T) {
 	}
 	rec = httptest.NewRecorder()
 	s.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/datasets/bank/violations", nil))
-	var got []violationWire
-	dec := json.NewDecoder(rec.Body)
-	for dec.More() {
-		var v violationWire
-		if err := dec.Decode(&v); err != nil {
-			t.Fatal(err)
-		}
-		got = append(got, v)
+	got, err := stream.DecodeAll(rec.Body, stream.NDJSON)
+	if err != nil {
+		t.Fatalf("decode stream: %v", err)
 	}
 	assertSameOrder(t, "late-load state", got, collectDirect(t, chk))
 }

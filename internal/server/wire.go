@@ -10,20 +10,15 @@ import (
 	"strings"
 
 	cind "cind"
+
+	"cind/internal/stream"
 )
 
-// violationWire is the NDJSON line the violations endpoint streams, and the
-// element type of delta-diff and repair responses. Witness tuples are value
-// arrays in schema column order; for a CFD the witness is the offending
-// pair [t1, t2] (t1 == t2 for single-tuple violations), for a CIND the
-// single unmatched LHS tuple [t].
-type violationWire struct {
-	Kind       string     `json:"kind"`
-	Constraint string     `json:"constraint"`
-	Relation   string     `json:"relation"`
-	Row        int        `json:"row"`
-	Witness    [][]string `json:"witness"`
-}
+// violationWire is the wire form of one violation — the NDJSON line the
+// violations endpoint streams and the element type of delta-diff
+// responses. It is stream.Violation: the violations endpoint's negotiated
+// encodings (internal/stream) and the JSON here are one format.
+type violationWire = stream.Violation
 
 // errorWire is the body of every non-2xx response, and the final NDJSON
 // line of a stream that ended on a cancelled context.
@@ -32,18 +27,7 @@ type errorWire struct {
 }
 
 func encodeViolation(v cind.Violation) violationWire {
-	ts := v.Witness()
-	w := violationWire{
-		Kind:       v.Kind().String(),
-		Constraint: v.ConstraintID(),
-		Relation:   v.Relation(),
-		Row:        v.Row(),
-		Witness:    make([][]string, len(ts)),
-	}
-	for i, t := range ts {
-		w.Witness[i] = tupleStrings(t)
-	}
-	return w
+	return stream.Convert(v)
 }
 
 func encodeReport(r *cind.Report) []violationWire {
@@ -71,11 +55,17 @@ type deltasRequest struct {
 }
 
 // diffWire is the deltas endpoint's response: the net report change of the
-// batch, plus the number of deltas received.
+// batch, plus the number of deltas received. In durable mode durable
+// reports whether the batch reached the WAL; false means the batch is live
+// in memory (do NOT retry it — that would double-apply) but the storage
+// layer failed, with the failure in storage_error. In-memory mode omits
+// both.
 type diffWire struct {
-	Applied int             `json:"applied"`
-	Added   []violationWire `json:"added"`
-	Removed []violationWire `json:"removed"`
+	Applied      int             `json:"applied"`
+	Durable      *bool           `json:"durable,omitempty"`
+	StorageError string          `json:"storage_error,omitempty"`
+	Added        []violationWire `json:"added"`
+	Removed      []violationWire `json:"removed"`
 }
 
 // repairRequest is the repair endpoint's (optional) body.

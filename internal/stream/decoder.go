@@ -1,0 +1,241 @@
+package stream
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+
+	"cind/internal/wal"
+)
+
+// ErrTruncated reports a stream that ended without its terminal record —
+// the bytes received are valid violations, but the server never said the
+// stream was complete (connection cut, proxy timeout, crashed server).
+var ErrTruncated = errors.New("stream: truncated violation stream (no end-of-stream trailer)")
+
+// RemoteError is the server's own terminal error record: the stream ended
+// because the server cancelled it (client-observed Drain, engine
+// cancellation), and everything before it was delivered intact.
+type RemoteError struct{ Msg string }
+
+func (e *RemoteError) Error() string { return "stream: server reported: " + e.Msg }
+
+// Decoder reads one violations stream in any negotiated encoding and
+// yields violations in stream order. Next returns io.EOF exactly when the
+// stream carried its clean end-of-stream trailer and the trailer count
+// matches the violations received; a server-side cancellation surfaces as
+// *RemoteError, a cut connection as ErrTruncated, and corruption (binary
+// CRC mismatch, malformed JSON) as a descriptive error. The terminal
+// result is sticky.
+type Decoder struct {
+	enc Encoding
+	br  *bufio.Reader
+
+	queue []Violation
+	qpos  int
+	seen  int64
+	count int64
+	fin   bool
+	ferr  error
+
+	jsonRead  bool
+	jsonFinal error
+
+	// Binary-decode scratch, reused across frames: the payload buffer and
+	// the batch reader with its intern cache and witness slabs.
+	payload bytes.Buffer
+	batch   batchReader
+}
+
+// NewDecoder wraps r, which must carry a stream in encoding enc (match it
+// to the response Content-Type).
+func NewDecoder(r io.Reader, enc Encoding) *Decoder {
+	return &Decoder{enc: enc, br: bufio.NewReaderSize(r, 64<<10)}
+}
+
+// Next returns the next violation, or the stream's terminal result.
+func (d *Decoder) Next() (Violation, error) {
+	for {
+		if d.qpos < len(d.queue) {
+			v := d.queue[d.qpos]
+			d.qpos++
+			return v, nil
+		}
+		if d.fin {
+			return Violation{}, d.ferr
+		}
+		d.queue = d.queue[:0]
+		d.qpos = 0
+		var err error
+		switch d.enc {
+		case Binary:
+			err = d.fillBinary()
+		case JSONArray:
+			err = d.fillJSON()
+		default:
+			err = d.fillNDJSON()
+		}
+		if err != nil {
+			d.fin, d.ferr = true, err
+		}
+	}
+}
+
+// Count reports the trailer's violation count; valid after Next returned
+// io.EOF.
+func (d *Decoder) Count() int64 { return d.count }
+
+func (d *Decoder) checkTrailer() error {
+	if d.count != d.seen {
+		return fmt.Errorf("stream: trailer count %d != %d violations received", d.count, d.seen)
+	}
+	return io.EOF
+}
+
+// fillNDJSON consumes one line: a violation, the error line, or the
+// trailer.
+func (d *Decoder) fillNDJSON() error {
+	line, rerr := d.br.ReadBytes('\n')
+	trim := bytes.TrimSpace(line)
+	if len(trim) == 0 {
+		if rerr != nil {
+			return ErrTruncated // EOF before any terminal line
+		}
+		return nil // blank line between records: skip
+	}
+	var probe struct {
+		Violation
+		Done  *bool   `json:"done"`
+		Count *int64  `json:"count"`
+		Error *string `json:"error"`
+	}
+	if err := json.Unmarshal(trim, &probe); err != nil {
+		return fmt.Errorf("stream: bad ndjson line: %v", err)
+	}
+	switch {
+	case probe.Error != nil:
+		return &RemoteError{Msg: *probe.Error}
+	case probe.Done != nil && *probe.Done:
+		if probe.Count != nil {
+			d.count = *probe.Count
+		}
+		return d.checkTrailer()
+	case probe.Kind == "":
+		return fmt.Errorf("stream: line %q is neither a violation, an error, nor the trailer", trim)
+	default:
+		d.queue = append(d.queue, probe.Violation)
+		d.seen++
+		return nil
+	}
+}
+
+// fillJSON reads the whole body once; the terminal result is computed up
+// front and handed out after the queue drains.
+func (d *Decoder) fillJSON() error {
+	if d.jsonRead {
+		return d.jsonFinal
+	}
+	d.jsonRead = true
+	data, err := io.ReadAll(d.br)
+	if err != nil {
+		return err
+	}
+	var body struct {
+		Violations []Violation `json:"violations"`
+		Done       bool        `json:"done"`
+		Count      *int64      `json:"count"`
+		Error      *string     `json:"error"`
+	}
+	if err := json.Unmarshal(data, &body); err != nil {
+		// A cut connection leaves an unterminated document.
+		return fmt.Errorf("%w (bad json body: %v)", ErrTruncated, err)
+	}
+	d.queue = append(d.queue, body.Violations...)
+	d.seen = int64(len(body.Violations))
+	switch {
+	case body.Error != nil:
+		d.jsonFinal = &RemoteError{Msg: *body.Error}
+	case !body.Done:
+		d.jsonFinal = ErrTruncated
+	default:
+		if body.Count != nil {
+			d.count = *body.Count
+		}
+		d.jsonFinal = d.checkTrailer()
+	}
+	return nil
+}
+
+// fillBinary consumes one frame: a 'V' violation batch, the 'E' error
+// record, or the 'Z' trailer.
+func (d *Decoder) fillBinary() error {
+	var hdr [8]byte
+	if _, err := io.ReadFull(d.br, hdr[:]); err != nil {
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			return ErrTruncated
+		}
+		return err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:4])
+	if n == 0 {
+		return errors.New("stream: empty frame (missing tag byte)")
+	}
+	if int64(n) > wal.MaxRecord {
+		return fmt.Errorf("stream: frame of %d bytes exceeds the %d-byte record cap", n, int64(wal.MaxRecord))
+	}
+	// Copy rather than pre-allocate n bytes: a corrupt length field only
+	// ever costs as much memory as the stream actually carries. The buffer
+	// is a reused field, so steady-state frames cost no allocation.
+	d.payload.Reset()
+	if _, err := io.CopyN(&d.payload, d.br, int64(n)); err != nil {
+		return ErrTruncated
+	}
+	payload := d.payload.Bytes()
+	if crc32.ChecksumIEEE(payload) != binary.LittleEndian.Uint32(hdr[4:8]) {
+		return errors.New("stream: frame CRC mismatch")
+	}
+	switch payload[0] {
+	case 'V':
+		base := len(d.queue)
+		vs, err := d.batch.decode(payload[1:], d.queue)
+		if err != nil {
+			return err
+		}
+		d.queue = vs
+		d.seen += int64(len(vs) - base)
+		return nil
+	case 'E':
+		return &RemoteError{Msg: string(payload[1:])}
+	case 'Z':
+		c, k := binary.Uvarint(payload[1:])
+		if k <= 0 || k != len(payload)-1 {
+			return errors.New("stream: bad trailer frame")
+		}
+		d.count = int64(c)
+		return d.checkTrailer()
+	default:
+		return fmt.Errorf("stream: unknown frame tag 0x%02x", payload[0])
+	}
+}
+
+// DecodeAll drains a complete stream, returning its violations. The error
+// is nil only for a clean, trailer-terminated stream.
+func DecodeAll(r io.Reader, enc Encoding) ([]Violation, error) {
+	d := NewDecoder(r, enc)
+	var out []Violation
+	for {
+		v, err := d.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, v)
+	}
+}

@@ -1,0 +1,435 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+
+	"cind/internal/detect"
+	"cind/internal/wal"
+)
+
+// Flusher is the subset of http.Flusher the Writer drives; nil disables
+// flushing (plain buffers in tests and benchmarks).
+type Flusher interface{ Flush() }
+
+// Options tunes the Writer's batching and flush policy. The zero value
+// selects the defaults below.
+type Options struct {
+	// FlushBytes flushes the encode buffer to the client once it holds this
+	// many bytes.
+	FlushBytes int
+	// FlushInterval flushes buffered bytes this long after the first one
+	// arrived, bounding how stale a partially-filled buffer may get on a
+	// slow violation stream.
+	FlushInterval time.Duration
+	// BatchSize is the producer micro-batch: Send hands violations to the
+	// encoder goroutine in groups of this size, so the detection hot loop
+	// pays one mutex handoff per batch, not per violation.
+	BatchSize int
+	// PushInterval bounds how long a violation may sit in a partially
+	// filled micro-batch before Send pushes it anyway.
+	PushInterval time.Duration
+}
+
+// Defaults: flush at 32KiB or 50ms, whichever first; micro-batches of 256
+// pushed at least every 5ms.
+const (
+	DefaultFlushBytes    = 32 << 10
+	DefaultFlushInterval = 50 * time.Millisecond
+	defaultBatchSize     = 256
+	defaultPushInterval  = 5 * time.Millisecond
+)
+
+// maxPooledBuf caps the encode buffers returned to the pool, so one stream
+// with a pathological single violation cannot pin a huge buffer forever.
+const maxPooledBuf = 1 << 20
+
+var bufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// Writer streams violations to out in one negotiated encoding, moving all
+// conversion, encoding and flushing off the caller's loop: Send appends to
+// a micro-batch and hands full batches to a per-stream encoder goroutine;
+// the goroutine encodes, flushes at FlushBytes or FlushInterval (whichever
+// first, with the very first violation flushed eagerly so first-violation
+// latency stays one detection group), and writes the encoding's terminal
+// record when the stream closes.
+//
+// Send and Close/CloseError must be called from one goroutine (the
+// iterator loop). Close and CloseError are idempotent; the first call wins.
+type Writer struct {
+	out  io.Writer
+	fl   Flusher
+	enc  Encoding
+	opts Options
+
+	// Producer-side state, guarded by the single-caller contract.
+	micro    []detect.Violation
+	lastPush time.Time
+	okCached bool
+
+	mu      sync.Mutex
+	full    sync.Cond            // producer waits here while pending is at capacity
+	pending [][]detect.Violation // full micro-batches awaiting encode
+	spare   [][]detect.Violation // spent batch buffers for the producer to reuse
+	closed  bool
+	endErr  string
+	werr    error
+
+	wake chan struct{}
+	done chan struct{}
+
+	scratch []byte // encoder-goroutine scratch for binary violation bodies
+
+	count int64 // violations written; read via Count after Close
+}
+
+// NewWriter starts a stream writer over out. fl may be nil; opts zero
+// fields take the defaults.
+func NewWriter(out io.Writer, fl Flusher, enc Encoding, opts Options) *Writer {
+	if opts.FlushBytes <= 0 {
+		opts.FlushBytes = DefaultFlushBytes
+	}
+	if opts.FlushInterval <= 0 {
+		opts.FlushInterval = DefaultFlushInterval
+	}
+	if opts.BatchSize <= 0 {
+		opts.BatchSize = defaultBatchSize
+	}
+	if opts.PushInterval <= 0 {
+		opts.PushInterval = defaultPushInterval
+	}
+	w := &Writer{
+		out: out, fl: fl, enc: enc, opts: opts,
+		micro:    make([]detect.Violation, 0, opts.BatchSize),
+		lastPush: time.Now(),
+		okCached: true,
+		wake:     make(chan struct{}, 1),
+		done:     make(chan struct{}),
+	}
+	w.full.L = &w.mu
+	go w.run()
+	return w
+}
+
+// Send queues one violation. It returns false once the underlying writer
+// has failed (the client is gone) — the caller should stop iterating. The
+// report is conservative by up to one micro-batch: a failure is observed at
+// the next batch handoff, which PushInterval bounds.
+func (w *Writer) Send(v detect.Violation) bool {
+	w.micro = append(w.micro, v)
+	if len(w.micro) >= w.opts.BatchSize || time.Since(w.lastPush) >= w.opts.PushInterval {
+		return w.push()
+	}
+	return w.okCached
+}
+
+// maxPendingBatches bounds the encode backlog: once the encoder is this
+// many micro-batches behind, push blocks until it catches up. This is the
+// writer's backpressure — a fast engine cannot buffer an entire stream
+// ahead of a slow client, memory per stream stays bounded, and
+// cancellation (Drain, disconnect) still reaches a stream mid-flight
+// instead of finding it already fully buffered.
+const maxPendingBatches = 4
+
+// push hands the micro-batch slice itself to the encoder goroutine — no
+// per-violation copy — takes a recycled buffer for the next batch, and
+// samples writer health. It blocks while the encode backlog is full.
+func (w *Writer) push() bool {
+	w.lastPush = time.Now()
+	w.mu.Lock()
+	for len(w.pending) >= maxPendingBatches && !w.closed && w.werr == nil {
+		w.full.Wait()
+	}
+	if len(w.micro) > 0 && !w.closed {
+		w.pending = append(w.pending, w.micro)
+		if n := len(w.spare); n > 0 {
+			w.micro = w.spare[n-1][:0]
+			w.spare = w.spare[:n-1]
+		} else {
+			w.micro = make([]detect.Violation, 0, w.opts.BatchSize)
+		}
+	}
+	ok := w.werr == nil && !w.closed
+	w.mu.Unlock()
+	w.okCached = ok
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	return ok
+}
+
+// Close pushes any buffered violations, writes the encoding's clean
+// end-of-stream trailer, flushes, and waits for the encoder goroutine to
+// exit. It returns the first write error the stream hit, if any.
+func (w *Writer) Close() error { return w.finish("") }
+
+// CloseError ends the stream with the encoding's terminal error record —
+// the signal that the stream is truncated by cancellation, not complete.
+func (w *Writer) CloseError(msg string) error {
+	if msg == "" {
+		msg = "stream aborted"
+	}
+	return w.finish(msg)
+}
+
+// Count returns the number of violations written; valid after Close or
+// CloseError has returned.
+func (w *Writer) Count() int64 { return w.count }
+
+func (w *Writer) finish(endErr string) error {
+	w.mu.Lock()
+	if !w.closed {
+		w.closed = true
+		w.endErr = endErr
+		if len(w.micro) > 0 {
+			w.pending = append(w.pending, w.micro)
+			w.micro = nil
+		}
+	}
+	w.mu.Unlock()
+	select {
+	case w.wake <- struct{}{}:
+	default:
+	}
+	<-w.done
+	w.okCached = false
+	w.mu.Lock()
+	err := w.werr
+	w.mu.Unlock()
+	return err
+}
+
+func (w *Writer) setWerr(err error) {
+	w.mu.Lock()
+	if w.werr == nil {
+		w.werr = err
+	}
+	w.mu.Unlock()
+	w.full.Broadcast() // a blocked producer must see the failure, not wait
+}
+
+// run is the encoder goroutine: drain pending batches, encode, flush by
+// size or deadline, emit the terminal record on close.
+func (w *Writer) run() {
+	defer close(w.done)
+	buf := bufPool.Get().(*bytes.Buffer)
+	buf.Reset()
+	defer func() {
+		if buf.Cap() <= maxPooledBuf {
+			buf.Reset()
+			bufPool.Put(buf)
+		}
+	}()
+	if w.enc == Binary {
+		buf.WriteByte('V')
+	}
+	var jenc *json.Encoder
+	if w.enc == NDJSON {
+		jenc = json.NewEncoder(buf)
+	}
+	var timer *time.Timer
+	var flushC <-chan time.Time
+	defer func() {
+		if timer != nil {
+			timer.Stop()
+		}
+	}()
+	failed := false
+	started := false // JSONArray prologue written
+	var count int64
+	for {
+		w.mu.Lock()
+		batches := w.pending
+		w.pending = nil
+		closed := w.closed
+		endErr := w.endErr
+		w.mu.Unlock()
+		if len(batches) > 0 {
+			w.full.Broadcast()
+		}
+		for _, batch := range batches {
+			for i := range batch {
+				if failed {
+					break
+				}
+				if err := w.encodeOne(buf, jenc, &batch[i], &started); err != nil {
+					w.setWerr(err)
+					failed = true
+					break
+				}
+				count++
+				// The first violation is flushed eagerly: first-violation
+				// latency stays one detection group, not one fill of the
+				// buffer; after that, size governs.
+				if count == 1 || w.buffered(buf) >= w.opts.FlushBytes {
+					failed = w.flush(buf)
+					flushC = nil
+				}
+			}
+		}
+		if len(batches) > 0 {
+			// Recycle the spent batch buffers; the bound keeps a stalled
+			// producer from accumulating arbitrarily many.
+			w.mu.Lock()
+			for _, b := range batches {
+				if len(w.spare) < 4 && cap(b) > 0 {
+					w.spare = append(w.spare, b[:0])
+				}
+			}
+			w.mu.Unlock()
+		}
+		if closed {
+			w.count = count
+			if !failed {
+				w.writeTerminal(buf, endErr, count, started)
+			}
+			return
+		}
+		if !failed && w.buffered(buf) > 0 && flushC == nil {
+			if timer == nil {
+				timer = time.NewTimer(w.opts.FlushInterval)
+			} else {
+				timer.Reset(w.opts.FlushInterval)
+			}
+			flushC = timer.C
+		}
+		select {
+		case <-w.wake:
+		case <-flushC:
+			flushC = nil
+			if !failed {
+				failed = w.flush(buf)
+			}
+		}
+	}
+}
+
+// buffered is the number of payload bytes awaiting a flush.
+func (w *Writer) buffered(buf *bytes.Buffer) int {
+	if w.enc == Binary {
+		return buf.Len() - 1 // the standing 'V' tag is not payload
+	}
+	return buf.Len()
+}
+
+// encodeOne appends one violation to the encode buffer.
+func (w *Writer) encodeOne(buf *bytes.Buffer, jenc *json.Encoder, v *detect.Violation, started *bool) error {
+	switch w.enc {
+	case JSONArray:
+		if !*started {
+			buf.WriteString(`{"violations":[`)
+			*started = true
+		} else {
+			buf.WriteByte(',')
+		}
+		b, err := json.Marshal(Convert(*v))
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+		return nil
+	case Binary:
+		w.scratch = appendBinaryViolation(w.scratch[:0], *v)
+		buf.Write(w.scratch)
+		return nil
+	default:
+		return jenc.Encode(Convert(*v))
+	}
+}
+
+// flush sends the buffered payload to the client and reports failure. For
+// Binary the buffer is one 'V' batch payload, framed exactly like a WAL
+// record; the buffer is re-seeded with the tag for the next batch.
+func (w *Writer) flush(buf *bytes.Buffer) bool {
+	var err error
+	switch w.enc {
+	case Binary:
+		if buf.Len() <= 1 {
+			return false
+		}
+		_, err = wal.AppendFrame(w.out, buf.Bytes())
+		buf.Reset()
+		buf.WriteByte('V')
+	default:
+		if buf.Len() == 0 {
+			return false
+		}
+		_, err = w.out.Write(buf.Bytes())
+		buf.Reset()
+	}
+	if err != nil {
+		w.setWerr(err)
+		return true
+	}
+	if w.fl != nil {
+		w.fl.Flush()
+	}
+	return false
+}
+
+// writeTerminal flushes what remains and writes the encoding's terminal
+// record: the trailer (clean end, with the count) or the error record.
+func (w *Writer) writeTerminal(buf *bytes.Buffer, endErr string, count int64, started bool) {
+	switch w.enc {
+	case Binary:
+		if w.flush(buf) {
+			return
+		}
+		var payload []byte
+		if endErr != "" {
+			if len(endErr) > wal.MaxRecord-1 {
+				endErr = endErr[:wal.MaxRecord-1]
+			}
+			payload = append([]byte{'E'}, endErr...)
+		} else {
+			var tmp [binary.MaxVarintLen64]byte
+			n := binary.PutUvarint(tmp[:], uint64(count))
+			payload = append([]byte{'Z'}, tmp[:n]...)
+		}
+		if _, err := wal.AppendFrame(w.out, payload); err != nil {
+			w.setWerr(err)
+			return
+		}
+	case JSONArray:
+		if !started {
+			buf.WriteString(`{"violations":[`)
+		}
+		buf.WriteByte(']')
+		if endErr != "" {
+			b, _ := json.Marshal(endErr)
+			buf.WriteString(`,"error":`)
+			buf.Write(b)
+			buf.WriteString("}\n")
+		} else {
+			fmt.Fprintf(buf, `,"done":true,"count":%d}`+"\n", count)
+		}
+		if _, err := w.out.Write(buf.Bytes()); err != nil {
+			buf.Reset()
+			w.setWerr(err)
+			return
+		}
+		buf.Reset()
+	default: // NDJSON: trailer line, or the errorWire-shaped error line
+		if endErr != "" {
+			b, _ := json.Marshal(endErr)
+			fmt.Fprintf(buf, `{"error":%s}`+"\n", b)
+		} else {
+			fmt.Fprintf(buf, `{"done":true,"count":%d}`+"\n", count)
+		}
+		if _, err := w.out.Write(buf.Bytes()); err != nil {
+			buf.Reset()
+			w.setWerr(err)
+			return
+		}
+		buf.Reset()
+	}
+	if w.fl != nil {
+		w.fl.Flush()
+	}
+}
