@@ -8,10 +8,12 @@
 # as the thin-client serving rate and the _decoded end-to-end rate — vs
 # the direct in-process iterator),
 # BENCH_reason.json (minimize-then-detect: detection under a redundant
-# constraint set vs its minimized equivalent) and BENCH_wal.json (the delta
-# path with WAL durability at each fsync policy vs in-memory), all go test
-# -json event streams whose "output" lines carry the ns/op, B/op and
-# allocs/op figures.
+# constraint set vs its minimized equivalent), BENCH_wal.json (the delta
+# path with WAL durability at each fsync policy vs in-memory) and
+# BENCH_shard.json (scatter-gather detection at 1/2/4 shards on the
+# 100k-tuple generated workload, reporting the simulated-cluster critical
+# path as tuples/s), all go test -json event streams whose "output" lines
+# carry the ns/op, B/op and allocs/op figures.
 # Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
 set -eu
 
@@ -39,10 +41,15 @@ go test -bench=Reason -benchmem -run '^$' -json "$@" . > BENCH_reason.json
 # costs per batch).
 go test -bench=WALDeltaApply -benchmem -run '^$' -json "$@" ./internal/server > BENCH_wal.json
 
+# Sharding: per-shard detection plus k-way merge at 1/2/4 shards; the
+# tuples/s metric is the critical path (slowest simulated node + merge),
+# the figure a real fleet is bounded by.
+go test -bench=ShardedDetect -benchmem -run '^$' -benchtime=3x -json ./internal/shard > BENCH_shard.json
+
 # Human-readable summary of the recorded metric lines.
-for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json; do
+for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json BENCH_shard.json; do
 	grep -o '"Output":"[^"]*ns/op[^"]*"' "$f" \
 		| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
 done
 
-echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json"
+echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json BENCH_shard.json"

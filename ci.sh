@@ -20,7 +20,7 @@ for d in examples/*/; do
 	go run "./$d" > /dev/null
 done
 
-for pkg in internal/detect internal/server internal/implication internal/consistency internal/wal internal/stream; do
+for pkg in internal/detect internal/server internal/implication internal/consistency internal/wal internal/stream internal/shard; do
 	echo "== coverage floor: $pkg >= 85%"
 	cover_out="$(mktemp)"
 	go test -coverprofile="$cover_out" "./$pkg" > /dev/null
@@ -211,5 +211,100 @@ if ! wait "$serve_pid"; then
 	exit 1
 fi
 echo "durability smoke: survived kill -9, recovered report intact"
+
+echo "== router smoke: 2 shard cindserves + router, bank workload, shard death degrades /healthz"
+shard_data="$(mktemp -d)"
+s0_log="$(mktemp)"
+s1_log="$(mktemp)"
+rt_log="$(mktemp)"
+s0_pid=""
+s1_pid=""
+rt_pid=""
+trap 'kill "$serve_pid" "$load_pid" "$s0_pid" "$s1_pid" "$rt_pid" 2> /dev/null || true; rm -rf "$serve_bin" "$violate_bin" "$serve_log" "$data_dir" "$shard_data" "$s0_log" "$s1_log" "$rt_log"' EXIT
+# Both shards share one -data root: -shard must namespace their WALs.
+"$serve_bin" -addr 127.0.0.1:0 -shard 0 -data "$shard_data" > "$s0_log" 2>&1 &
+s0_pid=$!
+"$serve_bin" -addr 127.0.0.1:0 -shard 1 -data "$shard_data" > "$s1_log" 2>&1 &
+s1_pid=$!
+s0=""
+s1=""
+for _ in $(seq 1 100); do
+	s0="$(sed -n 's/^cindserve: listening on //p' "$s0_log")"
+	s1="$(sed -n 's/^cindserve: listening on //p' "$s1_log")"
+	[ -n "$s0" ] && [ -n "$s1" ] && break
+	sleep 0.1
+done
+if [ -z "$s0" ] || [ -z "$s1" ]; then
+	echo "ci: shard cindserves did not report listen addresses" >&2
+	cat "$s0_log" "$s1_log" >&2
+	exit 1
+fi
+"$serve_bin" -addr 127.0.0.1:0 -route "$s0,$s1" > "$rt_log" 2>&1 &
+rt_pid=$!
+base=""
+for _ in $(seq 1 100); do
+	base="$(sed -n 's/^cindserve: listening on //p' "$rt_log")"
+	[ -n "$base" ] && break
+	sleep 0.1
+done
+if [ -z "$base" ]; then
+	echo "ci: router cindserve did not report a listen address:" >&2
+	cat "$rt_log" >&2
+	exit 1
+fi
+curl -sSf "$base/healthz" > /dev/null
+curl -sSf -X PUT --data-binary @testdata/bank/bank.cind "$base/datasets/bank/constraints" > /dev/null
+for rel in interest saving checking account_NYC account_EDI; do
+	curl -sSf -X PUT --data-binary "@testdata/bank/$rel.csv" "$base/datasets/bank?relation=$rel" > /dev/null
+done
+# The scatter-gather stream must be byte-identical to the single node's
+# NDJSON captured in the first smoke — order, trailer and all.
+ndjson_rt="$(curl -sSf "$base/datasets/bank/violations")"
+if [ "$ndjson_rt" != "$ndjson" ]; then
+	echo "ci: router stream differs from single-node stream:" >&2
+	printf 'router:\n%s\nsingle:\n%s\n' "$ndjson_rt" "$ndjson" >&2
+	exit 1
+fi
+# cindviolate against the router URL, binary wire format end to end.
+bin_status=0
+bin_rt="$("$violate_bin" -from "$base/datasets/bank/violations" -encoding binary)" || bin_status=$?
+if [ "$bin_status" != "1" ]; then
+	echo "ci: cindviolate -from <router> -encoding binary exited $bin_status, want 1" >&2
+	exit 1
+fi
+if [ "$bin_rt" != "$ndjson" ]; then
+	echo "ci: binary stream through router decoded differently than single-node NDJSON:" >&2
+	printf 'router binary:\n%s\nsingle ndjson:\n%s\n' "$bin_rt" "$ndjson" >&2
+	exit 1
+fi
+curl -sSf "$base/metrics" | grep -q '"rollup"' || {
+	echo "ci: router /metrics carries no per-shard rollup" >&2
+	exit 1
+}
+# Kill shard 1: /healthz must degrade to 503 and name the dead shard.
+kill -9 "$s1_pid"
+wait "$s1_pid" 2> /dev/null || true
+health_code="$(curl -s -o "$rt_log.health" -w '%{http_code}' "$base/healthz")"
+if [ "$health_code" != "503" ]; then
+	echo "ci: router /healthz returned $health_code with a dead shard, want 503" >&2
+	cat "$rt_log.health" >&2
+	rm -f "$rt_log.health"
+	exit 1
+fi
+if ! grep -q "$s1" "$rt_log.health"; then
+	echo "ci: degraded /healthz does not name the dead shard $s1:" >&2
+	cat "$rt_log.health" >&2
+	rm -f "$rt_log.health"
+	exit 1
+fi
+rm -f "$rt_log.health"
+kill -INT "$rt_pid" "$s0_pid"
+if ! wait "$rt_pid"; then
+	echo "ci: router did not shut down cleanly:" >&2
+	cat "$rt_log" >&2
+	exit 1
+fi
+wait "$s0_pid" 2> /dev/null || true
+echo "router smoke: sharded stream == single-node stream, dead shard named in 503"
 
 echo "ci: all green"

@@ -116,6 +116,24 @@
 // picks the sync policy: always, off, or a coalescing interval like 100ms.
 // See internal/wal and the "Durability" section of PERFORMANCE.md.
 //
+// # Scaling out
+//
+// One process stops being enough before one dataset does, so cindserve
+// also runs as a router: cindserve -route host1:8081,host2:8082 serves
+// the exact same HTTP API but holds no data itself — it hash-partitions
+// each dataset's tuples across the listed shard servers (CIND RHS
+// relations are replicated so anti-joins stay shard-local), splits every
+// delta batch by tuple key, and answers GET /violations by streaming all
+// shards in the binary wire format and k-way merging them back into the
+// single node's exact report order. Sharded and single-node serving are
+// differentially tested to be byte-identical, violation for violation.
+// Reasoning calls are placed on one shard by consistent hash of the
+// dataset name (every shard holds the full Σ), /healthz fans in and
+// degrades to 503 naming dead shards, and /metrics rolls up per-shard
+// counters. Start each shard with -shard N so a shared -data root
+// namespaces per-shard WALs. See internal/shard and the "Sharding"
+// section of PERFORMANCE.md for the scaling curve.
+//
 // The positional entry points Detect, DetectWith and NewSession remain as
 // thin deprecated shims over the Checker for one release; MIGRATION.md
 // tabulates old call → new call.

@@ -62,6 +62,20 @@
 // violation streams are drained (each ends with a final {"error": ...}
 // line), the listener closes, and in durable mode the WAL is flushed and
 // closed. Exit status 0 on a clean shutdown.
+//
+// Router mode: -route shard1,shard2,... serves the same HTTP API over a
+// fleet of shard cindserves instead of a local checker (internal/shard).
+// Datasets are hash-partitioned across the shards with CIND right-hand
+// sides replicated, violation streams are scattered to every shard as
+// binary frames and k-way merged back into the exact single-node order,
+// and reasoning calls proxy to a consistent-hash home shard. Repair
+// answers 501 in router mode. Shards started for a router should pass
+// -shard N (their index in the -route list), which namespaces -data so
+// two shards never share a WAL directory:
+//
+//	cindserve -addr :8081 -shard 0 -data /var/lib/cind
+//	cindserve -addr :8082 -shard 1 -data /var/lib/cind
+//	cindserve -addr :8080 -route 127.0.0.1:8081,127.0.0.1:8082
 package main
 
 import (
@@ -81,6 +95,7 @@ import (
 	cind "cind"
 
 	"cind/internal/server"
+	"cind/internal/shard"
 	"cind/internal/wal"
 )
 
@@ -99,9 +114,23 @@ func main() {
 	parallel := flag.Int("parallel", 0, "detection worker goroutines for the preloaded dataset (0 = GOMAXPROCS)")
 	dataDir := flag.String("data", "", "data directory for durable datasets (WAL + snapshots); empty = in-memory")
 	fsync := flag.String("fsync", "always", `WAL sync policy: "always", "off", or a flush interval like "100ms"`)
+	route := flag.String("route", "", "comma-separated shard URLs: serve as a scatter-gather router instead of a local checker")
+	shardIdx := flag.Int("shard", -1, "this node's index in its router's -route list; namespaces -data per shard")
 	var load loadFlags
 	flag.Var(&load, "load", "relation=file.csv to preload (repeatable; header row required)")
 	flag.Parse()
+
+	if *route != "" {
+		if *constraints != "" || len(load) > 0 || *dataDir != "" || *shardIdx >= 0 {
+			fmt.Fprintln(os.Stderr, "cindserve: -route is exclusive with -constraints/-load/-data/-shard")
+			os.Exit(2)
+		}
+		runRouter(*addr, *route)
+		return
+	}
+	if *shardIdx >= 0 && *dataDir != "" {
+		*dataDir = shard.DataDir(*dataDir, *shardIdx)
+	}
 
 	policy, err := wal.ParsePolicy(*fsync)
 	if err != nil {
@@ -194,4 +223,52 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("cindserve: shut down cleanly")
+}
+
+// runRouter serves router mode: the same HTTP surface, scatter-gathered
+// over the given shard fleet. It never returns.
+func runRouter(addr, route string) {
+	var shards []string
+	for _, s := range strings.Split(route, ",") {
+		if s = strings.TrimSpace(s); s != "" {
+			shards = append(shards, s)
+		}
+	}
+	rt, err := server.NewRouter(server.RouterOptions{Shards: shards})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve:", err)
+		os.Exit(2)
+	}
+	expvar.Publish("cindserve", rt.Vars())
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve:", err)
+		os.Exit(2)
+	}
+	fmt.Printf("cindserve: routing %d shards (%s)\n", len(rt.Shards()), strings.Join(rt.Shards(), ", "))
+	fmt.Printf("cindserve: listening on http://%s\n", ln.Addr())
+
+	hs := server.NewRouterHTTPServer(rt)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	shutdownErr := make(chan error, 1)
+	go func() {
+		<-ctx.Done()
+		fmt.Println("cindserve: shutting down, draining streams")
+		rt.Drain()
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		shutdownErr <- hs.Shutdown(sctx)
+	}()
+	if err := hs.Serve(ln); !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintln(os.Stderr, "cindserve:", err)
+		os.Exit(1)
+	}
+	if err := <-shutdownErr; err != nil {
+		fmt.Fprintln(os.Stderr, "cindserve: shutdown:", err)
+		os.Exit(1)
+	}
+	fmt.Println("cindserve: shut down cleanly")
+	os.Exit(0)
 }

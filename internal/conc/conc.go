@@ -44,6 +44,33 @@ func Workers(n, units int) int {
 	return n
 }
 
+// FanOut runs fn(0) .. fn(n-1) each on its own goroutine and returns the
+// per-index errors once all calls have — the scatter primitive for
+// fan-outs whose units are I/O-bound peers (one HTTP request per shard)
+// rather than CPU work to pool: every unit must be in flight at once, or a
+// slow peer serializes behind a fast one. n <= 1 runs on the calling
+// goroutine. The result always has length n; entries are nil for units
+// that succeeded.
+func FanOut(n int, fn func(int) error) []error {
+	errs := make([]error, n)
+	if n <= 1 {
+		if n == 1 {
+			errs[0] = fn(0)
+		}
+		return errs
+	}
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = fn(i)
+		}(i)
+	}
+	wg.Wait()
+	return errs
+}
+
 // ForEachIdx runs fn(0) .. fn(n-1) on a pool of the given width and
 // returns when all calls have — no goroutine outlives it. Width <= 1 runs
 // the calls sequentially, in order, on the calling goroutine; fn must

@@ -1,0 +1,66 @@
+package detect
+
+// MergeKey locates one violation inside the deterministic global order a
+// Run report lists violations in — the order the per-constraint slots are
+// concatenated in (every CFD before every CIND, constraints in input
+// order) composed with the order inside one slot (tableau rows in order,
+// then the instance-derived order the evaluators document: X projection
+// groups in first-seen scan order for a CFD, LHS witness tuples in
+// insertion order for a CIND).
+//
+// The key makes that order mergeable across partitions of an instance: a
+// scatter-gather reader that can reconstruct each violation's key performs
+// a k-way merge of per-partition streams and recovers the exact order a
+// single-node Run over the union would have emitted, provided each
+// partition's stream is itself key-ordered (which Run order is, whenever
+// every detection group — an X group, or one LHS relation's tuples — lives
+// wholly on one partition). internal/shard is that reader.
+//
+//   - Kind: 0 for a CFD violation, 1 for a CIND violation — the report's
+//     fixed CFDs-before-CINDs concatenation.
+//   - Constraint: the constraint's index within its kind, in input order.
+//   - Row: the violated tableau row index.
+//   - Seq: the within-row rank. For a CFD violation this is the rank of
+//     the witnesses' X projection group — any value monotone in the
+//     group's first appearance in the instance scan works, e.g. the
+//     smallest live insertion sequence number among the group's tuples.
+//     For a CIND violation it is the witness tuple's own insertion rank.
+//     Violations that keep equal keys (the pairs inside one CFD X group)
+//     are already mutually ordered on the stream they arrive on, and no
+//     two partitions emit keys that tie, so a stable merge preserves
+//     their order.
+type MergeKey struct {
+	Kind       int
+	Constraint int
+	Row        int
+	Seq        uint64
+}
+
+// Compare orders keys lexicographically by (Kind, Constraint, Row, Seq):
+// -1 if k sorts before o, +1 if after, 0 on a tie.
+func (k MergeKey) Compare(o MergeKey) int {
+	switch {
+	case k.Kind != o.Kind:
+		return cmpInt(k.Kind, o.Kind)
+	case k.Constraint != o.Constraint:
+		return cmpInt(k.Constraint, o.Constraint)
+	case k.Row != o.Row:
+		return cmpInt(k.Row, o.Row)
+	case k.Seq != o.Seq:
+		if k.Seq < o.Seq {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+// Less reports whether k sorts strictly before o in report order.
+func (k MergeKey) Less(o MergeKey) bool { return k.Compare(o) < 0 }
+
+func cmpInt(a, b int) int {
+	if a < b {
+		return -1
+	}
+	return 1
+}

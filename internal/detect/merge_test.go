@@ -1,0 +1,44 @@
+package detect
+
+import "testing"
+
+func TestMergeKeyCompare(t *testing.T) {
+	// Ordered strictly by (Kind, Constraint, Row, Seq) lexicographically.
+	ordered := []MergeKey{
+		{Kind: 0, Constraint: 0, Row: 0, Seq: 0},
+		{Kind: 0, Constraint: 0, Row: 0, Seq: 5},
+		{Kind: 0, Constraint: 0, Row: 2, Seq: 0},
+		{Kind: 0, Constraint: 1, Row: 0, Seq: 0},
+		{Kind: 0, Constraint: 1, Row: 0, Seq: 1},
+		{Kind: 1, Constraint: 0, Row: 0, Seq: 0},
+		{Kind: 1, Constraint: 3, Row: 1, Seq: 9},
+	}
+	for i, a := range ordered {
+		if got := a.Compare(a); got != 0 {
+			t.Errorf("Compare(self) = %d, want 0 for %+v", got, a)
+		}
+		if a.Less(a) {
+			t.Errorf("Less(self) = true for %+v", a)
+		}
+		for _, b := range ordered[i+1:] {
+			if got := a.Compare(b); got != -1 {
+				t.Errorf("Compare(%+v, %+v) = %d, want -1", a, b, got)
+			}
+			if got := b.Compare(a); got != 1 {
+				t.Errorf("Compare(%+v, %+v) = %d, want 1", b, a, got)
+			}
+			if !a.Less(b) || b.Less(a) {
+				t.Errorf("Less inconsistent for %+v vs %+v", a, b)
+			}
+		}
+	}
+}
+
+func TestMergeKeySeqUnsigned(t *testing.T) {
+	// Seq is a uint64: a large rank must not compare as negative.
+	lo := MergeKey{Seq: 1}
+	hi := MergeKey{Seq: 1 << 63}
+	if !lo.Less(hi) {
+		t.Fatalf("Seq=1 not < Seq=1<<63")
+	}
+}

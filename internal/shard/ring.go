@@ -1,0 +1,80 @@
+package shard
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ringPoints is the number of virtual nodes per shard on the hash ring.
+// 64 keeps the load spread within a few percent of even for small shard
+// counts without making Pick's binary search noticeable.
+const ringPoints = 64
+
+// Ring is a consistent-hash ring over shard indices — the router's
+// dataset-placement function for work that one shard serves alone
+// (reasoning calls, which depend only on the constraint set every shard
+// holds in full). Hashing the dataset name spreads datasets across shards;
+// consistency means a shard added or removed from the route list moves
+// only the datasets that hashed to it, not the whole assignment.
+type Ring struct {
+	hashes []uint64
+	shards []int
+}
+
+// NewRing builds the ring over n shards.
+func NewRing(n int) *Ring {
+	r := &Ring{
+		hashes: make([]uint64, 0, n*ringPoints),
+		shards: make([]int, 0, n*ringPoints),
+	}
+	type point struct {
+		h     uint64
+		shard int
+	}
+	pts := make([]point, 0, n*ringPoints)
+	for s := 0; s < n; s++ {
+		for v := 0; v < ringPoints; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "shard-%d-%d", s, v)
+			pts = append(pts, point{h: mix64(h.Sum64()), shard: s})
+		}
+	}
+	sort.Slice(pts, func(i, j int) bool {
+		if pts[i].h != pts[j].h {
+			return pts[i].h < pts[j].h
+		}
+		return pts[i].shard < pts[j].shard
+	})
+	for _, p := range pts {
+		r.hashes = append(r.hashes, p.h)
+		r.shards = append(r.shards, p.shard)
+	}
+	return r
+}
+
+// Pick returns the shard owning key: the first ring point at or clockwise
+// of the key's hash.
+func (r *Ring) Pick(key string) int {
+	h := fnv.New64a()
+	h.Write([]byte(key))
+	hv := mix64(h.Sum64())
+	i := sort.Search(len(r.hashes), func(i int) bool { return r.hashes[i] >= hv })
+	if i == len(r.hashes) {
+		i = 0
+	}
+	return r.shards[i]
+}
+
+// mix64 is a splitmix64-style avalanche finalizer. FNV-1a alone leaves
+// short, similar inputs ("shard-0-0", "shard-0-1", ...) clustered in the
+// high bits, which would pile every virtual node into one tiny arc; full
+// avalanche spreads them uniformly around the ring.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

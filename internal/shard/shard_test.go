@@ -1,0 +1,438 @@
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	cind "cind"
+
+	"cind/internal/bank"
+	"cind/internal/detect"
+	"cind/internal/instance"
+	"cind/internal/stream"
+)
+
+func bankSet(t testing.TB) *cind.ConstraintSet {
+	t.Helper()
+	sch := bank.Schema()
+	set, err := cind.SpecSet(&cind.Spec{Schema: sch, CFDs: bank.CFDs(sch), CINDs: bank.CINDs(sch)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return set
+}
+
+// dirtyBank is the bank example instance with extra violations planted:
+// checking tuples colliding on (an, ab) with conflicting names (phi2
+// pairs), and interest rows deleted (stranding psi3/psi4 demands).
+func dirtyBank(t testing.TB) (*cind.ConstraintSet, *cind.Database) {
+	t.Helper()
+	set := bankSet(t)
+	db := bank.Data(bank.Schema())
+	for i := 0; i < 40; i++ {
+		db.Instance("checking").Insert(instance.Consts(
+			fmt.Sprintf("%03d", i%8), fmt.Sprintf("Cust-%d", i), "Addr", "555",
+			[]string{"NYC", "EDI"}[i%2]))
+	}
+	in := db.Instance("interest")
+	if tuples := in.Tuples(); len(tuples) > 0 {
+		in.Delete(tuples[0])
+	}
+	return set, db
+}
+
+func TestPlanBankPlacement(t *testing.T) {
+	set := bankSet(t)
+	p, err := NewPlan(set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Shards() != 4 || p.Set() != set {
+		t.Fatalf("Shards/Set = %d/%p, want 4/%p", p.Shards(), p.Set(), set)
+	}
+	// saving, checking, interest sit on a CIND RHS: replicated despite
+	// carrying CFDs. The account relations drive no CFD and are nobody's
+	// RHS: partitioned on the full tuple.
+	for _, rel := range []string{"saving", "checking", "interest"} {
+		if pl := p.Placement(rel); pl.Partitioned {
+			t.Errorf("%s partitioned, want replicated (CIND RHS)", rel)
+		}
+	}
+	for _, rel := range []string{"account_NYC", "account_EDI"} {
+		pl := p.Placement(rel)
+		if !pl.Partitioned {
+			t.Errorf("%s replicated, want partitioned", rel)
+			continue
+		}
+		if len(pl.Cols) != 5 {
+			t.Errorf("%s partition cols = %v, want all 5", rel, pl.Cols)
+		}
+	}
+	// CFDs drive replicated relations: shard 0 owns them. The account
+	// CINDs drive partitioned relations: every shard owns its slice.
+	for _, id := range []string{"phi1", "phi2", "phi3", "psi3", "psi4", "psi5", "psi6"} {
+		if p.Keep(0, id) != true || p.Keep(1, id) != false {
+			t.Errorf("Keep(%s) = %v/%v, want shard-0 ownership", id, p.Keep(0, id), p.Keep(1, id))
+		}
+	}
+	for _, id := range []string{"psi1_NYC", "psi2_NYC", "psi1_EDI", "psi2_EDI"} {
+		if !p.Keep(0, id) || !p.Keep(3, id) {
+			t.Errorf("Keep(%s) not true on all shards", id)
+		}
+	}
+	if p.Keep(0, "nope") {
+		t.Error("Keep(unknown constraint) = true, want false")
+	}
+}
+
+func TestNewPlanRejectsBadShardCount(t *testing.T) {
+	if _, err := NewPlan(bankSet(t), 0); err == nil {
+		t.Fatal("NewPlan(set, 0) succeeded, want error")
+	}
+}
+
+func TestShardOfDeterministicAndSpread(t *testing.T) {
+	set := bankSet(t)
+	p, err := NewPlan(set, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh := p.ShardOf("saving", instance.Consts("a", "b", "c", "d", "e")); sh != -1 {
+		t.Fatalf("ShardOf(replicated saving) = %d, want -1", sh)
+	}
+	seen := make(map[int]int)
+	for i := 0; i < 256; i++ {
+		tup := instance.Consts(fmt.Sprintf("an%d", i), "cn", "ca", "cp", "NYC")
+		sh := p.ShardOf("account_NYC", tup)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("ShardOf = %d, out of [0,4)", sh)
+		}
+		if again := p.ShardOf("account_NYC", tup); again != sh {
+			t.Fatalf("ShardOf not deterministic: %d then %d", sh, again)
+		}
+		seen[sh]++
+	}
+	for sh := 0; sh < 4; sh++ {
+		if seen[sh] == 0 {
+			t.Errorf("shard %d received no tuples of 256", sh)
+		}
+	}
+}
+
+func TestDataDirNamespacesByShard(t *testing.T) {
+	a, b := DataDir("/var/lib/cind", 0), DataDir("/var/lib/cind", 1)
+	if a == b {
+		t.Fatalf("DataDir shard 0 and 1 collide: %s", a)
+	}
+	if !strings.HasPrefix(a, "/var/lib/cind") {
+		t.Fatalf("DataDir left the root: %s", a)
+	}
+}
+
+func TestOrderSetSemantics(t *testing.T) {
+	set := bankSet(t)
+	p, err := NewPlan(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOrder(p)
+	tup := instance.Consts("001", "Cust", "Addr", "555", "NYC")
+	if !o.Insert("checking", tup) {
+		t.Fatal("first Insert = false")
+	}
+	if o.Insert("checking", tup) {
+		t.Fatal("duplicate Insert = true, want no-op")
+	}
+	if o.Len("checking") != 1 {
+		t.Fatalf("Len = %d, want 1", o.Len("checking"))
+	}
+	if o.Delete("checking", instance.Consts("999", "x", "y", "z", "EDI")) {
+		t.Fatal("absent Delete = true, want no-op")
+	}
+	if !o.Delete("checking", tup) {
+		t.Fatal("live Delete = false")
+	}
+	if o.Len("checking") != 0 {
+		t.Fatalf("Len after delete = %d, want 0", o.Len("checking"))
+	}
+	// Apply routes ops to Insert/Delete.
+	if !o.Apply(cind.InsertDelta("checking", tup)) {
+		t.Fatal("Apply(insert) = false")
+	}
+	if !o.Apply(cind.DeleteDelta("checking", tup)) {
+		t.Fatal("Apply(delete) = false")
+	}
+}
+
+func TestOrderKeyErrors(t *testing.T) {
+	set := bankSet(t)
+	p, err := NewPlan(set, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := NewOrder(p)
+	if _, err := o.Key(&stream.Violation{Constraint: "nope", Witness: [][]string{{"a"}}}); err == nil {
+		t.Error("Key(unknown constraint) succeeded")
+	}
+	if _, err := o.Key(&stream.Violation{Constraint: "phi2"}); err == nil {
+		t.Error("Key(no witness) succeeded")
+	}
+	if _, err := o.Key(&stream.Violation{Constraint: "phi2",
+		Witness: [][]string{{"001", "c", "a", "p", "NYC"}}}); err == nil {
+		t.Error("Key(untracked CFD group) succeeded")
+	}
+	if _, err := o.Key(&stream.Violation{Constraint: "psi3",
+		Witness: [][]string{{"a", "b", "c", "d", "e"}}}); err == nil {
+		t.Error("Key(untracked CIND tuple) succeeded")
+	}
+}
+
+// resultWire renders a detection result in report order — all CFD
+// violations, then all CIND violations.
+func resultWire(res *detect.Result) []stream.Violation {
+	out := make([]stream.Violation, 0, res.Total())
+	for _, v := range res.CFD {
+		out = append(out, stream.Convert(detect.CFDViolation(v)))
+	}
+	for _, v := range res.CIND {
+		out = append(out, stream.Convert(detect.CINDViolation(v)))
+	}
+	return out
+}
+
+type sliceSource struct {
+	vs []stream.Violation
+	i  int
+}
+
+func (s *sliceSource) Next() (stream.Violation, error) {
+	if s.i >= len(s.vs) {
+		return stream.Violation{}, io.EOF
+	}
+	v := s.vs[s.i]
+	s.i++
+	return v, nil
+}
+
+// scatter splits db per the plan into one database per shard and records
+// the global insertion order in a fresh Order.
+func scatter(t testing.TB, p *Plan, db *cind.Database) ([]*cind.Database, *Order) {
+	t.Helper()
+	o := NewOrder(p)
+	dbs := make([]*cind.Database, p.Shards())
+	for i := range dbs {
+		dbs[i] = cind.NewDatabase(p.Set().Schema())
+	}
+	for _, rel := range p.Set().Schema().Relations() {
+		name := rel.Name()
+		for _, tup := range db.Instance(name).Tuples() {
+			o.Insert(name, tup)
+			if sh := p.ShardOf(name, tup); sh >= 0 {
+				dbs[sh].Instance(name).Insert(tup)
+			} else {
+				for i := range dbs {
+					dbs[i].Instance(name).Insert(tup)
+				}
+			}
+		}
+	}
+	return dbs, o
+}
+
+// mergeShards detects on every shard database and k-way merges the
+// per-shard report-ordered streams back together.
+func mergeShards(t testing.TB, p *Plan, o *Order, dbs []*cind.Database) []stream.Violation {
+	t.Helper()
+	set := p.Set()
+	sources := make([]Source, len(dbs))
+	for i, sdb := range dbs {
+		res := detect.Run(sdb, set.CFDs(), set.CINDs(), detect.Options{Parallel: 1})
+		sources[i] = &sliceSource{vs: resultWire(res)}
+	}
+	var merged []stream.Violation
+	_, err := Merge(sources,
+		func(sh int, v *stream.Violation) (detect.MergeKey, bool, error) {
+			if !p.Keep(sh, v.Constraint) {
+				return detect.MergeKey{}, false, nil
+			}
+			k, err := o.Key(v)
+			return k, err == nil, err
+		},
+		func(v *stream.Violation) bool {
+			merged = append(merged, *v)
+			return true
+		})
+	if err != nil {
+		t.Fatalf("Merge: %v", err)
+	}
+	return merged
+}
+
+// TestShardedDetectMatchesSingleNode is the package's acceptance test: for
+// 1, 2 and 4 shards, partitioning the dirty bank instance per the plan,
+// detecting per shard, and merging through Order-reconstructed keys must
+// reproduce the single-node detection stream violation for violation — and
+// keep doing so after a delta batch mutates every copy.
+func TestShardedDetectMatchesSingleNode(t *testing.T) {
+	set, db := dirtyBank(t)
+	single := detect.Run(db, set.CFDs(), set.CINDs(), detect.Options{Parallel: 1})
+	want := resultWire(single)
+	if len(want) == 0 {
+		t.Fatal("dirty bank produced no violations; test is vacuous")
+	}
+
+	deltas := []cind.Delta{
+		cind.InsertDelta("checking", instance.Consts("001", "Other-Name", "Addr", "555", "NYC")),
+		cind.DeleteDelta("checking", instance.Consts("000", "Cust-0", "Addr", "555", "NYC")),
+		cind.InsertDelta("account_NYC", instance.Consts("900", "N", "A", "5", "checking")),
+		cind.InsertDelta("interest", instance.Consts("2.00", "UK", "saving", "4.5%")),
+	}
+
+	for _, n := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards=%d", n), func(t *testing.T) {
+			p, err := NewPlan(set, n)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dbs, o := scatter(t, p, db)
+			got := mergeShards(t, p, o, dbs)
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("merged stream diverges from single node: %d vs %d violations\nfirst got:  %+v\nfirst want: %+v",
+					len(got), len(want), head(got), head(want))
+			}
+
+			// Mutate: single node and every shard copy apply the same batch;
+			// the order tracker follows. The merged stream must track.
+			mutated := cloneDB(set, db)
+			applyDeltas(mutated, deltas)
+			for _, dl := range deltas {
+				if sh := p.ShardOf(dl.Rel, dl.Tuple); sh >= 0 {
+					applyDeltas(dbs[sh], []cind.Delta{dl})
+				} else {
+					for i := range dbs {
+						applyDeltas(dbs[i], []cind.Delta{dl})
+					}
+				}
+				o.Apply(dl)
+			}
+			want2 := resultWire(detect.Run(mutated, set.CFDs(), set.CINDs(), detect.Options{Parallel: 1}))
+			got2 := mergeShards(t, p, o, dbs)
+			if !reflect.DeepEqual(got2, want2) {
+				t.Fatalf("post-delta merged stream diverges: %d vs %d violations", len(got2), len(want2))
+			}
+		})
+	}
+}
+
+func head(vs []stream.Violation) any {
+	if len(vs) == 0 {
+		return "<empty>"
+	}
+	return vs[0]
+}
+
+func cloneDB(set *cind.ConstraintSet, db *cind.Database) *cind.Database {
+	out := cind.NewDatabase(set.Schema())
+	for _, rel := range set.Schema().Relations() {
+		for _, tup := range db.Instance(rel.Name()).Tuples() {
+			out.Instance(rel.Name()).Insert(tup)
+		}
+	}
+	return out
+}
+
+func applyDeltas(db *cind.Database, deltas []cind.Delta) {
+	for _, d := range deltas {
+		if d.Op == detect.OpInsert {
+			db.Instance(d.Rel).Insert(d.Tuple)
+		} else {
+			db.Instance(d.Rel).Delete(d.Tuple)
+		}
+	}
+}
+
+func TestMergeStopsOnConsumer(t *testing.T) {
+	vs := []stream.Violation{{Constraint: "a"}, {Constraint: "b"}, {Constraint: "c"}}
+	keyOf := func(sh int, v *stream.Violation) (detect.MergeKey, bool, error) {
+		return detect.MergeKey{Seq: uint64(v.Constraint[0])}, true, nil
+	}
+	n := 0
+	count, err := Merge([]Source{&sliceSource{vs: vs}}, keyOf, func(*stream.Violation) bool {
+		n++
+		return n < 2
+	})
+	if !errors.Is(err, ErrStopped) {
+		t.Fatalf("err = %v, want ErrStopped", err)
+	}
+	if count != 1 {
+		t.Fatalf("emitted count = %d, want 1", count)
+	}
+}
+
+type errSource struct{ err error }
+
+func (s *errSource) Next() (stream.Violation, error) { return stream.Violation{}, s.err }
+
+func TestMergeWrapsSourceError(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := Merge([]Source{&sliceSource{}, &errSource{err: boom}},
+		func(int, *stream.Violation) (detect.MergeKey, bool, error) {
+			return detect.MergeKey{}, true, nil
+		},
+		func(*stream.Violation) bool { return true })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "shard 1") {
+		t.Fatalf("err %q does not name shard 1", err)
+	}
+}
+
+func TestMergeKeyOfError(t *testing.T) {
+	bad := errors.New("no key")
+	_, err := Merge([]Source{&sliceSource{vs: []stream.Violation{{}}}},
+		func(int, *stream.Violation) (detect.MergeKey, bool, error) {
+			return detect.MergeKey{}, false, bad
+		},
+		func(*stream.Violation) bool { return true })
+	if !errors.Is(err, bad) {
+		t.Fatalf("err = %v, want keyOf error", err)
+	}
+}
+
+func TestRingPick(t *testing.T) {
+	r := NewRing(4)
+	seen := make(map[int]int)
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		sh := r.Pick(key)
+		if sh < 0 || sh >= 4 {
+			t.Fatalf("Pick = %d, out of range", sh)
+		}
+		if again := r.Pick(key); again != sh {
+			t.Fatalf("Pick not deterministic: %d then %d", sh, again)
+		}
+		seen[sh]++
+	}
+	for sh := 0; sh < 4; sh++ {
+		if seen[sh] == 0 {
+			t.Errorf("ring never picked shard %d over 512 keys", sh)
+		}
+	}
+	// Consistency: growing the fleet moves only a fraction of the keys.
+	bigger := NewRing(5)
+	moved := 0
+	for i := 0; i < 512; i++ {
+		key := fmt.Sprintf("dataset-%d", i)
+		if bigger.Pick(key) != r.Pick(key) {
+			moved++
+		}
+	}
+	if moved > 256 {
+		t.Errorf("growing 4->5 shards moved %d/512 keys, want a minority", moved)
+	}
+}

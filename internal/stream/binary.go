@@ -45,6 +45,25 @@ func appendBinaryViolation(dst []byte, v detect.Violation) []byte {
 	return dst
 }
 
+// appendBinaryWire is appendBinaryViolation for an already-decoded wire
+// violation — the relay path: a router re-encoding frames it decoded from
+// a shard emits bodies in exactly the format above, so the two producers
+// are indistinguishable to the Decoder.
+func appendBinaryWire(dst []byte, v *Violation) []byte {
+	dst = appendStr(dst, v.Kind)
+	dst = appendStr(dst, v.Constraint)
+	dst = appendStr(dst, v.Relation)
+	dst = binary.AppendVarint(dst, int64(v.Row))
+	dst = binary.AppendUvarint(dst, uint64(len(v.Witness)))
+	for _, t := range v.Witness {
+		dst = binary.AppendUvarint(dst, uint64(len(t)))
+		for _, val := range t {
+			dst = appendStr(dst, val)
+		}
+	}
+	return dst
+}
+
 func appendTuple(dst []byte, t instance.Tuple) []byte {
 	dst = binary.AppendUvarint(dst, uint64(len(t)))
 	for _, val := range t {

@@ -1,0 +1,204 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"cind/internal/wal"
+)
+
+// WireWriter streams already-decoded wire violations to out in one
+// negotiated encoding — the relay half of a scatter-gather router, which
+// receives stream.Violation values from per-shard Decoders and must
+// re-emit them to the client byte-compatibly with what a single-node
+// Writer would have produced. It is synchronous (the caller's loop is a
+// network-bound merge, not the detection hot path, so there is nothing to
+// move off of it) but batches flushes the same way: the first violation is
+// flushed eagerly, after that at FlushBytes boundaries.
+//
+// The encoded forms are identical to Writer's: NDJSON lines and trailer
+// byte-for-byte, the JSONArray document byte-for-byte, and Binary 'V'/'Z'/
+// 'E' frames that only may differ in batch boundaries (the Decoder is
+// indifferent to those).
+type WireWriter struct {
+	out   io.Writer
+	fl    Flusher
+	enc   Encoding
+	buf   bytes.Buffer
+	jenc  *json.Encoder
+	werr  error
+	count int64
+
+	flushBytes int
+	started    bool // JSONArray prologue written
+	closed     bool
+}
+
+// NewWireWriter returns a wire-level stream writer over out. fl may be nil.
+func NewWireWriter(out io.Writer, fl Flusher, enc Encoding) *WireWriter {
+	w := &WireWriter{out: out, fl: fl, enc: enc, flushBytes: DefaultFlushBytes}
+	if enc == Binary {
+		w.buf.WriteByte('V')
+	}
+	if enc == NDJSON {
+		w.jenc = json.NewEncoder(&w.buf)
+	}
+	return w
+}
+
+// Send encodes one violation. It returns false once the underlying writer
+// has failed (the client is gone) — the caller should stop merging.
+func (w *WireWriter) Send(v *Violation) bool {
+	if w.werr != nil || w.closed {
+		return false
+	}
+	switch w.enc {
+	case JSONArray:
+		if !w.started {
+			w.buf.WriteString(`{"violations":[`)
+			w.started = true
+		} else {
+			w.buf.WriteByte(',')
+		}
+		b, err := json.Marshal(v)
+		if err != nil {
+			w.werr = err
+			return false
+		}
+		w.buf.Write(b)
+	case Binary:
+		b := w.buf.AvailableBuffer()
+		w.buf.Write(appendBinaryWire(b, v))
+	default:
+		if err := w.jenc.Encode(v); err != nil {
+			w.werr = err
+			return false
+		}
+	}
+	w.count++
+	if w.count == 1 || w.buffered() >= w.flushBytes {
+		w.flush()
+	}
+	return w.werr == nil
+}
+
+// Close writes the encoding's clean end-of-stream trailer and flushes. It
+// returns the first write error the stream hit, if any. Idempotent; the
+// first of Close/CloseError wins.
+func (w *WireWriter) Close() error { return w.finish("") }
+
+// CloseError ends the stream with the encoding's terminal error record —
+// the signal that the stream is truncated, not complete.
+func (w *WireWriter) CloseError(msg string) error {
+	if msg == "" {
+		msg = "stream aborted"
+	}
+	return w.finish(msg)
+}
+
+// Count returns the number of violations written so far.
+func (w *WireWriter) Count() int64 { return w.count }
+
+func (w *WireWriter) buffered() int {
+	if w.enc == Binary {
+		return w.buf.Len() - 1 // the standing 'V' tag is not payload
+	}
+	return w.buf.Len()
+}
+
+func (w *WireWriter) flush() {
+	if w.werr != nil {
+		return
+	}
+	var err error
+	switch w.enc {
+	case Binary:
+		if w.buf.Len() <= 1 {
+			return
+		}
+		_, err = wal.AppendFrame(w.out, w.buf.Bytes())
+		w.buf.Reset()
+		w.buf.WriteByte('V')
+	default:
+		if w.buf.Len() == 0 {
+			return
+		}
+		_, err = w.out.Write(w.buf.Bytes())
+		w.buf.Reset()
+	}
+	if err != nil {
+		w.werr = err
+		return
+	}
+	if w.fl != nil {
+		w.fl.Flush()
+	}
+}
+
+func (w *WireWriter) finish(endErr string) error {
+	if w.closed {
+		return w.werr
+	}
+	w.closed = true
+	switch w.enc {
+	case Binary:
+		w.flush()
+		if w.werr != nil {
+			return w.werr
+		}
+		var payload []byte
+		if endErr != "" {
+			if len(endErr) > wal.MaxRecord-1 {
+				endErr = endErr[:wal.MaxRecord-1]
+			}
+			payload = append([]byte{'E'}, endErr...)
+		} else {
+			var tmp [binary.MaxVarintLen64]byte
+			n := binary.PutUvarint(tmp[:], uint64(w.count))
+			payload = append([]byte{'Z'}, tmp[:n]...)
+		}
+		if _, err := wal.AppendFrame(w.out, payload); err != nil {
+			w.werr = err
+			return w.werr
+		}
+	case JSONArray:
+		if !w.started {
+			w.buf.WriteString(`{"violations":[`)
+		}
+		w.buf.WriteByte(']')
+		if endErr != "" {
+			b, _ := json.Marshal(endErr)
+			w.buf.WriteString(`,"error":`)
+			w.buf.Write(b)
+			w.buf.WriteString("}\n")
+		} else {
+			fmt.Fprintf(&w.buf, `,"done":true,"count":%d}`+"\n", w.count)
+		}
+		if _, err := w.out.Write(w.buf.Bytes()); err != nil {
+			w.buf.Reset()
+			w.werr = err
+			return w.werr
+		}
+		w.buf.Reset()
+	default:
+		if endErr != "" {
+			b, _ := json.Marshal(endErr)
+			fmt.Fprintf(&w.buf, `{"error":%s}`+"\n", b)
+		} else {
+			fmt.Fprintf(&w.buf, `{"done":true,"count":%d}`+"\n", w.count)
+		}
+		if _, err := w.out.Write(w.buf.Bytes()); err != nil {
+			w.buf.Reset()
+			w.werr = err
+			return w.werr
+		}
+		w.buf.Reset()
+	}
+	if w.fl != nil {
+		w.fl.Flush()
+	}
+	return w.werr
+}

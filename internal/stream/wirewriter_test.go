@@ -1,0 +1,159 @@
+package stream
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"reflect"
+	"testing"
+)
+
+func wireFixture(n int) []Violation {
+	out := make([]Violation, n)
+	for i := range out {
+		out[i] = Violation{
+			Kind:       []string{"cfd", "cind"}[i%2],
+			Constraint: fmt.Sprintf("phi%d", i%5),
+			Relation:   "checking",
+			Row:        i % 3,
+			Witness:    [][]string{{fmt.Sprintf("%03d", i), "Cust", "Addr", "555", "NYC"}},
+		}
+	}
+	return out
+}
+
+func TestWireWriterRoundTrip(t *testing.T) {
+	for _, enc := range []Encoding{NDJSON, JSONArray, Binary} {
+		t.Run(enc.String(), func(t *testing.T) {
+			vs := wireFixture(7)
+			var buf bytes.Buffer
+			w := NewWireWriter(&buf, nil, enc)
+			for i := range vs {
+				if !w.Send(&vs[i]) {
+					t.Fatalf("Send %d = false", i)
+				}
+			}
+			if err := w.Close(); err != nil {
+				t.Fatal(err)
+			}
+			if w.Count() != 7 {
+				t.Fatalf("Count = %d, want 7", w.Count())
+			}
+			got, err := DecodeAll(&buf, enc)
+			if err != nil {
+				t.Fatalf("DecodeAll: %v", err)
+			}
+			if !reflect.DeepEqual(got, vs) {
+				t.Fatalf("round trip diverged:\ngot  %+v\nwant %+v", got, vs)
+			}
+		})
+	}
+}
+
+func TestWireWriterEmptyStream(t *testing.T) {
+	for _, enc := range []Encoding{NDJSON, JSONArray, Binary} {
+		var buf bytes.Buffer
+		w := NewWireWriter(&buf, nil, enc)
+		if err := w.Close(); err != nil {
+			t.Fatalf("%s: %v", enc, err)
+		}
+		got, err := DecodeAll(&buf, enc)
+		if err != nil {
+			t.Fatalf("%s: DecodeAll: %v", enc, err)
+		}
+		if len(got) != 0 {
+			t.Fatalf("%s: empty stream decoded %d violations", enc, len(got))
+		}
+	}
+}
+
+func TestWireWriterCloseError(t *testing.T) {
+	for _, enc := range []Encoding{NDJSON, JSONArray, Binary} {
+		var buf bytes.Buffer
+		w := NewWireWriter(&buf, nil, enc)
+		vs := wireFixture(2)
+		for i := range vs {
+			w.Send(&vs[i])
+		}
+		w.CloseError("shard 1 went away")
+		_, err := DecodeAll(&buf, enc)
+		var re *RemoteError
+		if !errors.As(err, &re) {
+			t.Fatalf("%s: DecodeAll err = %v, want RemoteError", enc, err)
+		}
+		if re.Msg != "shard 1 went away" {
+			t.Fatalf("%s: relayed message %q", enc, re.Msg)
+		}
+	}
+}
+
+// TestWireWriterNDJSONBytesMatchWriter pins the relay promise: for the
+// default encoding the router's re-encoded bytes must be exactly what a
+// single node would have sent — same violation lines, same trailer.
+func TestWireWriterNDJSONBytesMatchWriter(t *testing.T) {
+	vs := wireFixture(5)
+	var got bytes.Buffer
+	w := NewWireWriter(&got, nil, NDJSON)
+	for i := range vs {
+		w.Send(&vs[i])
+	}
+	w.Close()
+
+	var want bytes.Buffer
+	for i := range vs {
+		b, err := json.Marshal(&vs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		want.Write(b)
+		want.WriteByte('\n')
+	}
+	fmt.Fprintf(&want, `{"done":true,"count":%d}`+"\n", len(vs))
+	if !bytes.Equal(got.Bytes(), want.Bytes()) {
+		t.Fatalf("NDJSON bytes diverge:\ngot  %q\nwant %q", got.String(), want.String())
+	}
+}
+
+func TestWireWriterSendAfterCloseRefused(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWireWriter(&buf, nil, NDJSON)
+	w.Close()
+	v := wireFixture(1)[0]
+	if w.Send(&v) {
+		t.Fatal("Send after Close = true")
+	}
+	if w.Count() != 0 {
+		t.Fatalf("Count after refused Send = %d", w.Count())
+	}
+}
+
+// failWriter fails every write after the first n bytes.
+type failWriter struct{ budget int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.budget <= 0 {
+		return 0, errors.New("wire down")
+	}
+	f.budget -= len(p)
+	return len(p), nil
+}
+
+func TestWireWriterReportsWriteFailure(t *testing.T) {
+	// Budget 0: the eager first-violation flush fails immediately.
+	w := NewWireWriter(&failWriter{budget: 0}, nil, NDJSON)
+	vs := wireFixture(3)
+	ok := true
+	for i := range vs {
+		ok = w.Send(&vs[i])
+		if !ok {
+			break
+		}
+	}
+	if ok {
+		t.Fatal("Send never reported the write failure")
+	}
+	if err := w.Close(); err == nil {
+		t.Fatal("Close returned nil after write failure")
+	}
+}
