@@ -12,8 +12,10 @@
 # path with WAL durability at each fsync policy vs in-memory) and
 # BENCH_shard.json (scatter-gather detection at 1/2/4 shards on the
 # 100k-tuple generated workload, reporting the simulated-cluster critical
-# path as tuples/s), all go test -json event streams whose "output" lines
-# carry the ns/op, B/op and allocs/op figures.
+# path as tuples/s) and BENCH_sql.json (detection through the
+# database/sql backend vs the in-memory engine at 10k/100k tuples), all
+# go test -json event streams whose "output" lines carry the ns/op, B/op
+# and allocs/op figures.
 # Usage: ./bench.sh [extra go test args, e.g. -benchtime=10x]
 set -eu
 
@@ -46,10 +48,16 @@ go test -bench=WALDeltaApply -benchmem -run '^$' -json "$@" ./internal/server > 
 # the figure a real fleet is bounded by.
 go test -bench=ShardedDetect -benchmem -run '^$' -benchtime=3x -json ./internal/shard > BENCH_shard.json
 
+# SQL backend: warm-mirror detection through WithSQLBackend over the
+# embedded engine vs the in-memory engine, 10k and 100k checking tuples
+# (the PERFORMANCE.md backend comparison). Fixed iterations: the 100k SQL
+# run is ~1.3s/op, a time-based -benchtime would stretch the suite.
+go test -bench=SQLBackendDetect -benchmem -run '^$' -benchtime=3x -json . > BENCH_sql.json
+
 # Human-readable summary of the recorded metric lines.
-for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json BENCH_shard.json; do
+for f in BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json BENCH_shard.json BENCH_sql.json; do
 	grep -o '"Output":"[^"]*ns/op[^"]*"' "$f" \
 		| sed 's/"Output":"//; s/\\t/\t/g; s/\\n"$//' || true
 done
 
-echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json BENCH_shard.json"
+echo "wrote BENCH_detect.json BENCH_incr.json BENCH_stream.json BENCH_serve.json BENCH_reason.json BENCH_wal.json BENCH_shard.json BENCH_sql.json"

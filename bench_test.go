@@ -262,6 +262,63 @@ func BenchmarkViolationDetection(b *testing.B) {
 	}
 }
 
+// BenchmarkSQLBackendDetect compares bulk detection through the SQL
+// backend (WithSQLBackend over the embedded engine, mirror kept warm
+// across iterations — the steady-state serving cost) against the
+// in-memory engine on the same scaled bank instance. bench.sh records it
+// to BENCH_sql.json; PERFORMANCE.md tabulates the comparison.
+func BenchmarkSQLBackendDetect(b *testing.B) {
+	sch := bank.Schema()
+	for _, size := range []int{10000, 100000} {
+		db := bank.Data(sch)
+		for i := 0; i < size; i++ {
+			db.Instance("checking").Insert(instance.Consts(
+				fmt.Sprintf("%06d", i), "Customer", "Addr", "555",
+				[]string{"NYC", "EDI"}[i%2]))
+		}
+		cfds := bank.CFDs(sch)
+		cinds := bank.CINDs(sch)
+		b.Run(fmt.Sprintf("checking=%d/engine=memory", size), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				cindapi.Detect(db, cfds, cinds)
+			}
+		})
+		b.Run(fmt.Sprintf("checking=%d/engine=sql", size), func(b *testing.B) {
+			sqlDB, err := cindapi.OpenSQLBackend("mem:")
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer sqlDB.Close()
+			var cs []cindapi.Constraint
+			for _, c := range cfds {
+				cs = append(cs, c)
+			}
+			for _, c := range cinds {
+				cs = append(cs, c)
+			}
+			set, err := cindapi.NewConstraintSet(sch, cs...)
+			if err != nil {
+				b.Fatal(err)
+			}
+			chk, err := cindapi.NewChecker(db, set, cindapi.WithSQLBackend(sqlDB))
+			if err != nil {
+				b.Fatal(err)
+			}
+			// The first Detect ingests the mirror tables; time the warm
+			// path, like the in-memory engine's prebuilt indexes.
+			if _, err := chk.Detect(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := chk.Detect(context.Background()); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkViolationDetectionManyCFDs is the engine's batching showcase:
 // k CFDs over one relation sharing the LHS attribute set (an, ab), so the
 // engine builds the X-projection index once for all of them where the

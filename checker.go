@@ -2,6 +2,7 @@ package cind
 
 import (
 	"context"
+	"database/sql"
 	"fmt"
 	"iter"
 	"sync"
@@ -16,6 +17,7 @@ import (
 	"cind/internal/parser"
 	"cind/internal/repair"
 	"cind/internal/schema"
+	"cind/internal/sqlbackend"
 	"cind/internal/violation"
 )
 
@@ -189,6 +191,7 @@ type CheckerOption func(*checkerConfig)
 type checkerConfig struct {
 	parallel int
 	limit    int
+	sqlDB    *sql.DB
 }
 
 // WithParallelism bounds the engine's worker pool: 0 (the default) means
@@ -204,6 +207,23 @@ func WithParallelism(n int) CheckerOption {
 // unlimited.
 func WithLimit(n int) CheckerOption {
 	return func(c *checkerConfig) { c.limit = n }
+}
+
+// WithSQLBackend routes batch detection through SQL instead of the
+// in-memory engine: the checker mirrors its database into db (schema DDL
+// plus bulk ingest, re-synced only when a relation changes), runs the
+// [9]-style detection queries of internal/sqlgen over database/sql, and
+// folds the result rows back into the ordinary report — the same
+// violations, in the same order, so Detect, Violations and WithLimit
+// behave identically under either backend. Open a handle with
+// OpenSQLBackend ("mem:" selects the embedded zero-dependency engine; any
+// registered driver works). The handle is used, not owned: closing it
+// remains the caller's responsibility, and it must not be shared between
+// checkers. Once Apply builds the incremental session, the session's
+// maintained report takes over and the SQL backend goes idle, exactly as
+// the batch engine does.
+func WithSQLBackend(db *sql.DB) CheckerOption {
+	return func(c *checkerConfig) { c.sqlDB = db }
 }
 
 // Checker is the unified constraint-checking handle: one long-lived value
@@ -238,6 +258,11 @@ type Checker struct {
 	// be scanning — so reads hold mu.RLock for their whole run.
 	mu   sync.RWMutex
 	sess *violation.Session
+
+	// backend, when non-nil, serves pre-session batch detection through
+	// SQL (WithSQLBackend). It has its own mutex; the checker's read lock
+	// still guards the database scan the mirror sync performs.
+	backend *sqlbackend.Backend
 }
 
 // NewChecker validates the set against db's schema and returns the handle.
@@ -264,8 +289,18 @@ func NewChecker(db *Database, set *ConstraintSet, opts ...CheckerOption) (*Check
 	for _, o := range opts {
 		o(&c.cfg)
 	}
+	if c.cfg.sqlDB != nil {
+		c.backend = sqlbackend.New(c.cfg.sqlDB)
+	}
 	return c, nil
 }
+
+// OpenSQLBackend opens a database handle for WithSQLBackend from a
+// backend spec of the form "driver:dsn": "mem:" selects the embedded
+// zero-dependency engine with a fresh private database, "mem:name" a
+// shared named one, and any other registered database/sql driver works by
+// name ("sqlite:violations.db" once a SQLite driver is linked in).
+func OpenSQLBackend(spec string) (*sql.DB, error) { return sqlbackend.Open(spec) }
 
 // Set returns the checker's constraint set.
 func (c *Checker) Set() *ConstraintSet { return c.set }
@@ -337,6 +372,9 @@ func (c *Checker) Detect(ctx context.Context) (*Report, error) {
 	if c.sess != nil {
 		return c.sess.Report().Truncate(c.cfg.limit), nil
 	}
+	if c.backend != nil {
+		return c.backend.Detect(ctx, c.db, c.set.cfds, c.set.cinds, c.cfg.limit)
+	}
 	return violation.DetectContext(ctx, c.db, c.set.cfds, c.set.cinds, c.engineOpts())
 }
 
@@ -397,6 +435,26 @@ func (c *Checker) Violations(ctx context.Context) iter.Seq2[Violation, error] {
 			return
 		}
 		defer c.mu.RUnlock()
+		if c.backend != nil {
+			// SQL backend: materialise the (truncated) report, then yield
+			// in report order — identical to the session path's stream.
+			rep, err := c.backend.Detect(ctx, c.db, c.set.cfds, c.set.cinds, c.cfg.limit)
+			if err != nil {
+				yield(Violation{}, err)
+				return
+			}
+			for _, v := range rep.CFD {
+				if !yield(detect.CFDViolation(v), nil) {
+					return
+				}
+			}
+			for _, v := range rep.CIND {
+				if !yield(detect.CINDViolation(v), nil) {
+					return
+				}
+			}
+			return
+		}
 		n := 0
 		broke := false
 		err := detect.Each(ctx, c.db, c.set.cfds, c.set.cinds, c.engineOpts(), func(v Violation) bool {

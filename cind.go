@@ -20,6 +20,8 @@
 //	internal/gen          the Section 6 workload generator
 //	internal/parser       text format for schemas and constraints
 //	internal/sqlgen       violation-detection SQL (per [9] and Sec 8)
+//	internal/sqlbackend   detection through database/sql over that SQL
+//	internal/memdb        embedded zero-dependency database/sql driver
 //	internal/constraint   the sealed Constraint interface (CFD | CIND)
 //	internal/detect       batched, interned, parallel violation detection
 //	internal/violation    CSV loading and violation reports
@@ -46,6 +48,30 @@
 //
 //	diff, err := chk.Apply(ctx, cind.InsertDelta("checking", t)) // incremental upkeep
 //	res, err := chk.Repair(ctx, cind.RepairOptions{})            // constraint-driven repair
+//
+// # SQL backend
+//
+// Detection can run through any database/sql driver instead of the
+// in-memory engine — the [9]-style SQL technique the paper's conclusion
+// points at. The Checker mirrors its database into SQL tables, runs the
+// detection queries of internal/sqlgen there (one candidate-group/member
+// query pair per normal-form CFD row, one anti-join per normal-form CIND
+// row) and folds the result rows back into the exact report the in-memory
+// engine produces — same violations, same order, so Detect, Violations
+// and WithLimit behave identically under either backend:
+//
+//	sqlDB, err := cind.OpenSQLBackend("mem:") // "driver:dsn"; see below
+//	chk, err := cind.NewChecker(db, set, cind.WithSQLBackend(sqlDB))
+//	report, err := chk.Detect(ctx)            // identical to the in-memory report
+//
+// "mem:" is the embedded zero-dependency engine (internal/memdb),
+// implementing exactly the SQL subset the generated queries need; a spec
+// like "sqlite:violations.db" works unchanged once a SQLite driver is
+// linked in. Empty strings are mirrored as SQL NULL (the generated
+// queries are NULL-aware throughout) and data must be ground. The CLI
+// faces are cindviolate -backend driver:dsn for batch runs and cindserve
+// -backend for serving; see the "SQL backend" section of PERFORMANCE.md
+// for the cost comparison.
 //
 // # Reasoning
 //

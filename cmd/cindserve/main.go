@@ -63,6 +63,14 @@
 // line), the listener closes, and in durable mode the WAL is flushed and
 // closed. Exit status 0 on a clean shutdown.
 //
+// -backend driver:dsn runs every dataset's detection through a
+// database/sql backend instead of the in-memory engine: relations are
+// mirrored into per-dataset SQL databases and the paper's detection
+// queries run there ("-backend mem:" uses the embedded zero-dependency
+// engine; any linked driver works). Violation streams and ?limit= are
+// identical to the in-memory engine's, violation for violation.
+// -backend is exclusive with -route.
+//
 // Router mode: -route shard1,shard2,... serves the same HTTP API over a
 // fleet of shard cindserves instead of a local checker (internal/shard).
 // Datasets are hash-partitioned across the shards with CIND right-hand
@@ -114,6 +122,7 @@ func main() {
 	parallel := flag.Int("parallel", 0, "detection worker goroutines for the preloaded dataset (0 = GOMAXPROCS)")
 	dataDir := flag.String("data", "", "data directory for durable datasets (WAL + snapshots); empty = in-memory")
 	fsync := flag.String("fsync", "always", `WAL sync policy: "always", "off", or a flush interval like "100ms"`)
+	backend := flag.String("backend", "", "run detection through SQL: driver:dsn, e.g. mem: (requires a linked driver)")
 	route := flag.String("route", "", "comma-separated shard URLs: serve as a scatter-gather router instead of a local checker")
 	shardIdx := flag.Int("shard", -1, "this node's index in its router's -route list; namespaces -data per shard")
 	var load loadFlags
@@ -121,8 +130,8 @@ func main() {
 	flag.Parse()
 
 	if *route != "" {
-		if *constraints != "" || len(load) > 0 || *dataDir != "" || *shardIdx >= 0 {
-			fmt.Fprintln(os.Stderr, "cindserve: -route is exclusive with -constraints/-load/-data/-shard")
+		if *constraints != "" || len(load) > 0 || *dataDir != "" || *shardIdx >= 0 || *backend != "" {
+			fmt.Fprintln(os.Stderr, "cindserve: -route is exclusive with -constraints/-load/-data/-shard/-backend")
 			os.Exit(2)
 		}
 		runRouter(*addr, *route)
@@ -137,13 +146,16 @@ func main() {
 		fmt.Fprintln(os.Stderr, "cindserve:", err)
 		os.Exit(2)
 	}
-	srv, err := server.NewWithOptions(server.Options{DataDir: *dataDir, Fsync: policy})
+	srv, err := server.NewWithOptions(server.Options{DataDir: *dataDir, Fsync: policy, Backend: *backend})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "cindserve:", err)
 		os.Exit(2)
 	}
 	if *dataDir != "" {
 		fmt.Printf("cindserve: durable datasets under %s (fsync=%s)\n", *dataDir, *fsync)
+	}
+	if *backend != "" {
+		fmt.Printf("cindserve: detection through SQL backend %s\n", *backend)
 	}
 	if len(load) > 0 && *constraints == "" {
 		fmt.Fprintln(os.Stderr, "cindserve: -load requires -constraints")

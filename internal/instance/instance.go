@@ -115,6 +115,17 @@ func (in *Instance) Len() int { return len(in.tuples) }
 // the slice structure; tuple contents are owned by the instance.
 func (in *Instance) Tuples() []Tuple { return in.tuples }
 
+// Version fingerprints the instance contents for cache invalidation: the
+// pair changes on every Insert and Delete (nextSeq only grows, and a
+// delete shrinks the length without changing nextSeq), and reindex — run
+// by chase-style variable substitution — reassigns fresh sequence numbers,
+// so equal pairs imply the mirror built from an earlier snapshot is still
+// current. Used by internal/sqlbackend to skip re-ingesting unchanged
+// relations.
+func (in *Instance) Version() (nextSeq int64, n int) {
+	return in.nextSeq, len(in.tuples)
+}
+
 // Insert adds the tuple if not already present and reports whether it was
 // added. The tuple length must match the relation arity.
 func (in *Instance) Insert(t Tuple) bool {

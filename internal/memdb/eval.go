@@ -1,0 +1,688 @@
+package memdb
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The evaluator. Values are nil (NULL), string or int64; predicates follow
+// SQL's three-valued logic, represented SQLite-style as int64 1 (true),
+// int64 0 (false) and nil (unknown). A WHERE/HAVING keeps a row or group
+// only when its condition is definitely true.
+
+// scope binds one table alias to the current row during evaluation.
+type scope struct {
+	alias string
+	cols  map[string]int
+	row   []any
+}
+
+// env is the evaluation context: a stack of alias scopes (innermost last,
+// for correlated subqueries), the positional query arguments, the store
+// (subqueries open their own tables) and — in a grouped query — the rows of
+// the group being evaluated, which aggregates range over.
+type env struct {
+	scopes []*scope
+	args   []any
+	st     *store
+	group  [][]any // rows of the current group; nil outside grouped evaluation
+}
+
+func (e *env) lookup(table, col string) (*scope, int, error) {
+	for i := len(e.scopes) - 1; i >= 0; i-- {
+		sc := e.scopes[i]
+		if table != "" && sc.alias != table {
+			continue
+		}
+		if j, ok := sc.cols[col]; ok {
+			return sc, j, nil
+		}
+		if table != "" {
+			return nil, 0, fmt.Errorf("memdb: no column %q in %q", col, table)
+		}
+	}
+	if table != "" {
+		return nil, 0, fmt.Errorf("memdb: unknown table alias %q", table)
+	}
+	return nil, 0, fmt.Errorf("memdb: unknown column %q", col)
+}
+
+func eval(e expr, ev *env) (any, error) {
+	switch x := e.(type) {
+	case lit:
+		return x.v, nil
+	case param:
+		if x.n >= len(ev.args) {
+			return nil, fmt.Errorf("memdb: missing argument %d", x.n+1)
+		}
+		return ev.args[x.n], nil
+	case colRef:
+		sc, j, err := ev.lookup(x.table, x.col)
+		if err != nil {
+			return nil, err
+		}
+		return sc.row[j], nil
+	case *binary:
+		l, err := eval(x.l, ev)
+		if err != nil {
+			return nil, err
+		}
+		r, err := eval(x.r, ev)
+		if err != nil {
+			return nil, err
+		}
+		return applyBinary(x.op, l, r)
+	case *logic:
+		return evalLogic(x, ev)
+	case *notExpr:
+		v, err := eval(x.e, ev)
+		if err != nil {
+			return nil, err
+		}
+		switch truth(v) {
+		case truthTrue:
+			return int64(0), nil
+		case truthFalse:
+			return int64(1), nil
+		}
+		return nil, nil
+	case *isNull:
+		v, err := eval(x.e, ev)
+		if err != nil {
+			return nil, err
+		}
+		if (v == nil) != x.not {
+			return int64(1), nil
+		}
+		return int64(0), nil
+	case *existsExpr:
+		ok, err := ev.st.exists(x.sel, ev)
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			return int64(1), nil
+		}
+		return int64(0), nil
+	case *caseExpr:
+		for _, w := range x.whens {
+			c, err := eval(w.cond, ev)
+			if err != nil {
+				return nil, err
+			}
+			if truth(c) == truthTrue {
+				return eval(w.then, ev)
+			}
+		}
+		if x.els != nil {
+			return eval(x.els, ev)
+		}
+		return nil, nil
+	case *aggExpr:
+		return evalAgg(x, ev)
+	}
+	return nil, fmt.Errorf("memdb: cannot evaluate %T", e)
+}
+
+type truthVal int
+
+const (
+	truthUnknown truthVal = iota
+	truthFalse
+	truthTrue
+)
+
+// truth maps a value to three-valued logic: NULL is unknown, numeric zero
+// is false, everything else is true.
+func truth(v any) truthVal {
+	switch x := v.(type) {
+	case nil:
+		return truthUnknown
+	case int64:
+		if x == 0 {
+			return truthFalse
+		}
+		return truthTrue
+	}
+	return truthTrue
+}
+
+// evalLogic implements Kleene AND/OR with short-circuiting that still
+// respects unknowns (false AND unknown = false; true OR unknown = true).
+func evalLogic(x *logic, ev *env) (any, error) {
+	l, err := eval(x.l, ev)
+	if err != nil {
+		return nil, err
+	}
+	lt := truth(l)
+	if x.and && lt == truthFalse {
+		return int64(0), nil
+	}
+	if !x.and && lt == truthTrue {
+		return int64(1), nil
+	}
+	r, err := eval(x.r, ev)
+	if err != nil {
+		return nil, err
+	}
+	rt := truth(r)
+	if x.and {
+		switch {
+		case rt == truthFalse:
+			return int64(0), nil
+		case lt == truthTrue && rt == truthTrue:
+			return int64(1), nil
+		}
+		return nil, nil
+	}
+	switch {
+	case rt == truthTrue:
+		return int64(1), nil
+	case lt == truthFalse && rt == truthFalse:
+		return int64(0), nil
+	}
+	return nil, nil
+}
+
+func applyBinary(op string, l, r any) (any, error) {
+	if op == "+" || op == "-" {
+		if l == nil || r == nil {
+			return nil, nil
+		}
+		li, lok := l.(int64)
+		ri, rok := r.(int64)
+		if !lok || !rok {
+			return nil, fmt.Errorf("memdb: arithmetic on non-integer values %v %s %v", l, op, r)
+		}
+		if op == "+" {
+			return li + ri, nil
+		}
+		return li - ri, nil
+	}
+	// Comparison: NULL on either side is unknown.
+	if l == nil || r == nil {
+		return nil, nil
+	}
+	c := compareVals(l, r)
+	var res bool
+	switch op {
+	case "=":
+		res = c == 0
+	case "<>":
+		res = c != 0
+	case "<":
+		res = c < 0
+	case ">":
+		res = c > 0
+	case "<=":
+		res = c <= 0
+	case ">=":
+		res = c >= 0
+	default:
+		return nil, fmt.Errorf("memdb: unknown operator %q", op)
+	}
+	if res {
+		return int64(1), nil
+	}
+	return int64(0), nil
+}
+
+// compareVals totally orders non-NULL values: int64 numerically, strings
+// lexically, and integers before strings when the types mix (a fixed,
+// deterministic cross-type order, as SQLite does with its type classes).
+func compareVals(a, b any) int {
+	ai, aInt := a.(int64)
+	bi, bInt := b.(int64)
+	switch {
+	case aInt && bInt:
+		switch {
+		case ai < bi:
+			return -1
+		case ai > bi:
+			return 1
+		}
+		return 0
+	case aInt:
+		return -1
+	case bInt:
+		return 1
+	}
+	return strings.Compare(toStr(a), toStr(b))
+}
+
+func toStr(v any) string {
+	switch x := v.(type) {
+	case string:
+		return x
+	case []byte:
+		return string(x)
+	case int64:
+		return strconv.FormatInt(x, 10)
+	}
+	return fmt.Sprint(v)
+}
+
+// valKey encodes a value with a type tag for grouping and DISTINCT, keeping
+// NULL, integers and strings in disjoint namespaces.
+func valKey(b []byte, v any) []byte {
+	switch x := v.(type) {
+	case nil:
+		return append(b, 'n')
+	case int64:
+		b = append(b, 'i')
+		b = strconv.AppendInt(b, x, 10)
+		return append(b, 0)
+	default:
+		b = append(b, 's')
+		b = append(b, toStr(x)...)
+		return append(b, 0)
+	}
+}
+
+func evalAgg(x *aggExpr, ev *env) (any, error) {
+	if ev.group == nil {
+		return nil, fmt.Errorf("memdb: aggregate %s outside a grouped query", x.fn)
+	}
+	if x.star {
+		return int64(len(ev.group)), nil
+	}
+	// The innermost scope iterates the group's rows while the aggregate
+	// argument is evaluated.
+	sc := ev.scopes[len(ev.scopes)-1]
+	saved := sc.row
+	defer func() { sc.row = saved }()
+
+	switch x.fn {
+	case "count":
+		if !x.distinct {
+			n := int64(0)
+			for _, row := range ev.group {
+				sc.row = row
+				v, err := eval(x.arg, ev)
+				if err != nil {
+					return nil, err
+				}
+				if v != nil {
+					n++
+				}
+			}
+			return n, nil
+		}
+		seen := map[string]bool{}
+		for _, row := range ev.group {
+			sc.row = row
+			v, err := eval(x.arg, ev)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				continue // COUNT(DISTINCT) skips NULLs, per the standard
+			}
+			seen[string(valKey(nil, v))] = true
+		}
+		return int64(len(seen)), nil
+	case "min", "max":
+		var best any
+		for _, row := range ev.group {
+			sc.row = row
+			v, err := eval(x.arg, ev)
+			if err != nil {
+				return nil, err
+			}
+			if v == nil {
+				continue
+			}
+			if best == nil {
+				best = v
+				continue
+			}
+			c := compareVals(v, best)
+			if x.fn == "min" && c < 0 || x.fn == "max" && c > 0 {
+				best = v
+			}
+		}
+		return best, nil
+	}
+	return nil, fmt.Errorf("memdb: unknown aggregate %q", x.fn)
+}
+
+// hasAgg reports whether the expression tree contains an aggregate call
+// (not descending into subqueries, which aggregate over their own rows).
+func hasAgg(e expr) bool {
+	switch x := e.(type) {
+	case *aggExpr:
+		return true
+	case *binary:
+		return hasAgg(x.l) || hasAgg(x.r)
+	case *logic:
+		return hasAgg(x.l) || hasAgg(x.r)
+	case *notExpr:
+		return hasAgg(x.e)
+	case *isNull:
+		return hasAgg(x.e)
+	case *caseExpr:
+		for _, w := range x.whens {
+			if hasAgg(w.cond) || hasAgg(w.then) {
+				return true
+			}
+		}
+		return x.els != nil && hasAgg(x.els)
+	}
+	return false
+}
+
+// --- statement execution (store methods) ---
+
+func (st *store) exec(s stmt, args []any) (int64, error) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	switch x := s.(type) {
+	case *createStmt:
+		if _, dup := st.tables[x.table]; dup {
+			return 0, fmt.Errorf("memdb: table %q already exists", x.table)
+		}
+		cols := make(map[string]int, len(x.cols))
+		for i, c := range x.cols {
+			if _, dup := cols[c]; dup {
+				return 0, fmt.Errorf("memdb: duplicate column %q in table %q", c, x.table)
+			}
+			cols[c] = i
+		}
+		st.tables[x.table] = &table{name: x.table, cols: x.cols, colIdx: cols}
+		return 0, nil
+	case *dropStmt:
+		if _, ok := st.tables[x.table]; !ok {
+			if x.ifExists {
+				return 0, nil
+			}
+			return 0, fmt.Errorf("memdb: no table %q", x.table)
+		}
+		delete(st.tables, x.table)
+		return 0, nil
+	case *insertStmt:
+		tbl, ok := st.tables[x.table]
+		if !ok {
+			return 0, fmt.Errorf("memdb: no table %q", x.table)
+		}
+		ev := &env{args: args, st: st}
+		for _, rowExprs := range x.rows {
+			if len(rowExprs) != len(tbl.cols) {
+				return 0, fmt.Errorf("memdb: INSERT into %q has %d values, table has %d columns",
+					x.table, len(rowExprs), len(tbl.cols))
+			}
+			row := make([]any, len(rowExprs))
+			for i, e := range rowExprs {
+				v, err := eval(e, ev)
+				if err != nil {
+					return 0, err
+				}
+				row[i] = v
+			}
+			tbl.rows = append(tbl.rows, row)
+		}
+		return int64(len(x.rows)), nil
+	case *deleteStmt:
+		tbl, ok := st.tables[x.table]
+		if !ok {
+			return 0, fmt.Errorf("memdb: no table %q", x.table)
+		}
+		if x.where == nil {
+			n := int64(len(tbl.rows))
+			tbl.rows = nil
+			return n, nil
+		}
+		alias := x.table
+		sc := &scope{alias: alias, cols: tbl.colIdx}
+		ev := &env{scopes: []*scope{sc}, args: args, st: st}
+		kept := tbl.rows[:0]
+		n := int64(0)
+		for _, row := range tbl.rows {
+			sc.row = row
+			v, err := eval(x.where, ev)
+			if err != nil {
+				return 0, err
+			}
+			if truth(v) == truthTrue {
+				n++
+				continue
+			}
+			kept = append(kept, row)
+		}
+		tbl.rows = kept
+		return n, nil
+	}
+	return 0, fmt.Errorf("memdb: exec of unsupported statement %T", s)
+}
+
+// exists runs a subquery for EXISTS under the caller's environment (the
+// outer scopes stay visible, making the subquery correlated). The caller
+// holds the store's read lock.
+func (st *store) exists(s *selectStmt, outer *env) (bool, error) {
+	tbl, ok := st.tables[s.table]
+	if !ok {
+		return false, fmt.Errorf("memdb: no table %q", s.table)
+	}
+	if len(s.groupBy) > 0 || s.having != nil {
+		return false, fmt.Errorf("memdb: grouped EXISTS subqueries are not supported")
+	}
+	alias := s.alias
+	if alias == "" {
+		alias = s.table
+	}
+	sc := &scope{alias: alias, cols: tbl.colIdx}
+	ev := &env{scopes: append(append([]*scope(nil), outer.scopes...), sc),
+		args: outer.args, st: st}
+	for _, row := range tbl.rows {
+		sc.row = row
+		if s.where == nil {
+			return true, nil
+		}
+		v, err := eval(s.where, ev)
+		if err != nil {
+			return false, err
+		}
+		if truth(v) == truthTrue {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// query runs a top-level SELECT, returning the output column names and the
+// fully materialised result rows (so the store lock is not held while the
+// caller iterates).
+func (st *store) query(s *selectStmt, args []any) ([]string, [][]any, error) {
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	tbl, ok := st.tables[s.table]
+	if !ok {
+		return nil, nil, fmt.Errorf("memdb: no table %q", s.table)
+	}
+	alias := s.alias
+	if alias == "" {
+		alias = s.table
+	}
+	sc := &scope{alias: alias, cols: tbl.colIdx}
+	ev := &env{scopes: []*scope{sc}, args: args, st: st}
+
+	var filtered [][]any
+	for _, row := range tbl.rows {
+		if s.where != nil {
+			sc.row = row
+			v, err := eval(s.where, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			if truth(v) != truthTrue {
+				continue
+			}
+		}
+		filtered = append(filtered, row)
+	}
+
+	grouped := len(s.groupBy) > 0 || s.having != nil && hasAgg(s.having)
+	for _, it := range s.items {
+		if it.e != nil && hasAgg(it.e) {
+			grouped = true
+		}
+	}
+	for _, it := range s.orderBy {
+		if hasAgg(it.e) {
+			grouped = true
+		}
+	}
+
+	names := st.outNames(s, tbl)
+	var out [][]any
+	var keys [][]any // order-by sort keys, parallel to out
+
+	emit := func(rows [][]any) error {
+		// rows is the evaluation unit: the single current row ungrouped, or
+		// the whole group. The representative row backs non-aggregated
+		// column references.
+		sc.row = rows[0]
+		if grouped {
+			ev.group = rows
+		}
+		if s.having != nil {
+			v, err := eval(s.having, ev)
+			if err != nil {
+				return err
+			}
+			if truth(v) != truthTrue {
+				return nil
+			}
+		}
+		var rec []any
+		for _, it := range s.items {
+			if it.star {
+				rec = append(rec, sc.row...)
+				continue
+			}
+			v, err := eval(it.e, ev)
+			if err != nil {
+				return err
+			}
+			rec = append(rec, v)
+		}
+		out = append(out, rec)
+		if len(s.orderBy) > 0 {
+			key := make([]any, len(s.orderBy))
+			for i, it := range s.orderBy {
+				v, err := eval(it.e, ev)
+				if err != nil {
+					return err
+				}
+				key[i] = v
+			}
+			keys = append(keys, key)
+		}
+		return nil
+	}
+
+	if grouped {
+		groups, order, err := groupRows(filtered, s.groupBy, sc, ev)
+		if err != nil {
+			return nil, nil, err
+		}
+		for _, k := range order {
+			if err := emit(groups[k]); err != nil {
+				return nil, nil, err
+			}
+		}
+	} else {
+		single := make([][]any, 1)
+		for _, row := range filtered {
+			single[0] = row
+			if err := emit(single); err != nil {
+				return nil, nil, err
+			}
+		}
+	}
+
+	if len(s.orderBy) > 0 {
+		idx := make([]int, len(out))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			ka, kb := keys[idx[a]], keys[idx[b]]
+			for i, it := range s.orderBy {
+				c := cmpNullable(ka[i], kb[i])
+				if c == 0 {
+					continue
+				}
+				if it.desc {
+					return c > 0
+				}
+				return c < 0
+			}
+			return false
+		})
+		sorted := make([][]any, len(out))
+		for i, j := range idx {
+			sorted[i] = out[j]
+		}
+		out = sorted
+	}
+	return names, out, nil
+}
+
+// cmpNullable orders values for ORDER BY: NULLs first, then the value
+// order of compareVals.
+func cmpNullable(a, b any) int {
+	switch {
+	case a == nil && b == nil:
+		return 0
+	case a == nil:
+		return -1
+	case b == nil:
+		return 1
+	}
+	return compareVals(a, b)
+}
+
+// groupRows partitions rows by the GROUP BY key, preserving first-seen
+// group order. An empty GROUP BY forms one group over all rows (for
+// aggregates without grouping) — but, per the standard, no group at all
+// over an empty input with no GROUP BY and aggregates would still be one
+// row; sqlgen never relies on that, so an empty input yields no groups.
+func groupRows(rows [][]any, groupBy []expr, sc *scope, ev *env) (map[string][][]any, []string, error) {
+	groups := map[string][][]any{}
+	var order []string
+	for _, row := range rows {
+		sc.row = row
+		var kb []byte
+		for _, e := range groupBy {
+			v, err := eval(e, ev)
+			if err != nil {
+				return nil, nil, err
+			}
+			kb = valKey(kb, v)
+		}
+		k := string(kb)
+		if _, seen := groups[k]; !seen {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], row)
+	}
+	return groups, order, nil
+}
+
+func (st *store) outNames(s *selectStmt, tbl *table) []string {
+	var names []string
+	for i, it := range s.items {
+		if it.star {
+			names = append(names, tbl.cols...)
+			continue
+		}
+		n := it.name
+		if n == "" {
+			n = "col" + strconv.Itoa(i+1)
+		}
+		names = append(names, n)
+	}
+	return names
+}

@@ -1,0 +1,238 @@
+// Package memdb is a minimal embedded SQL engine behind a database/sql
+// driver — the module's zero-dependency default backend for
+// internal/sqlbackend, which pushes the paper's [9]-style violation
+// detection into any database/sql driver. The container this module builds
+// in is offline, so an external embedded engine (modernc.org/sqlite and
+// friends) cannot be vendored; memdb implements exactly the SQL subset
+// internal/sqlgen emits instead, and any real driver slots in through the
+// same database/sql seam with no code change (see sqlbackend.Open).
+//
+// Supported SQL (ANSI shapes only, matching sqlgen's output):
+//
+//	CREATE TABLE "t" ("a" TEXT, ...)      column types are noted and ignored
+//	DROP TABLE [IF EXISTS] "t"
+//	INSERT INTO "t" VALUES (?, 'x', 1), ...
+//	DELETE FROM "t" [WHERE ...]
+//	SELECT exprs | t.* FROM "t" [t] [WHERE ...] [GROUP BY ...]
+//	    [HAVING ...] [ORDER BY ... [ASC|DESC], ...]
+//
+// with =, <>, <, >, <=, >=, IS [NOT] NULL, AND/OR/NOT (three-valued),
+// [NOT] EXISTS correlated subqueries, COUNT(*)/COUNT(DISTINCT)/MIN/MAX,
+// CASE WHEN, and integer + -. Values are NULL, TEXT or INTEGER.
+//
+// The driver registers as "mem". Every distinct DSN names its own shared
+// store: two sql.Open("mem", "x") handles see the same tables (the pooled
+// connections of one *sql.DB must), two different DSNs are fully isolated.
+// Query results are materialised under the store's read lock before Rows
+// is returned, so iteration never blocks writers.
+package memdb
+
+import (
+	"context"
+	"database/sql"
+	"database/sql/driver"
+	"fmt"
+	"io"
+	"sync"
+)
+
+// DriverName is the name the engine registers with database/sql.
+const DriverName = "mem"
+
+func init() {
+	sql.Register(DriverName, drv{})
+}
+
+type table struct {
+	name   string
+	cols   []string
+	colIdx map[string]int
+	rows   [][]any
+}
+
+// store is one named database: DSN-keyed, shared by every connection
+// opened with that DSN.
+type store struct {
+	mu     sync.RWMutex
+	tables map[string]*table
+}
+
+var (
+	regMu  sync.Mutex
+	stores = map[string]*store{}
+)
+
+func openStore(dsn string) *store {
+	regMu.Lock()
+	defer regMu.Unlock()
+	st, ok := stores[dsn]
+	if !ok {
+		st = &store{tables: map[string]*table{}}
+		stores[dsn] = st
+	}
+	return st
+}
+
+// Purge drops the named store entirely, releasing its memory. Later opens
+// of the same DSN start empty. For tests and teardown.
+func Purge(dsn string) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	delete(stores, dsn)
+}
+
+type drv struct{}
+
+func (drv) Open(dsn string) (driver.Conn, error) {
+	return &conn{st: openStore(dsn)}, nil
+}
+
+type conn struct{ st *store }
+
+var (
+	_ driver.QueryerContext = (*conn)(nil)
+	_ driver.ExecerContext  = (*conn)(nil)
+)
+
+func (c *conn) Prepare(q string) (driver.Stmt, error) {
+	s, nparams, err := parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return &pstmt{st: c.st, s: s, nparams: nparams}, nil
+}
+
+func (c *conn) Close() error              { return nil }
+func (c *conn) Begin() (driver.Tx, error) { return noTx{}, nil }
+
+// noTx: the store serialises writes with its own mutex; transactions are
+// accepted for driver compatibility and are no-ops.
+type noTx struct{}
+
+func (noTx) Commit() error   { return nil }
+func (noTx) Rollback() error { return nil }
+
+func (c *conn) QueryContext(ctx context.Context, q string, args []driver.NamedValue) (driver.Rows, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, _, err := parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return c.st.runQuery(s, namedArgs(args))
+}
+
+func (c *conn) ExecContext(ctx context.Context, q string, args []driver.NamedValue) (driver.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	s, _, err := parse(q)
+	if err != nil {
+		return nil, err
+	}
+	return c.st.runExec(s, namedArgs(args))
+}
+
+func namedArgs(args []driver.NamedValue) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		out[i] = normalize(a.Value)
+	}
+	return out
+}
+
+func plainArgs(args []driver.Value) []any {
+	out := make([]any, len(args))
+	for i, a := range args {
+		out[i] = normalize(a)
+	}
+	return out
+}
+
+// normalize maps the driver.Value domain onto the engine's nil | string |
+// int64 value set.
+func normalize(v driver.Value) any {
+	switch x := v.(type) {
+	case nil:
+		return nil
+	case []byte:
+		return string(x)
+	case string:
+		return x
+	case int64:
+		return x
+	case bool:
+		if x {
+			return int64(1)
+		}
+		return int64(0)
+	default:
+		return fmt.Sprint(x)
+	}
+}
+
+func (st *store) runQuery(s stmt, args []any) (driver.Rows, error) {
+	sel, ok := s.(*selectStmt)
+	if !ok {
+		return nil, fmt.Errorf("memdb: not a SELECT statement")
+	}
+	cols, data, err := st.query(sel, args)
+	if err != nil {
+		return nil, err
+	}
+	return &rows{cols: cols, data: data}, nil
+}
+
+func (st *store) runExec(s stmt, args []any) (driver.Result, error) {
+	if _, isSel := s.(*selectStmt); isSel {
+		return nil, fmt.Errorf("memdb: SELECT passed to Exec")
+	}
+	n, err := st.exec(s, args)
+	if err != nil {
+		return nil, err
+	}
+	return driver.RowsAffected(n), nil
+}
+
+type pstmt struct {
+	st      *store
+	s       stmt
+	nparams int
+}
+
+func (p *pstmt) Close() error  { return nil }
+func (p *pstmt) NumInput() int { return p.nparams }
+
+func (p *pstmt) Exec(args []driver.Value) (driver.Result, error) {
+	return p.st.runExec(p.s, plainArgs(args))
+}
+
+func (p *pstmt) Query(args []driver.Value) (driver.Rows, error) {
+	return p.st.runQuery(p.s, plainArgs(args))
+}
+
+type rows struct {
+	cols []string
+	data [][]any
+	i    int
+}
+
+func (r *rows) Columns() []string { return r.cols }
+func (r *rows) Close() error      { return nil }
+
+func (r *rows) Next(dest []driver.Value) error {
+	if r.i >= len(r.data) {
+		return io.EOF
+	}
+	row := r.data[r.i]
+	r.i++
+	for i := range dest {
+		if i < len(row) {
+			dest[i] = row[i]
+		} else {
+			dest[i] = nil
+		}
+	}
+	return nil
+}

@@ -40,6 +40,14 @@ type Options struct {
 	// (0 = the defaults above). Mostly for tests and benchmarks.
 	SnapshotBatches int
 	SnapshotBytes   int64
+	// Backend, when non-empty, runs every dataset's detection through a
+	// database/sql backend instead of the in-memory engine. The value is a
+	// "driver:dsn" spec as cind.OpenSQLBackend takes it; each dataset opens
+	// its own handle from it, so "mem:" (the embedded zero-dependency
+	// engine with a per-open private database) keeps datasets isolated.
+	// Reports are identical to the in-memory engine's, violation for
+	// violation, so streams and ?limit= behave the same.
+	Backend string
 }
 
 // NewWithOptions returns a Server over opts. With a DataDir it opens the
@@ -54,6 +62,16 @@ type Options struct {
 // silently wrong dataset.
 func NewWithOptions(opts Options) (*Server, error) {
 	s := New()
+	if opts.Backend != "" {
+		// Validate the spec once up front so a bad -backend fails at boot,
+		// not at the first dataset creation.
+		probe, err := cind.OpenSQLBackend(opts.Backend)
+		if err != nil {
+			return nil, err
+		}
+		probe.Close()
+		s.backend = opts.Backend
+	}
 	if opts.DataDir == "" {
 		return s, nil
 	}
@@ -94,10 +112,11 @@ func NewWithOptions(opts Options) (*Server, error) {
 	return s, nil
 }
 
-// Close releases the durability layer: every dataset's WAL handle is
-// flushed per policy and closed. The in-memory registry keeps serving (use
-// Drain + http.Server.Shutdown for request teardown); Close is for process
-// exit and tests. In-memory servers need no Close, but it is safe.
+// Close releases the durability layer and every dataset's SQL backend
+// handle: WAL handles are flushed per policy and closed. The in-memory
+// registry keeps serving (use Drain + http.Server.Shutdown for request
+// teardown); Close is for process exit and tests. In-memory servers need
+// no Close, but it is safe.
 func (s *Server) Close() error {
 	s.mu.RLock()
 	ds := make([]*dataset, 0, len(s.datasets))
@@ -114,6 +133,7 @@ func (s *Server) Close() error {
 			}
 		}
 		d.writeMu.Unlock()
+		d.closeBackend()
 	}
 	return err
 }
@@ -131,11 +151,16 @@ func (s *Server) recoverDataset(name string) error {
 		pd.Close()
 		return fmt.Errorf("constraint spec: %w", err)
 	}
-	d := s.newDataset(name, set, 0)
+	d, err := s.newDataset(name, set, 0)
+	if err != nil {
+		pd.Close()
+		return err
+	}
 	d.pd = pd
 	db, snapOff, err := pd.LoadLatestSnapshot(func() *cind.Database { return cind.NewDatabase(set.Schema()) })
 	if err != nil {
 		pd.Close()
+		d.closeBackend()
 		return fmt.Errorf("snapshot: %w", err)
 	}
 	if db != nil {
@@ -152,10 +177,12 @@ func (s *Server) recoverDataset(name string) error {
 			// CRC-intact but undecodable records are not crash damage (a
 			// torn tail was already truncated at open) — refuse to guess.
 			pd.Close()
+			d.closeBackend()
 			return fmt.Errorf("wal record at offset %d: %w", rec.Offset, err)
 		}
 		if _, err := d.checker().Apply(context.Background(), deltas...); err != nil {
 			pd.Close()
+			d.closeBackend()
 			return fmt.Errorf("replay wal record at offset %d: %w", rec.Offset, err)
 		}
 		replayed++

@@ -68,6 +68,7 @@ package server
 import (
 	"bytes"
 	"context"
+	"database/sql"
 	"encoding/json"
 	"errors"
 	"expvar"
@@ -123,6 +124,13 @@ type dataset struct {
 	incremental bool           // an Apply-path write has succeeded
 	lastSizes   map[string]int // most recent tuple-count snapshot
 
+	// sqlDB is the dataset's SQL detection backend (nil = in-memory
+	// engine): opened from Options.Backend at dataset creation, handed to
+	// the checker via WithSQLBackend, closed when the dataset is replaced
+	// or deleted. Each dataset gets its own handle, so "mem:" backends are
+	// private per dataset.
+	sqlDB *sql.DB
+
 	// Durable-mode state, all guarded by writeMu; pd is nil in-memory.
 	writeMu      sync.Mutex
 	pd           *wal.Dataset
@@ -142,9 +150,13 @@ func (d *dataset) checker() *cind.Checker {
 
 func (d *dataset) checkerLocked() *cind.Checker {
 	if d.chk == nil {
+		opts := []cind.CheckerOption{cind.WithParallelism(d.parallel)}
+		if d.sqlDB != nil {
+			opts = append(opts, cind.WithSQLBackend(d.sqlDB))
+		}
 		// The set was parsed against this very schema, so NewChecker's
 		// revalidation cannot fail.
-		chk, err := cind.NewChecker(d.db, d.set, cind.WithParallelism(d.parallel))
+		chk, err := cind.NewChecker(d.db, d.set, opts...)
 		if err != nil {
 			panic("server: checker over own schema: " + err.Error())
 		}
@@ -166,6 +178,11 @@ type Server struct {
 	store       *wal.Store
 	snapBatches int
 	snapBytes   int64
+
+	// backend, when non-empty, is the Options.Backend detection spec
+	// ("driver:dsn"): every dataset runs its checker through a SQL backend
+	// opened from it instead of the in-memory detection engine.
+	backend string
 
 	mux *http.ServeMux
 
@@ -276,14 +293,19 @@ func (s *Server) Vars() expvar.Var { return s.vars }
 // its on-disk state too. Names must satisfy wal.ValidName. In-memory mode
 // never fails.
 func (s *Server) CreateDataset(name string, set *cind.ConstraintSet, parallel int) error {
-	d := s.newDataset(name, set, parallel)
+	d, err := s.newDataset(name, set, parallel)
+	if err != nil {
+		return err
+	}
 	if s.store != nil {
 		if err := s.store.Create(name, cind.MarshalConstraints(set)); err != nil {
+			d.closeBackend()
 			return err
 		}
 		pd, err := s.store.Open(name)
 		if err != nil {
 			s.store.Remove(name)
+			d.closeBackend()
 			return err
 		}
 		d.pd = pd
@@ -292,7 +314,7 @@ func (s *Server) CreateDataset(name string, set *cind.ConstraintSet, parallel in
 	return nil
 }
 
-func (s *Server) newDataset(name string, set *cind.ConstraintSet, parallel int) *dataset {
+func (s *Server) newDataset(name string, set *cind.ConstraintSet, parallel int) (*dataset, error) {
 	d := &dataset{name: name, set: set, db: cind.NewDatabase(set.Schema()),
 		parallel: parallel, goalPrefix: goalPrefix(set),
 		snapBatches: s.snapBatches, snapBytes: s.snapBytes, snapErrs: s.nSnapErrs}
@@ -300,7 +322,14 @@ func (s *Server) newDataset(name string, set *cind.ConstraintSet, parallel int) 
 	for _, rel := range set.Schema().Relations() {
 		d.lastSizes[rel.Name()] = 0
 	}
-	return d
+	if s.backend != "" {
+		sqlDB, err := cind.OpenSQLBackend(s.backend)
+		if err != nil {
+			return nil, err
+		}
+		d.sqlDB = sqlDB
+	}
+	return d, nil
 }
 
 // installDataset swaps d into the registry. A displaced dataset's WAL
@@ -315,6 +344,7 @@ func (s *Server) installDataset(d *dataset) {
 		s.nDatasets.Add(1)
 	} else {
 		old.closePersist()
+		old.closeBackend()
 	}
 }
 
@@ -326,6 +356,16 @@ func (d *dataset) closePersist() {
 	defer d.writeMu.Unlock()
 	if d.pd != nil {
 		d.pd.Close()
+	}
+}
+
+// closeBackend closes the dataset's SQL backend handle, if any: a stream
+// still running on a displaced dataset fails fast instead of querying a
+// mirror nobody maintains. No-op in-memory and idempotent (sql.DB.Close
+// is).
+func (d *dataset) closeBackend() {
+	if d.sqlDB != nil {
+		d.sqlDB.Close()
 	}
 }
 
@@ -616,6 +656,7 @@ func (s *Server) handleDelete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.nDatasets.Add(-1)
+	d.closeBackend()
 	if s.store != nil {
 		// Wait out any in-flight mutation and close the WAL handle, then
 		// remove the directory atomically (renamed out of the namespace

@@ -9,19 +9,32 @@
 // For a normal-form CFD ϕ = (R: X → A, tp), two queries are produced:
 //
 //	QC — single-tuple violations: tuples matching tp[X] whose A attribute
-//	     fails the constant tp[A];
+//	     fails the constant tp[A]; emitted only when tp[A] is a constant.
 //	QV — pair violations: groups with equal X (matching tp[X]) holding
-//	     more than one A value.
+//	     more than one A value; emitted only when tp[A] is '_'. For a
+//	     constant tp[A], QC already reports every violating tuple and a
+//	     group query would flag X-groups the in-memory engine does not
+//	     consider pair violations.
 //
 // For a normal-form CIND ψ = (R1[X; Xp] ⊆ R2[Y; Yp], tp), one anti-join
 // query returns every R1 tuple matching tp[Xp] without the required R2
-// match.
+// match. Wildcard Xp/Yp pattern positions constrain nothing and are
+// skipped.
 //
 // The emitted SQL is ANSI and uses no vendor extensions; identifiers are
-// double-quoted and constants are single-quoted with doubling. The module
-// is offline, so the tests pin the emitted SQL for the paper's running
-// example; package violation provides the same detection semantics natively
-// over in-memory instances.
+// double-quoted and constants are single-quoted with doubling. The
+// in-memory engine's empty string maps to SQL NULL (see
+// internal/sqlbackend), so every comparison is NULL-aware: the empty
+// constant becomes IS NULL / IS NOT NULL, <> carries an IS NULL arm
+// (a NULL attribute differs from every constant, but bare <> is unknown
+// on NULLs and drops the tuple), COUNT(DISTINCT) gets a MAX(CASE …)
+// correction counting NULL as a value, and join equalities are null-safe.
+//
+// ForCFD/ForCIND render human-readable queries (cindviolate -sql);
+// GroupQuery, MembersQuery and AntiJoinQuery build the executable
+// variants package sqlbackend runs over database/sql, which order by a
+// sequence column so SQL results can be folded back into the in-memory
+// engine's exact report order.
 package sqlgen
 
 import (
@@ -31,6 +44,7 @@ import (
 	"cind/internal/cfd"
 	cind "cind/internal/core"
 	"cind/internal/pattern"
+	"cind/internal/schema"
 )
 
 // quoteIdent double-quotes an SQL identifier.
@@ -43,13 +57,63 @@ func quoteLit(s string) string {
 	return `'` + strings.ReplaceAll(s, `'`, `''`) + `'`
 }
 
+// condEq renders alias.col = 'val', with the empty constant (the engine's
+// NULL) rendered as IS NULL.
+func condEq(alias, col, val string) string {
+	if val == "" {
+		return fmt.Sprintf("%s.%s IS NULL", alias, quoteIdent(col))
+	}
+	return fmt.Sprintf("%s.%s = %s", alias, quoteIdent(col), quoteLit(val))
+}
+
+// condNeq renders alias.col <> 'val' with the NULL arm: NULL differs from
+// every non-empty constant but bare <> evaluates to unknown and would drop
+// the tuple. The empty constant inverts to IS NOT NULL.
+func condNeq(alias, col, val string) string {
+	if val == "" {
+		return fmt.Sprintf("%s.%s IS NOT NULL", alias, quoteIdent(col))
+	}
+	return fmt.Sprintf("(%s.%s <> %s OR %s.%s IS NULL)",
+		alias, quoteIdent(col), quoteLit(val), alias, quoteIdent(col))
+}
+
+// nullSafeEq renders a null-safe column equality: NULL matches NULL, as
+// the in-memory engine's string comparison does for its empty value.
+func nullSafeEq(la, lc, ra, rc string) string {
+	return fmt.Sprintf("(%s.%s = %s.%s OR (%s.%s IS NULL AND %s.%s IS NULL))",
+		la, quoteIdent(lc), ra, quoteIdent(rc), la, quoteIdent(lc), ra, quoteIdent(rc))
+}
+
+// adjustedCount counts distinct values of alias.col with NULL counted as a
+// value: COUNT(DISTINCT) alone ignores NULLs, so a group holding {NULL, x}
+// would pass as unique.
+func adjustedCount(alias, col string) string {
+	c := alias + "." + quoteIdent(col)
+	return fmt.Sprintf("COUNT(DISTINCT %s) + MAX(CASE WHEN %s IS NULL THEN 1 ELSE 0 END)", c, c)
+}
+
+// lhsConds renders the constant conditions of a normal-form CFD row's LHS
+// pattern.
+func lhsConds(c *cfd.CFD, alias string) []string {
+	row := c.Rows[0]
+	var conds []string
+	for i, a := range c.X {
+		if row.LHS[i].IsConst() {
+			conds = append(conds, condEq(alias, a, row.LHS[i].Const()))
+		}
+	}
+	return conds
+}
+
 // CFDQueries holds the two violation queries of [9] for one normal-form
-// pattern row.
+// pattern row. Exactly one of the two is set: Single (QC) when tp[A] is a
+// constant, Pair (QV) when it is the wildcard.
 type CFDQueries struct {
 	// Single is QC: single-tuple violations (empty when tp[A] is '_',
 	// where no single tuple can violate).
 	Single string
-	// Pair is QV: multi-tuple violations via grouping.
+	// Pair is QV: multi-tuple violations via grouping (empty when tp[A]
+	// is a constant, where QC covers detection).
 	Pair string
 }
 
@@ -66,21 +130,15 @@ func ForCFD(c *cfd.CFD) []CFDQueries {
 func forNormalCFD(c *cfd.CFD) CFDQueries {
 	row := c.Rows[0]
 	t := "t"
-	var conds []string
-	for i, a := range c.X {
-		if row.LHS[i].IsConst() {
-			conds = append(conds, fmt.Sprintf("%s.%s = %s", t, quoteIdent(a), quoteLit(row.LHS[i].Const())))
-		}
-	}
-	where := strings.Join(conds, " AND ")
+	conds := lhsConds(c, t)
+	aCol := c.Y[0]
 
 	var q CFDQueries
-	aCol := quoteIdent(c.Y[0])
 	if row.RHS[0].IsConst() {
-		single := conds
-		single = append(single, fmt.Sprintf("%s.%s <> %s", t, aCol, quoteLit(row.RHS[0].Const())))
+		single := append(conds, condNeq(t, aCol, row.RHS[0].Const()))
 		q.Single = fmt.Sprintf("SELECT %s.* FROM %s %s WHERE %s",
 			t, quoteIdent(c.Rel), t, strings.Join(single, " AND "))
+		return q
 	}
 	groupCols := make([]string, len(c.X))
 	for i, a := range c.X {
@@ -89,10 +147,10 @@ func forNormalCFD(c *cfd.CFD) CFDQueries {
 	group := strings.Join(groupCols, ", ")
 	var b strings.Builder
 	fmt.Fprintf(&b, "SELECT %s FROM %s %s", group, quoteIdent(c.Rel), t)
-	if where != "" {
-		fmt.Fprintf(&b, " WHERE %s", where)
+	if len(conds) > 0 {
+		fmt.Fprintf(&b, " WHERE %s", strings.Join(conds, " AND "))
 	}
-	fmt.Fprintf(&b, " GROUP BY %s HAVING COUNT(DISTINCT %s.%s) > 1", group, t, aCol)
+	fmt.Fprintf(&b, " GROUP BY %s HAVING %s > 1", group, adjustedCount(t, aCol))
 	q.Pair = b.String()
 	return q
 }
@@ -108,23 +166,33 @@ func ForCIND(c *cind.CIND) []string {
 }
 
 func forNormalCIND(c *cind.CIND) string {
+	return fmt.Sprintf("SELECT t.* FROM %s t WHERE %s", quoteIdent(c.LHSRel), cindWhere(c))
+}
+
+// cindWhere renders the WHERE condition of the anti-join query for a
+// single-row CIND: the LHS pattern conditions followed by NOT EXISTS over
+// the RHS. Pattern positions are read from the row directly rather than
+// through the normal-form accessors, so wildcard Xp/Yp symbols — which
+// constrain nothing — are skipped instead of panicking in Const().
+func cindWhere(c *cind.CIND) string {
+	row := c.Rows[0]
 	t, s := "t", "s"
 	var outer []string
-	xpPat := c.XpPattern()
 	for i, a := range c.Xp {
-		outer = append(outer, fmt.Sprintf("%s.%s = %s", t, quoteIdent(a), quoteLit(xpPat[i].Const())))
+		if sym := row.LHS[len(c.X)+i]; sym.IsConst() {
+			outer = append(outer, condEq(t, a, sym.Const()))
+		}
 	}
 	var inner []string
 	for i := range c.X {
-		inner = append(inner, fmt.Sprintf("%s.%s = %s.%s",
-			s, quoteIdent(c.Y[i]), t, quoteIdent(c.X[i])))
+		inner = append(inner, nullSafeEq(s, c.Y[i], t, c.X[i]))
 	}
-	ypPat := c.YpPattern()
 	for i, a := range c.Yp {
-		inner = append(inner, fmt.Sprintf("%s.%s = %s", s, quoteIdent(a), quoteLit(ypPat[i].Const())))
+		if sym := row.RHS[len(c.Y)+i]; sym.IsConst() {
+			inner = append(inner, condEq(s, a, sym.Const()))
+		}
 	}
 	var b strings.Builder
-	fmt.Fprintf(&b, "SELECT %s.* FROM %s %s WHERE ", t, quoteIdent(c.LHSRel), t)
 	if len(outer) > 0 {
 		fmt.Fprintf(&b, "%s AND ", strings.Join(outer, " AND "))
 	}
@@ -134,6 +202,125 @@ func forNormalCIND(c *cind.CIND) string {
 	}
 	b.WriteString(")")
 	return b.String()
+}
+
+// GroupQuery builds the executable candidate-group query for one
+// normal-form CFD component: it returns the X-projections of the groups
+// that violate this component. A constant-RHS component reports groups
+// holding a tuple that fails the constant; a wildcard-RHS component
+// reports groups whose A values are not unique, with NULL counted as a
+// value. When X is empty the whole relation forms one implicit group and
+// the query returns a row iff that group is violating.
+func GroupQuery(c *cfd.CFD) string {
+	row := c.Rows[0]
+	t := "t"
+	conds := lhsConds(c, t)
+	aCol := c.Y[0]
+	constRHS := row.RHS[0].IsConst()
+	if constRHS {
+		conds = append(conds, condNeq(t, aCol, row.RHS[0].Const()))
+	}
+	var b strings.Builder
+	if len(c.X) == 0 {
+		fmt.Fprintf(&b, "SELECT COUNT(*) FROM %s %s", quoteIdent(c.Rel), t)
+		if len(conds) > 0 {
+			fmt.Fprintf(&b, " WHERE %s", strings.Join(conds, " AND "))
+		}
+		if constRHS {
+			b.WriteString(" HAVING COUNT(*) > 0")
+		} else {
+			fmt.Fprintf(&b, " HAVING %s > 1", adjustedCount(t, aCol))
+		}
+		return b.String()
+	}
+	groupCols := make([]string, len(c.X))
+	for i, a := range c.X {
+		groupCols[i] = t + "." + quoteIdent(a)
+	}
+	group := strings.Join(groupCols, ", ")
+	fmt.Fprintf(&b, "SELECT %s FROM %s %s", group, quoteIdent(c.Rel), t)
+	if len(conds) > 0 {
+		fmt.Fprintf(&b, " WHERE %s", strings.Join(conds, " AND "))
+	}
+	fmt.Fprintf(&b, " GROUP BY %s", group)
+	if !constRHS {
+		fmt.Fprintf(&b, " HAVING %s > 1", adjustedCount(t, aCol))
+	}
+	return b.String()
+}
+
+// MembersQuery builds the executable query fetching every tuple of one
+// X-group of the CFD's relation, selecting attrs plus seqCol and ordered
+// by seqCol (insertion order). Each X attribute contributes a null-safe
+// parameter equality with its value bound twice, so the statement takes
+// 2*len(X) parameters in X order. Membership in a group depends only on
+// the X-projection, so one statement serves every pattern row.
+func MembersQuery(c *cfd.CFD, attrs []string, seqCol string) (string, int) {
+	t := "t"
+	cols := make([]string, 0, len(attrs)+1)
+	for _, a := range attrs {
+		cols = append(cols, t+"."+quoteIdent(a))
+	}
+	cols = append(cols, t+"."+quoteIdent(seqCol))
+	var conds []string
+	for _, a := range c.X {
+		q := quoteIdent(a)
+		conds = append(conds, fmt.Sprintf("(%s.%s = ? OR (%s.%s IS NULL AND ? IS NULL))", t, q, t, q))
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "SELECT %s FROM %s %s", strings.Join(cols, ", "), quoteIdent(c.Rel), t)
+	if len(conds) > 0 {
+		fmt.Fprintf(&b, " WHERE %s", strings.Join(conds, " AND "))
+	}
+	fmt.Fprintf(&b, " ORDER BY %s.%s", t, quoteIdent(seqCol))
+	return b.String(), 2 * len(c.X)
+}
+
+// AntiJoinQuery builds the executable detection query for one normal-form
+// CIND component, selecting attrs plus seqCol of the LHS relation ordered
+// by seqCol (insertion order) — which is exactly the in-memory engine's
+// report order for CIND violations.
+func AntiJoinQuery(c *cind.CIND, attrs []string, seqCol string) string {
+	t := "t"
+	cols := make([]string, 0, len(attrs)+1)
+	for _, a := range attrs {
+		cols = append(cols, t+"."+quoteIdent(a))
+	}
+	cols = append(cols, t+"."+quoteIdent(seqCol))
+	return fmt.Sprintf("SELECT %s FROM %s %s WHERE %s ORDER BY %s.%s",
+		strings.Join(cols, ", "), quoteIdent(c.LHSRel), t, cindWhere(c),
+		t, quoteIdent(seqCol))
+}
+
+// RelationDDL renders the CREATE TABLE statement for a relation mirror:
+// every attribute as TEXT plus the hidden integer sequence column holding
+// the tuple's insertion rank, which the executable queries order by to
+// reproduce the in-memory engine's report order.
+func RelationDDL(r *schema.Relation, seqCol string) string {
+	cols := make([]string, 0, r.Arity()+1)
+	for _, a := range r.AttrNames() {
+		cols = append(cols, quoteIdent(a)+" TEXT")
+	}
+	cols = append(cols, quoteIdent(seqCol)+" INTEGER")
+	return fmt.Sprintf("CREATE TABLE %s (%s)", quoteIdent(r.Name()), strings.Join(cols, ", "))
+}
+
+// InsertStmt renders the parameterized bulk-ingest INSERT for a relation
+// mirror: one placeholder per attribute plus one for the sequence column.
+func InsertStmt(r *schema.Relation) string {
+	params := strings.TrimSuffix(strings.Repeat("?, ", r.Arity()+1), ", ")
+	return fmt.Sprintf("INSERT INTO %s VALUES (%s)", quoteIdent(r.Name()), params)
+}
+
+// DeleteAllStmt renders the statement clearing a relation mirror before
+// re-ingest.
+func DeleteAllStmt(rel string) string {
+	return fmt.Sprintf("DELETE FROM %s", quoteIdent(rel))
+}
+
+// DropStmt renders the idempotent drop of a relation mirror.
+func DropStmt(rel string) string {
+	return fmt.Sprintf("DROP TABLE IF EXISTS %s", quoteIdent(rel))
 }
 
 // TableauDDL renders a pattern tableau as a data table plus INSERTs — the

@@ -1,12 +1,18 @@
 package sqlgen
 
 import (
+	"database/sql"
+	"fmt"
+	"reflect"
 	"strings"
 	"testing"
 
 	"cind/internal/bank"
+	"cind/internal/cfd"
 	cind "cind/internal/core"
+	"cind/internal/memdb"
 	"cind/internal/pattern"
+	"cind/internal/schema"
 )
 
 func TestForCINDPsi6(t *testing.T) {
@@ -36,8 +42,8 @@ func TestForCINDEmbeddedJoin(t *testing.T) {
 	for _, frag := range []string{
 		`FROM "account_NYC" t`,
 		`t."at" = 'saving'`,
-		`s."an" = t."an"`,
-		`s."cp" = t."cp"`,
+		`(s."an" = t."an" OR (s."an" IS NULL AND t."an" IS NULL))`,
+		`(s."cp" = t."cp" OR (s."cp" IS NULL AND t."cp" IS NULL))`,
 		`s."ab" = 'NYC'`,
 	} {
 		if !strings.Contains(q, frag) {
@@ -50,7 +56,7 @@ func TestForCINDTraditional(t *testing.T) {
 	sch := bank.Schema()
 	q := ForCIND(bank.Psi3(sch))[0]
 	want := `SELECT t.* FROM "saving" t WHERE NOT EXISTS ` +
-		`(SELECT 1 FROM "interest" s WHERE s."ab" = t."ab")`
+		`(SELECT 1 FROM "interest" s WHERE (s."ab" = t."ab" OR (s."ab" IS NULL AND t."ab" IS NULL)))`
 	if q != want {
 		t.Fatalf("ψ3 query:\n got: %s\nwant: %s", q, want)
 	}
@@ -63,23 +69,224 @@ func TestForCFDPhi3(t *testing.T) {
 		t.Fatalf("queries = %d, want 5 normal-form rows", len(queries))
 	}
 	// Row 0 is the all-wild fd3: no single-tuple query, pair query without
-	// a WHERE clause.
+	// a WHERE clause and with the NULL-adjusted distinct count.
 	if queries[0].Single != "" {
 		t.Fatalf("all-wild row must have no single-tuple query, got %s", queries[0].Single)
 	}
 	wantPair := `SELECT t."ct", t."at" FROM "interest" t GROUP BY t."ct", t."at" ` +
-		`HAVING COUNT(DISTINCT t."rt") > 1`
+		`HAVING COUNT(DISTINCT t."rt") + MAX(CASE WHEN t."rt" IS NULL THEN 1 ELSE 0 END) > 1`
 	if queries[0].Pair != wantPair {
 		t.Fatalf("fd3 pair query:\n got: %s\nwant: %s", queries[0].Pair, wantPair)
 	}
-	// Row 2 catches t12: UK/checking must have rt = 1.5%.
+	// Row 2 catches t12: UK/checking must have rt = 1.5%. The inequality
+	// carries the IS NULL arm: a NULL rt also fails the constant.
 	wantSingle := `SELECT t.* FROM "interest" t WHERE t."ct" = 'UK' AND ` +
-		`t."at" = 'checking' AND t."rt" <> '1.5%'`
+		`t."at" = 'checking' AND (t."rt" <> '1.5%' OR t."rt" IS NULL)`
 	if queries[2].Single != wantSingle {
 		t.Fatalf("ϕ3 row 2 single query:\n got: %s\nwant: %s", queries[2].Single, wantSingle)
 	}
-	if !strings.Contains(queries[2].Pair, `WHERE t."ct" = 'UK' AND t."at" = 'checking'`) {
-		t.Fatalf("ϕ3 row 2 pair query: %s", queries[2].Pair)
+}
+
+// TestConstantRHSEmitsNoPairQuery pins the fix for QV being emitted
+// unconditionally: for a constant-RHS normal row QC already reports every
+// violating tuple, and a group query would flag X-groups the in-memory
+// engine does not consider pair violations (two tuples both failing the
+// constant with distinct A values violate individually, not as a pair).
+func TestConstantRHSEmitsNoPairQuery(t *testing.T) {
+	sch := bank.Schema()
+	for i, q := range ForCFD(bank.Phi3(sch)) {
+		single := q.Single != ""
+		pair := q.Pair != ""
+		if single == pair {
+			t.Errorf("row %d: Single=%q Pair=%q, want exactly one", i, q.Single, q.Pair)
+		}
+	}
+}
+
+// TestForCINDWildcardPattern pins the fix for forNormalCIND calling
+// Const() through the normal-form accessors: on a single-row CIND whose
+// Xp/Yp patterns contain wildcards the old code panicked ("not in normal
+// form"); wildcard positions constrain nothing and are skipped.
+func TestForCINDWildcardPattern(t *testing.T) {
+	sch := bank.Schema()
+	psi := cind.MustNew(sch, "wild", "saving", nil, []string{"ab", "cn"},
+		"interest", nil, []string{"ct", "at"},
+		[]cind.Row{{
+			LHS: pattern.Tup(pattern.Wild, pattern.Sym("c")),
+			RHS: pattern.Tup(pattern.Sym("UK"), pattern.Wild),
+		}})
+	q := forNormalCIND(psi) // direct call: ForCIND normalizes wildcards away first
+	want := `SELECT t.* FROM "saving" t WHERE t."cn" = 'c' AND ` +
+		`NOT EXISTS (SELECT 1 FROM "interest" s WHERE s."ct" = 'UK')`
+	if q != want {
+		t.Fatalf("wildcard-pattern query:\n got: %s\nwant: %s", q, want)
+	}
+}
+
+// nullSchema is a two-relation schema over infinite domains, used by the
+// NULL-semantics fixtures ("" in memory maps to SQL NULL).
+func nullSchema() *schema.Schema {
+	str := func(names ...string) []schema.Attribute {
+		var out []schema.Attribute
+		for _, n := range names {
+			out = append(out, schema.Attribute{Name: n, Dom: schema.Infinite("string")})
+		}
+		return out
+	}
+	return schema.MustNew(
+		schema.MustRelation("r", str("x", "y")...),
+		schema.MustRelation("s", str("a")...),
+	)
+}
+
+func openMem(t *testing.T) *sql.DB {
+	t.Helper()
+	dsn := "sqlgen-" + t.Name()
+	db, err := sql.Open(memdb.DriverName, dsn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close(); memdb.Purge(dsn) })
+	return db
+}
+
+// TestNullSemanticsEndToEnd executes the emitted queries against a
+// NULL-bearing fixture: without the IS NULL arms both violations below are
+// silently missed (bare <> and COUNT(DISTINCT) ignore NULLs).
+func TestNullSemanticsEndToEnd(t *testing.T) {
+	sch := nullSchema()
+	db := openMem(t)
+	mustExec(t, db, `CREATE TABLE "r" ("x" TEXT, "y" TEXT, "__seq" INTEGER)`)
+	mustExec(t, db, `INSERT INTO "r" VALUES
+		('g1', 'a', 0), ('g1', NULL, 1),
+		('g2', NULL, 2)`)
+
+	// Wildcard RHS: group g1 holds two Y values {a, NULL}.
+	wild := cfd.MustNew(sch, "wild", "r", []string{"x"}, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	pair := ForCFD(wild)[0].Pair
+	rows := queryStrings(t, db, pair)
+	if !reflect.DeepEqual(rows, [][]string{{"g1"}}) {
+		t.Fatalf("pair query on NULL group returned %v, want [[g1]]", rows)
+	}
+
+	// Constant RHS: g2's NULL y fails y = 'v'.
+	konst := cfd.MustNew(sch, "const", "r", []string{"x"}, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Tup(pattern.Sym("g2")), RHS: pattern.Tup(pattern.Sym("v"))}})
+	single := ForCFD(konst)[0].Single
+	rows = queryStrings(t, db, single)
+	if len(rows) != 1 || rows[0][0] != "g2" {
+		t.Fatalf("single query on NULL attribute returned %v, want the g2 tuple", rows)
+	}
+
+	// The empty pattern constant means NULL: y = '' matches only NULLs, so
+	// g1's 'a' tuple violates and the NULL tuples do not.
+	null := cfd.MustNew(sch, "null", "r", nil, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(pattern.Sym(""))}})
+	single = ForCFD(null)[0].Single
+	if !strings.Contains(single, `t."y" IS NOT NULL`) {
+		t.Fatalf("empty-constant inequality not rendered as IS NOT NULL: %s", single)
+	}
+	if rows = queryStrings(t, db, single); len(rows) != 1 || rows[0][1] != "a" {
+		t.Fatalf("empty-constant query returned %v, want the (g1, a) tuple", rows)
+	}
+}
+
+// TestCINDNullSafeJoinEndToEnd: a NULL LHS join value must match a NULL
+// RHS value, as the in-memory engine's projection equality does for its
+// empty string.
+func TestCINDNullSafeJoinEndToEnd(t *testing.T) {
+	sch := nullSchema()
+	db := openMem(t)
+	mustExec(t, db, `CREATE TABLE "r" ("x" TEXT, "y" TEXT, "__seq" INTEGER)`)
+	mustExec(t, db, `CREATE TABLE "s" ("a" TEXT, "__seq" INTEGER)`)
+	mustExec(t, db, `INSERT INTO "r" VALUES ('k1', '-', 0), (NULL, '-', 1)`)
+	mustExec(t, db, `INSERT INTO "s" VALUES (NULL, 0)`)
+	psi := cind.MustNew(sch, "incl", "r", []string{"x"}, nil, "s", []string{"a"}, nil,
+		[]cind.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	rows := queryStrings(t, db, AntiJoinQuery(psi.NormalForm()[0], []string{"x", "y"}, "__seq"))
+	// Only k1 is unmatched; the NULL x finds the NULL s-tuple.
+	if len(rows) != 1 || rows[0][0] != "k1" {
+		t.Fatalf("anti-join returned %v, want only the k1 tuple", rows)
+	}
+}
+
+func TestGroupQuery(t *testing.T) {
+	sch := nullSchema()
+	wild := cfd.MustNew(sch, "wild", "r", []string{"x"}, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	want := `SELECT t."x" FROM "r" t GROUP BY t."x" ` +
+		`HAVING COUNT(DISTINCT t."y") + MAX(CASE WHEN t."y" IS NULL THEN 1 ELSE 0 END) > 1`
+	if q := GroupQuery(wild.NormalForm()[0]); q != want {
+		t.Fatalf("wild GroupQuery:\n got: %s\nwant: %s", q, want)
+	}
+	konst := cfd.MustNew(sch, "const", "r", []string{"x"}, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Tup(pattern.Sym("g")), RHS: pattern.Tup(pattern.Sym("v"))}})
+	want = `SELECT t."x" FROM "r" t WHERE t."x" = 'g' AND (t."y" <> 'v' OR t."y" IS NULL) GROUP BY t."x"`
+	if q := GroupQuery(konst.NormalForm()[0]); q != want {
+		t.Fatalf("const GroupQuery:\n got: %s\nwant: %s", q, want)
+	}
+	// Empty X degenerates to one implicit group; a returned row marks it
+	// as violating.
+	emptyConst := cfd.MustNew(sch, "ec", "r", nil, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Tup(pattern.Sym("v"))}})
+	want = `SELECT COUNT(*) FROM "r" t WHERE (t."y" <> 'v' OR t."y" IS NULL) HAVING COUNT(*) > 0`
+	if q := GroupQuery(emptyConst.NormalForm()[0]); q != want {
+		t.Fatalf("empty-X const GroupQuery:\n got: %s\nwant: %s", q, want)
+	}
+	emptyWild := cfd.MustNew(sch, "ew", "r", nil, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Tup(), RHS: pattern.Wilds(1)}})
+	want = `SELECT COUNT(*) FROM "r" t ` +
+		`HAVING COUNT(DISTINCT t."y") + MAX(CASE WHEN t."y" IS NULL THEN 1 ELSE 0 END) > 1`
+	if q := GroupQuery(emptyWild.NormalForm()[0]); q != want {
+		t.Fatalf("empty-X wild GroupQuery:\n got: %s\nwant: %s", q, want)
+	}
+}
+
+func TestMembersQuery(t *testing.T) {
+	sch := nullSchema()
+	c := cfd.MustNew(sch, "wild", "r", []string{"x"}, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	q, n := MembersQuery(c, []string{"x", "y"}, "__seq")
+	want := `SELECT t."x", t."y", t."__seq" FROM "r" t ` +
+		`WHERE (t."x" = ? OR (t."x" IS NULL AND ? IS NULL)) ORDER BY t."__seq"`
+	if q != want {
+		t.Fatalf("MembersQuery:\n got: %s\nwant: %s", q, want)
+	}
+	if n != 2 {
+		t.Fatalf("MembersQuery params = %d, want 2", n)
+	}
+}
+
+// TestExecBuildersOnMemdb runs the executable builders end-to-end: the
+// group/members pair reconstructs groups in insertion order including the
+// NULL group.
+func TestExecBuildersOnMemdb(t *testing.T) {
+	sch := nullSchema()
+	db := openMem(t)
+	mustExec(t, db, `CREATE TABLE "r" ("x" TEXT, "y" TEXT, "__seq" INTEGER)`)
+	mustExec(t, db, `INSERT INTO "r" VALUES
+		(NULL, 'a', 0), (NULL, 'b', 1),
+		('g1', 'a', 2), ('g1', NULL, 3),
+		('g2', 'a', 4)`)
+	wild := cfd.MustNew(sch, "wild", "r", []string{"x"}, []string{"y"},
+		[]cfd.Row{{LHS: pattern.Wilds(1), RHS: pattern.Wilds(1)}})
+	n := wild.NormalForm()[0]
+	groups := queryStrings(t, db, GroupQuery(n))
+	if !reflect.DeepEqual(groups, [][]string{{"<null>"}, {"g1"}}) {
+		t.Fatalf("groups = %v", groups)
+	}
+	mq, np := MembersQuery(n, []string{"x", "y"}, "__seq")
+	if np != 2 {
+		t.Fatalf("params = %d", np)
+	}
+	members := queryStrings(t, db, mq, nil, nil)
+	if !reflect.DeepEqual(members, [][]string{{"<null>", "a", "0"}, {"<null>", "b", "1"}}) {
+		t.Fatalf("NULL-group members = %v", members)
+	}
+	members = queryStrings(t, db, mq, "g1", "g1")
+	if !reflect.DeepEqual(members, [][]string{{"g1", "a", "2"}, {"g1", "<null>", "3"}}) {
+		t.Fatalf("g1 members = %v", members)
 	}
 }
 
@@ -108,6 +315,28 @@ func TestQuoting(t *testing.T) {
 	}
 }
 
+// TestQuotingEndToEnd executes generated queries whose identifiers embed
+// double quotes and whose constants embed single quotes.
+func TestQuotingEndToEnd(t *testing.T) {
+	sch := schema.MustNew(schema.MustRelation(`we"ird`,
+		schema.Attribute{Name: `co"l`, Dom: schema.Infinite("string")},
+		schema.Attribute{Name: "v", Dom: schema.Infinite("string")}))
+	db := openMem(t)
+	mustExec(t, db, `CREATE TABLE "we""ird" ("co""l" TEXT, "v" TEXT, "__seq" INTEGER)`)
+	mustExec(t, db, `INSERT INTO "we""ird" VALUES ('O''Hare', 'x', 0)`)
+	c := cfd.MustNew(sch, "q", `we"ird`, []string{`co"l`}, []string{"v"},
+		[]cfd.Row{{LHS: pattern.Tup(pattern.Sym("O'Hare")), RHS: pattern.Tup(pattern.Sym("y"))}})
+	rows := queryStrings(t, db, ForCFD(c)[0].Single)
+	if len(rows) != 1 || rows[0][1] != "x" {
+		t.Fatalf("quoted single query returned %v", rows)
+	}
+	mq, _ := MembersQuery(c, []string{`co"l`, "v"}, "__seq")
+	rows = queryStrings(t, db, mq, "O'Hare", "O'Hare")
+	if len(rows) != 1 || rows[0][0] != "O'Hare" {
+		t.Fatalf("quoted members query returned %v", rows)
+	}
+}
+
 func TestTableauDDL(t *testing.T) {
 	ddl := TableauDDL("T6", []string{"ab", "rt"}, []pattern.Tuple{
 		pattern.Tup(pattern.Sym("EDI"), pattern.Sym("1.5%")),
@@ -122,4 +351,54 @@ func TestTableauDDL(t *testing.T) {
 			t.Errorf("DDL missing %q:\n%s", frag, ddl)
 		}
 	}
+}
+
+// --- helpers ---
+
+func mustExec(t *testing.T, db *sql.DB, q string, args ...any) {
+	t.Helper()
+	if _, err := db.Exec(q, args...); err != nil {
+		t.Fatalf("exec %s: %v", q, err)
+	}
+}
+
+// queryStrings scans all rows as strings, NULL rendered "<null>".
+func queryStrings(t *testing.T, db *sql.DB, q string, args ...any) [][]string {
+	t.Helper()
+	rows, err := db.Query(q, args...)
+	if err != nil {
+		t.Fatalf("query %s: %v", q, err)
+	}
+	defer rows.Close()
+	cols, err := rows.Columns()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out [][]string
+	for rows.Next() {
+		vals := make([]any, len(cols))
+		ptrs := make([]any, len(cols))
+		for i := range vals {
+			ptrs[i] = &vals[i]
+		}
+		if err := rows.Scan(ptrs...); err != nil {
+			t.Fatal(err)
+		}
+		rec := make([]string, len(cols))
+		for i, v := range vals {
+			switch x := v.(type) {
+			case nil:
+				rec[i] = "<null>"
+			case []byte:
+				rec[i] = string(x)
+			default:
+				rec[i] = fmt.Sprint(x)
+			}
+		}
+		out = append(out, rec)
+	}
+	if err := rows.Err(); err != nil {
+		t.Fatal(err)
+	}
+	return out
 }
