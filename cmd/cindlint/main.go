@@ -1,0 +1,94 @@
+// Command cindlint runs the repository's static-analysis suite
+// (internal/lint) over module packages: project-specific passes that
+// enforce deterministic report order (maporder), cooperative
+// cancellation in engine loops (ctxpoll), checked writes on stream exit
+// paths (wercheck), injected clocks and seeded rngs in deterministic
+// engines (nowalltime), and re-entrant mutex discipline (lockdisc).
+// See LINT.md for the invariant catalogue and suppression policy.
+//
+// Usage:
+//
+//	cindlint [-json] [-only analyzer[,analyzer]] [packages...]
+//
+// Packages default to ./... and accept go-style patterns relative to
+// the module root. Exit status: 0 clean; 1 diagnostics or reason-less
+// ignore directives found; 2 usage or load failure.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"cind/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("cindlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	jsonOut := fs.Bool("json", false, "emit the report as JSON (the lint.Report shape)")
+	only := fs.String("only", "", "comma-separated analyzer subset (default: the full suite)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	analyzers := lint.Suite()
+	if *only != "" {
+		var err error
+		if analyzers, err = lint.ByName(*only); err != nil {
+			fmt.Fprintln(stderr, "cindlint:", err)
+			return 2
+		}
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(stderr, "cindlint:", err)
+		return 2
+	}
+	root, err := lint.FindModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintln(stderr, "cindlint:", err)
+		return 2
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fmt.Fprintln(stderr, "cindlint:", err)
+		return 2
+	}
+	rep, err := lint.Run(loader, patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "cindlint:", err)
+		return 2
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(stderr, "cindlint:", err)
+			return 2
+		}
+	} else {
+		for _, d := range rep.Diagnostics {
+			fmt.Fprintln(stdout, d)
+		}
+		for _, ig := range rep.BareIgnores {
+			fmt.Fprintf(stdout, "%s:%d: lint:ignore without a reason: every suppression must say why (lint:ignore <analyzer> <reason>)\n",
+				ig.Path, ig.Line)
+		}
+		fmt.Fprintf(stdout, "cindlint: %d packages, %d diagnostics, %d bare ignores, %d active ignores\n",
+			rep.Packages, len(rep.Diagnostics), len(rep.BareIgnores), len(rep.ActiveIgnores))
+	}
+	if !rep.Clean() {
+		return 1
+	}
+	return 0
+}

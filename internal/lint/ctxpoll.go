@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+)
+
+// CtxPoll flags loops in the engine packages that can iterate O(tuples)
+// or O(branches) without ever consulting cancellation. Every engine
+// entry point takes a context and compiles it into a conc.StopFunc
+// poll; a loop nest that neither calls its stop predicate, touches
+// ctx.Err()/ctx.Done(), nor passes the context to a callee is a loop
+// that Drain, a client disconnect, or a deadline cannot reach — the
+// cooperative-cancellation contract PR 3 built the streaming API on.
+// Only the outermost loop of a nest is reported: a poll anywhere in the
+// nest bounds the whole nest's latency to one inner pass. And only
+// potentially heavy loops are reported — nests containing another loop,
+// or for statements with no post clause (`for {}`, `for cond {}`, the
+// worklist/fixpoint shapes whose trip count no input bounds) — so a
+// flat pass over an already-materialized slice doesn't demand a poll it
+// could never need. An unbounded-shape loop must poll inside itself; a
+// data-bounded nest is also satisfied by a poll earlier in the same
+// function, which establishes the function's poll granularity and makes
+// the nest one unit of work between polls.
+var CtxPoll = &Analyzer{
+	Name: "ctxpoll",
+	Doc:  "flags engine loop nests that never poll a context or stop predicate",
+	Dirs: []string{
+		"internal/detect", "internal/chase", "internal/sat",
+		"internal/consistency", "internal/implication",
+		"internal/sqlbackend", "internal/memdb",
+	},
+	Run: runCtxPoll,
+}
+
+// stopName matches the names this codebase (and most Go code) gives
+// cancellation predicates; requiring the name keeps an ordinary boolean
+// callback from counting as a poll.
+var stopName = regexp.MustCompile(`(?i)stop|cancel|done|halt|quit`)
+
+func runCtxPoll(p *Pass) {
+	info := p.Pkg.Info
+	eachFunc(p.Pkg, func(fnNode ast.Node, body *ast.BlockStmt) {
+		if !hasCancelHandle(info, fnNode) {
+			return
+		}
+		polls := pollPositions(info, body)
+		pollIn := func(lo, hi token.Pos) bool {
+			for _, pos := range polls {
+				if pos >= lo && pos < hi {
+					return true
+				}
+			}
+			return false
+		}
+		// Outermost loops only: find loops whose ancestor chain within
+		// this function contains no other loop.
+		inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+			if !isLoop(n) {
+				return true
+			}
+			for _, anc := range stack {
+				if isLoop(anc) {
+					return true // nested: the outermost loop already reported or polled
+				}
+			}
+			unbounded := isUnboundedLoop(n)
+			if !unbounded && !isNestedLoop(n) {
+				return true // flat data-bounded pass: cheap per element
+			}
+			if pollIn(n.Pos(), n.End()) {
+				return true
+			}
+			if !unbounded && pollIn(body.Pos(), n.Pos()) {
+				return true // the function polls at this granularity already
+			}
+			p.Reportf(n.Pos(),
+				"loop never polls cancellation: no stop() call, ctx.Err()/ctx.Done() use, or context-taking callee in the loop nest")
+			return true
+		})
+	})
+}
+
+func isLoop(n ast.Node) bool {
+	switch n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	}
+	return false
+}
+
+// isUnboundedLoop reports whether the loop's trip count is not bounded
+// by materialized data: a for statement with no post clause — `for {}`,
+// `for cond {}`, `for changed := true; changed;` — the worklist,
+// fixpoint, and solver shapes that run until convergence.
+func isUnboundedLoop(n ast.Node) bool {
+	f, ok := n.(*ast.ForStmt)
+	return ok && f.Post == nil
+}
+
+// isNestedLoop reports whether the loop contains another loop — a nest
+// multiplies work, so it can plausibly iterate O(tuples) × O(something)
+// where a single flat range over a materialized slice cannot.
+func isNestedLoop(n ast.Node) bool {
+	var body *ast.BlockStmt
+	switch l := n.(type) {
+	case *ast.ForStmt:
+		body = l.Body
+	case *ast.RangeStmt:
+		body = l.Body
+	default:
+		return false
+	}
+	nested := false
+	inspectBody(body, func(inner ast.Node) bool {
+		if isLoop(inner) {
+			nested = true
+		}
+		return !nested
+	})
+	return nested
+}
+
+// hasCancelHandle reports whether the function is handed something to
+// poll: a context.Context parameter or a stop-named func() bool
+// parameter. Functions without one are the leaves whose callers own
+// cancellation.
+func hasCancelHandle(info *types.Info, fnNode ast.Node) bool {
+	var ft *ast.FuncType
+	var recv *ast.FieldList
+	switch fn := fnNode.(type) {
+	case *ast.FuncDecl:
+		ft, recv = fn.Type, fn.Recv
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft == nil || ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		for _, name := range field.Names {
+			if obj := info.Defs[name]; obj != nil && isHandleObj(obj) {
+				return true
+			}
+		}
+	}
+	// A method whose receiver struct carries a compiled stop predicate
+	// (the chase engine's c.stop) is handed one too.
+	if recv != nil {
+		for _, field := range recv.List {
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if obj == nil {
+					continue
+				}
+				t := obj.Type()
+				if ptr, ok := t.Underlying().(*types.Pointer); ok {
+					t = ptr.Elem()
+				}
+				if st, ok := t.Underlying().(*types.Struct); ok {
+					for i := 0; i < st.NumFields(); i++ {
+						f := st.Field(i)
+						if isContext(f.Type()) || (isStopFunc(f.Type()) && stopName.MatchString(f.Name())) {
+							return true
+						}
+					}
+				}
+			}
+		}
+	}
+	return false
+}
+
+func isHandleObj(obj types.Object) bool {
+	if isContext(obj.Type()) {
+		return true
+	}
+	return isStopFunc(obj.Type()) && stopName.MatchString(obj.Name())
+}
+
+// pollPositions collects the positions where the function body consults
+// cancellation: calls to a stop-named func() bool, uses of a context's
+// Err/Done, selects on a done channel, and calls passing a context or
+// the stop predicate to a callee (delegating the poll).
+func pollPositions(info *types.Info, body *ast.BlockStmt) []token.Pos {
+	var polls []token.Pos
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			// stop() — an ident or field selector of type func() bool.
+			fun := ast.Unparen(n.Fun)
+			if t := info.TypeOf(fun); isStopFunc(t) {
+				if name, ok := calleeName(fun); ok && stopName.MatchString(name) {
+					polls = append(polls, n.Pos())
+					return true
+				}
+			}
+			// ctx.Err(), ctx.Done(): method on a context value.
+			if sel, ok := fun.(*ast.SelectorExpr); ok {
+				if isContext(info.TypeOf(sel.X)) {
+					polls = append(polls, n.Pos())
+					return true
+				}
+			}
+			// A callee receiving the context or the stop predicate polls
+			// on this loop's behalf.
+			for _, arg := range n.Args {
+				if isContext(info.TypeOf(arg)) {
+					polls = append(polls, n.Pos())
+					return true
+				}
+				if isStopFunc(info.TypeOf(arg)) {
+					if name, ok := calleeName(ast.Unparen(arg)); ok && stopName.MatchString(name) {
+						polls = append(polls, n.Pos())
+						return true
+					}
+				}
+			}
+		case *ast.SelectStmt:
+			// Any select with a receive is treated as a wait point.
+			polls = append(polls, n.Pos())
+		}
+		return true
+	})
+	return polls
+}
+
+func calleeName(fun ast.Expr) (string, bool) {
+	switch f := fun.(type) {
+	case *ast.Ident:
+		return f.Name, true
+	case *ast.SelectorExpr:
+		return f.Sel.Name, true
+	}
+	return "", false
+}

@@ -1,0 +1,191 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// funcBody returns the body of a function declaration or literal, or nil.
+func funcBody(n ast.Node) *ast.BlockStmt {
+	switch fn := n.(type) {
+	case *ast.FuncDecl:
+		return fn.Body
+	case *ast.FuncLit:
+		return fn.Body
+	}
+	return nil
+}
+
+// eachFunc visits every function declaration and literal in the package.
+func eachFunc(pkg *Package, fn func(node ast.Node, body *ast.BlockStmt)) {
+	for _, f := range pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if body := funcBody(n); body != nil {
+				fn(n, body)
+			}
+			return true
+		})
+	}
+}
+
+// inspectBody walks a function body, skipping nested function literals —
+// those are analyzed as functions of their own.
+func inspectBody(body *ast.BlockStmt, fn func(n ast.Node) bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return fn(n)
+	})
+}
+
+// isMap reports whether t's underlying type is a map.
+func isMap(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isStopFunc reports whether t is func() bool — the shape conc.StopFunc
+// compiles a context into for hot-loop polling.
+func isStopFunc(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	sig, ok := t.Underlying().(*types.Signature)
+	if !ok || sig.Params().Len() != 0 || sig.Results().Len() != 1 {
+		return false
+	}
+	basic, ok := sig.Results().At(0).Type().(*types.Basic)
+	return ok && basic.Kind() == types.Bool
+}
+
+// isInfallibleWriter reports whether t is a writer whose Write methods
+// cannot fail: bytes.Buffer or strings.Builder, by value or pointer.
+func isInfallibleWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return (path == "bytes" && name == "Buffer") || (path == "strings" && name == "Builder")
+}
+
+// calleeFunc resolves a call to the *types.Func it invokes, if any.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		return fn
+	}
+	return nil
+}
+
+// pkgFuncCall reports the package path and name of a call to a
+// package-level function (not a method), or ok=false.
+func pkgFuncCall(info *types.Info, call *ast.CallExpr) (path, name string, ok bool) {
+	fn := calleeFunc(info, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", "", false
+	}
+	if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+		return "", "", false
+	}
+	return fn.Pkg().Path(), fn.Name(), true
+}
+
+// methodCall reports the receiver expression and method name of a call
+// whose callee is a method with a receiver, or ok=false.
+func methodCall(info *types.Info, call *ast.CallExpr) (recv ast.Expr, name string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return nil, "", false
+	}
+	fn, _ := info.Uses[sel.Sel].(*types.Func)
+	if fn == nil {
+		return nil, "", false
+	}
+	if sig, isSig := fn.Type().(*types.Signature); !isSig || sig.Recv() == nil {
+		return nil, "", false
+	}
+	return sel.X, sel.Sel.Name, true
+}
+
+// returnsError reports whether the call's sole or last result is an
+// error.
+func returnsError(info *types.Info, call *ast.CallExpr) bool {
+	t := info.TypeOf(call)
+	if t == nil {
+		return false
+	}
+	if tup, ok := t.(*types.Tuple); ok {
+		if tup.Len() == 0 {
+			return false
+		}
+		t = tup.At(tup.Len() - 1).Type()
+	}
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}
+
+// objectOf resolves an identifier expression to its object, through
+// parens; nil for anything else.
+func objectOf(info *types.Info, e ast.Expr) types.Object {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return info.ObjectOf(id)
+	}
+	return nil
+}
+
+// inspectStack walks root, passing each node along with its ancestor
+// stack (outermost first, not including n itself). Nested function
+// literals are skipped. Returning false prunes the subtree.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if _, ok := n.(*ast.FuncLit); ok && len(stack) > 0 {
+			return false
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// usesObject reports whether obj is referenced anywhere under n.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	found := false
+	ast.Inspect(n, func(c ast.Node) bool {
+		if id, ok := c.(*ast.Ident); ok && info.ObjectOf(id) == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,293 @@
+// Package lint is the repository's static-analysis suite: a stdlib-only
+// analyzer driver with project-specific passes that enforce the
+// invariants the engines and servers are built on — byte-identical
+// violation report order, cooperative context cancellation in every
+// O(tuples) loop, checked writes on every stream exit path, injected
+// clocks and seeded rngs in deterministic engines, and no re-entrant
+// mutex acquisition. See LINT.md for the catalogue of invariants and the
+// suppression policy.
+//
+// A diagnostic is suppressed with a reasoned directive on, or on the
+// line before, the flagged line:
+//
+//	x() // the directive form is "lint:ignore <analyzer> <reason>" after "//"
+//
+// The reason is mandatory: a directive without one is itself an error,
+// so suppressions carry their justification in the tree.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Diagnostic is one finding, positioned module-relative so output is
+// stable regardless of where the tree is checked out.
+type Diagnostic struct {
+	Analyzer string `json:"analyzer"`
+	Path     string `json:"path"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Message  string `json:"message"`
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s (%s)", d.Path, d.Line, d.Col, d.Message, d.Analyzer)
+}
+
+// Ignore is one suppression directive, reported so ci can surface the
+// count of active suppressions instead of letting them accumulate
+// silently.
+type Ignore struct {
+	Path      string `json:"path"`
+	Line      int    `json:"line"`
+	Analyzers string `json:"analyzers"`
+	Reason    string `json:"reason,omitempty"`
+}
+
+func (ig Ignore) String() string {
+	return fmt.Sprintf("%s:%d: lint:ignore %s %s", ig.Path, ig.Line, ig.Analyzers, ig.Reason)
+}
+
+// Report is the outcome of a run; its JSON form is the -json output
+// shape cindlint commits to for downstream tooling.
+type Report struct {
+	Packages      int          `json:"packages"`
+	Diagnostics   []Diagnostic `json:"diagnostics"`
+	BareIgnores   []Ignore     `json:"bare_ignores"`
+	ActiveIgnores []Ignore     `json:"active_ignores"`
+}
+
+// Clean reports whether the run found nothing to fail on: no
+// diagnostics and no reason-less ignore directives.
+func (r *Report) Clean() bool {
+	return len(r.Diagnostics) == 0 && len(r.BareIgnores) == 0
+}
+
+// Pass is one analyzer's view of one package.
+type Pass struct {
+	Fset   *token.FileSet
+	Pkg    *Package
+	report func(pos token.Pos, msg string)
+}
+
+// Reportf records a diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(pos, fmt.Sprintf(format, args...))
+}
+
+// Analyzer is one named pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	// Dirs restricts the analyzer to these module-relative package
+	// directories; empty means every package.
+	Dirs []string
+	Run  func(*Pass)
+}
+
+func (a *Analyzer) applies(modPath, pkgPath string) bool {
+	if len(a.Dirs) == 0 {
+		return true
+	}
+	for _, d := range a.Dirs {
+		if pkgPath == modPath+"/"+d {
+			return true
+		}
+	}
+	return false
+}
+
+// Suite returns the project's analyzers, in reporting order.
+func Suite() []*Analyzer {
+	return []*Analyzer{MapOrder, CtxPoll, WErrCheck, NoWallTime, LockDisc}
+}
+
+// ByName returns the named subset of Suite (comma-separated), or an
+// error naming any unknown analyzer.
+func ByName(names string) ([]*Analyzer, error) {
+	all := Suite()
+	var out []*Analyzer
+	for _, name := range strings.Split(names, ",") {
+		name = strings.TrimSpace(name)
+		found := false
+		for _, a := range all {
+			if a.Name == name {
+				out = append(out, a)
+				found = true
+				break
+			}
+		}
+		if !found {
+			return nil, fmt.Errorf("lint: unknown analyzer %q", name)
+		}
+	}
+	return out, nil
+}
+
+// Run loads the patterns and applies the analyzers, resolving ignore
+// directives: a reasoned directive suppresses matching diagnostics on
+// its own and the following line and is reported as active if it
+// suppressed anything; a reason-less directive is always an error.
+func Run(l *Loader, patterns []string, analyzers []*Analyzer) (*Report, error) {
+	pkgs, err := l.Load(patterns...)
+	if err != nil {
+		return nil, err
+	}
+	rep := &Report{
+		Diagnostics:   []Diagnostic{},
+		BareIgnores:   []Ignore{},
+		ActiveIgnores: []Ignore{},
+	}
+	for _, pkg := range pkgs {
+		rep.Packages++
+		dirs, bare := collectIgnores(l, pkg)
+		rep.BareIgnores = append(rep.BareIgnores, bare...)
+		var diags []Diagnostic
+		for _, a := range analyzers {
+			if a.applies(l.ModPath, pkg.Path) {
+				diags = append(diags, RunAnalyzer(l, a, pkg)...)
+			}
+		}
+		for _, d := range diags {
+			if dir := matchIgnore(dirs, d); dir != nil {
+				dir.used = true
+				continue
+			}
+			rep.Diagnostics = append(rep.Diagnostics, d)
+		}
+		for _, dir := range dirs {
+			if dir.used {
+				rep.ActiveIgnores = append(rep.ActiveIgnores, dir.Ignore)
+			}
+		}
+	}
+	sortDiags(rep.Diagnostics)
+	sortIgnores(rep.BareIgnores)
+	sortIgnores(rep.ActiveIgnores)
+	return rep, nil
+}
+
+// RunAnalyzer applies one analyzer to one package with no ignore
+// filtering — the raw pass the golden-diagnostic harness asserts on.
+func RunAnalyzer(l *Loader, a *Analyzer, pkg *Package) []Diagnostic {
+	var out []Diagnostic
+	pass := &Pass{Fset: l.Fset, Pkg: pkg, report: func(pos token.Pos, msg string) {
+		p := l.Fset.Position(pos)
+		out = append(out, Diagnostic{
+			Analyzer: a.Name,
+			Path:     l.relPath(p.Filename),
+			Line:     p.Line,
+			Col:      p.Column,
+			Message:  msg,
+		})
+	}}
+	a.Run(pass)
+	sortDiags(out)
+	return out
+}
+
+func (l *Loader) relPath(filename string) string {
+	if rel, err := filepath.Rel(l.ModDir, filename); err == nil && !strings.HasPrefix(rel, "..") {
+		return filepath.ToSlash(rel)
+	}
+	return filepath.ToSlash(filename)
+}
+
+func sortDiags(ds []Diagnostic) {
+	sort.Slice(ds, func(i, j int) bool {
+		a, b := ds[i], ds[j]
+		if a.Path != b.Path {
+			return a.Path < b.Path
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Col != b.Col {
+			return a.Col < b.Col
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}
+
+func sortIgnores(igs []Ignore) {
+	sort.Slice(igs, func(i, j int) bool {
+		if igs[i].Path != igs[j].Path {
+			return igs[i].Path < igs[j].Path
+		}
+		return igs[i].Line < igs[j].Line
+	})
+}
+
+// --- ignore directives ---
+
+const ignorePrefix = "lint:ignore"
+
+type directive struct {
+	Ignore
+	names map[string]bool // nil means every analyzer ("*")
+	used  bool
+}
+
+// collectIgnores scans a package's comments for suppression directives.
+// A directive must name the analyzers it silences and a non-empty
+// reason; one without a reason is returned as bare — a hard error, so
+// suppressions cannot accumulate without justification.
+func collectIgnores(l *Loader, pkg *Package) ([]*directive, []Ignore) {
+	var dirs []*directive
+	var bare []Ignore
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//")
+				if !ok {
+					continue
+				}
+				text = strings.TrimSpace(text)
+				rest, ok := strings.CutPrefix(text, ignorePrefix)
+				if !ok || (rest != "" && rest[0] != ' ' && rest[0] != '\t') {
+					continue
+				}
+				pos := l.Fset.Position(c.Pos())
+				fields := strings.Fields(rest)
+				ig := Ignore{Path: l.relPath(pos.Filename), Line: pos.Line}
+				if len(fields) < 2 {
+					if len(fields) == 1 {
+						ig.Analyzers = fields[0]
+					}
+					bare = append(bare, ig)
+					continue
+				}
+				ig.Analyzers = fields[0]
+				ig.Reason = strings.Join(fields[1:], " ")
+				d := &directive{Ignore: ig}
+				if ig.Analyzers != "*" {
+					d.names = make(map[string]bool)
+					for _, n := range strings.Split(ig.Analyzers, ",") {
+						d.names[strings.TrimSpace(n)] = true
+					}
+				}
+				dirs = append(dirs, d)
+			}
+		}
+	}
+	return dirs, bare
+}
+
+func matchIgnore(dirs []*directive, d Diagnostic) *directive {
+	for _, dir := range dirs {
+		if dir.Path != d.Path {
+			continue
+		}
+		if d.Line != dir.Line && d.Line != dir.Line+1 {
+			continue
+		}
+		if dir.names == nil || dir.names[d.Analyzer] {
+			return dir
+		}
+	}
+	return nil
+}

@@ -1,0 +1,238 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	Path  string // import path, e.g. "cind/internal/detect"
+	Dir   string
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+}
+
+// Loader loads and type-checks module packages with nothing beyond the
+// standard library: module-local import paths resolve against the module
+// root and are checked from source with go/parser + go/types, and
+// everything else (the standard library) goes through the stdlib source
+// importer — the same move internal/memdb made to avoid an external
+// SQLite driver, applied to package loading so the suite runs in the
+// offline build container where golang.org/x/tools is unavailable.
+//
+// Test files are not loaded: the invariants the suite enforces are about
+// shipped engine and server code, and test packages legitimately use
+// wall clocks, global rand, and discarded writes.
+type Loader struct {
+	Fset    *token.FileSet
+	ModPath string
+	ModDir  string
+
+	std  types.Importer
+	pkgs map[string]*Package
+}
+
+// NewLoader returns a loader for the module rooted at modDir (the
+// directory holding go.mod).
+func NewLoader(modDir string) (*Loader, error) {
+	data, err := os.ReadFile(filepath.Join(modDir, "go.mod"))
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	modPath := ""
+	for _, line := range strings.Split(string(data), "\n") {
+		if rest, ok := strings.CutPrefix(strings.TrimSpace(line), "module "); ok {
+			modPath = strings.Trim(strings.TrimSpace(rest), `"`)
+			break
+		}
+	}
+	if modPath == "" {
+		return nil, fmt.Errorf("lint: no module line in %s/go.mod", modDir)
+	}
+	fset := token.NewFileSet()
+	return &Loader{
+		Fset:    fset,
+		ModPath: modPath,
+		ModDir:  modDir,
+		std:     importer.ForCompiler(fset, "source", nil),
+		pkgs:    make(map[string]*Package),
+	}, nil
+}
+
+// FindModuleRoot walks up from dir to the nearest directory holding a
+// go.mod.
+func FindModuleRoot(dir string) (string, error) {
+	dir, err := filepath.Abs(dir)
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("lint: no go.mod at or above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+// Import implements types.Importer: module-local paths load from the
+// module tree, all other paths delegate to the stdlib source importer.
+func (l *Loader) Import(path string) (*types.Package, error) {
+	if path == l.ModPath || strings.HasPrefix(path, l.ModPath+"/") {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *Loader) load(path string) (*Package, error) {
+	if p, ok := l.pkgs[path]; ok {
+		return p, nil
+	}
+	rel := strings.TrimPrefix(strings.TrimPrefix(path, l.ModPath), "/")
+	p, err := l.LoadDir(filepath.Join(l.ModDir, filepath.FromSlash(rel)), path)
+	if err != nil {
+		return nil, err
+	}
+	l.pkgs[path] = p
+	return p, nil
+}
+
+// LoadDir parses and type-checks the single package in dir under the
+// given import path.
+func (l *Loader) LoadDir(dir, path string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	for _, e := range entries {
+		n := e.Name()
+		if e.IsDir() || !strings.HasSuffix(n, ".go") || strings.HasSuffix(n, "_test.go") ||
+			strings.HasPrefix(n, ".") || strings.HasPrefix(n, "_") {
+			continue
+		}
+		names = append(names, n)
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no Go files in %s", dir)
+	}
+	sort.Strings(names)
+	files := make([]*ast.File, 0, len(names))
+	for _, n := range names {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, n), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+	}
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.Fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	return &Package{Path: path, Dir: dir, Files: files, Types: tpkg, Info: info}, nil
+}
+
+// Load expands go-style package patterns ("./...", "./internal/detect",
+// "internal/stream/...") relative to the module root and loads every
+// matched package, in deterministic path order.
+func (l *Loader) Load(patterns ...string) ([]*Package, error) {
+	seen := make(map[string]bool)
+	var paths []string
+	add := func(rel string) {
+		rel = filepath.ToSlash(rel)
+		path := l.ModPath
+		if rel != "" && rel != "." {
+			path += "/" + rel
+		}
+		if !seen[path] {
+			seen[path] = true
+			paths = append(paths, path)
+		}
+	}
+	for _, pat := range patterns {
+		pat = strings.TrimPrefix(filepath.ToSlash(pat), "./")
+		if rest, ok := strings.CutSuffix(pat, "..."); ok {
+			root := filepath.Join(l.ModDir, filepath.FromSlash(strings.TrimSuffix(rest, "/")))
+			err := filepath.WalkDir(root, func(p string, d fs.DirEntry, err error) error {
+				if err != nil {
+					return err
+				}
+				if !d.IsDir() {
+					return nil
+				}
+				name := d.Name()
+				if p != root && (name == "testdata" || strings.HasPrefix(name, ".") || strings.HasPrefix(name, "_")) {
+					return filepath.SkipDir
+				}
+				if hasGoFiles(p) {
+					rel, err := filepath.Rel(l.ModDir, p)
+					if err != nil {
+						return err
+					}
+					add(rel)
+				}
+				return nil
+			})
+			if err != nil {
+				return nil, fmt.Errorf("lint: %w", err)
+			}
+			continue
+		}
+		rel := pat
+		if strings.HasPrefix(pat, l.ModPath+"/") || pat == l.ModPath {
+			rel = strings.TrimPrefix(strings.TrimPrefix(pat, l.ModPath), "/")
+		}
+		add(rel)
+	}
+	sort.Strings(paths)
+	pkgs := make([]*Package, 0, len(paths))
+	for _, p := range paths {
+		pkg, err := l.load(p)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+func hasGoFiles(dir string) bool {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return false
+	}
+	for _, e := range entries {
+		n := e.Name()
+		if !e.IsDir() && strings.HasSuffix(n, ".go") && !strings.HasSuffix(n, "_test.go") &&
+			!strings.HasPrefix(n, ".") && !strings.HasPrefix(n, "_") {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,206 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// LockDisc enforces the lock discipline on Checker-style types: a
+// method that holds a receiver mutex must not call another method of
+// the same receiver that re-acquires it. sync.Mutex self-deadlocks
+// immediately; sync.RWMutex's RLock-under-RLock deadlocks as soon as a
+// writer queues between the two acquisitions — precisely the load
+// pattern a production Checker serves (long streams holding RLock,
+// delta batches queueing writes). The analysis is intra-package and
+// receiver-local: it learns which methods acquire which mutex fields,
+// then walks each method in statement order tracking what is held.
+var LockDisc = &Analyzer{
+	Name: "lockdisc",
+	Doc:  "flags method calls that re-acquire a receiver mutex already held",
+	Run:  runLockDisc,
+}
+
+var lockMethods = map[string]bool{"Lock": true, "RLock": true, "TryLock": true, "TryRLock": true}
+var unlockMethods = map[string]bool{"Unlock": true, "RUnlock": true}
+
+func runLockDisc(p *Pass) {
+	info := p.Pkg.Info
+
+	// Phase 1: which methods acquire which receiver mutex fields.
+	acquires := make(map[*types.Func]map[*types.Var]bool)
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvObj := recvObject(info, fd)
+			if recvObj == nil {
+				continue
+			}
+			mfn, _ := info.Defs[fd.Name].(*types.Func)
+			if mfn == nil {
+				continue
+			}
+			inspectBody(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				if field, name, ok := mutexOp(info, call, recvObj); ok && lockMethods[name] {
+					if acquires[mfn] == nil {
+						acquires[mfn] = make(map[*types.Var]bool)
+					}
+					acquires[mfn][field] = true
+				}
+				return true
+			})
+		}
+	}
+	if len(acquires) == 0 {
+		return
+	}
+
+	// Phase 2: walk each method in source order, tracking held mutexes.
+	for _, f := range p.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || fd.Body == nil {
+				continue
+			}
+			recvObj := recvObject(info, fd)
+			if recvObj == nil {
+				continue
+			}
+			checkLockFlow(p, fd, recvObj, acquires)
+		}
+	}
+}
+
+type lockEvent struct {
+	pos    token.Pos
+	field  *types.Var  // mutex field for lock/unlock events
+	lock   bool        // acquire vs release
+	callee *types.Func // method-call event on the receiver
+	call   *ast.CallExpr
+}
+
+func checkLockFlow(p *Pass, fd *ast.FuncDecl, recvObj types.Object, acquires map[*types.Func]map[*types.Var]bool) {
+	info := p.Pkg.Info
+	var events []lockEvent
+	inspectStack(fd.Body, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		deferred := false
+		for _, anc := range stack {
+			if _, ok := anc.(*ast.DeferStmt); ok {
+				deferred = true
+				break
+			}
+		}
+		if field, name, ok := mutexOp(info, call, recvObj); ok {
+			// Deferred unlocks release at return, not here; a deferred
+			// lock (nonsensical) is ignored rather than modeled.
+			if !deferred {
+				events = append(events, lockEvent{pos: call.Pos(), field: field, lock: lockMethods[name]})
+			}
+			return true
+		}
+		if deferred {
+			return true
+		}
+		if recv, _, ok := methodCall(info, call); ok && objectOf(info, recv) == recvObj {
+			if callee := calleeFunc(info, call); callee != nil && acquires[callee] != nil {
+				events = append(events, lockEvent{pos: call.Pos(), callee: callee, call: call})
+			}
+		}
+		return true
+	})
+	sort.Slice(events, func(i, j int) bool { return events[i].pos < events[j].pos })
+
+	held := make(map[*types.Var]bool)
+	for _, ev := range events {
+		if ev.callee == nil {
+			held[ev.field] = ev.lock
+			continue
+		}
+		for field := range acquires[ev.callee] {
+			if held[field] {
+				p.Reportf(ev.pos,
+					"%s re-acquires %s.%s, which %s already holds: self-deadlock (RLock-under-RLock deadlocks once a writer queues)",
+					ev.callee.Name(), recvObj.Name(), field.Name(), fd.Name.Name)
+			}
+		}
+	}
+}
+
+// recvObject returns the receiver variable's object for a method
+// declaration with a named receiver.
+func recvObject(info *types.Info, fd *ast.FuncDecl) types.Object {
+	if len(fd.Recv.List) != 1 || len(fd.Recv.List[0].Names) != 1 {
+		return nil
+	}
+	return info.Defs[fd.Recv.List[0].Names[0]]
+}
+
+// mutexOp recognizes r.f.Lock()-style calls (and the embedded-mutex
+// r.Lock() form) on the given receiver, returning the mutex field and
+// the method name.
+func mutexOp(info *types.Info, call *ast.CallExpr, recvObj types.Object) (*types.Var, string, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil, "", false
+	}
+	name := sel.Sel.Name
+	if !lockMethods[name] && !unlockMethods[name] {
+		return nil, "", false
+	}
+	// r.f.Lock(): X is a field selector rooted at the receiver.
+	if inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr); ok {
+		if objectOf(info, inner.X) != recvObj {
+			return nil, "", false
+		}
+		field, _ := info.Uses[inner.Sel].(*types.Var)
+		if field == nil || !isMutexType(field.Type()) {
+			return nil, "", false
+		}
+		return field, name, true
+	}
+	// r.Lock(): promoted method of an embedded mutex field.
+	if objectOf(info, sel.X) == recvObj {
+		if s := info.Selections[sel]; s != nil && len(s.Index()) > 1 {
+			st, ok := derefStruct(recvObj.Type())
+			if ok {
+				field := st.Field(s.Index()[0])
+				if isMutexType(field.Type()) {
+					return field, name, true
+				}
+			}
+		}
+	}
+	return nil, "", false
+}
+
+func derefStruct(t types.Type) (*types.Struct, bool) {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	st, ok := t.Underlying().(*types.Struct)
+	return st, ok
+}
+
+func isMutexType(t types.Type) bool {
+	if ptr, ok := t.Underlying().(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path, name := named.Obj().Pkg().Path(), named.Obj().Name()
+	return path == "sync" && (name == "Mutex" || name == "RWMutex")
+}

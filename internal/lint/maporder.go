@@ -1,0 +1,375 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapOrder flags ranges over maps whose bodies feed an emission path —
+// an encoder or writer call, or an append to a slice that is later
+// returned, stored, or emitted — without a sort between collection and
+// emission. Violation reports, stream frames, and metric documents must
+// be byte-identical across runs, shards, and backends (the sharded
+// gather and the SQL fold-back are differentially tested against that
+// order), and Go map iteration order is deliberately randomized, so an
+// unsorted map walk on any of those paths is a latent flaky-differential
+// bug. The clean pattern: collect the keys, sort, iterate the sorted
+// keys.
+var MapOrder = &Analyzer{
+	Name: "maporder",
+	Doc:  "flags map iteration feeding an emission/report path without an intervening sort",
+	Run:  runMapOrder,
+}
+
+// emitMethods are method names that put bytes or records on a wire,
+// stream, or report in call order.
+var emitMethods = map[string]bool{
+	"Send": true, "Encode": true, "EncodeBatch": true, "Emit": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+}
+
+func runMapOrder(p *Pass) {
+	eachFunc(p.Pkg, func(fnNode ast.Node, body *ast.BlockStmt) {
+		var ranges []*ast.RangeStmt
+		inspectBody(body, func(n ast.Node) bool {
+			if r, ok := n.(*ast.RangeStmt); ok && isMap(p.Pkg.Info.TypeOf(r.X)) {
+				ranges = append(ranges, r)
+			}
+			return true
+		})
+		if len(ranges) == 0 {
+			return
+		}
+		sorters := localSortFuncs(p.Pkg.Info, body)
+		for _, r := range ranges {
+			checkMapRange(p, fnNode, body, r, sorters)
+		}
+	})
+}
+
+// localSortFuncs finds in-function closures whose body sorts — the
+// `order := func(evs []*T) { sort.Slice(evs, ...) }` helper pattern —
+// so calling one counts as a sort barrier.
+func localSortFuncs(info *types.Info, body *ast.BlockStmt) map[types.Object]bool {
+	sorters := make(map[types.Object]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			lit, ok := rhs.(*ast.FuncLit)
+			if !ok || i >= len(as.Lhs) {
+				continue
+			}
+			obj := objectOf(info, as.Lhs[i])
+			if obj == nil {
+				continue
+			}
+			ast.Inspect(lit.Body, func(c ast.Node) bool {
+				if call, ok := c.(*ast.CallExpr); ok && isSortCall(info, call) {
+					sorters[obj] = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sorters
+}
+
+func checkMapRange(p *Pass, fnNode ast.Node, body *ast.BlockStmt, r *ast.RangeStmt, sorters map[types.Object]bool) {
+	info := p.Pkg.Info
+	mapName := types.ExprString(r.X)
+
+	// Pass 1 over the range body: direct emissions are flagged outright;
+	// appends collect candidate slices for the escape analysis below.
+	var collected []types.Object
+	seen := make(map[types.Object]bool)
+	inspectBody(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if recv, name, ok := methodCall(info, n); ok && emitMethods[name] {
+				p.Reportf(n.Pos(),
+					"%s.%s inside range over map %s: iteration order is nondeterministic; collect keys, sort, then emit",
+					types.ExprString(recv), name, mapName)
+			} else if path, name, ok := pkgFuncCall(info, n); ok && path == "fmt" && strings.HasPrefix(name, "Fprint") {
+				p.Reportf(n.Pos(),
+					"fmt.%s inside range over map %s: iteration order is nondeterministic; collect keys, sort, then emit",
+					name, mapName)
+			}
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || i >= len(n.Lhs) || !isBuiltin(info, call, "append") {
+					continue
+				}
+				if obj := objectOf(info, n.Lhs[i]); obj != nil && !seen[obj] {
+					seen[obj] = true
+					collected = append(collected, obj)
+				}
+			}
+		}
+		return true
+	})
+
+	for _, obj := range collected {
+		if unsortedEscape(p, fnNode, body, r, obj, sorters) {
+			p.Reportf(r.Pos(),
+				"range over map %s collects into %s, which is emitted without a sort; map iteration order is nondeterministic",
+				mapName, obj.Name())
+		}
+	}
+}
+
+// sortPositions maps every object to the position of the first sort
+// call (after the range) that takes it as an argument — including calls
+// to local sort-helper closures.
+func sortPositions(info *types.Info, body *ast.BlockStmt, after token.Pos, sorters map[types.Object]bool) map[types.Object]token.Pos {
+	sorts := make(map[types.Object]token.Pos)
+	inspectBody(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() <= after {
+			return true
+		}
+		if !isSortCall(info, call) && !sorters[objectOf(info, call.Fun)] {
+			return true
+		}
+		for _, a := range call.Args {
+			if obj := objectOf(info, a); obj != nil {
+				if old, ok := sorts[obj]; !ok || call.Pos() < old {
+					sorts[obj] = call.Pos()
+				}
+			}
+		}
+		return true
+	})
+	return sorts
+}
+
+// unsortedEscape reports whether the slice obj, filled inside map range
+// r, reaches an emission path — a return value, a non-sort call, a
+// stored field, an emitting loop — before any sort touches it. A sort
+// on obj itself, or on a value derived from it in a single assignment
+// (cols := rel.Cols(attrs); sort.Ints(cols)), restores determinism for
+// every use after the sort.
+func unsortedEscape(p *Pass, fnNode ast.Node, body *ast.BlockStmt, r *ast.RangeStmt, obj types.Object, sorters map[types.Object]bool) bool {
+	info := p.Pkg.Info
+	sorts := sortPositions(info, body, r.End(), sorters)
+	sortedAt := func(o types.Object, use token.Pos) bool {
+		pos, ok := sorts[o]
+		return ok && pos <= use
+	}
+	bad := false
+	report := func() { bad = true }
+	if isNamedResult(info, fnNode, obj) {
+		// A named result escapes at every return; only an eventual sort
+		// anywhere saves it.
+		if _, ok := sorts[obj]; !ok {
+			report()
+		}
+	}
+	inspectStack(body, func(n ast.Node, stack []ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || info.ObjectOf(id) != obj {
+			return true
+		}
+		if id.Pos() >= r.Pos() && id.Pos() < r.End() {
+			return true // the collection site itself
+		}
+		if sortedAt(obj, id.Pos()) {
+			return true
+		}
+		for i := len(stack) - 1; i >= 0; i-- {
+			switch parent := stack[i].(type) {
+			case *ast.ReturnStmt:
+				report()
+				return true
+			case *ast.CallExpr:
+				if !argOf(parent, id) {
+					return true
+				}
+				if isSortCall(info, parent) || sorters[objectOf(info, parent.Fun)] {
+					return true // the barrier itself
+				}
+				if isBuiltin(info, parent, "len", "cap", "delete", "append", "copy", "make") {
+					return true
+				}
+				// W := f(obj) with a later sort on W: the derived value
+				// is what flows onward, deterministically.
+				if w := derivedTarget(parent, stack[:i]); w != nil {
+					if wObj := objectOf(info, w); wObj != nil {
+						if _, ok := sorts[wObj]; ok {
+							return true
+						}
+					}
+				}
+				report()
+				return true
+			case *ast.AssignStmt:
+				if assignsInto(parent, id) {
+					report()
+				}
+				return true
+			case *ast.CompositeLit, *ast.KeyValueExpr:
+				report()
+				return true
+			case *ast.IndexExpr:
+				// V[i]: which element sits at i is map-iteration order —
+				// a worklist dequeue (queue[0]) consumes in that order.
+				if ast.Unparen(parent.X) == ast.Expr(id) {
+					report()
+				}
+				return true
+			case *ast.RangeStmt:
+				if ast.Unparen(parent.X) == id && rangeEmits(info, parent) {
+					report()
+				}
+				return true
+			}
+		}
+		return true
+	})
+	return bad
+}
+
+// derivedTarget returns the sole assignment target when call is the
+// single right-hand side of an assignment (W := f(...)).
+func derivedTarget(call *ast.CallExpr, stack []ast.Node) ast.Expr {
+	if len(stack) == 0 {
+		return nil
+	}
+	as, ok := stack[len(stack)-1].(*ast.AssignStmt)
+	if !ok || len(as.Rhs) != 1 || len(as.Lhs) != 1 || ast.Unparen(as.Rhs[0]) != ast.Expr(call) {
+		return nil
+	}
+	return as.Lhs[0]
+}
+
+// rangeEmits reports whether a loop body looks like an emission pass:
+// it writes to an encoder/writer, prints, appends onward, or returns.
+// A loop that merely cleans up or aggregates into a map is not one.
+func rangeEmits(info *types.Info, r *ast.RangeStmt) bool {
+	emits := false
+	inspectBody(r.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if _, name, ok := methodCall(info, n); ok && emitMethods[name] {
+				emits = true
+			} else if path, name, ok := pkgFuncCall(info, n); ok && path == "fmt" && strings.HasPrefix(name, "Fprint") {
+				emits = true
+			} else if isBuiltin(info, n, "append") {
+				emits = true
+			}
+		case *ast.ReturnStmt:
+			emits = true
+		}
+		return !emits
+	})
+	return emits
+}
+
+// argOf reports whether id appears among the call's arguments (not as
+// the callee).
+func argOf(call *ast.CallExpr, id *ast.Ident) bool {
+	for _, a := range call.Args {
+		found := false
+		ast.Inspect(a, func(n ast.Node) bool {
+			if n == ast.Node(id) {
+				found = true
+			}
+			return !found
+		})
+		if found {
+			return true
+		}
+	}
+	return false
+}
+
+// assignsInto reports whether the assignment uses id on the right while
+// storing into a field, index, or dereference on the left — the slice
+// escaping into longer-lived structure.
+func assignsInto(as *ast.AssignStmt, id *ast.Ident) bool {
+	onRight := false
+	for _, rhs := range as.Rhs {
+		ast.Inspect(rhs, func(n ast.Node) bool {
+			if n == ast.Node(id) {
+				onRight = true
+			}
+			return !onRight
+		})
+	}
+	if !onRight {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		switch ast.Unparen(lhs).(type) {
+		case *ast.IndexExpr, *ast.SelectorExpr, *ast.StarExpr:
+			return true
+		}
+	}
+	return false
+}
+
+// isSortCall recognizes sort/slices package calls and project helpers
+// with Sort in the name — the barriers that restore a deterministic
+// order after a map walk.
+func isSortCall(info *types.Info, call *ast.CallExpr) bool {
+	if path, name, ok := pkgFuncCall(info, call); ok {
+		if path == "sort" || path == "slices" {
+			return true
+		}
+		if strings.Contains(name, "Sort") {
+			return true
+		}
+	}
+	if _, name, ok := methodCall(info, call); ok && strings.Contains(name, "Sort") {
+		return true
+	}
+	return false
+}
+
+// isBuiltin reports whether the call invokes one of the named builtins.
+func isBuiltin(info *types.Info, call *ast.CallExpr, names ...string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	if !ok {
+		return false
+	}
+	for _, n := range names {
+		if b.Name() == n {
+			return true
+		}
+	}
+	return false
+}
+
+// isNamedResult reports whether obj is a named result parameter of the
+// function node.
+func isNamedResult(info *types.Info, fnNode ast.Node, obj types.Object) bool {
+	var ft *ast.FuncType
+	switch fn := fnNode.(type) {
+	case *ast.FuncDecl:
+		ft = fn.Type
+	case *ast.FuncLit:
+		ft = fn.Type
+	}
+	if ft == nil || ft.Results == nil {
+		return false
+	}
+	for _, field := range ft.Results.List {
+		for _, name := range field.Names {
+			if info.Defs[name] == obj {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,109 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// WErrCheck flags write, flush, and encode calls whose error result is
+// silently discarded in the stream, server, and WAL packages — the
+// PR-7 truncated-stream bug class, where a failed write left a stream
+// without its terminal record and the client could not tell a complete
+// report from a truncated one. A bare call statement discards the
+// error invisibly and is flagged; an explicit `_ =` assignment is a
+// visible, reviewable decision and is allowed. Writers that cannot
+// fail (bytes.Buffer, strings.Builder) are exempt, as are methods that
+// return nothing.
+var WErrCheck = &Analyzer{
+	Name: "wercheck",
+	Doc:  "flags silently discarded errors from writer/flush/encoder calls",
+	Dirs: []string{"internal/stream", "internal/server", "internal/wal"},
+	Run:  runWErrCheck,
+}
+
+// writerMethods are the error-returning method names on the write path.
+// Close is deliberately absent: deferred Close on read-side cleanup is
+// idiomatic, and every write-side close in this codebase goes through
+// Close/CloseError methods whose errors the stream writers latch.
+var writerMethods = map[string]bool{
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Flush": true, "Sync": true, "Encode": true, "EncodeBatch": true,
+}
+
+func runWErrCheck(p *Pass) {
+	info := p.Pkg.Info
+	for _, f := range p.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			stmt, ok := n.(*ast.ExprStmt)
+			if !ok {
+				return true
+			}
+			call, ok := stmt.X.(*ast.CallExpr)
+			if !ok || !returnsError(info, call) {
+				return true
+			}
+			if recv, name, ok := methodCall(info, call); ok && writerMethods[name] {
+				if !isInfallibleWriter(info.TypeOf(recv)) {
+					p.Reportf(call.Pos(),
+						"%s.%s error discarded: a failed write must reach the stream's terminal record, not vanish (use `_ =` only with a reason)",
+						types.ExprString(recv), name)
+				}
+				return true
+			}
+			if path, name, ok := pkgFuncCall(info, call); ok && isWriteFunc(path, name) && !writesInfallibly(info, call, path, name) {
+				p.Reportf(call.Pos(),
+					"%s.%s error discarded: a failed write must reach the stream's terminal record, not vanish (use `_ =` only with a reason)",
+					pathBase(path), name)
+			}
+			return true
+		})
+	}
+}
+
+// isWriteFunc recognizes package-level functions that write to an
+// io.Writer and report failure through an error result.
+func isWriteFunc(path, name string) bool {
+	switch path {
+	case "fmt":
+		return strings.HasPrefix(name, "Fprint")
+	case "io":
+		return name == "Copy" || name == "CopyN" || name == "WriteString"
+	case "encoding/binary":
+		return name == "Write"
+	}
+	return false
+}
+
+// writesInfallibly exempts calls whose destination cannot fail: a
+// bytes.Buffer/strings.Builder writer argument, or io.Discard.
+func writesInfallibly(info *types.Info, call *ast.CallExpr, path, name string) bool {
+	if len(call.Args) == 0 {
+		return false
+	}
+	dst := call.Args[0]
+	if isInfallibleWriter(info.TypeOf(dst)) {
+		return true
+	}
+	if path == "io" && strings.HasPrefix(name, "Copy") {
+		if obj := selectorObj(info, dst); obj != nil && obj.Pkg() != nil &&
+			obj.Pkg().Path() == "io" && obj.Name() == "Discard" {
+			return true
+		}
+	}
+	return false
+}
+
+func selectorObj(info *types.Info, e ast.Expr) types.Object {
+	if sel, ok := ast.Unparen(e).(*ast.SelectorExpr); ok {
+		return info.Uses[sel.Sel]
+	}
+	return nil
+}
+
+func pathBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}
