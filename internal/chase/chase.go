@@ -374,6 +374,9 @@ func (c *Chaser) applyFD(phi *cfd.CFD) (Result, bool) {
 	}
 	var subs []sub
 	for _, k := range order {
+		if c.stop() {
+			return Cancelled, false
+		}
 		vals := groups[k]
 		// Determine the group's target value: the constant tp[A] in case
 		// (ii); in case (i) the largest value present (constants dominate
