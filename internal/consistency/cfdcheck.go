@@ -312,8 +312,12 @@ func CFDCheckingSAT(rel *schema.Relation, cfds []*cfd.CFD) (instance.Tuple, bool
 }
 
 // CFDCheckingSATContext is CFDCheckingSAT with cooperative cancellation
-// threaded into the DPLL decision loop.
+// threaded into the DPLL decision loop; a context already cancelled on
+// entry skips the CNF encoding too.
 func CFDCheckingSATContext(ctx context.Context, rel *schema.Relation, cfds []*cfd.CFD) (instance.Tuple, bool, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
 	norm := cfd.NormalizeAll(cfds)
 
 	// Candidate values per attribute.
