@@ -2,6 +2,7 @@ package consistency
 
 import (
 	"context"
+	"sort"
 
 	"cind/internal/cfd"
 	cind "cind/internal/core"
@@ -99,8 +100,17 @@ func PreProcessingContext(ctx context.Context, g *depgraph.Graph, opts Options) 
 		}
 		// CFD(rel) inconsistent: the relation must stay empty in any
 		// witness. Prevent predecessors from inserting into it, then
-		// delete the node.
-		for from, cs := range g.InEdges(rel) {
+		// delete the node. Predecessors are visited in sorted order so the
+		// worklist — and with it every downstream probe sequence — is
+		// identical across runs.
+		inEdges := g.InEdges(rel)
+		froms := make([]string, 0, len(inEdges))
+		for from := range inEdges {
+			froms = append(froms, from)
+		}
+		sort.Strings(froms)
+		for _, from := range froms {
+			cs := inEdges[from]
 			for _, psi := range cs {
 				nt, built := nonTriggeringCFDs(sch, from, psi)
 				if !built {
@@ -120,6 +130,9 @@ func PreProcessingContext(ctx context.Context, g *depgraph.Graph, opts Options) 
 	// Prune indegree-0 nodes to fixpoint: a relation nobody points into can
 	// be left empty without affecting anything else.
 	for changed := true; changed; {
+		if err := ctx.Err(); err != nil {
+			return PreUnknown, nil, err
+		}
 		changed = false
 		for _, rel := range g.Nodes() {
 			if g.InDegree(rel) == 0 {
