@@ -199,6 +199,12 @@ func NewSessionContext(ctx context.Context, db *instance.Database, cfds []*cfd.C
 		return lr
 	}
 
+	// One poll before planning: constraint plans are O(|Σ| × rows), so a
+	// context already cancelled on entry skips the whole build.
+	stop := stopFunc(ctx)
+	if stop() {
+		return nil, ctx.Err()
+	}
 	for _, g := range planCFDs(db, cfds, s.it) {
 		st := &cfdState{g: g, lr: ensure(g.rel), kg: newKeyGroups(0)}
 		st.flatOff = make([]int, len(g.m))
@@ -234,7 +240,6 @@ func NewSessionContext(ctx context.Context, db *instance.Database, cfds []*cfd.C
 	// Replay the initial contents with events muted, then compute every
 	// bucket's violations once (per-insert recomputation would be
 	// quadratic in the bucket size).
-	stop := stopFunc(ctx)
 	s.seeding = true
 	n := 0
 	for name, lr := range s.rels {
