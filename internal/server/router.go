@@ -71,6 +71,7 @@ type Router struct {
 	nDeltas   *expvar.Int
 	nProxied  *expvar.Int
 	nScatters *expvar.Int
+	nCopyErrs *expvar.Int
 }
 
 // routed is the router's per-dataset state.
@@ -134,6 +135,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 		nDeltas:   new(expvar.Int),
 		nProxied:  new(expvar.Int),
 		nScatters: new(expvar.Int),
+		nCopyErrs: new(expvar.Int),
 	}
 	rt.vars.Set("datasets", rt.nDatasets)
 	rt.vars.Set("requests", rt.nRequests)
@@ -141,6 +143,7 @@ func NewRouter(opts RouterOptions) (*Router, error) {
 	rt.vars.Set("deltas_applied", rt.nDeltas)
 	rt.vars.Set("reasoning_proxied", rt.nProxied)
 	rt.vars.Set("scatter_streams", rt.nScatters)
+	rt.vars.Set("proxy_copy_errors", rt.nCopyErrs)
 	rt.vars.Set("shards", expvar.Func(func() any { return len(shards) }))
 
 	mux := http.NewServeMux()
@@ -892,7 +895,13 @@ func (rt *Router) handleProxy(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", ct)
 	}
 	w.WriteHeader(resp.StatusCode)
-	io.Copy(w, resp.Body)
+	// The status line is on the wire; a copy failure cannot change it, but
+	// a silently truncated proxy body is the exact failure mode the
+	// stream-framing work exists to catch — count it so operators can see
+	// shard links dropping mid-response.
+	if _, err := io.Copy(w, resp.Body); err != nil {
+		rt.nCopyErrs.Add(1)
+	}
 }
 
 // handleRepair: repair chases the whole instance toward a consistent
