@@ -503,7 +503,12 @@ func (d *dataset) markIncremental() {
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
-	json.NewEncoder(w).Encode(v)
+	// The status line is already on the wire; an Encode failure here
+	// means the client went away mid-response and there is no channel
+	// left to report on. Streaming endpoints use stream.Writer, whose
+	// terminal record makes truncation detectable — this helper is for
+	// small one-shot documents only.
+	_ = json.NewEncoder(w).Encode(v)
 }
 
 func httpError(w http.ResponseWriter, code int, err error) {
@@ -541,7 +546,9 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	fmt.Fprintln(w, s.vars.String())
+	// One-shot document; a failed write means the scraper went away and
+	// there is nothing left to tell it.
+	_, _ = fmt.Fprintln(w, s.vars.String())
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
