@@ -1,0 +1,120 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"cind/internal/lint"
+)
+
+// The fake module under internal/lint/testdata/mod doubles as CLI
+// fixture: loaded here through the real module's loader, its packages
+// still compile, so they give cindlint deterministic dirty and clean
+// inputs without touching real engine code.
+const (
+	cleanPkg = "./internal/lint/testdata/mod/clean"
+	dirtyPkg = "./internal/lint/testdata/mod/emit"
+	barePkg  = "./internal/lint/testdata/mod/internal/stream"
+)
+
+func runCLI(t *testing.T, args ...string) (int, string, string) {
+	t.Helper()
+	var stdout, stderr bytes.Buffer
+	code := run(args, &stdout, &stderr)
+	return code, stdout.String(), stderr.String()
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	code, out, _ := runCLI(t, cleanPkg)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "1 packages, 0 diagnostics, 0 bare ignores, 0 active ignores") {
+		t.Errorf("summary line missing or wrong:\n%s", out)
+	}
+}
+
+func TestDiagnosticsExitOne(t *testing.T) {
+	code, out, _ := runCLI(t, dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "maporder") {
+		t.Errorf("diagnostic line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "3 active ignores") {
+		t.Errorf("active-ignore count missing from summary:\n%s", out)
+	}
+}
+
+// A reason-less directive is a failure on its own, even when the
+// analyzer it would silence never runs on the package.
+func TestBareIgnoreExitsOneWithoutDiagnostics(t *testing.T) {
+	code, out, _ := runCLI(t, "-only", "nowalltime", barePkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	if !strings.Contains(out, "lint:ignore without a reason") {
+		t.Errorf("bare-ignore error line missing:\n%s", out)
+	}
+	if !strings.Contains(out, "0 diagnostics, 1 bare ignores") {
+		t.Errorf("summary line missing or wrong:\n%s", out)
+	}
+}
+
+// TestJSONShape pins the -json output contract: it must round-trip
+// through lint.Report and keep the four committed key names.
+func TestJSONShape(t *testing.T) {
+	code, out, _ := runCLI(t, "-json", dirtyPkg)
+	if code != 1 {
+		t.Fatalf("exit = %d, want 1; output:\n%s", code, out)
+	}
+	var rep lint.Report
+	if err := json.Unmarshal([]byte(out), &rep); err != nil {
+		t.Fatalf("output is not a lint.Report: %v\n%s", err, out)
+	}
+	if rep.Packages != 1 || len(rep.Diagnostics) != 1 || len(rep.ActiveIgnores) != 3 {
+		t.Errorf("report = %+v, want 1 package, 1 diagnostic, 3 active ignores", rep)
+	}
+	d := rep.Diagnostics[0]
+	if d.Analyzer != "maporder" || d.Line == 0 || d.Col == 0 || d.Path == "" || d.Message == "" {
+		t.Errorf("diagnostic fields incomplete: %+v", d)
+	}
+	var keys map[string]json.RawMessage
+	if err := json.Unmarshal([]byte(out), &keys); err != nil {
+		t.Fatal(err)
+	}
+	for _, k := range []string{"packages", "diagnostics", "bare_ignores", "active_ignores"} {
+		if _, ok := keys[k]; !ok {
+			t.Errorf("JSON output missing key %q", k)
+		}
+	}
+}
+
+func TestOnlyFilter(t *testing.T) {
+	// nowalltime is scoped to real engine dirs, so it has nothing to
+	// say about the fixture package — and the maporder finding there
+	// must not leak through the filter.
+	code, out, _ := runCLI(t, "-only", "nowalltime", dirtyPkg)
+	if code != 0 {
+		t.Fatalf("exit = %d, want 0; output:\n%s", code, out)
+	}
+	if _, _, stderr := runCLI(t, "-only", "nosuch", dirtyPkg); stderr == "" {
+		t.Error("unknown analyzer produced no stderr")
+	}
+	if code, _, _ := runCLI(t, "-only", "nosuch", dirtyPkg); code != 2 {
+		t.Errorf("unknown analyzer exit = %d, want 2", code)
+	}
+}
+
+func TestBadFlagExitsTwo(t *testing.T) {
+	code, _, stderr := runCLI(t, "-definitely-not-a-flag")
+	if code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+	if stderr == "" {
+		t.Error("bad flag produced no usage output")
+	}
+}

@@ -1,0 +1,136 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The golden harness runs each analyzer over testdata/src/<name> and
+// checks its diagnostics against `// want `regex`` comments: every want
+// must be matched by a diagnostic on its line, and every diagnostic
+// must be claimed by a want. One loader serves all golden packages and
+// the selfcheck — testdata lives under the real module, so stdlib
+// type-checking work is shared across tests.
+
+var (
+	loaderOnce sync.Once
+	testLdr    *Loader
+	loaderErr  error
+)
+
+func testLoader(t *testing.T) *Loader {
+	t.Helper()
+	loaderOnce.Do(func() {
+		root, err := FindModuleRoot(".")
+		if err != nil {
+			loaderErr = err
+			return
+		}
+		testLdr, loaderErr = NewLoader(root)
+	})
+	if loaderErr != nil {
+		t.Fatal(loaderErr)
+	}
+	return testLdr
+}
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+var wantRE = regexp.MustCompile("// want `([^`]+)`")
+
+func parseWants(t *testing.T, l *Loader, pkg *Package) []*want {
+	t.Helper()
+	var ws []*want
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					if strings.Contains(c.Text, "// want") {
+						t.Fatalf("malformed want comment (need a backquoted regex): %s", c.Text)
+					}
+					continue
+				}
+				re, err := regexp.Compile(m[1])
+				if err != nil {
+					t.Fatalf("bad want regex %q: %v", m[1], err)
+				}
+				pos := l.Fset.Position(c.Pos())
+				ws = append(ws, &want{file: l.relPath(pos.Filename), line: pos.Line, re: re})
+			}
+		}
+	}
+	if len(ws) == 0 {
+		t.Fatalf("no want comments in %s — golden package proves nothing", pkg.Dir)
+	}
+	return ws
+}
+
+func runGolden(t *testing.T, a *Analyzer) {
+	t.Helper()
+	l := testLoader(t)
+	dir := filepath.Join("testdata", "src", a.Name)
+	pkg, err := l.LoadDir(dir, "golden/"+a.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, l, pkg)
+	for _, d := range RunAnalyzer(l, a, pkg) {
+		claimed := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Path && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.matched = true
+				claimed = true
+				break
+			}
+		}
+		if !claimed {
+			t.Errorf("unexpected diagnostic %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("missing diagnostic at %s:%d matching %q", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestMapOrderGolden(t *testing.T)   { runGolden(t, MapOrder) }
+func TestCtxPollGolden(t *testing.T)    { runGolden(t, CtxPoll) }
+func TestWErrCheckGolden(t *testing.T)  { runGolden(t, WErrCheck) }
+func TestNoWallTimeGolden(t *testing.T) { runGolden(t, NoWallTime) }
+func TestLockDiscGolden(t *testing.T)   { runGolden(t, LockDisc) }
+
+// TestSuiteCleanOnTree is the gate the fixes in this tree answer to:
+// the full suite over the real module must be silent. If an engine
+// change re-introduces a map-order emission or an unpolled loop, this
+// fails before ci's cindlint step does.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("type-checks the whole module")
+	}
+	l := testLoader(t)
+	rep, err := Run(l, []string{"./..."}, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Clean() {
+		for _, d := range rep.Diagnostics {
+			t.Errorf("diagnostic: %s", d)
+		}
+		for _, ig := range rep.BareIgnores {
+			t.Errorf("bare ignore: %s", ig)
+		}
+	}
+	if rep.Packages == 0 {
+		t.Fatal("selfcheck loaded no packages")
+	}
+}

@@ -1,0 +1,110 @@
+package lint
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// fakeLoader loads testdata/mod, a self-contained module whose packages
+// exercise the driver: pattern expansion, Dirs scoping, and the ignore
+// directive rules.
+func fakeLoader(t *testing.T) *Loader {
+	t.Helper()
+	l, err := NewLoader(filepath.Join("testdata", "mod"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return l
+}
+
+func TestRunFakeModule(t *testing.T) {
+	l := fakeLoader(t)
+	rep, err := Run(l, []string{"./..."}, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packages != 4 {
+		t.Errorf("Packages = %d, want 4 (clean, emit, internal/detect, internal/stream)", rep.Packages)
+	}
+
+	// One surviving diagnostic per package that plants one: the three
+	// reasoned ignores in emit suppress theirs, the bare ignore in
+	// stream suppresses nothing.
+	got := make([]string, 0, len(rep.Diagnostics))
+	for _, d := range rep.Diagnostics {
+		got = append(got, d.Path+"/"+d.Analyzer)
+	}
+	want := []string{
+		"emit/emit.go/maporder",
+		"internal/detect/detect.go/ctxpoll",
+		"internal/stream/stream.go/wercheck",
+	}
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Errorf("diagnostics = %v, want %v", got, want)
+	}
+
+	// Dirs scoping: detect.go has a bare w.Write that wercheck would
+	// flag, but wercheck is scoped to stream/server/wal.
+	for _, d := range rep.Diagnostics {
+		if d.Analyzer == "wercheck" && strings.Contains(d.Path, "detect") {
+			t.Errorf("wercheck escaped its Dirs scope: %s", d)
+		}
+	}
+
+	if len(rep.BareIgnores) != 1 || rep.BareIgnores[0].Path != "internal/stream/stream.go" {
+		t.Errorf("BareIgnores = %v, want the one reason-less directive in stream.go", rep.BareIgnores)
+	}
+	if len(rep.ActiveIgnores) != 3 {
+		t.Errorf("ActiveIgnores = %v, want the three reasoned directives in emit.go", rep.ActiveIgnores)
+	}
+	for _, ig := range rep.ActiveIgnores {
+		if ig.Reason == "" {
+			t.Errorf("active ignore without a reason: %v", ig)
+		}
+	}
+	if rep.Clean() {
+		t.Error("Clean() = true with diagnostics and a bare ignore outstanding")
+	}
+}
+
+func TestRunSinglePackagePattern(t *testing.T) {
+	l := fakeLoader(t)
+	rep, err := Run(l, []string{"./emit"}, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packages != 1 {
+		t.Errorf("Packages = %d, want 1", rep.Packages)
+	}
+	if len(rep.Diagnostics) != 1 || rep.Diagnostics[0].Analyzer != "maporder" {
+		t.Errorf("diagnostics = %v, want the single unsuppressed maporder finding", rep.Diagnostics)
+	}
+	if len(rep.ActiveIgnores) != 3 {
+		t.Errorf("ActiveIgnores = %d, want 3", len(rep.ActiveIgnores))
+	}
+}
+
+func TestRunSubtreePattern(t *testing.T) {
+	l := fakeLoader(t)
+	rep, err := Run(l, []string{"internal/..."}, Suite())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Packages != 2 {
+		t.Errorf("Packages = %d, want 2 (internal/detect, internal/stream)", rep.Packages)
+	}
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("maporder, wercheck")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "maporder" || as[1].Name != "wercheck" {
+		t.Errorf("ByName = %v", as)
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Error("ByName(nosuch) did not error")
+	}
+}

@@ -1,0 +1,4 @@
+// Package clean has nothing for any analyzer to say.
+package clean
+
+func Add(a, b int) int { return a + b }

@@ -1,0 +1,34 @@
+// Package emit exercises the driver's ignore-directive handling: one
+// reasoned same-line suppression, one reasoned next-line suppression,
+// and one unsuppressed finding.
+package emit
+
+import (
+	"fmt"
+	"io"
+)
+
+func DumpSuppressed(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) //lint:ignore maporder output feeds an order-insensitive counter in the harness
+	}
+}
+
+func DumpSuppressedNextLine(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		//lint:ignore maporder directive on the line before also covers this call
+		fmt.Fprintf(w, "%s=%d\n", k, v)
+	}
+}
+
+func DumpWildcardSuppressed(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) //lint:ignore * wildcard form silences every analyzer here
+	}
+}
+
+func DumpBad(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintln(w, k, v)
+	}
+}

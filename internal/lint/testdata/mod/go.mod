@@ -1,0 +1,3 @@
+module fakemod
+
+go 1.24.0

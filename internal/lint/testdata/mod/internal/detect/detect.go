@@ -1,0 +1,21 @@
+// Package detect exercises Dirs scoping: ctxpoll applies here, but
+// wercheck is scoped to stream/server/wal, so the bare w.Write below
+// must NOT be reported.
+package detect
+
+import (
+	"context"
+	"io"
+)
+
+func Scan(ctx context.Context, rows [][]int, w io.Writer) int {
+	t := 0
+	for _, r := range rows {
+		for _, v := range r {
+			t += v
+		}
+	}
+	w.Write(nil)
+	_ = ctx
+	return t
+}

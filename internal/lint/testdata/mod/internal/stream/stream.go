@@ -1,0 +1,10 @@
+// Package stream exercises wercheck scoping plus the bare-ignore rule:
+// a directive without a reason is itself an error and suppresses
+// nothing.
+package stream
+
+import "io"
+
+func Put(w io.Writer, b []byte) {
+	w.Write(b) //lint:ignore
+}

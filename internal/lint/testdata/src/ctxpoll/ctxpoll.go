@@ -1,0 +1,156 @@
+// Package ctxpoll is golden-test input for the cancellation-poll
+// analyzer: heavy loops in functions handed a context or stop predicate
+// must poll it.
+package ctxpoll
+
+import "context"
+
+func unboundedNoPoll(ctx context.Context, n int) int {
+	v := n
+	for v > 1 { // want `loop never polls cancellation`
+		if v%2 == 0 {
+			v /= 2
+		} else {
+			v = 3*v + 1
+		}
+	}
+	_ = ctx
+	return v
+}
+
+func nestedNoPoll(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, r := range rows { // want `loop never polls cancellation`
+		for _, v := range r {
+			total += v
+		}
+	}
+	_ = ctx
+	return total
+}
+
+// unboundedAfterPoll: an entry poll does not excuse an unbounded loop —
+// its trip count is not bounded by input data, so it must poll inside.
+func unboundedAfterPoll(ctx context.Context, n int) int {
+	if ctx.Err() != nil {
+		return 0
+	}
+	v := n
+	for v > 1 { // want `loop never polls cancellation`
+		v--
+	}
+	return v
+}
+
+func polledInside(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, r := range rows {
+		if ctx.Err() != nil {
+			return total
+		}
+		for _, v := range r {
+			total += v
+		}
+	}
+	return total
+}
+
+func stopPolled(stop func() bool, rows [][]int) int {
+	total := 0
+	for _, r := range rows {
+		if stop() {
+			break
+		}
+		for _, v := range r {
+			total += v
+		}
+	}
+	return total
+}
+
+// pollBefore: a bounded nest after an earlier poll is one unit of work
+// between polls — the function's granularity is established.
+func pollBefore(ctx context.Context, rows [][]int) int {
+	if err := ctx.Err(); err != nil {
+		return 0
+	}
+	total := 0
+	for _, r := range rows {
+		for _, v := range r {
+			total += v
+		}
+	}
+	return total
+}
+
+// delegate passes the context on; the callee polls on the loop's behalf.
+func delegate(ctx context.Context, rows [][]int) {
+	for _, r := range rows {
+		for range r {
+			helper(ctx)
+		}
+	}
+}
+
+func helper(ctx context.Context) { _ = ctx }
+
+// stopDelegate passes the stop predicate on instead.
+func stopDelegate(stop func() bool, rows [][]int) {
+	for _, r := range rows {
+		for range r {
+			stepper(stop)
+		}
+	}
+}
+
+func stepper(stop func() bool) { _ = stop }
+
+// flat is a single bounded pass: cheap per element, no poll demanded.
+func flat(ctx context.Context, xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	_ = ctx
+	return t
+}
+
+// noHandle has nothing to poll; its callers own cancellation.
+func noHandle(rows [][]int) int {
+	total := 0
+	for _, r := range rows {
+		for _, v := range r {
+			total += v
+		}
+	}
+	return total
+}
+
+type engine struct {
+	stop func() bool
+}
+
+// run: the receiver carries a compiled stop predicate, so the nest must
+// poll it.
+func (e *engine) run(rows [][]int) int {
+	t := 0
+	for _, r := range rows { // want `loop never polls cancellation`
+		for _, v := range r {
+			t += v
+		}
+	}
+	return t
+}
+
+func (e *engine) runPolled(rows [][]int) int {
+	t := 0
+	for _, r := range rows {
+		if e.stop() {
+			break
+		}
+		for _, v := range r {
+			t += v
+		}
+	}
+	return t
+}

@@ -1,0 +1,66 @@
+// Package lockdisc is golden-test input for the lock-discipline
+// analyzer: a method holding a receiver mutex must not call another
+// method of the same receiver that re-acquires it.
+package lockdisc
+
+import "sync"
+
+type checker struct {
+	mu    sync.RWMutex
+	state int
+}
+
+func (c *checker) size() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.state
+}
+
+func (c *checker) snapshotDeadlock() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.size() // want `size re-acquires c\.mu, which snapshotDeadlock already holds`
+}
+
+func (c *checker) sizeLocked() int {
+	return c.state
+}
+
+// snapshotOK follows the locked-variant convention instead.
+func (c *checker) snapshotOK() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.sizeLocked()
+}
+
+// releaseFirst unlocks before calling the re-acquiring method.
+func (c *checker) releaseFirst() int {
+	c.mu.RLock()
+	n := c.state
+	c.mu.RUnlock()
+	return n + c.size()
+}
+
+type registry struct {
+	sync.Mutex
+	n int
+}
+
+func (r *registry) bump() {
+	r.Lock()
+	defer r.Unlock()
+	r.n++
+}
+
+// bumpTwice re-enters through the embedded mutex: self-deadlock.
+func (r *registry) bumpTwice() {
+	r.Lock()
+	defer r.Unlock()
+	r.bump() // want `bump re-acquires r\.Mutex, which bumpTwice already holds`
+}
+
+// sequential acquisitions without overlap are fine.
+func (r *registry) bumpTwiceSequential() {
+	r.bump()
+	r.bump()
+}

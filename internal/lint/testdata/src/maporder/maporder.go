@@ -1,0 +1,111 @@
+// Package maporder is golden-test input: each want comment names a
+// diagnostic the analyzer must produce on that line, and lines without
+// one must stay silent.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+func directEmit(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `fmt\.Fprintf inside range over map m`
+	}
+}
+
+func methodEmit(sb *strings.Builder, m map[string]int) {
+	for k := range m {
+		sb.WriteString(k) // want `sb\.WriteString inside range over map m`
+	}
+}
+
+func appendReturn(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `collects into keys, which is emitted without a sort`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func emitLoop(w io.Writer, m map[string]int) {
+	var keys []string
+	for k := range m { // want `collects into keys`
+		keys = append(keys, k)
+	}
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// worklist dequeues by index: which element sits at queue[0] is map
+// iteration order, so the BFS order is nondeterministic.
+func worklist(m map[string]bool) {
+	var queue []string
+	for k := range m { // want `collects into queue`
+		queue = append(queue, k)
+	}
+	for len(queue) > 0 {
+		k := queue[0]
+		queue = queue[1:]
+		_ = k
+	}
+}
+
+// sortedEmit is the clean pattern: collect, sort, then use.
+func sortedEmit(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// closureSorted sorts through a local helper closure before emitting.
+func closureSorted(w io.Writer, m map[string]int) {
+	order := func(vs []string) { sort.Strings(vs) }
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	order(keys)
+	for _, k := range keys {
+		fmt.Fprintln(w, k)
+	}
+}
+
+// derivedSorted: the collected slice only feeds a derived value that is
+// itself sorted before use.
+func derivedSorted(m map[int]bool, lookup func([]int) []int) []int {
+	var ids []int
+	for k := range m {
+		ids = append(ids, k)
+	}
+	cols := lookup(ids)
+	sort.Ints(cols)
+	return cols
+}
+
+// cleanup ranges over the collected slice without emitting anything:
+// closing handles in arbitrary order is fine.
+func cleanup(m map[string]io.Closer) {
+	var cs []io.Closer
+	for _, c := range m {
+		cs = append(cs, c)
+	}
+	for _, c := range cs {
+		c.Close()
+	}
+}
+
+// aggregate writes into another map: order cannot show.
+func aggregate(m map[string]int) map[string]int {
+	out := map[string]int{}
+	for k, v := range m {
+		out[k] += v
+	}
+	return out
+}

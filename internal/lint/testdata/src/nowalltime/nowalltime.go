@@ -1,0 +1,44 @@
+// Package nowalltime is golden-test input for the deterministic-engine
+// analyzer: no wall-clock reads, no global rand state.
+package nowalltime
+
+import (
+	"math/rand"
+	"time"
+)
+
+func wallClock() time.Time {
+	return time.Now() // want `time\.Now in a deterministic engine package`
+}
+
+func wallSleep() {
+	time.Sleep(time.Millisecond) // want `time\.Sleep in a deterministic engine package`
+}
+
+func globalRand() int {
+	return rand.Intn(10) // want `rand\.Intn uses the global generator`
+}
+
+func globalShuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want `rand\.Shuffle uses the global generator`
+}
+
+// seeded is the allowed way in: an explicitly seeded generator.
+func seeded(seed int64) *rand.Rand {
+	return rand.New(rand.NewSource(seed))
+}
+
+// methods on a seeded generator are fine.
+func seededDraw(r *rand.Rand) int {
+	return r.Intn(10)
+}
+
+// time values and durations are data, not clock reads.
+func arithmetic(t time.Time, d time.Duration) time.Time {
+	return t.Add(d * 2)
+}
+
+// an injected clock is the sanctioned source of timestamps.
+func injected(now func() time.Time) time.Time {
+	return now()
+}

@@ -1,0 +1,66 @@
+// Package wercheck is golden-test input for the discarded-write-error
+// analyzer: silently dropped errors from write/flush/encode calls are
+// the truncated-stream bug class.
+package wercheck
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+func bareWrite(w io.Writer, b []byte) {
+	w.Write(b) // want `w\.Write error discarded`
+}
+
+func bareFlush(bw *bufio.Writer) {
+	bw.Flush() // want `bw\.Flush error discarded`
+}
+
+func bareEncode(w io.Writer, v any) {
+	json.NewEncoder(w).Encode(v) // want `Encode error discarded`
+}
+
+func bareFprintf(w io.Writer, v int) {
+	fmt.Fprintf(w, "%d\n", v) // want `fmt\.Fprintf error discarded`
+}
+
+func bareCopy(dst io.Writer, src io.Reader) {
+	io.Copy(dst, src) // want `io\.Copy error discarded`
+}
+
+func checked(w io.Writer, b []byte) error {
+	if _, err := w.Write(b); err != nil {
+		return err
+	}
+	return nil
+}
+
+// explicitDiscard is a visible, reviewable decision — allowed.
+func explicitDiscard(w io.Writer, b []byte) {
+	_, _ = w.Write(b)
+}
+
+// buffers cannot fail.
+func infallible(buf *bytes.Buffer, sb *strings.Builder, b []byte) {
+	buf.Write(b)
+	sb.Write(b)
+	fmt.Fprintf(buf, "%d", len(b))
+}
+
+// io.Discard cannot fail either.
+func discardSink(src io.Reader) {
+	io.Copy(io.Discard, src)
+}
+
+// errorless methods have nothing to discard.
+type silent struct{}
+
+func (silent) Flush() {}
+
+func errorless(s silent) {
+	s.Flush()
+}
