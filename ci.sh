@@ -1,15 +1,39 @@
 #!/bin/sh
-# ci.sh — the repository's tier-1 gate plus vet, the race detector, a
-# coverage floor on the detection engine, an examples smoke run, and a
-# short fuzz smoke.
+# ci.sh — the repository's tier-1 gate plus vet, the cindlint
+# static-analysis suite, the race detector, coverage floors, an examples
+# smoke run, and a short fuzz smoke.
 # Usage: ./ci.sh
 set -eu
+
+# check_coverage_floor <pkg> <floor>: fail if the package's total
+# statement coverage is below floor percent. The floor table lives at
+# the single `done <<EOF` feed below — add a line there, not a loop.
+check_coverage_floor() {
+	pkg="$1"
+	floor="$2"
+	echo "== coverage floor: $pkg >= ${floor}%"
+	cover_out="$(mktemp)"
+	go test -coverprofile="$cover_out" "./$pkg" > /dev/null
+	pct="$(go tool cover -func="$cover_out" | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
+	rm -f "$cover_out"
+	echo "$pkg coverage: ${pct}%"
+	if [ "$(awk -v p="$pct" -v f="$floor" 'BEGIN { print (p + 0 < f + 0) ? 1 : 0 }')" = "1" ]; then
+		echo "ci: $pkg coverage ${pct}% is below the ${floor}% floor" >&2
+		exit 1
+	fi
+}
 
 echo "== go build ./..."
 go build ./...
 
 echo "== go vet ./..."
 go vet ./...
+
+# cindlint prints its summary line (packages, diagnostics, bare ignores,
+# active ignores) and exits non-zero on any diagnostic or reason-less
+# ignore directive. See LINT.md for the invariants it enforces.
+echo "== cindlint ./..."
+go run ./cmd/cindlint ./...
 
 echo "== go test -race ./..."
 go test -race ./...
@@ -20,18 +44,21 @@ for d in examples/*/; do
 	go run "./$d" > /dev/null
 done
 
-for pkg in internal/detect internal/server internal/implication internal/consistency internal/wal internal/stream internal/shard internal/sqlgen internal/sqlbackend; do
-	echo "== coverage floor: $pkg >= 85%"
-	cover_out="$(mktemp)"
-	go test -coverprofile="$cover_out" "./$pkg" > /dev/null
-	pct="$(go tool cover -func="$cover_out" | awk '/^total:/ { gsub(/%/, "", $3); print $3 }')"
-	rm -f "$cover_out"
-	echo "$pkg coverage: ${pct}%"
-	if [ "$(awk -v p="$pct" 'BEGIN { print (p + 0 < 85.0) ? 1 : 0 }')" = "1" ]; then
-		echo "ci: $pkg coverage ${pct}% is below the 85% floor" >&2
-		exit 1
-	fi
-done
+while read -r pkg floor; do
+	[ -n "$pkg" ] || continue
+	check_coverage_floor "$pkg" "$floor"
+done << EOF
+internal/detect 85
+internal/server 85
+internal/implication 85
+internal/consistency 85
+internal/wal 85
+internal/stream 85
+internal/shard 85
+internal/sqlgen 85
+internal/sqlbackend 85
+internal/lint 85
+EOF
 
 echo "== fuzz smoke: parser round-trip (10s)"
 go test -run '^$' -fuzz '^FuzzParseMarshalRoundTrip$' -fuzztime 10s ./internal/parser
