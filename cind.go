@@ -27,6 +27,12 @@
 //	internal/violation    CSV loading and violation reports
 //	internal/server       the cindserve HTTP service over Checker
 //	internal/exp          the Section 6 experiment harness
+//	internal/lint         the cindlint static-analysis suite (see LINT.md)
+//
+// The invariants the engines are built on — byte-identical report
+// order, cooperative cancellation in O(tuples) loops, checked writes
+// on stream exit paths, seeded randomness — are enforced statically by
+// cindlint (ci runs it after vet); LINT.md catalogues them.
 //
 // # Quick start
 //
